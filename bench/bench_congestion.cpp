@@ -1,0 +1,72 @@
+// E12 (ablation; Sections 2 & 4.3): the uniform cost model assumes
+// contention-free links, yet the paper concedes that "latency of message
+// delivery is unpredictable in typical sensor networks". This ablation adds
+// per-node transmitter serialization to the virtual layer and re-runs E5:
+// the quad-tree's spatial parallelism survives contention, the centralized
+// funnel does not - sharpening the design-flow decision the methodology is
+// meant to enable.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "app/centralized.h"
+#include "app/field.h"
+#include "app/topographic.h"
+#include "bench/bench_common.h"
+#include "core/virtual_network.h"
+
+namespace {
+
+using namespace wsn;
+
+struct RunResult {
+  double latency;
+  std::uint64_t queued;
+};
+
+RunResult run(std::size_t side, bool centralized, core::Congestion congestion) {
+  const app::FeatureGrid grid = app::checkerboard_grid(side);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                            core::uniform_cost_model(),
+                            core::LeaderPlacement::kNorthWest, congestion);
+  double latency = 0;
+  if (centralized) {
+    latency = app::run_centralized_query(vnet, grid).finished_at;
+  } else {
+    latency = app::run_topographic_query(vnet, grid).round.finished_at;
+  }
+  return {latency, vnet.counters().get("vnet.queued")};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E12 / ablation", "Contention sensitivity of the cost model",
+      "per-node transmitter serialization: in-network merging keeps its "
+      "parallelism, the centralized funnel serializes");
+
+  analysis::Table table({"side", "algo", "latency(free)", "latency(busy)",
+                         "slowdown", "queued pkts"});
+  for (std::size_t side : {4u, 8u, 16u, 32u}) {
+    for (bool centralized : {false, true}) {
+      const RunResult free = run(side, centralized, core::Congestion::kNone);
+      const RunResult busy =
+          run(side, centralized, core::Congestion::kNodeSerialized);
+      table.row({analysis::Table::num(side),
+                 centralized ? "centralized" : "quad-tree",
+                 analysis::Table::num(free.latency, 1),
+                 analysis::Table::num(busy.latency, 1),
+                 analysis::Table::num(busy.latency / free.latency, 2),
+                 analysis::Table::num(busy.queued)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Check: the quad-tree's slowdown stays near 1 (siblings transmit\n"
+      "through disjoint relays); the centralized slowdown grows with N as\n"
+      "messages queue behind each other in the sink's corner. The uniform\n"
+      "cost model is safe exactly when traffic is spatially balanced -\n"
+      "which the divide-and-conquer mapping guarantees by construction.\n");
+  return 0;
+}

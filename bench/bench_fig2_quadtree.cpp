@@ -1,0 +1,45 @@
+// E1 (Figure 2): the quad-tree representation of the algorithm.
+//
+// Regenerates the figure's level structure and labels for the 4x4 case and
+// verifies the construction generalizes (sizes, arity, extents) for larger
+// grids.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench/bench_common.h"
+#include "taskgraph/quadtree.h"
+
+int main() {
+  using namespace wsn;
+  bench::print_header(
+      "E1 / Figure 2", "Quad-tree representation of the algorithm",
+      "data flow graph structured as a quad-tree; leaves sample, interior "
+      "nodes merge; labels 0..15 / 0,4,8,12 / 0");
+
+  const taskgraph::QuadTree tree = taskgraph::build_quad_tree(4);
+  std::printf("%s\n", render_figure2(tree).c_str());
+
+  analysis::Table table({"grid side", "tasks", "leaves", "interior", "levels",
+                         "arity"});
+  for (std::size_t side : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const taskgraph::QuadTree t = taskgraph::build_quad_tree(side);
+    std::size_t interior = 0;
+    std::size_t arity = 0;
+    for (const auto& task : t.graph.tasks()) {
+      if (!task.children.empty()) {
+        ++interior;
+        arity = task.children.size();
+      }
+    }
+    table.row({analysis::Table::num(side), analysis::Table::num(t.graph.size()),
+               analysis::Table::num(t.graph.leaves().size()),
+               analysis::Table::num(interior),
+               analysis::Table::num(t.graph.height()),
+               analysis::Table::num(arity)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Check: every interior node has arity 4 and leaves = side^2; the tree\n"
+      "of Figure 2 is the side=4 row.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E10 (Section 4.2 ablation): "the non-leaf nodes can be mapped anywhere in
+// the grid subject to performance optimization" and leader placement is a
+// free design choice.
+//
+// Compares NW-corner (the paper), block-center, south-east, random-interior,
+// and hill-climbing-improved mappings on total energy, critical latency, and
+// energy balance.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench/bench_common.h"
+#include "taskgraph/mapping.h"
+
+int main() {
+  using namespace wsn;
+  bench::print_header(
+      "E10 / Sec 4.2", "Mapping / leader-placement ablation",
+      "interior-task placement trades latency against balance; the virtual "
+      "architecture's evaluator ranks alternatives before deployment");
+
+  const std::size_t side = 16;
+  const taskgraph::QuadTree tree = taskgraph::build_quad_tree(side);
+  core::GridTopology grid(side);
+  const core::CostModel cost = core::uniform_cost_model();
+
+  analysis::Table table({"mapping", "total energy", "critical latency",
+                         "max node E", "energy stddev", "constraints"});
+  auto add_row = [&](const std::string& name,
+                     const taskgraph::RoleAssignment& mapping) {
+    const auto c = taskgraph::evaluate_mapping(tree.graph, mapping, grid, cost);
+    const bool ok = taskgraph::satisfies_constraints(tree.graph, mapping, grid);
+    table.row({name, analysis::Table::num(c.total_energy, 0),
+               analysis::Table::num(c.critical_latency, 1),
+               analysis::Table::num(c.max_node_energy, 1),
+               analysis::Table::num(c.energy_stddev, 2), ok ? "ok" : "VIOLATED"});
+  };
+
+  core::GroupHierarchy nw(grid, core::LeaderPlacement::kNorthWest);
+  core::GroupHierarchy center(grid, core::LeaderPlacement::kBlockCenter);
+  core::GroupHierarchy se(grid, core::LeaderPlacement::kSouthEast);
+  add_row("NW corner (paper)", taskgraph::paper_mapping(tree, nw));
+  add_row("block center", taskgraph::paper_mapping(tree, center));
+  add_row("SE corner", taskgraph::paper_mapping(tree, se));
+
+  sim::Rng rng(99);
+  add_row("random interior", taskgraph::random_interior_mapping(tree, rng));
+
+  sim::Rng rng2(7);
+  const auto improved = taskgraph::improve_mapping(
+      tree.graph, taskgraph::paper_mapping(tree, nw), grid, cost,
+      taskgraph::MappingObjective::kCriticalLatency, 400, rng2);
+  add_row("NW + hill-climb (latency)", improved);
+
+  sim::Rng rng3(8);
+  const auto balanced = taskgraph::improve_mapping(
+      tree.graph, taskgraph::paper_mapping(tree, nw), grid, cost,
+      taskgraph::MappingObjective::kEnergyBalance, 400, rng3);
+  add_row("NW + hill-climb (balance)", balanced);
+
+  // A constraint-violating mapping for contrast.
+  sim::Rng rng4(9);
+  add_row("scrambled leaves (violates)",
+          taskgraph::scrambled_leaf_mapping(tree, rng4));
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Check: center placement halves the per-level diagonal transfer and\n"
+      "wins on critical latency at equal total hops; hill climbing\n"
+      "improves its chosen objective without breaking constraints; the\n"
+      "scrambled-leaf mapping is flagged as violating spatial correlation\n"
+      "(merging non-adjacent extents would defeat boundary compression).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E14 (ablation; Sections 3.1 & 4.1): the boundary representation exists so
+// that "maximum data compression can be achieved" when merging spatially
+// correlated extents. This bench measures actual encoded message sizes up
+// the quad-tree and re-runs the round with exact (codec-driven) message
+// sizes instead of the fixed-unit assumption.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "app/field.h"
+#include "app/serialize.h"
+#include "app/topographic.h"
+#include "bench/bench_common.h"
+#include "core/virtual_network.h"
+#include "sim/trace.h"
+
+int main() {
+  using namespace wsn;
+  bench::print_header(
+      "E14 / ablation", "Boundary-summary compression and exact message sizes",
+      "summary bytes track the block perimeter, not its area; raw-status "
+      "shipping grows with area");
+
+  // Part 1: encoded size vs block side for different field families.
+  const std::size_t side = 64;
+  struct Family {
+    const char* name;
+    app::FeatureGrid grid;
+  };
+  sim::Rng rng(5);
+  std::vector<Family> families;
+  families.push_back({"solid", app::full_grid(side)});
+  families.push_back({"blobs", app::threshold_sample(
+                                   app::value_noise_field(11), side, 0.55)});
+  families.push_back({"random p=.5", app::random_grid(side, 0.5, rng)});
+
+  analysis::Table table({"field", "block", "bytes", "bytes/cell",
+                         "raw bytes (1b/cell)", "compression x"});
+  for (const Family& family : families) {
+    for (std::uint32_t block : {4u, 8u, 16u, 32u, 64u}) {
+      const app::BlockSummary s =
+          app::BlockSummary::of_rect(family.grid, 0, 0, block, block);
+      const double bytes = static_cast<double>(app::encoded_size(s));
+      const double raw = static_cast<double>(block * block) / 8.0;
+      table.row({family.name,
+                 analysis::Table::num(block) + "x" + analysis::Table::num(block),
+                 analysis::Table::num(bytes, 0),
+                 analysis::Table::num(bytes / (block * block), 3),
+                 analysis::Table::num(raw, 0),
+                 analysis::Table::num(raw / bytes, 2)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Part 2: rerun the topographic round with exact sizes; compare energy
+  // and latency against the fixed-unit assumption.
+  analysis::Table run_table({"sizes", "field", "latency", "comm energy",
+                             "max msg units"});
+  for (const Family& family : families) {
+    for (bool exact : {false, true}) {
+      sim::Simulator sim(1);
+      core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                                core::uniform_cost_model());
+      app::TopographicConfig config;
+      auto regions = std::make_shared<std::vector<app::RegionInfo>>();
+      auto hooks = app::topographic_hooks(family.grid, config, regions.get());
+      auto max_units = std::make_shared<double>(0.0);
+      if (exact) {
+        hooks.payload_units = [max_units](const std::any& p) {
+          const double u = app::ExactSizeModel{}.units(
+              std::any_cast<const app::BlockSummary&>(p));
+          *max_units = std::max(*max_units, u);
+          return u;
+        };
+      } else {
+        *max_units = 1.0;
+      }
+      synthesis::AggregationProgram prog(vnet, hooks);
+      prog.start_round();
+      sim.run();
+      const auto& ledger = vnet.ledger();
+      run_table.row(
+          {exact ? "exact codec" : "fixed 1 unit", family.name,
+           analysis::Table::num(prog.stats().finished_at, 1),
+           analysis::Table::num(ledger.total(net::EnergyUse::kTx) +
+                                    ledger.total(net::EnergyUse::kRx),
+                                0),
+           analysis::Table::num(*max_units, 2)});
+    }
+  }
+  std::printf("%s\n", run_table.str().c_str());
+  std::printf(
+      "Check: bytes per cell fall as blocks grow (perimeter scaling) for\n"
+      "coherent fields, while the worst case (random p=.5) stays near the\n"
+      "raw encoding - compression is exactly the dividend of spatial\n"
+      "correlation. With exact sizes the round costs more than the\n"
+      "fixed-unit analysis for fragmented fields and about the same for\n"
+      "coherent ones, bounding the idealization error of the cost model.\n");
+  return 0;
+}

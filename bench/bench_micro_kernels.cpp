@@ -1,0 +1,91 @@
+// Google-benchmark micro kernels: throughput of the computational primitives
+// the experiments lean on (reference labeling, boundary merges, the full
+// divide-and-conquer pass, Morton indexing, emulation-protocol setup).
+#include <benchmark/benchmark.h>
+
+#include "app/boundary.h"
+#include "app/dnc.h"
+#include "app/field.h"
+#include "app/labeling.h"
+#include "app/topographic.h"
+#include "core/virtual_network.h"
+#include "bench/bench_common.h"
+#include "core/grid_topology.h"
+
+namespace {
+
+using namespace wsn;
+
+void BM_ReferenceLabeling(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  const app::FeatureGrid grid = app::random_grid(side, 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::label_regions(grid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_ReferenceLabeling)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DivideAndConquerLabeling(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(2);
+  const app::FeatureGrid grid = app::random_grid(side, 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::dnc_label(grid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_DivideAndConquerLabeling)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BoundaryMerge(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  sim::Rng rng(3);
+  const app::FeatureGrid grid = app::random_grid(side, 0.5, rng);
+  const auto half = static_cast<std::int32_t>(side / 2);
+  const app::BlockSummary left =
+      app::BlockSummary::of_rect(grid, 0, 0, side / 2, side);
+  const app::BlockSummary right =
+      app::BlockSummary::of_rect(grid, 0, half, side / 2, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::merge(left, right));
+  }
+}
+BENCHMARK(BM_BoundaryMerge)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MortonRoundTrip(benchmark::State& state) {
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::morton_index(core::morton_coord(k)));
+    k = (k + 1) & 0xffffff;
+  }
+}
+BENCHMARK(BM_MortonRoundTrip);
+
+void BM_VirtualRoundTopographic(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(4);
+  const app::FeatureGrid grid = app::random_grid(side, 0.5, rng);
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                              core::uniform_cost_model());
+    benchmark::DoNotOptimize(app::run_topographic_query(vnet, grid));
+  }
+}
+BENCHMARK(BM_VirtualRoundTopographic)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EmulationSetup(benchmark::State& state) {
+  const auto grid_side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bench::PhysicalStack stack(grid_side, grid_side * grid_side * 10, 1.3, 7);
+    benchmark::DoNotOptimize(stack.emulation_result.broadcasts);
+  }
+}
+BENCHMARK(BM_EmulationSetup)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E16 (Section 3.1): "Processing and responding to queries could be in most
+// cases decoupled from the actual data gathering and boundary estimation
+// process ... a query to count the number of regions of interest can obtain
+// and sum the local counts of each of the distributed storage nodes."
+//
+// Compares answering K count queries by (a) re-running the full gathering
+// round each time vs (b) gathering once and summing the distributed stored
+// counts per query.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "app/field.h"
+#include "app/storage.h"
+#include "bench/bench_common.h"
+#include "core/virtual_network.h"
+
+int main() {
+  using namespace wsn;
+  bench::print_header(
+      "E16 / Sec 3.1", "Decoupled query processing over distributed storage",
+      "count queries sum stored local counts instead of re-estimating "
+      "boundaries");
+
+  analysis::Table table({"side", "regions", "storage nodes", "gather E",
+                         "query E", "requery E", "query/requery",
+                         "query latency", "requery latency"});
+  for (std::size_t side : {8u, 16u, 32u}) {
+    // A fragmented field: many small regions close at low levels, so the
+    // stored counts spread across the leader hierarchy.
+    sim::Rng rng(side);
+    const app::FeatureGrid grid = app::random_grid(side, 0.3, rng);
+
+    sim::Simulator sim(1);
+    core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                              core::uniform_cost_model());
+    const app::RegionStore store = app::run_and_store(vnet, grid);
+    const double gather_energy = vnet.ledger().total();
+    const double gather_latency = store.gather_round.finished_at;
+
+    std::size_t storage_nodes = 0;
+    for (double v : store.closed_here) storage_nodes += v != 0.0 ? 1 : 0;
+
+    const double t0 = sim.now();
+    const auto result = app::count_regions_query(vnet, store);
+    const double query_energy = vnet.ledger().total() - gather_energy;
+    const double query_latency = result.finished - t0;
+
+    if (result.value != static_cast<double>(store.total_regions)) {
+      std::printf("COUNT MISMATCH at side %zu!\n", side);
+      return 1;
+    }
+
+    table.row({analysis::Table::num(side),
+               analysis::Table::num(store.total_regions),
+               analysis::Table::num(storage_nodes),
+               analysis::Table::num(gather_energy, 0),
+               analysis::Table::num(query_energy, 0),
+               analysis::Table::num(gather_energy, 0),
+               analysis::Table::num(query_energy / gather_energy, 3),
+               analysis::Table::num(query_latency, 1),
+               analysis::Table::num(gather_latency, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Check: a stored-count query touches only the storage nodes (merging\n"
+      "leaders that closed at least one region) with single-unit scalar\n"
+      "messages, costing a small fraction of re-running the gathering\n"
+      "round - the decoupling Section 3.1 argues for. The answer matches\n"
+      "the root's ground truth exactly at every size.\n");
+  return 0;
+}

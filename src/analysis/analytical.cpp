@@ -1,0 +1,120 @@
+#include "analysis/analytical.h"
+
+#include <stdexcept>
+
+namespace wsn::analysis {
+
+QuadTreePrediction predict_quadtree(std::size_t grid_side,
+                                    const core::CostModel& cost,
+                                    double message_units, double sense_ops,
+                                    double merge_ops) {
+  if (!core::GridTopology::is_power_of_two(grid_side)) {
+    throw std::invalid_argument("predict_quadtree: side must be a power of two");
+  }
+  const auto m = static_cast<std::uint64_t>(grid_side);
+  std::uint32_t levels = 0;
+  for (std::uint64_t s = m; s > 1; s >>= 1) ++levels;
+
+  QuadTreePrediction p;
+  for (std::uint32_t l = 1; l <= levels; ++l) {
+    const std::uint64_t blocks = (m >> l) * (m >> l);
+    p.messages += 3 * blocks;
+    p.total_hops += blocks * (1ULL << (l + 1));  // 2^(l-1)+2^(l-1)+2^l
+    p.steps += (1ULL << (l - 1)) + 1;
+  }
+  p.comm_energy = static_cast<double>(p.total_hops) *
+                  (cost.tx_energy(message_units) + cost.rx_energy(message_units));
+  const double interior = static_cast<double>((m * m - 1) / 3);
+  p.compute_energy =
+      cost.compute_energy(sense_ops) * static_cast<double>(m * m) +
+      cost.compute_energy(merge_ops) * 4.0 * interior;
+  p.total_energy = p.comm_energy + p.compute_energy;
+  // Critical path: sense, then per level the diagonal-sibling transfer plus
+  // the merge it triggers.
+  p.latency = cost.compute_latency(sense_ops);
+  for (std::uint32_t l = 1; l <= levels; ++l) {
+    p.latency += cost.hop_latency(message_units) *
+                     static_cast<double>(1ULL << l) +
+                 cost.compute_latency(merge_ops);
+  }
+  return p;
+}
+
+CentralizedPrediction predict_centralized(std::size_t grid_side,
+                                          const core::CostModel& cost,
+                                          double status_units,
+                                          double ops_per_cell) {
+  const auto m = static_cast<std::uint64_t>(grid_side);
+  CentralizedPrediction p;
+  p.messages = m * m - 1;
+  // Sum over the grid of manhattan distance to (0,0): sum(r) + sum(c) over
+  // all cells = m * m(m-1)/2 * 2.
+  p.total_hops = m * m * (m - 1);
+  p.comm_energy = static_cast<double>(p.total_hops) *
+                  (cost.tx_energy(status_units) + cost.rx_energy(status_units));
+  p.compute_energy =
+      cost.compute_energy(ops_per_cell) * static_cast<double>(m * m);
+  p.total_energy = p.comm_energy + p.compute_energy;
+  p.latency = cost.hop_latency(status_units) *
+                  static_cast<double>(2 * (m - 1)) +
+              cost.compute_latency(ops_per_cell * static_cast<double>(m * m));
+  return p;
+}
+
+QuadTreePrediction predict_fanout(std::size_t grid_side,
+                                  std::uint32_t split_exponent,
+                                  const core::CostModel& cost,
+                                  double message_units, double sense_ops,
+                                  double merge_ops) {
+  if (!core::GridTopology::is_power_of_two(grid_side)) {
+    throw std::invalid_argument("predict_fanout: side must be a power of two");
+  }
+  std::uint32_t p = 0;
+  for (std::size_t s = grid_side; s > 1; s >>= 1) ++p;
+  if (split_exponent == 0 || p % split_exponent != 0) {
+    throw std::invalid_argument(
+        "predict_fanout: log2(side) must be divisible by the split exponent");
+  }
+  const std::uint32_t levels = p / split_exponent;
+  const std::uint64_t sqrt_f = 1ULL << split_exponent;  // sub-blocks per axis
+  const std::uint64_t fanout = sqrt_f * sqrt_f;
+  const auto m = static_cast<std::uint64_t>(grid_side);
+
+  QuadTreePrediction out;
+  out.latency = cost.compute_latency(sense_ops);
+  for (std::uint32_t l = 1; l <= levels; ++l) {
+    const std::uint64_t block_side = 1ULL << (split_exponent * l);
+    const std::uint64_t sub_side = block_side / sqrt_f;
+    const std::uint64_t blocks = (m / block_side) * (m / block_side);
+    out.messages += blocks * (fanout - 1);
+    // Child leaders sit at (a,b)*sub_side for a,b in [0,sqrt_f): hops sum
+    // = sub_side * sum(a+b) = sub_side * fanout * (sqrt_f - 1).
+    out.total_hops += blocks * sub_side * fanout * (sqrt_f - 1);
+    out.steps += sub_side * 2 * (sqrt_f - 1) + 1;
+    // Critical path: the diagonal child at 2*(sqrt_f-1)*sub_side hops, then
+    // the merge its arrival triggers.
+    out.latency += cost.hop_latency(message_units) *
+                       static_cast<double>(2 * (sqrt_f - 1) * sub_side) +
+                   cost.compute_latency(merge_ops);
+  }
+  out.comm_energy = static_cast<double>(out.total_hops) *
+                    (cost.tx_energy(message_units) +
+                     cost.rx_energy(message_units));
+  const double interior =
+      static_cast<double>((m * m - 1)) / static_cast<double>(fanout - 1);
+  out.compute_energy =
+      cost.compute_energy(sense_ops) * static_cast<double>(m * m) +
+      cost.compute_energy(merge_ops) * static_cast<double>(fanout) * interior;
+  out.total_energy = out.comm_energy + out.compute_energy;
+  return out;
+}
+
+GroupCommPrediction predict_group_comm(std::uint32_t level) {
+  const std::uint32_t side = 1u << level;
+  GroupCommPrediction p;
+  p.max_hops = 2 * (side - 1);
+  p.mean_hops = static_cast<double>(side - 1);
+  return p;
+}
+
+}  // namespace wsn::analysis

@@ -1,0 +1,84 @@
+// Closed-form performance estimation on the virtual architecture - the
+// "rapid first-order performance estimation of algorithms" that Section 2
+// names as the first duty of a virtual architecture.
+//
+// All formulas assume the paper's setting: sqrt(N) x sqrt(N) oriented grid,
+// shortest-path (manhattan) routing, north-west-corner leaders, and
+// fixed-size messages. Experiment E9 checks these predictions against both
+// the executable virtual layer and the emulated physical layer.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.h"
+
+namespace wsn::analysis {
+
+/// Predicted cost of one quad-tree aggregation round (Figure 2 algorithm).
+struct QuadTreePrediction {
+  std::uint64_t messages = 0;    // network messages (self-sends excluded)
+  std::uint64_t total_hops = 0;  // sum of per-message hop counts
+  double comm_energy = 0.0;      // tx+rx over all hops
+  double compute_energy = 0.0;   // sense + merge ops
+  double total_energy = 0.0;
+  double latency = 0.0;          // critical path to exfiltration
+
+  /// Steps in the paper's O(sqrt N) sense: per level, the transfer distance
+  /// plus one merge round.
+  std::uint64_t steps = 0;
+};
+
+/// Predicts one round on an m x m grid (m a power of two) with per-message
+/// size `message_units`, `sense_ops` per leaf and `merge_ops` per folded
+/// contribution.
+///
+/// Derivation (level l in 1..L, L = log2 m): each of the (m/2^l)^2 blocks
+/// receives 3 remote child messages at hop distances 2^(l-1), 2^(l-1) and
+/// 2^l, so hops per block = 2^(l+1); the critical path adds the diagonal
+/// transfer 2^l plus one merge per level, giving latency = sense +
+/// (2m - 2) * u/B + L * merge/R.
+QuadTreePrediction predict_quadtree(std::size_t grid_side,
+                                    const core::CostModel& cost,
+                                    double message_units = 1.0,
+                                    double sense_ops = 1.0,
+                                    double merge_ops = 1.0);
+
+/// Predicted cost of the centralized baseline: every node ships one status
+/// message to the sink at (0,0); the sink then labels the whole field.
+struct CentralizedPrediction {
+  std::uint64_t messages = 0;
+  std::uint64_t total_hops = 0;  // sum of manhattan distances to the sink
+  double comm_energy = 0.0;
+  double compute_energy = 0.0;
+  double total_energy = 0.0;
+  double latency = 0.0;  // farthest transfer + sink labeling
+};
+
+CentralizedPrediction predict_centralized(std::size_t grid_side,
+                                          const core::CostModel& cost,
+                                          double status_units = 1.0,
+                                          double ops_per_cell = 1.0);
+
+/// Predicted hop distance from the farthest follower to its level-k leader
+/// under a given block side (for E6): with NW placement the maximum is
+/// 2 * (2^k - 1) hops and the mean over the block is 2^k - 1.
+struct GroupCommPrediction {
+  std::uint32_t max_hops = 0;
+  double mean_hops = 0.0;
+};
+
+GroupCommPrediction predict_group_comm(std::uint32_t level);
+
+/// Generalized fan-out prediction: the divide-and-conquer tree splits each
+/// square block into 4^j sub-blocks per level (j = 1 is the paper's
+/// quad-tree). The design-flow text speaks of general "k-ary" task trees;
+/// this closed-form lets the designer sweep the fan-out before mapping.
+/// `split_exponent` = j; requires log2(grid side) divisible by j.
+QuadTreePrediction predict_fanout(std::size_t grid_side,
+                                  std::uint32_t split_exponent,
+                                  const core::CostModel& cost,
+                                  double message_units = 1.0,
+                                  double sense_ops = 1.0,
+                                  double merge_ops = 1.0);
+
+}  // namespace wsn::analysis

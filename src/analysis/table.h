@@ -1,0 +1,79 @@
+// Fixed-width table rendering for bench output: every experiment prints the
+// rows/series the paper's evaluation would contain.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wsn::analysis {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Formats any integer exactly.
+  template <typename T>
+    requires std::integral<T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+  /// Percent-error string between measured and predicted.
+  static std::string pct_err(double measured, double predicted) {
+    if (predicted == 0.0) return measured == 0.0 ? "0.0%" : "inf";
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1)
+       << (measured - predicted) / predicted * 100.0 << '%';
+    return os.str();
+  }
+
+  std::string str() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        os << std::setw(static_cast<int>(widths[i]) + 2)
+           << (i < cells.size() ? cells[i] : "");
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wsn::analysis

@@ -1,0 +1,398 @@
+#include "app/boundary.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wsn::app {
+namespace {
+
+/// Applies `fn(label)` to every distinct perimeter cell of `s` in the
+/// canonical order: north edge west->east, east edge north->south (skipping
+/// the NE corner already visited), south edge west->east (skipping corners
+/// on the east/west columns when height > 1), west edge north->south
+/// (skipping corners). Degenerate one-row / one-column extents visit each
+/// cell exactly once.
+template <typename Fn>
+void for_each_perimeter_label(const BlockSummary& s, Fn&& fn) {
+  const std::size_t w = s.width;
+  const std::size_t h = s.height;
+  if (h == 1) {
+    for (std::size_t i = 0; i < w; ++i) fn(s.north[i]);
+    return;
+  }
+  if (w == 1) {
+    for (std::size_t i = 0; i < h; ++i) fn(s.west[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < w; ++i) fn(s.north[i]);
+  for (std::size_t i = 1; i < h; ++i) fn(s.east[i]);
+  for (std::size_t i = 0; i + 1 < w; ++i) fn(s.south[i]);
+  for (std::size_t i = 1; i + 1 < h; ++i) fn(s.west[i]);
+}
+
+/// Renumbers perimeter labels densely (1..k, canonical encounter order) and
+/// rebuilds the open map from `stats`. `stats` maps the raw label space used
+/// in the edge arrays to region statistics.
+void canonicalize(BlockSummary& s,
+                  const std::unordered_map<BoundaryLabel, RegionInfo>& stats) {
+  std::unordered_map<BoundaryLabel, BoundaryLabel> dense;
+  for_each_perimeter_label(s, [&](BoundaryLabel raw) {
+    if (raw == 0) return;
+    dense.try_emplace(raw, static_cast<BoundaryLabel>(dense.size()) + 1);
+  });
+  auto remap = [&dense](std::vector<BoundaryLabel>& edge) {
+    for (BoundaryLabel& l : edge) {
+      if (l != 0) l = dense.at(l);
+    }
+  };
+  remap(s.north);
+  remap(s.south);
+  remap(s.west);
+  remap(s.east);
+  s.open.clear();
+  for (const auto& [raw, label] : dense) {
+    auto it = stats.find(raw);
+    if (it == stats.end()) {
+      throw std::logic_error("canonicalize: perimeter label without stats");
+    }
+    s.open.emplace(label, it->second);
+  }
+}
+
+enum class Adjacency { kHorizontal, kVertical };
+
+/// Determines how `a` and `b` fit together; normalizes so the returned pair
+/// is (west-or-north piece, east-or-south piece).
+std::pair<Adjacency, bool> classify(const BlockSummary& a,
+                                    const BlockSummary& b) {
+  const bool same_rows = a.row0 == b.row0 && a.height == b.height;
+  const bool same_cols = a.col0 == b.col0 && a.width == b.width;
+  if (same_rows &&
+      b.col0 == a.col0 + static_cast<std::int32_t>(a.width)) {
+    return {Adjacency::kHorizontal, false};
+  }
+  if (same_rows &&
+      a.col0 == b.col0 + static_cast<std::int32_t>(b.width)) {
+    return {Adjacency::kHorizontal, true};  // b is the western piece
+  }
+  if (same_cols &&
+      b.row0 == a.row0 + static_cast<std::int32_t>(a.height)) {
+    return {Adjacency::kVertical, false};
+  }
+  if (same_cols &&
+      a.row0 == b.row0 + static_cast<std::int32_t>(b.height)) {
+    return {Adjacency::kVertical, true};  // b is the northern piece
+  }
+  throw std::invalid_argument("merge: extents are not edge-adjacent");
+}
+
+std::vector<BoundaryLabel> concat(const std::vector<BoundaryLabel>& x,
+                                  const std::vector<BoundaryLabel>& y) {
+  std::vector<BoundaryLabel> out;
+  out.reserve(x.size() + y.size());
+  out.insert(out.end(), x.begin(), x.end());
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+}  // namespace
+
+BlockSummary BlockSummary::leaf(const core::GridCoord& c, bool feature) {
+  BlockSummary s;
+  s.row0 = c.row;
+  s.col0 = c.col;
+  s.width = 1;
+  s.height = 1;
+  const BoundaryLabel l = feature ? 1 : 0;
+  s.north = s.south = s.west = s.east = {l};
+  if (feature) {
+    GridBounds b;
+    b.expand(c);
+    s.open.emplace(1, RegionInfo{1, b});
+  }
+  return s;
+}
+
+BlockSummary BlockSummary::of_rect(const FeatureGrid& grid, std::int32_t row0,
+                                   std::int32_t col0, std::uint32_t width,
+                                   std::uint32_t height) {
+  // Label the sub-rectangle in isolation, then classify regions by whether
+  // they touch its perimeter.
+  FeatureGrid sub(std::max(width, height));
+  // label_regions expects a square grid; use a square canvas with the
+  // rectangle placed at the origin (the padding stays background).
+  for (std::uint32_t r = 0; r < height; ++r) {
+    for (std::uint32_t c = 0; c < width; ++c) {
+      sub.set({static_cast<std::int32_t>(r), static_cast<std::int32_t>(c)},
+              grid.at(row0 + static_cast<std::int32_t>(r),
+                      col0 + static_cast<std::int32_t>(c)));
+    }
+  }
+  const Labeling labeled = label_regions(sub);
+
+  BlockSummary s;
+  s.row0 = row0;
+  s.col0 = col0;
+  s.width = width;
+  s.height = height;
+  auto local_label = [&](std::uint32_t r, std::uint32_t c) {
+    return labeled.label_at({static_cast<std::int32_t>(r),
+                             static_cast<std::int32_t>(c)});
+  };
+  s.north.resize(width);
+  s.south.resize(width);
+  for (std::uint32_t c = 0; c < width; ++c) {
+    s.north[c] = local_label(0, c);
+    s.south[c] = local_label(height - 1, c);
+  }
+  s.west.resize(height);
+  s.east.resize(height);
+  for (std::uint32_t r = 0; r < height; ++r) {
+    s.west[r] = local_label(r, 0);
+    s.east[r] = local_label(r, width - 1);
+  }
+
+  // Region statistics in global coordinates.
+  std::unordered_map<BoundaryLabel, RegionInfo> stats;
+  std::vector<bool> touches(labeled.regions.size() + 1, false);
+  for (const Region& region : labeled.regions) {
+    GridBounds global;
+    global.row_min = region.bounds.row_min + row0;
+    global.row_max = region.bounds.row_max + row0;
+    global.col_min = region.bounds.col_min + col0;
+    global.col_max = region.bounds.col_max + col0;
+    stats[region.label] = RegionInfo{region.area, global};
+    const bool touch = region.bounds.row_min == 0 ||
+                       region.bounds.col_min == 0 ||
+                       region.bounds.row_max ==
+                           static_cast<std::int32_t>(height) - 1 ||
+                       region.bounds.col_max ==
+                           static_cast<std::int32_t>(width) - 1;
+    touches[region.label] = touch;
+    if (!touch) s.closed.push_back(stats[region.label]);
+  }
+  canonicalize(s, stats);
+  return s;
+}
+
+std::uint64_t BlockSummary::total_area() const {
+  std::uint64_t sum = 0;
+  for (const auto& [label, info] : open) sum += info.area;
+  for (const RegionInfo& info : closed) sum += info.area;
+  return sum;
+}
+
+std::size_t BlockSummary::boundary_feature_cells() const {
+  std::size_t count = 0;
+  for_each_perimeter_label(*this,
+                           [&](BoundaryLabel l) { count += l != 0 ? 1 : 0; });
+  return count;
+}
+
+void BlockSummary::validate() const {
+  if (width == 0 || height == 0) {
+    throw std::logic_error("BlockSummary: empty extent");
+  }
+  if (north.size() != width || south.size() != width ||
+      west.size() != height || east.size() != height) {
+    throw std::logic_error("BlockSummary: edge length mismatch");
+  }
+  if (north.front() != west.front() || north.back() != east.front() ||
+      south.front() != west.back() || south.back() != east.back()) {
+    throw std::logic_error("BlockSummary: corner labels inconsistent");
+  }
+  if (height == 1 && north != south) {
+    throw std::logic_error("BlockSummary: 1-row extent with north != south");
+  }
+  if (width == 1 && west != east) {
+    throw std::logic_error("BlockSummary: 1-col extent with west != east");
+  }
+  // Every perimeter label must be an open region and vice versa; labels are
+  // dense 1..k.
+  std::vector<bool> seen(open.size() + 1, false);
+  for_each_perimeter_label(*this, [&](BoundaryLabel l) {
+    if (l == 0) return;
+    if (!open.contains(l)) {
+      throw std::logic_error("BlockSummary: perimeter label not open");
+    }
+    seen[l] = true;
+  });
+  for (const auto& [label, info] : open) {
+    if (label == 0 || label > open.size()) {
+      throw std::logic_error("BlockSummary: open labels not dense");
+    }
+    if (!seen[label]) {
+      throw std::logic_error("BlockSummary: open region not on perimeter");
+    }
+    if (info.area == 0) {
+      throw std::logic_error("BlockSummary: open region with zero area");
+    }
+  }
+  for (const RegionInfo& info : closed) {
+    if (info.area == 0) {
+      throw std::logic_error("BlockSummary: closed region with zero area");
+    }
+  }
+}
+
+bool BlockSummary::mergeable_with(const BlockSummary& other) const {
+  try {
+    classify(*this, other);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+std::string BlockSummary::describe() const {
+  std::ostringstream os;
+  os << width << 'x' << height << " block at (" << row0 << ',' << col0
+     << "): " << open.size() << " open, " << closed.size() << " closed";
+  return os.str();
+}
+
+BlockSummary merge(const BlockSummary& a, const BlockSummary& b) {
+  const auto [orientation, swapped] = classify(a, b);
+  const BlockSummary& first = swapped ? b : a;   // west or north piece
+  const BlockSummary& second = swapped ? a : b;  // east or south piece
+
+  // Raw label space of the merged perimeter: first's labels keep their
+  // values; second's labels are offset past them.
+  const auto offset = static_cast<BoundaryLabel>(first.open.size());
+  auto shift = [offset](const std::vector<BoundaryLabel>& edge) {
+    std::vector<BoundaryLabel> out = edge;
+    for (BoundaryLabel& l : out) {
+      if (l != 0) l += offset;
+    }
+    return out;
+  };
+
+  // Union-find over raw labels 1..first.open.size()+second.open.size();
+  // index i represents raw label i+1.
+  detail::DisjointSets dsu(first.open.size() + second.open.size());
+  auto unite_seam = [&](const std::vector<BoundaryLabel>& edge_first,
+                        const std::vector<BoundaryLabel>& edge_second) {
+    for (std::size_t i = 0; i < edge_first.size(); ++i) {
+      const BoundaryLabel la = edge_first[i];
+      const BoundaryLabel lb = edge_second[i];
+      if (la != 0 && lb != 0) {
+        dsu.unite(la - 1, lb + offset - 1);
+      }
+    }
+  };
+
+  BlockSummary out;
+  if (orientation == Adjacency::kHorizontal) {
+    unite_seam(first.east, second.west);
+    out.row0 = first.row0;
+    out.col0 = first.col0;
+    out.width = first.width + second.width;
+    out.height = first.height;
+    out.north = concat(first.north, shift(second.north));
+    out.south = concat(first.south, shift(second.south));
+    out.west = first.west;
+    out.east = shift(second.east);
+  } else {
+    unite_seam(first.south, second.north);
+    out.row0 = first.row0;
+    out.col0 = first.col0;
+    out.width = first.width;
+    out.height = first.height + second.height;
+    out.north = first.north;
+    out.south = shift(second.south);
+    out.west = concat(first.west, shift(second.west));
+    out.east = concat(first.east, shift(second.east));
+  }
+
+  // Resolve every perimeter label to its union-find root (in raw space).
+  auto resolve = [&](std::vector<BoundaryLabel>& edge) {
+    for (BoundaryLabel& l : edge) {
+      if (l != 0) l = dsu.find(l - 1) + 1;
+    }
+  };
+  resolve(out.north);
+  resolve(out.south);
+  resolve(out.west);
+  resolve(out.east);
+
+  // Accumulate statistics per root.
+  std::unordered_map<BoundaryLabel, RegionInfo> stats;
+  auto fold = [&](const std::map<BoundaryLabel, RegionInfo>& open,
+                  BoundaryLabel label_offset) {
+    for (const auto& [label, info] : open) {
+      const BoundaryLabel root = dsu.find(label + label_offset - 1) + 1;
+      RegionInfo& acc = stats[root];
+      acc.area += info.area;
+      acc.bounds.merge(info.bounds);
+    }
+  };
+  fold(first.open, 0);
+  fold(second.open, offset);
+
+  // Closed regions pass through; groups absent from the merged perimeter
+  // close now.
+  out.closed = first.closed;
+  out.closed.insert(out.closed.end(), second.closed.begin(),
+                    second.closed.end());
+  std::vector<bool> on_perimeter(dsu.size() + 1, false);
+  for_each_perimeter_label(out, [&](BoundaryLabel l) {
+    if (l != 0) on_perimeter[l] = true;
+  });
+  for (const auto& [root, info] : stats) {
+    if (!on_perimeter[root]) out.closed.push_back(info);
+  }
+
+  canonicalize(out, stats);
+  return out;
+}
+
+BlockSummary merge4(const BlockSummary& nw, const BlockSummary& ne,
+                    const BlockSummary& sw, const BlockSummary& se) {
+  return merge(merge(nw, ne), merge(sw, se));
+}
+
+std::vector<RegionInfo> finalize(const BlockSummary& root) {
+  std::vector<RegionInfo> regions = root.closed;
+  for (const auto& [label, info] : root.open) regions.push_back(info);
+  return regions;
+}
+
+std::uint32_t QuadAccumulator::add(BlockSummary piece) {
+  pieces_.push_back(std::move(piece));
+  ++received_;
+  std::uint32_t merges = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < pieces_.size() && !progressed; ++i) {
+      for (std::size_t j = i + 1; j < pieces_.size() && !progressed; ++j) {
+        if (pieces_[i].mergeable_with(pieces_[j])) {
+          BlockSummary merged = merge(pieces_[i], pieces_[j]);
+          pieces_.erase(pieces_.begin() + static_cast<std::ptrdiff_t>(j));
+          pieces_[i] = std::move(merged);
+          ++merges;
+          progressed = true;
+        }
+      }
+    }
+  }
+  return merges;
+}
+
+bool QuadAccumulator::complete() const {
+  return received_ == 4 && pieces_.size() == 1;
+}
+
+BlockSummary QuadAccumulator::take() {
+  if (!complete()) {
+    throw std::logic_error("QuadAccumulator: take() before complete");
+  }
+  BlockSummary out = std::move(pieces_.front());
+  pieces_.clear();
+  received_ = 0;
+  return out;
+}
+
+}  // namespace wsn::app

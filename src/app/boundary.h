@@ -1,0 +1,142 @@
+// Region-boundary summaries: the data structure exchanged by the in-network
+// divide-and-conquer labeling algorithm (Sections 3.1 and 4).
+//
+// "At each level of hierarchy, a node receives data from its four children,
+// containing a description of the boundaries of feature regions contained
+// within the sender's geographic oversight. The boundary information also
+// indicates whether the feature region(s) lie entirely within that extent,
+// or information from neighboring extents is required to identify the true
+// boundary of the feature region."
+//
+// A BlockSummary describes a rectangular extent by (i) the region label of
+// every cell on its perimeter, (ii) statistics (area, bounding box) of every
+// OPEN region - one that touches the perimeter and may continue outside -
+// and (iii) statistics of every CLOSED region, fully contained and final.
+// Two summaries of edge-adjacent rectangles merge by unioning labels across
+// the shared seam (a disjoint-set pass over perimeter labels); regions that
+// no longer touch the merged perimeter close. This is the maximally
+// compressed representation the spatial-correlation constraint exists to
+// enable: merging non-adjacent extents would forfeit it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/feature_grid.h"
+#include "app/labeling.h"
+
+namespace wsn::app {
+
+/// Perimeter label; 0 = background, open regions numbered densely from 1.
+using BoundaryLabel = std::uint32_t;
+
+/// Statistics carried per region.
+struct RegionInfo {
+  std::uint64_t area = 0;
+  GridBounds bounds;
+
+  friend bool operator==(const RegionInfo&, const RegionInfo&) = default;
+};
+
+/// Boundary description of one rectangular extent.
+struct BlockSummary {
+  // Extent in grid coordinates.
+  std::int32_t row0 = 0;
+  std::int32_t col0 = 0;
+  std::uint32_t width = 0;   // columns
+  std::uint32_t height = 0;  // rows
+
+  // Perimeter labels. north/south run west->east (length width); west/east
+  // run north->south (length height). Corner cells appear in two arrays and
+  // must agree.
+  std::vector<BoundaryLabel> north, south, west, east;
+
+  /// Open regions by label (touch the perimeter; may extend beyond it).
+  std::map<BoundaryLabel, RegionInfo> open;
+  /// Closed regions (entirely inside; final).
+  std::vector<RegionInfo> closed;
+
+  /// Single-cell summary for one point of coverage.
+  static BlockSummary leaf(const core::GridCoord& c, bool feature);
+
+  /// Exact summary of an arbitrary sub-rectangle of `grid` (reference
+  /// construction used by tests to cross-check merges).
+  static BlockSummary of_rect(const FeatureGrid& grid, std::int32_t row0,
+                              std::int32_t col0, std::uint32_t width,
+                              std::uint32_t height);
+
+  std::size_t open_count() const { return open.size(); }
+  std::size_t closed_count() const { return closed.size(); }
+
+  /// Total feature area represented (open + closed).
+  std::uint64_t total_area() const;
+
+  /// Number of feature cells on the perimeter (corners counted once).
+  std::size_t boundary_feature_cells() const;
+
+  /// Checks structural invariants (corner consistency, open labels present
+  /// on the perimeter, dense labeling); throws std::logic_error on failure.
+  void validate() const;
+
+  /// True iff `other`'s extent is edge-adjacent to this one (shares a full
+  /// east/west or north/south edge), so merge() is defined.
+  bool mergeable_with(const BlockSummary& other) const;
+
+  std::string describe() const;
+};
+
+/// Merges two edge-adjacent summaries into the summary of their union.
+/// Throws std::invalid_argument if the extents are not compatible.
+BlockSummary merge(const BlockSummary& a, const BlockSummary& b);
+
+/// Merges four quadrant summaries (NW, NE, SW, SE of one square) via
+/// pairwise merges.
+BlockSummary merge4(const BlockSummary& nw, const BlockSummary& ne,
+                    const BlockSummary& sw, const BlockSummary& se);
+
+/// Closes every open region (used at the root, whose extent has no
+/// neighbors) and returns all regions of the extent.
+std::vector<RegionInfo> finalize(const BlockSummary& root);
+
+/// Message size model: units of data a summary occupies on the air. The
+/// paper's analysis uses fixed-size messages (base only); the data-dependent
+/// terms support sensitivity studies on the compression claim.
+struct SummarySizeModel {
+  double base = 1.0;
+  double per_boundary_cell = 0.0;
+  double per_open_region = 0.0;
+
+  double units(const BlockSummary& s) const {
+    return base +
+           per_boundary_cell * static_cast<double>(s.boundary_feature_cells()) +
+           per_open_region * static_cast<double>(s.open_count());
+  }
+};
+
+/// Opportunistically merging accumulator for the four child summaries of a
+/// quad-tree node. add() merges edge-adjacent pieces as soon as they are
+/// both present ("incoming information is incrementally processed wherever
+/// possible", Section 4.3); complete() returns the full block summary once
+/// all four quadrants have arrived.
+class QuadAccumulator {
+ public:
+  /// Adds one child summary; returns the number of pairwise merges
+  /// performed immediately (0, 1, or 2), which the caller charges as
+  /// computation.
+  std::uint32_t add(BlockSummary piece);
+
+  bool complete() const;
+  std::size_t pieces_received() const { return received_; }
+
+  /// Extracts the merged summary; requires complete().
+  BlockSummary take();
+
+ private:
+  std::vector<BlockSummary> pieces_;
+  std::size_t received_ = 0;
+};
+
+}  // namespace wsn::app

@@ -1,0 +1,83 @@
+#include "app/centralized.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace wsn::app {
+namespace {
+
+struct StatusMsg {
+  core::GridCoord coord;
+  bool feature;
+};
+
+}  // namespace
+
+CentralizedOutcome run_centralized_query(core::MessageFabric& fabric,
+                                         const FeatureGrid& grid,
+                                         const core::GridCoord& sink,
+                                         double status_units,
+                                         double ops_per_cell) {
+  if (fabric.grid().side() != grid.side()) {
+    throw std::invalid_argument(
+        "run_centralized_query: fabric/grid side mismatch");
+  }
+  const std::size_t n = fabric.grid().node_count();
+  auto outcome = std::make_shared<CentralizedOutcome>();
+  auto gathered = std::make_shared<FeatureGrid>(grid.side());
+  auto remaining = std::make_shared<std::size_t>(n - 1);
+  auto done = std::make_shared<bool>(false);
+
+  gathered->set(sink, grid.at(sink));  // the sink's own reading is local
+
+  fabric.set_receiver(sink, [&fabric, sink, outcome, gathered, remaining, done,
+                             ops_per_cell](const core::VirtualMessage& vmsg) {
+    const auto msg = std::any_cast<StatusMsg>(vmsg.payload);
+    gathered->set(msg.coord, msg.feature);
+    ++outcome->messages;
+    if (--*remaining == 0) {
+      // All statuses in hand: label the field at the sink, charging the
+      // whole-grid computation there.
+      const double total_ops =
+          ops_per_cell * static_cast<double>(gathered->cell_count());
+      const sim::Time label_lat = fabric.compute(sink, total_ops);
+      fabric.simulator().schedule_in(label_lat, [&fabric, outcome, gathered,
+                                                 done]() {
+        const Labeling labeled = label_regions(*gathered);
+        outcome->regions.reserve(labeled.regions.size());
+        for (const Region& r : labeled.regions) {
+          outcome->regions.push_back(RegionInfo{r.area, r.bounds});
+        }
+        outcome->finished_at = fabric.simulator().now();
+        *done = true;
+      });
+    }
+  });
+
+  for (const core::GridCoord& c : fabric.grid().all_coords()) {
+    if (c == sink) continue;
+    fabric.send(c, sink, StatusMsg{c, grid.at(c)}, status_units);
+  }
+
+  if (n == 1) {
+    // Degenerate single-node network: nothing to gather.
+    const sim::Time label_lat = fabric.compute(sink, ops_per_cell);
+    fabric.simulator().schedule_in(label_lat, [&fabric, outcome, gathered,
+                                               done]() {
+      const Labeling labeled = label_regions(*gathered);
+      for (const Region& r : labeled.regions) {
+        outcome->regions.push_back(RegionInfo{r.area, r.bounds});
+      }
+      outcome->finished_at = fabric.simulator().now();
+      *done = true;
+    });
+  }
+
+  fabric.simulator().run();
+  if (!*done) {
+    throw std::runtime_error("run_centralized_query: did not complete");
+  }
+  return *outcome;
+}
+
+}  // namespace wsn::app

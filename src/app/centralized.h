@@ -1,0 +1,34 @@
+// Centralized baseline: every point of coverage ships its raw binary status
+// to a sink node, which labels the whole field locally. This is the
+// "centralized approach" the design flow of Section 2 weighs against divide
+// and conquer ("the end user could decide if a divide and conquer approach
+// is better than a centralized approach").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/boundary.h"
+#include "app/feature_grid.h"
+#include "app/labeling.h"
+#include "core/fabric.h"
+
+namespace wsn::app {
+
+struct CentralizedOutcome {
+  std::vector<RegionInfo> regions;
+  sim::Time finished_at = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Runs the baseline to completion on `fabric` (drives the simulator):
+/// every non-sink node sends one `status_units` message to `sink`; once all
+/// have arrived the sink runs connected-component labeling at
+/// `ops_per_cell` per grid cell.
+CentralizedOutcome run_centralized_query(core::MessageFabric& fabric,
+                                         const FeatureGrid& grid,
+                                         const core::GridCoord& sink = {0, 0},
+                                         double status_units = 1.0,
+                                         double ops_per_cell = 1.0);
+
+}  // namespace wsn::app

@@ -1,0 +1,92 @@
+#include "app/contours.h"
+
+#include <stdexcept>
+
+#include "app/dnc.h"
+#include "app/topographic.h"
+
+namespace wsn::app {
+
+std::string ContourMap::render(const ScalarField& field,
+                               std::size_t side) const {
+  std::string out;
+  out.reserve(side * (side + 1));
+  const double step = 1.0 / static_cast<double>(side);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      const double u = (static_cast<double>(c) + 0.5) * step;
+      const double v = (static_cast<double>(r) + 0.5) * step;
+      const double reading = field(u, v);
+      std::size_t depth = 0;
+      for (const ContourLevel& level : levels) {
+        if (reading >= level.threshold) ++depth;
+      }
+      out.push_back(depth == 0
+                        ? '.'
+                        : static_cast<char>('0' + std::min<std::size_t>(depth, 9)));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<double> iso_levels(double lo, double hi, std::size_t count) {
+  if (count == 0 || hi <= lo) {
+    throw std::invalid_argument("iso_levels: need count > 0 and hi > lo");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  const double step = (hi - lo) / static_cast<double>(count + 1);
+  for (std::size_t i = 1; i <= count; ++i) {
+    out.push_back(lo + static_cast<double>(i) * step);
+  }
+  return out;
+}
+
+ContourMap contour_map(const ScalarField& field, std::size_t side,
+                       const std::vector<double>& thresholds) {
+  ContourMap map;
+  map.levels.reserve(thresholds.size());
+  for (double threshold : thresholds) {
+    const FeatureGrid grid = threshold_sample(field, side, threshold);
+    ContourLevel level;
+    level.threshold = threshold;
+    level.regions = dnc_label(grid);
+    level.feature_area = grid.feature_count();
+    map.levels.push_back(std::move(level));
+  }
+  return map;
+}
+
+InNetworkContourResult contour_map_in_network(
+    core::MessageFabric& fabric, const ScalarField& field,
+    const std::vector<double>& thresholds) {
+  InNetworkContourResult result;
+  result.map.levels.reserve(thresholds.size());
+  const std::size_t side = fabric.grid().side();
+  for (double threshold : thresholds) {
+    const FeatureGrid grid = threshold_sample(field, side, threshold);
+    const double round_start = fabric.simulator().now();
+    const auto outcome = run_topographic_query(fabric, grid);
+    ContourLevel level;
+    level.threshold = threshold;
+    level.regions = outcome.regions;
+    level.feature_area = grid.feature_count();
+    result.map.levels.push_back(std::move(level));
+    result.total_latency += outcome.round.finished_at - round_start;
+    result.total_messages += outcome.round.messages_sent;
+  }
+  return result;
+}
+
+bool monotone_nesting(const ContourMap& map) {
+  for (std::size_t i = 1; i < map.levels.size(); ++i) {
+    if (map.levels[i].threshold < map.levels[i - 1].threshold) return false;
+    if (map.levels[i].feature_area > map.levels[i - 1].feature_area) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wsn::app

@@ -1,0 +1,70 @@
+// Multi-level topographic contouring: "the end user might be interested in
+// visualizing gradients of sensor readings across the region or other
+// queries such as enumeration of regions with sensor readings in a specific
+// range" (Section 3.1).
+//
+// A contour map thresholds the scalar field at K iso-levels and labels the
+// homogeneous super-level regions of each, yielding the nested-region
+// structure of a topographic map. Each level is one run of the labeling
+// machinery; the in-network variant runs K rounds of the synthesized
+// program over the same fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/boundary.h"
+#include "app/field.h"
+#include "core/fabric.h"
+
+namespace wsn::app {
+
+/// Regions at one iso-level.
+struct ContourLevel {
+  double threshold = 0.0;
+  std::vector<RegionInfo> regions;
+  std::uint64_t feature_area = 0;
+};
+
+/// A full multi-level contour map.
+struct ContourMap {
+  std::vector<ContourLevel> levels;  // ascending thresholds
+
+  std::size_t total_regions() const {
+    std::size_t n = 0;
+    for (const ContourLevel& l : levels) n += l.regions.size();
+    return n;
+  }
+
+  /// ASCII art: each cell shows the highest level whose threshold the
+  /// reading exceeds ('.' below all, then '1'..'9').
+  std::string render(const ScalarField& field, std::size_t side) const;
+};
+
+/// Evenly spaced thresholds in (lo, hi): K interior cut points.
+std::vector<double> iso_levels(double lo, double hi, std::size_t count);
+
+/// Sequential contour map (reference): label each thresholded field
+/// directly.
+ContourMap contour_map(const ScalarField& field, std::size_t side,
+                       const std::vector<double>& thresholds);
+
+/// In-network contour map: one synthesized-program round per iso-level on
+/// `fabric`. Produces identical regions; costs accumulate in the fabric's
+/// ledger. Returns the map plus the total simulated latency.
+struct InNetworkContourResult {
+  ContourMap map;
+  double total_latency = 0.0;
+  std::uint64_t total_messages = 0;
+};
+
+InNetworkContourResult contour_map_in_network(
+    core::MessageFabric& fabric, const ScalarField& field,
+    const std::vector<double>& thresholds);
+
+/// Nesting invariant of super-level sets: the feature area is
+/// non-increasing in the threshold. Returns true when it holds.
+bool monotone_nesting(const ContourMap& map);
+
+}  // namespace wsn::app

@@ -1,0 +1,50 @@
+#include "app/dnc.h"
+
+#include <stdexcept>
+
+#include "core/grid_topology.h"
+
+namespace wsn::app {
+namespace {
+
+BlockSummary build(const FeatureGrid& grid, std::int32_t row0, std::int32_t col0,
+                   std::uint32_t side, DncStats* stats) {
+  if (side == 1) {
+    return BlockSummary::leaf({row0, col0},
+                              grid.at(row0, col0));
+  }
+  const std::uint32_t half = side / 2;
+  const auto h = static_cast<std::int32_t>(half);
+  BlockSummary nw = build(grid, row0, col0, half, stats);
+  BlockSummary ne = build(grid, row0, col0 + h, half, stats);
+  BlockSummary sw = build(grid, row0 + h, col0, half, stats);
+  BlockSummary se = build(grid, row0 + h, col0 + h, half, stats);
+  if (stats != nullptr) stats->merges += 3;
+  return merge4(nw, ne, sw, se);
+}
+
+}  // namespace
+
+BlockSummary dnc_summary(const FeatureGrid& grid, DncStats* stats) {
+  if (!core::GridTopology::is_power_of_two(grid.side())) {
+    throw std::invalid_argument("dnc_summary: grid side must be a power of two");
+  }
+  if (stats != nullptr) {
+    *stats = DncStats{};
+    std::size_t s = grid.side();
+    while (s > 1) {
+      s >>= 1;
+      ++stats->levels;
+    }
+    for (std::uint32_t level = 1; level <= stats->levels; ++level) {
+      stats->steps += (1ULL << (level - 1)) + 1;  // transfer hops + merge
+    }
+  }
+  return build(grid, 0, 0, static_cast<std::uint32_t>(grid.side()), stats);
+}
+
+std::vector<RegionInfo> dnc_label(const FeatureGrid& grid, DncStats* stats) {
+  return finalize(dnc_summary(grid, stats));
+}
+
+}  // namespace wsn::app

@@ -1,0 +1,37 @@
+// In-memory divide-and-conquer labeling: the algorithm of Section 4.1
+// executed sequentially (no network), used as the algorithmic reference for
+// the distributed runs and for step-complexity measurements.
+//
+// "Our starting point is an algorithm for topographic querying that runs in
+// O(sqrt(N)) steps for a sqrt(N) x sqrt(N) grid, by using a divide and
+// conquer strategy."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/boundary.h"
+#include "app/feature_grid.h"
+
+namespace wsn::app {
+
+/// Counters describing one divide-and-conquer execution.
+struct DncStats {
+  std::uint32_t levels = 0;        // quad-tree height (log2 side)
+  std::uint64_t merges = 0;        // pairwise summary merges performed
+  /// Parallel steps as the paper counts them: at every level each group
+  /// performs its transfers + merge concurrently, and a level-l transfer
+  /// covers 2^(l-1) hops, so steps = sum over levels of (2^(l-1) + 1).
+  std::uint64_t steps = 0;
+};
+
+/// Builds the boundary summary of the whole grid by recursive quadrant
+/// merging (grid side must be a power of two).
+BlockSummary dnc_summary(const FeatureGrid& grid, DncStats* stats = nullptr);
+
+/// Full labeling via divide and conquer; the returned regions match
+/// label_regions(grid).regions up to ordering.
+std::vector<RegionInfo> dnc_label(const FeatureGrid& grid,
+                                  DncStats* stats = nullptr);
+
+}  // namespace wsn::app

@@ -1,0 +1,17 @@
+#include "app/feature_grid.h"
+
+namespace wsn::app {
+
+std::string FeatureGrid::render() const {
+  std::string out;
+  out.reserve(cell_count() + side_);
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side_); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side_); ++c) {
+      out.push_back(at(r, c) ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace wsn::app

@@ -1,0 +1,64 @@
+// Binary feature status per point of coverage (Section 3.1): "for simplicity
+// we assume that a sensor node has a binary status (feature node or not a
+// feature node) for the query".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/grid_topology.h"
+
+namespace wsn::app {
+
+/// Square grid of binary feature flags, indexed by virtual grid coordinate.
+class FeatureGrid {
+ public:
+  explicit FeatureGrid(std::size_t side)
+      : side_(side), cells_(side * side, 0) {
+    if (side == 0) throw std::invalid_argument("FeatureGrid: side must be >= 1");
+  }
+
+  std::size_t side() const { return side_; }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  bool at(const core::GridCoord& c) const {
+    return cells_[index(c)] != 0;
+  }
+  bool at(std::int32_t row, std::int32_t col) const {
+    return at(core::GridCoord{row, col});
+  }
+
+  void set(const core::GridCoord& c, bool feature) {
+    cells_[index(c)] = feature ? 1 : 0;
+  }
+
+  std::size_t feature_count() const {
+    std::size_t n = 0;
+    for (std::uint8_t v : cells_) n += v;
+    return n;
+  }
+
+  bool in_bounds(const core::GridCoord& c) const {
+    return c.row >= 0 && c.col >= 0 &&
+           c.row < static_cast<std::int32_t>(side_) &&
+           c.col < static_cast<std::int32_t>(side_);
+  }
+
+  /// ASCII rendering: '#' feature, '.' background. Row 0 on top (north).
+  std::string render() const;
+
+ private:
+  std::size_t index(const core::GridCoord& c) const {
+    if (!in_bounds(c)) throw std::out_of_range("FeatureGrid: out of bounds");
+    return static_cast<std::size_t>(c.row) * side_ +
+           static_cast<std::size_t>(c.col);
+  }
+
+  std::size_t side_;
+  std::vector<std::uint8_t> cells_;
+};
+
+}  // namespace wsn::app

@@ -1,0 +1,168 @@
+#include "app/field.h"
+
+#include <cmath>
+
+namespace wsn::app {
+
+ScalarField hotspot_field(std::size_t count, sim::Rng& rng) {
+  struct Spot {
+    double u, v, sigma, amp;
+  };
+  std::vector<Spot> spots;
+  spots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    spots.push_back({rng.uniform(), rng.uniform(), rng.uniform(0.04, 0.18),
+                     rng.uniform(0.6, 1.0)});
+  }
+  return [spots](double u, double v) {
+    double sum = 0.0;
+    for (const Spot& s : spots) {
+      const double du = u - s.u;
+      const double dv = v - s.v;
+      sum += s.amp * std::exp(-(du * du + dv * dv) / (2 * s.sigma * s.sigma));
+    }
+    return sum;
+  };
+}
+
+ScalarField plume_field(double source_u, double source_v, double wind_angle,
+                        double spread, double reach) {
+  const double wx = std::cos(wind_angle);
+  const double wy = std::sin(wind_angle);
+  return [=](double u, double v) {
+    const double du = u - source_u;
+    const double dv = v - source_v;
+    const double along = du * wx + dv * wy;      // downwind distance
+    const double across = -du * wy + dv * wx;    // crosswind offset
+    if (along < 0) return 0.0;
+    const double width = spread * (0.3 + along); // plume widens downwind
+    const double decay = std::exp(-along / reach);
+    return decay * std::exp(-(across * across) / (2 * width * width));
+  };
+}
+
+ScalarField gradient_field(double lo, double hi) {
+  return [lo, hi](double, double v) { return lo + (hi - lo) * v; };
+}
+
+namespace {
+
+// Deterministic lattice hash -> [0,1).
+double lattice_value(std::uint64_t seed, std::int64_t x, std::int64_t y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smoothstep(double t) { return t * t * (3 - 2 * t); }
+
+double value_noise_octave(std::uint64_t seed, double u, double v,
+                          double frequency) {
+  const double x = u * frequency;
+  const double y = v * frequency;
+  const auto x0 = static_cast<std::int64_t>(std::floor(x));
+  const auto y0 = static_cast<std::int64_t>(std::floor(y));
+  const double fx = smoothstep(x - static_cast<double>(x0));
+  const double fy = smoothstep(y - static_cast<double>(y0));
+  const double a = lattice_value(seed, x0, y0);
+  const double b = lattice_value(seed, x0 + 1, y0);
+  const double c = lattice_value(seed, x0, y0 + 1);
+  const double d = lattice_value(seed, x0 + 1, y0 + 1);
+  return (a * (1 - fx) + b * fx) * (1 - fy) + (c * (1 - fx) + d * fx) * fy;
+}
+
+}  // namespace
+
+ScalarField value_noise_field(std::uint64_t seed, std::size_t octaves) {
+  return [seed, octaves](double u, double v) {
+    double sum = 0.0;
+    double amp = 1.0;
+    double total = 0.0;
+    double freq = 4.0;
+    for (std::size_t o = 0; o < octaves; ++o) {
+      sum += amp * value_noise_octave(seed + o * 0x51ed2701ULL, u, v, freq);
+      total += amp;
+      amp *= 0.5;
+      freq *= 2.0;
+    }
+    return sum / total;
+  };
+}
+
+FeatureGrid threshold_sample(const ScalarField& field, std::size_t side,
+                             double threshold) {
+  FeatureGrid grid(side);
+  const double step = 1.0 / static_cast<double>(side);
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      const double u = (static_cast<double>(c) + 0.5) * step;
+      const double v = (static_cast<double>(r) + 0.5) * step;
+      grid.set({r, c}, field(u, v) >= threshold);
+    }
+  }
+  return grid;
+}
+
+FeatureGrid random_grid(std::size_t side, double p, sim::Rng& rng) {
+  FeatureGrid grid(side);
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      grid.set({r, c}, rng.chance(p));
+    }
+  }
+  return grid;
+}
+
+FeatureGrid empty_grid(std::size_t side) { return FeatureGrid(side); }
+
+FeatureGrid full_grid(std::size_t side) {
+  FeatureGrid grid(side);
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      grid.set({r, c}, true);
+    }
+  }
+  return grid;
+}
+
+FeatureGrid checkerboard_grid(std::size_t side) {
+  FeatureGrid grid(side);
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      grid.set({r, c}, (r + c) % 2 == 0);
+    }
+  }
+  return grid;
+}
+
+FeatureGrid stripes_grid(std::size_t side, std::size_t period) {
+  FeatureGrid grid(side);
+  if (period == 0) period = 1;
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      grid.set({r, c},
+               (static_cast<std::size_t>(r) / period) % 2 == 0);
+    }
+  }
+  return grid;
+}
+
+FeatureGrid ring_grid(std::size_t side) {
+  FeatureGrid grid(side);
+  const auto s = static_cast<std::int32_t>(side);
+  const std::int32_t lo = s / 4;
+  const std::int32_t hi = s - 1 - s / 4;
+  for (std::int32_t r = lo; r <= hi; ++r) {
+    for (std::int32_t c = lo; c <= hi; ++c) {
+      const bool border = r == lo || r == hi || c == lo || c == hi;
+      if (border) grid.set({r, c}, true);
+    }
+  }
+  return grid;
+}
+
+}  // namespace wsn::app

@@ -1,0 +1,57 @@
+// Synthetic scalar fields standing in for the physical phenomenon
+// (temperature, contaminant concentration, ...) the sensor network samples.
+//
+// The paper's case study thresholds sensor readings into binary feature
+// status; these generators produce the underlying readings over the unit
+// square, which the library samples at each point of coverage. The shapes
+// cover the application areas named in Section 3.1: HVAC-style smooth
+// gradients, contaminant plumes, and multi-modal hot-spot scenes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "app/feature_grid.h"
+#include "sim/rng.h"
+
+namespace wsn::app {
+
+/// A scalar field over the unit square [0,1)^2; u is east, v is south.
+using ScalarField = std::function<double(double u, double v)>;
+
+/// Sum of `count` Gaussian hot spots with random centers, widths and
+/// amplitudes drawn from `rng`.
+ScalarField hotspot_field(std::size_t count, sim::Rng& rng);
+
+/// An anisotropic plume: Gaussian cross-section around a ray from a source
+/// point along a wind direction, decaying with downwind distance.
+ScalarField plume_field(double source_u, double source_v, double wind_angle,
+                        double spread = 0.08, double reach = 0.9);
+
+/// Linear gradient from `lo` at v=0 (north) to `hi` at v=1 (south).
+ScalarField gradient_field(double lo, double hi);
+
+/// Smooth multi-octave value noise (deterministic in `seed`); thresholding
+/// it yields organic blob regions.
+ScalarField value_noise_field(std::uint64_t seed, std::size_t octaves = 3);
+
+/// Samples `field` at the center of every cell of a `side` x `side` grid and
+/// thresholds: feature iff reading >= `threshold`.
+FeatureGrid threshold_sample(const ScalarField& field, std::size_t side,
+                             double threshold);
+
+/// Uniformly random feature grid: each cell independently a feature with
+/// probability `p` (worst-case fragmentation for the labeling algorithm).
+FeatureGrid random_grid(std::size_t side, double p, sim::Rng& rng);
+
+/// Named deterministic fixtures used by tests and benches.
+FeatureGrid empty_grid(std::size_t side);
+FeatureGrid full_grid(std::size_t side);
+FeatureGrid checkerboard_grid(std::size_t side);
+FeatureGrid stripes_grid(std::size_t side, std::size_t period);
+/// A ring (feature cells on the border of a centered square), exercising
+/// regions that stay open across many merge levels.
+FeatureGrid ring_grid(std::size_t side);
+
+}  // namespace wsn::app

@@ -1,0 +1,65 @@
+#include "app/labeling.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wsn::app {
+
+Labeling label_regions(const FeatureGrid& grid) {
+  const std::size_t side = grid.side();
+  Labeling out;
+  out.side = side;
+  out.labels.assign(side * side, 0);
+
+  detail::DisjointSets dsu;
+  std::vector<std::uint32_t> provisional(side * side, 0);
+
+  // Pass 1: provisional labels, recording equivalences with west/north
+  // neighbors (4-connectivity).
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      if (!grid.at(r, c)) continue;
+      const std::size_t idx = static_cast<std::size_t>(r) * side +
+                              static_cast<std::size_t>(c);
+      const std::uint32_t west =
+          c > 0 && grid.at(r, c - 1) ? provisional[idx - 1] : 0;
+      const std::uint32_t north =
+          r > 0 && grid.at(r - 1, c) ? provisional[idx - side] : 0;
+      if (west == 0 && north == 0) {
+        provisional[idx] = dsu.add() + 1;  // labels are 1-based
+      } else if (west != 0 && north == 0) {
+        provisional[idx] = west;
+      } else if (west == 0) {
+        provisional[idx] = north;
+      } else {
+        provisional[idx] = std::min(west, north);
+        dsu.unite(west - 1, north - 1);
+      }
+    }
+  }
+
+  // Pass 2: canonicalize to dense labels in row-major first-encounter order
+  // and accumulate region statistics.
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(side); ++c) {
+      const std::size_t idx = static_cast<std::size_t>(r) * side +
+                              static_cast<std::size_t>(c);
+      if (provisional[idx] == 0) continue;
+      const std::uint32_t root = dsu.find(provisional[idx] - 1);
+      auto [it, inserted] =
+          dense.try_emplace(root, static_cast<std::uint32_t>(dense.size()) + 1);
+      const std::uint32_t label = it->second;
+      out.labels[idx] = label;
+      if (inserted) {
+        out.regions.push_back(Region{label, 0, {}});
+      }
+      Region& region = out.regions[label - 1];
+      ++region.area;
+      region.bounds.expand({r, c});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::app

@@ -1,0 +1,68 @@
+#include "app/queries.h"
+
+#include <algorithm>
+
+namespace wsn::app {
+
+std::size_t count_regions(std::span<const RegionInfo> regions) {
+  return regions.size();
+}
+
+std::uint64_t total_feature_area(std::span<const RegionInfo> regions) {
+  std::uint64_t sum = 0;
+  for (const RegionInfo& r : regions) sum += r.area;
+  return sum;
+}
+
+std::optional<RegionInfo> largest_region(std::span<const RegionInfo> regions) {
+  if (regions.empty()) return std::nullopt;
+  const RegionInfo* best = &regions.front();
+  for (const RegionInfo& r : regions.subspan(1)) {
+    if (r.area > best->area ||
+        (r.area == best->area &&
+         std::pair{r.bounds.row_min, r.bounds.col_min} <
+             std::pair{best->bounds.row_min, best->bounds.col_min})) {
+      best = &r;
+    }
+  }
+  return *best;
+}
+
+std::vector<RegionInfo> regions_with_area(std::span<const RegionInfo> regions,
+                                          std::uint64_t min_area,
+                                          std::uint64_t max_area) {
+  std::vector<RegionInfo> out;
+  for (const RegionInfo& r : regions) {
+    if (r.area >= min_area && r.area <= max_area) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RegionInfo> regions_covering(std::span<const RegionInfo> regions,
+                                         const core::GridCoord& c) {
+  std::vector<RegionInfo> out;
+  for (const RegionInfo& r : regions) {
+    if (c.row >= r.bounds.row_min && c.row <= r.bounds.row_max &&
+        c.col >= r.bounds.col_min && c.col <= r.bounds.col_max) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> area_histogram(std::span<const RegionInfo> regions,
+                                        std::size_t bucket_count) {
+  std::vector<std::size_t> buckets(std::max<std::size_t>(bucket_count, 1), 0);
+  if (regions.empty()) return buckets;
+  std::uint64_t max_area = 0;
+  for (const RegionInfo& r : regions) max_area = std::max(max_area, r.area);
+  for (const RegionInfo& r : regions) {
+    const std::size_t idx = std::min(
+        buckets.size() - 1,
+        static_cast<std::size_t>((r.area - 1) * buckets.size() / max_area));
+    ++buckets[idx];
+  }
+  return buckets;
+}
+
+}  // namespace wsn::app

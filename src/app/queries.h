@@ -1,0 +1,42 @@
+// Topographic queries answered from stored region information (Section 3.1):
+// counting regions of interest, enumerating regions with areas in a range,
+// locating the largest feature, and point membership - the workloads that
+// motivate keeping the labeling "gathered and stored in the network" so
+// "other queries can be answered" without re-sampling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "app/boundary.h"
+
+namespace wsn::app {
+
+/// Number of homogeneous regions.
+std::size_t count_regions(std::span<const RegionInfo> regions);
+
+/// Total feature area across regions.
+std::uint64_t total_feature_area(std::span<const RegionInfo> regions);
+
+/// The region with the largest area (ties: smallest bounding-box origin);
+/// nullopt when there are no regions.
+std::optional<RegionInfo> largest_region(std::span<const RegionInfo> regions);
+
+/// Regions whose area lies in [min_area, max_area].
+std::vector<RegionInfo> regions_with_area(std::span<const RegionInfo> regions,
+                                          std::uint64_t min_area,
+                                          std::uint64_t max_area);
+
+/// Regions whose bounding box contains the given coordinate (a cheap
+/// point-in-region pre-filter; exact membership needs the label grid).
+std::vector<RegionInfo> regions_covering(std::span<const RegionInfo> regions,
+                                         const core::GridCoord& c);
+
+/// Histogram of region areas with `bucket_count` equal-width buckets over
+/// [1, max area]; bucket i counts regions in its range.
+std::vector<std::size_t> area_histogram(std::span<const RegionInfo> regions,
+                                        std::size_t bucket_count);
+
+}  // namespace wsn::app

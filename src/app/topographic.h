@@ -1,0 +1,41 @@
+// End-to-end topographic querying: binds the Figure 4 program to the
+// boundary-summary data structures and runs one identification-and-labeling
+// round on any MessageFabric (virtual grid or emulated physical network).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/boundary.h"
+#include "app/feature_grid.h"
+#include "core/fabric.h"
+#include "synthesis/program.h"
+
+namespace wsn::app {
+
+struct TopographicConfig {
+  SummarySizeModel size_model;
+  double sense_ops = 1.0;
+  double merge_ops = 1.0;
+};
+
+struct TopographicOutcome {
+  std::vector<RegionInfo> regions;
+  synthesis::RoundStats round;
+};
+
+/// Builds the ProgramHooks that implement topographic labeling over `grid`
+/// (sense = leaf summary; merge = opportunistic quadrant accumulation; seal
+/// = completed block summary; exfiltrate captured by the runner).
+synthesis::ProgramHooks topographic_hooks(
+    const FeatureGrid& grid, const TopographicConfig& config,
+    std::vector<RegionInfo>* regions_out);
+
+/// Runs one full round to completion on `fabric` (drives the simulator) and
+/// returns the labeled regions plus execution statistics. The fabric's grid
+/// side must equal `grid.side()` and be a power of two.
+TopographicOutcome run_topographic_query(core::MessageFabric& fabric,
+                                         const FeatureGrid& grid,
+                                         const TopographicConfig& config = {});
+
+}  // namespace wsn::app

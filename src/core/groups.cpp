@@ -1,0 +1,84 @@
+#include "core/groups.h"
+
+#include <stdexcept>
+
+namespace wsn::core {
+
+GroupHierarchy::GroupHierarchy(const GridTopology& grid,
+                               LeaderPlacement placement)
+    : grid_(grid), placement_(placement), max_level_(0) {
+  if (!GridTopology::is_power_of_two(grid.side())) {
+    throw std::invalid_argument(
+        "GroupHierarchy: grid side must be a power of two");
+  }
+  std::size_t s = grid.side();
+  while (s > 1) {
+    s >>= 1;
+    ++max_level_;
+  }
+}
+
+GridCoord GroupHierarchy::block_origin(const GridCoord& c,
+                                       std::uint32_t level) const {
+  if (level > max_level_) {
+    throw std::invalid_argument("GroupHierarchy: level out of range");
+  }
+  const auto mask = static_cast<std::int32_t>(block_side(level)) - 1;
+  return {c.row & ~mask, c.col & ~mask};
+}
+
+GridCoord GroupHierarchy::place_leader(const GridCoord& origin,
+                                       std::uint32_t level) const {
+  const auto side = static_cast<std::int32_t>(block_side(level));
+  switch (placement_) {
+    case LeaderPlacement::kNorthWest:
+      return origin;
+    case LeaderPlacement::kBlockCenter:
+      return {origin.row + side / 2, origin.col + side / 2};
+    case LeaderPlacement::kSouthEast:
+      return {origin.row + side - 1, origin.col + side - 1};
+  }
+  return origin;
+}
+
+GridCoord GroupHierarchy::leader_of(const GridCoord& c,
+                                    std::uint32_t level) const {
+  if (level == 0) return c;  // level 0: every node leads itself.
+  return place_leader(block_origin(c, level), level);
+}
+
+std::uint32_t GroupHierarchy::highest_leader_level(const GridCoord& c) const {
+  std::uint32_t best = 0;
+  for (std::uint32_t level = 1; level <= max_level_; ++level) {
+    if (is_leader(c, level)) best = level;
+  }
+  return best;
+}
+
+std::vector<GridCoord> GroupHierarchy::members(const GridCoord& c,
+                                               std::uint32_t level) const {
+  const GridCoord origin = block_origin(c, level);
+  const auto side = static_cast<std::int32_t>(block_side(level));
+  std::vector<GridCoord> out;
+  out.reserve(static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  for (std::int32_t r = 0; r < side; ++r) {
+    for (std::int32_t col = 0; col < side; ++col) {
+      out.push_back({origin.row + r, origin.col + col});
+    }
+  }
+  return out;
+}
+
+std::vector<GridCoord> GroupHierarchy::leaders(std::uint32_t level) const {
+  const auto side = static_cast<std::int32_t>(block_side(level));
+  const auto grid_side = static_cast<std::int32_t>(grid_.side());
+  std::vector<GridCoord> out;
+  for (std::int32_t r = 0; r < grid_side; r += side) {
+    for (std::int32_t c = 0; c < grid_side; c += side) {
+      out.push_back(place_leader({r, c}, level));
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::core

@@ -1,0 +1,88 @@
+// Hierarchical group-formation middleware service (Section 3.2).
+//
+// "At the lowest level of hierarchy (level 0), every node is both a group
+// member and a group leader. At level 1, the grid is partitioned into blocks
+// of 2x2 nodes. The node in the north-west corner is designated a level 1
+// leader, and remaining nodes of the block are level 1 followers, and so on.
+// Since every node knows its own grid coordinates, it can also determine its
+// role as leader and/or follower at each level of the hierarchy."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid_topology.h"
+
+namespace wsn::core {
+
+/// Role of a node within a group at some level.
+enum class GroupRole : std::uint8_t { kLeader, kFollower };
+
+/// Placement policy for the level-k leader within its block. The paper's
+/// service uses the north-west corner; the alternatives support the mapping
+/// ablation of Section 4.2 (leader placement is a free design choice for
+/// non-leaf tasks).
+enum class LeaderPlacement : std::uint8_t {
+  kNorthWest,   // the paper's choice
+  kBlockCenter, // center node of the block (floor midpoint)
+  kSouthEast,   // diagonal extreme, worst case for sibling symmetry
+};
+
+/// Static hierarchical groups over a square grid whose side is a power of
+/// two. Stateless: every query is O(1) arithmetic on coordinates, mirroring
+/// the paper's observation that nodes derive their roles locally.
+class GroupHierarchy {
+ public:
+  explicit GroupHierarchy(const GridTopology& grid,
+                          LeaderPlacement placement = LeaderPlacement::kNorthWest);
+
+  const GridTopology& grid() const { return grid_; }
+  LeaderPlacement placement() const { return placement_; }
+
+  /// Number of levels: level 0 (every node) .. max_level() (whole grid).
+  std::uint32_t max_level() const { return max_level_; }
+
+  /// Side of a level-k block: 2^k.
+  std::uint32_t block_side(std::uint32_t level) const { return 1u << level; }
+
+  /// North-west corner of the level-k block containing `c`.
+  GridCoord block_origin(const GridCoord& c, std::uint32_t level) const;
+
+  /// The level-k leader of the group containing `c`.
+  GridCoord leader_of(const GridCoord& c, std::uint32_t level) const;
+
+  bool is_leader(const GridCoord& c, std::uint32_t level) const {
+    return leader_of(c, level) == c;
+  }
+
+  /// Highest level at which `c` is a leader (>= 0; level 0 always holds for
+  /// the NorthWest policy; for other placements 0 is returned when `c` leads
+  /// no block).
+  std::uint32_t highest_leader_level(const GridCoord& c) const;
+
+  GroupRole role(const GridCoord& c, std::uint32_t level) const {
+    return is_leader(c, level) ? GroupRole::kLeader : GroupRole::kFollower;
+  }
+
+  /// All members of the level-k group containing `c` (block of 2^k x 2^k),
+  /// row-major.
+  std::vector<GridCoord> members(const GridCoord& c, std::uint32_t level) const;
+
+  /// All level-k leaders, row-major by block.
+  std::vector<GridCoord> leaders(std::uint32_t level) const;
+
+  /// Hop distance from `c` to its level-k leader; the middleware's
+  /// advertised cost for member-to-leader communication (Section 4.2).
+  std::uint32_t hops_to_leader(const GridCoord& c, std::uint32_t level) const {
+    return manhattan(c, leader_of(c, level));
+  }
+
+ private:
+  GridCoord place_leader(const GridCoord& origin, std::uint32_t level) const;
+
+  GridTopology grid_;
+  LeaderPlacement placement_;
+  std::uint32_t max_level_;
+};
+
+}  // namespace wsn::core

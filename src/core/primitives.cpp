@@ -1,0 +1,294 @@
+#include "core/primitives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+namespace wsn::core {
+namespace {
+
+double identity_of(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kCount:
+      return 0.0;
+    case ReduceOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+    case ReduceOp::kMin:
+      return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double fold(ReduceOp op, double acc, double v) {
+  switch (op) {
+    case ReduceOp::kSum: return acc + v;
+    case ReduceOp::kMax: return std::max(acc, v);
+    case ReduceOp::kMin: return std::min(acc, v);
+    case ReduceOp::kCount: return acc + 1.0;
+  }
+  return acc;
+}
+
+// Shared mutable state for an in-flight collective; kept alive by the
+// handler closures via shared_ptr.
+struct ReduceState {
+  double acc = 0.0;
+  std::size_t outstanding = 0;
+  std::uint32_t messages = 0;
+};
+
+}  // namespace
+
+void group_reduce(MessageFabric& fabric, std::span<const GridCoord> members,
+                  const GridCoord& leader, std::span<const double> values,
+                  ReduceOp op, double message_units,
+                  std::function<void(const CollectiveResult&)> done) {
+  if (members.size() != values.size()) {
+    throw std::invalid_argument("group_reduce: members/values size mismatch");
+  }
+  auto state = std::make_shared<ReduceState>();
+  state->acc = identity_of(op);
+
+  // The leader's own value folds in locally, for free.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == leader) {
+      state->acc = fold(op, state->acc, values[i]);
+    } else {
+      ++state->outstanding;
+    }
+  }
+
+  auto finish = [&fabric, state, done = std::move(done)]() {
+    done(CollectiveResult{state->acc, fabric.simulator().now(), state->messages});
+  };
+
+  if (state->outstanding == 0) {
+    fabric.simulator().post(finish);
+    return;
+  }
+
+  fabric.set_receiver(leader, [&fabric, leader, op, state,
+                             finish](const VirtualMessage& msg) {
+    // One op to fold each arriving value (uniform cost model).
+    const sim::Time fold_lat = fabric.compute(leader, 1.0);
+    state->acc = fold(op, state->acc, std::any_cast<double>(msg.payload));
+    ++state->messages;
+    if (--state->outstanding == 0) {
+      fabric.simulator().schedule_in(fold_lat, finish);
+    }
+  });
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] != leader) {
+      fabric.send(members[i], leader, values[i], message_units);
+    }
+  }
+}
+
+void group_broadcast(MessageFabric& fabric, const GridCoord& leader,
+                     std::span<const GridCoord> members, double value,
+                     double message_units,
+                     std::function<void(const CollectiveResult&)> done) {
+  auto state = std::make_shared<ReduceState>();
+  state->acc = value;
+  for (const GridCoord& m : members) {
+    if (!(m == leader)) ++state->outstanding;
+  }
+  auto finish = [&fabric, state, done = std::move(done)]() {
+    done(CollectiveResult{state->acc, fabric.simulator().now(), state->messages});
+  };
+  if (state->outstanding == 0) {
+    fabric.simulator().post(finish);
+    return;
+  }
+  for (const GridCoord& m : members) {
+    if (m == leader) continue;
+    fabric.set_receiver(m, [state, finish](const VirtualMessage&) {
+      ++state->messages;
+      if (--state->outstanding == 0) finish();
+    });
+    fabric.send(leader, m, value, message_units);
+  }
+}
+
+void group_barrier(MessageFabric& fabric, std::span<const GridCoord> members,
+                   const GridCoord& leader, double message_units,
+                   std::function<void(const CollectiveResult&)> done) {
+  // Phase 1: arrive (convergecast of empty signals).
+  auto arrivals = std::make_shared<std::size_t>(0);
+  auto releases = std::make_shared<std::size_t>(0);
+  auto messages = std::make_shared<std::uint32_t>(0);
+  std::size_t expected = 0;
+  for (const GridCoord& m : members) {
+    if (!(m == leader)) ++expected;
+  }
+  auto member_list =
+      std::make_shared<std::vector<GridCoord>>(members.begin(), members.end());
+
+  auto finish = [&fabric, messages, done = std::move(done)]() {
+    done(CollectiveResult{0.0, fabric.simulator().now(), *messages});
+  };
+
+  if (expected == 0) {
+    fabric.simulator().post(finish);
+    return;
+  }
+
+  auto release = [&fabric, leader, member_list, releases, messages, expected,
+                  finish, message_units]() {
+    // Phase 2: the leader releases every waiting member.
+    for (const GridCoord& m : *member_list) {
+      if (m == leader) continue;
+      fabric.set_receiver(m, [releases, messages, expected,
+                              finish](const VirtualMessage&) {
+        ++*messages;
+        if (++*releases == expected) finish();
+      });
+      fabric.send(leader, m, 0.0, message_units);
+    }
+  };
+
+  fabric.set_receiver(leader, [arrivals, messages, expected,
+                               release](const VirtualMessage&) {
+    ++*messages;
+    if (++*arrivals == expected) release();
+  });
+
+  for (const GridCoord& m : members) {
+    if (!(m == leader)) fabric.send(m, leader, 0.0, message_units);
+  }
+}
+
+namespace {
+
+struct GatherState {
+  std::vector<double> gathered;
+  std::size_t outstanding = 0;
+  std::uint32_t messages = 0;
+};
+
+// Gathers values[i] from members[i] at the leader, then invokes `then` with
+// the values in member order.
+void gather_at_leader(MessageFabric& fabric, std::span<const GridCoord> members,
+                      const GridCoord& leader, std::span<const double> values,
+                      double message_units,
+                      std::function<void(std::shared_ptr<GatherState>)> then) {
+  if (members.size() != values.size()) {
+    throw std::invalid_argument("gather: members/values size mismatch");
+  }
+  auto state = std::make_shared<GatherState>();
+  state->gathered.assign(values.begin(), values.end());
+
+  // Tag each remote value with its member index so arrival order is
+  // irrelevant.
+  struct Tagged {
+    std::size_t index;
+    double value;
+  };
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (!(members[i] == leader)) ++state->outstanding;
+  }
+
+  if (state->outstanding == 0) {
+    fabric.simulator().post([state, then = std::move(then)]() { then(state); });
+    return;
+  }
+
+  fabric.set_receiver(leader, [state, then](const VirtualMessage& msg) {
+    const auto tagged = std::any_cast<Tagged>(msg.payload);
+    state->gathered[tagged.index] = tagged.value;
+    ++state->messages;
+    if (--state->outstanding == 0) then(state);
+  });
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == leader) continue;
+    fabric.send(members[i], leader, Tagged{i, values[i]}, message_units);
+  }
+}
+
+}  // namespace
+
+void group_sort(MessageFabric& fabric, std::span<const GridCoord> members,
+                const GridCoord& leader, std::span<const double> values,
+                double message_units,
+                std::function<void(std::vector<double>, CollectiveResult)> done) {
+  gather_at_leader(
+      fabric, members, leader, values, message_units,
+      [&fabric, leader, done = std::move(done)](std::shared_ptr<GatherState> st) {
+        const auto n = static_cast<double>(st->gathered.size());
+        const double ops = n <= 1 ? 1.0 : n * std::log2(n);
+        const sim::Time lat = fabric.compute(leader, ops);
+        fabric.simulator().schedule_in(lat, [&fabric, st, done]() {
+          std::vector<double> sorted = st->gathered;
+          std::ranges::sort(sorted);
+          done(std::move(sorted), CollectiveResult{
+                                      static_cast<double>(st->gathered.size()),
+                                      fabric.simulator().now(), st->messages});
+        });
+      });
+}
+
+void group_rank(MessageFabric& fabric, std::span<const GridCoord> members,
+                const GridCoord& leader, std::span<const double> values,
+                double message_units,
+                std::function<void(std::vector<std::uint32_t>, CollectiveResult)>
+                    done) {
+  // Copy members: the span may not outlive the async completion.
+  auto member_list =
+      std::make_shared<std::vector<GridCoord>>(members.begin(), members.end());
+
+  gather_at_leader(
+      fabric, members, leader, values, message_units,
+      [&fabric, leader, member_list,
+       done = std::move(done)](std::shared_ptr<GatherState> st) {
+        const auto n = static_cast<double>(st->gathered.size());
+        const double ops = n <= 1 ? 1.0 : n * std::log2(n);
+        const sim::Time lat = fabric.compute(leader, ops);
+        fabric.simulator().schedule_in(lat, [&fabric, leader, member_list, st,
+                                           done]() {
+          // Stable rank by (value, member order).
+          std::vector<std::size_t> order(st->gathered.size());
+          std::iota(order.begin(), order.end(), 0);
+          std::ranges::stable_sort(order, [&](std::size_t a, std::size_t b) {
+            return st->gathered[a] < st->gathered[b];
+          });
+          auto ranks =
+              std::make_shared<std::vector<std::uint32_t>>(order.size(), 0);
+          for (std::size_t pos = 0; pos < order.size(); ++pos) {
+            (*ranks)[order[pos]] = static_cast<std::uint32_t>(pos);
+          }
+
+          auto outstanding = std::make_shared<std::size_t>(0);
+          for (const GridCoord& m : *member_list) {
+            if (!(m == leader)) ++*outstanding;
+          }
+          auto finish = [&fabric, ranks, st, done]() {
+            done(*ranks, CollectiveResult{static_cast<double>(ranks->size()),
+                                          fabric.simulator().now(),
+                                          st->messages});
+          };
+          if (*outstanding == 0) {
+            fabric.simulator().post(finish);
+            return;
+          }
+          for (std::size_t i = 0; i < member_list->size(); ++i) {
+            const GridCoord& m = (*member_list)[i];
+            if (m == leader) continue;
+            fabric.set_receiver(m, [st, outstanding,
+                                  finish](const VirtualMessage&) {
+              ++st->messages;
+              if (--*outstanding == 0) finish();
+            });
+            fabric.send(leader, m, static_cast<double>((*ranks)[i]), 1.0);
+          }
+        });
+      });
+}
+
+}  // namespace wsn::core

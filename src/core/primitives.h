@@ -1,0 +1,76 @@
+// Collective computation/communication primitives of the virtual
+// architecture (Section 2: "Computation primitives could include summing,
+// sorting, or ranking a set of data values from a set of sensor nodes",
+// citing Bhuvaneswaran et al.).
+//
+// Each collective runs as an event-driven protocol on the VirtualNetwork:
+// members transmit to the group leader (cost: hops x message size, per the
+// middleware's advertised member-to-leader cost), and the leader performs
+// the combining computation (cost: one op per received value). Completion is
+// reported through a callback carrying the result and the finish time.
+//
+// A collective temporarily owns the receive handlers of the participating
+// nodes; interleave collectives on disjoint groups only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/fabric.h"
+
+namespace wsn::core {
+
+/// Reduction operators for group_reduce.
+enum class ReduceOp : std::uint8_t { kSum, kMax, kMin, kCount };
+
+/// Result of a collective operation.
+struct CollectiveResult {
+  double value = 0.0;       // reduction result (or element count for sort)
+  sim::Time finished = 0;   // simulation time at completion
+  std::uint32_t messages = 0;
+};
+
+/// Applies `op` over one value per member, combining at `leader`.
+/// `values[i]` belongs to `members[i]`. `done` fires when the leader has
+/// received and folded every remote value.
+void group_reduce(MessageFabric& fabric, std::span<const GridCoord> members,
+                  const GridCoord& leader, std::span<const double> values,
+                  ReduceOp op, double message_units,
+                  std::function<void(const CollectiveResult&)> done);
+
+/// Leader-to-group broadcast of a scalar along per-member shortest paths.
+/// `done` fires when the last member has received the value.
+void group_broadcast(MessageFabric& fabric, const GridCoord& leader,
+                     std::span<const GridCoord> members, double value,
+                     double message_units,
+                     std::function<void(const CollectiveResult&)> done);
+
+/// Gathers one value per member at the leader and sorts them there
+/// (|g| log |g| compute ops). `done` receives the sorted values.
+void group_sort(MessageFabric& fabric, std::span<const GridCoord> members,
+                const GridCoord& leader, std::span<const double> values,
+                double message_units,
+                std::function<void(std::vector<double>, CollectiveResult)> done);
+
+/// Barrier synchronization over a group (the UW-API facility Section 6
+/// relates to: "even barrier synchronization is supported for the sensor
+/// nodes that lie within a region"): every member signals the leader; once
+/// all have arrived the leader releases them; `done` fires when the last
+/// member has observed the release.
+void group_barrier(MessageFabric& fabric, std::span<const GridCoord> members,
+                   const GridCoord& leader, double message_units,
+                   std::function<void(const CollectiveResult&)> done);
+
+/// Computes the rank (0-based, by ascending value, ties by member order) of
+/// each member's value: gather at leader, sort, scatter ranks back.
+/// `done` receives rank[i] for members[i], firing when the last member has
+/// learned its rank.
+void group_rank(MessageFabric& fabric, std::span<const GridCoord> members,
+                const GridCoord& leader, std::span<const double> values,
+                double message_units,
+                std::function<void(std::vector<std::uint32_t>, CollectiveResult)>
+                    done);
+
+}  // namespace wsn::core

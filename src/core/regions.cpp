@@ -1,0 +1,89 @@
+#include "core/regions.h"
+
+#include "core/groups.h"
+
+namespace wsn::core {
+
+std::vector<GridCoord> GeographicRegion::members(
+    const GridTopology& grid) const {
+  std::vector<GridCoord> out;
+  for (const GridCoord& c : grid.all_coords()) {
+    if (pred_(c)) out.push_back(c);
+  }
+  return out;
+}
+
+GeographicRegion GeographicRegion::rectangle(std::int32_t row0,
+                                             std::int32_t col0,
+                                             std::int32_t row1,
+                                             std::int32_t col1) {
+  return GeographicRegion([=](const GridCoord& c) {
+    return c.row >= row0 && c.row <= row1 && c.col >= col0 && c.col <= col1;
+  });
+}
+
+GeographicRegion GeographicRegion::disk(const GridCoord& center,
+                                        std::uint32_t radius) {
+  return GeographicRegion([=](const GridCoord& c) {
+    return manhattan(c, center) <= radius;
+  });
+}
+
+GeographicRegion GeographicRegion::block(const GridCoord& anchor,
+                                         std::uint32_t level) {
+  const auto mask = static_cast<std::int32_t>((1u << level) - 1);
+  const GridCoord origin{anchor.row & ~mask, anchor.col & ~mask};
+  const auto side = static_cast<std::int32_t>(1u << level);
+  return rectangle(origin.row, origin.col, origin.row + side - 1,
+                   origin.col + side - 1);
+}
+
+GeographicRegion GeographicRegion::unite(const GeographicRegion& other) const {
+  return GeographicRegion([a = pred_, b = other.pred_](const GridCoord& c) {
+    return a(c) || b(c);
+  });
+}
+
+GeographicRegion GeographicRegion::intersect(
+    const GeographicRegion& other) const {
+  return GeographicRegion([a = pred_, b = other.pred_](const GridCoord& c) {
+    return a(c) && b(c);
+  });
+}
+
+GeographicRegion GeographicRegion::subtract(
+    const GeographicRegion& other) const {
+  return GeographicRegion([a = pred_, b = other.pred_](const GridCoord& c) {
+    return a(c) && !b(c);
+  });
+}
+
+void NamingService::bind(const std::string& name,
+                         std::vector<GridCoord> members) {
+  bindings_[name] = Binding{std::move(members), std::nullopt};
+}
+
+void NamingService::bind(const std::string& name, GeographicRegion region) {
+  bindings_[name] = Binding{std::nullopt, std::move(region)};
+}
+
+std::optional<std::vector<GridCoord>> NamingService::resolve(
+    const std::string& name) const {
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  if (it->second.fixed.has_value()) return it->second.fixed;
+  return it->second.dynamic->members(grid_);
+}
+
+bool NamingService::unbind(const std::string& name) {
+  return bindings_.erase(name) > 0;
+}
+
+std::vector<std::string> NamingService::names() const {
+  std::vector<std::string> out;
+  out.reserve(bindings_.size());
+  for (const auto& [name, binding] : bindings_) out.push_back(name);
+  return out;
+}
+
+}  // namespace wsn::core

@@ -1,0 +1,88 @@
+// Geographic groups and logical naming (Section 3.2): "The membership in a
+// group can be determined based on different factors such as geographic
+// location, current reading of a sensor, the functionality of the program
+// running on a node ... Geographic groups are ones where all nodes that are
+// deployed in a certain geographic region are members of the group. ... In
+// a general application scenario, this service can be implemented using a
+// combination of geographically constrained groups and logical naming."
+//
+// A GeographicRegion is a predicate over virtual grid coordinates; a
+// NamingService binds names to (possibly dynamic) member sets so that
+// "group membership can even be determined at run time". Region-scoped
+// collectives compose these with the primitives of primitives.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/grid_topology.h"
+
+namespace wsn::core {
+
+/// A geographic region: a membership predicate over grid coordinates.
+class GeographicRegion {
+ public:
+  using Predicate = std::function<bool(const GridCoord&)>;
+
+  explicit GeographicRegion(Predicate pred) : pred_(std::move(pred)) {}
+
+  bool contains(const GridCoord& c) const { return pred_(c); }
+
+  /// All members within `grid`, row-major.
+  std::vector<GridCoord> members(const GridTopology& grid) const;
+
+  /// Axis-aligned rectangle [r0, r1] x [c0, c1], inclusive.
+  static GeographicRegion rectangle(std::int32_t row0, std::int32_t col0,
+                                    std::int32_t row1, std::int32_t col1);
+
+  /// Disk of manhattan radius `radius` around `center`.
+  static GeographicRegion disk(const GridCoord& center, std::uint32_t radius);
+
+  /// The level-k block containing `anchor` (a group of the hierarchy viewed
+  /// as a region).
+  static GeographicRegion block(const GridCoord& anchor, std::uint32_t level);
+
+  /// Set algebra, composing predicates.
+  GeographicRegion unite(const GeographicRegion& other) const;
+  GeographicRegion intersect(const GeographicRegion& other) const;
+  GeographicRegion subtract(const GeographicRegion& other) const;
+
+ private:
+  Predicate pred_;
+};
+
+/// Logical naming: names bound to member sets, resolvable at run time.
+/// Bindings may be static coordinate lists or dynamic region predicates
+/// (re-evaluated per resolve, so membership follows the predicate's state).
+class NamingService {
+ public:
+  explicit NamingService(GridTopology grid) : grid_(grid) {}
+
+  /// Binds `name` to an explicit set of coordinates (replaces any previous
+  /// binding of the name).
+  void bind(const std::string& name, std::vector<GridCoord> members);
+
+  /// Binds `name` to a region predicate evaluated at resolve time.
+  void bind(const std::string& name, GeographicRegion region);
+
+  /// Resolves a name to its current member set; nullopt if unbound.
+  std::optional<std::vector<GridCoord>> resolve(const std::string& name) const;
+
+  bool unbind(const std::string& name);
+  std::vector<std::string> names() const;
+
+ private:
+  struct Binding {
+    std::optional<std::vector<GridCoord>> fixed;
+    std::optional<GeographicRegion> dynamic;
+  };
+
+  GridTopology grid_;
+  std::map<std::string, Binding> bindings_;
+};
+
+}  // namespace wsn::core

@@ -1,0 +1,84 @@
+#include "core/virtual_network.h"
+
+namespace wsn::core {
+
+void VirtualNetwork::deliver(const GridCoord& from, const GridCoord& to,
+                             const std::any& payload, double size_units) {
+  const std::size_t idx = grid_.index_of(to);
+  counters_.add("vnet.delivered");
+  if (receivers_[idx]) {
+    receivers_[idx](VirtualMessage{from, size_units, payload});
+  } else {
+    counters_.add("vnet.no_receiver");
+  }
+}
+
+void VirtualNetwork::forward_serialized(
+    std::shared_ptr<std::vector<GridCoord>> path, std::size_t hop,
+    std::shared_ptr<std::any> payload, double size_units) {
+  // The packet sits at path[hop] and must cross to path[hop+1].
+  const GridCoord& here = (*path)[hop];
+  const std::size_t here_idx = grid_.index_of(here);
+  const sim::Time now = sim_.now();
+  const sim::Time depart =
+      std::max(now, tx_busy_until_[here_idx]) + cost_.hop_latency(size_units);
+  tx_busy_until_[here_idx] = depart;
+  if (depart > now) counters_.add("vnet.queued");
+
+  sim_.schedule_at(depart, [this, path, hop, payload, size_units]() {
+    const std::size_t next = hop + 1;
+    if (next + 1 == path->size()) {
+      deliver(path->front(), path->back(), *payload, size_units);
+    } else {
+      forward_serialized(path, next, payload, size_units);
+    }
+  });
+}
+
+void VirtualNetwork::send(const GridCoord& from, const GridCoord& to,
+                          std::any payload, double size_units) {
+  counters_.add("vnet.send");
+  const std::uint32_t hops = manhattan(from, to);
+  total_hops_ += hops;
+
+  if (hops == 0) {
+    // Self-delivery: no radio involved, no energy, no latency.
+    counters_.add("vnet.self_send");
+    sim_.post([this, from, payload = std::move(payload), size_units]() {
+      const std::size_t idx = grid_.index_of(from);
+      if (receivers_[idx]) {
+        receivers_[idx](VirtualMessage{from, size_units, payload});
+      }
+    });
+    return;
+  }
+
+  // Energy: every hop has one transmitter and one receiver. Endpoints pay
+  // one side each; every intermediate relay pays both. Congestion does not
+  // change energy, only timing.
+  const auto path = grid_.route(from, to);
+  ledger_.charge(static_cast<net::NodeId>(grid_.index_of(from)),
+                 net::EnergyUse::kTx, cost_.tx_energy(size_units));
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const auto idx = static_cast<net::NodeId>(grid_.index_of(path[i]));
+    ledger_.charge(idx, net::EnergyUse::kRx, cost_.rx_energy(size_units));
+    ledger_.charge(idx, net::EnergyUse::kTx, cost_.tx_energy(size_units));
+  }
+  ledger_.charge(static_cast<net::NodeId>(grid_.index_of(to)),
+                 net::EnergyUse::kRx, cost_.rx_energy(size_units));
+
+  if (congestion_ == Congestion::kNodeSerialized) {
+    forward_serialized(std::make_shared<std::vector<GridCoord>>(path), 0,
+                       std::make_shared<std::any>(std::move(payload)),
+                       size_units);
+    return;
+  }
+
+  const sim::Time latency = cost_.path_latency(hops, size_units);
+  sim_.schedule_in(latency,
+                   [this, from, to, payload = std::move(payload), size_units]() {
+                     deliver(from, to, payload, size_units);
+                   });
+}
+
+}  // namespace wsn::core

@@ -1,0 +1,114 @@
+// The executable face of the virtual architecture: an event-driven network
+// of virtual grid nodes exchanging messages whose latency and energy follow
+// the uniform cost model with shortest-path (dimension-order) routing.
+//
+// Programs written against this class are the "programs for the virtual
+// architecture" of Figure 1: they never see the physical deployment. The
+// same programs can instead be bound to a physical network through the
+// Section 5 runtime (emulation::OverlayNetwork), which is how the library
+// checks that virtual-layer analysis predicts physical-layer behaviour.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/fabric.h"
+#include "core/grid_topology.h"
+#include "core/groups.h"
+#include "net/energy.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace wsn::core {
+
+/// How the virtual layer treats concurrent transmissions.
+enum class Congestion : std::uint8_t {
+  /// The paper's cost model: links are contention-free; a message's latency
+  /// is exactly hops x units / B regardless of other traffic.
+  kNone,
+  /// Store-and-forward with per-node transmitter serialization: a node can
+  /// push only one packet onto the air at a time, so messages queue at busy
+  /// relays. Exposes funnel effects (e.g. a centralized sink) the uniform
+  /// model hides.
+  kNodeSerialized,
+};
+
+/// Event-driven virtual grid network (the designer's cost model made
+/// executable).
+class VirtualNetwork final : public MessageFabric {
+ public:
+  VirtualNetwork(sim::Simulator& sim, GridTopology grid, CostModel cost,
+                 LeaderPlacement placement = LeaderPlacement::kNorthWest,
+                 Congestion congestion = Congestion::kNone)
+      : sim_(sim),
+        grid_(grid),
+        cost_(cost),
+        groups_(grid_, placement),
+        congestion_(congestion),
+        ledger_(grid.node_count()),
+        receivers_(grid.node_count()),
+        tx_busy_until_(grid.node_count(), 0.0) {
+    cost_.validate();
+  }
+
+  sim::Simulator& simulator() override { return sim_; }
+  const GridTopology& grid() const override { return grid_; }
+  const GroupHierarchy& groups() const override { return groups_; }
+  const CostModel& cost() const { return cost_; }
+  net::EnergyLedger& ledger() { return ledger_; }
+  const net::EnergyLedger& ledger() const { return ledger_; }
+  sim::CounterSet& counters() { return counters_; }
+
+  void set_receiver(const GridCoord& c, Handler h) override {
+    receivers_[grid_.index_of(c)] = std::move(h);
+  }
+
+  /// Sends `payload` from `from` to `to`. Charges the sender tx energy, each
+  /// dimension-order relay rx+tx, and the destination rx; delivery occurs
+  /// after hops * (units/B) of latency. A self-send is free and delivered at
+  /// the current instant (the quad-tree mapping exploits this: one of the
+  /// four child messages is "from the node to itself", Section 4.3).
+  void send(const GridCoord& from, const GridCoord& to, std::any payload,
+            double size_units = 1.0) override;
+
+  /// Charges `ops` computations at `c` per the uniform cost model and
+  /// returns their latency.
+  sim::Time compute(const GridCoord& c, double ops) override {
+    ledger_.charge(static_cast<net::NodeId>(grid_.index_of(c)),
+                   net::EnergyUse::kCompute, cost_.compute_energy(ops));
+    counters_.add("vnet.compute");
+    return cost_.compute_latency(ops);
+  }
+
+  /// Sum of hop counts of all sends so far; with unit message size this
+  /// equals half the total communication energy under the uniform model.
+  std::uint64_t total_hops() const { return total_hops_; }
+
+  Congestion congestion() const { return congestion_; }
+
+ private:
+  /// One store-and-forward hop under kNodeSerialized: the packet waits for
+  /// the relay's transmitter, then occupies it for one hop latency.
+  void forward_serialized(std::shared_ptr<std::vector<GridCoord>> path,
+                          std::size_t hop, std::shared_ptr<std::any> payload,
+                          double size_units);
+  void deliver(const GridCoord& from, const GridCoord& to,
+               const std::any& payload, double size_units);
+
+  sim::Simulator& sim_;
+  GridTopology grid_;
+  CostModel cost_;
+  GroupHierarchy groups_;
+  Congestion congestion_;
+  net::EnergyLedger ledger_;
+  std::vector<Handler> receivers_;
+  sim::CounterSet counters_;
+  std::vector<sim::Time> tx_busy_until_;
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace wsn::core

@@ -1,0 +1,79 @@
+#include "emulation/cell_mapper.h"
+
+#include <stdexcept>
+
+#include "net/deployment.h"
+
+namespace wsn::emulation {
+
+CellMapper::CellMapper(const net::NetworkGraph& graph, net::Rect terrain,
+                       std::size_t grid_side)
+    : graph_(&graph), terrain_(terrain), grid_side_(grid_side) {
+  if (grid_side == 0) {
+    throw std::invalid_argument("CellMapper: grid side must be >= 1");
+  }
+  const std::size_t n = graph.node_count();
+  cells_.reserve(n);
+  members_.resize(grid_side * grid_side);
+  for (net::NodeId id = 0; id < n; ++id) {
+    const std::size_t flat =
+        net::cell_of(graph.position(id), terrain_, grid_side_);
+    const core::GridCoord cell{
+        static_cast<std::int32_t>(flat / grid_side_),
+        static_cast<std::int32_t>(flat % grid_side_)};
+    cells_.push_back(cell);
+    members_[flat].push_back(id);
+  }
+}
+
+std::span<const net::NodeId> CellMapper::members(
+    const core::GridCoord& cell) const {
+  return members_[cell_index(cell)];
+}
+
+net::Point CellMapper::cell_center(const core::GridCoord& cell) const {
+  return cell_rect(cell).center();
+}
+
+net::Rect CellMapper::cell_rect(const core::GridCoord& cell) const {
+  const double side = cell_side();
+  const double x0 = terrain_.x0 + static_cast<double>(cell.col) * side;
+  const double y0 = terrain_.y0 + static_cast<double>(cell.row) * side;
+  return net::Rect{x0, y0, x0 + side, y0 + side};
+}
+
+double CellMapper::distance_to_center(net::NodeId id) const {
+  return net::distance(graph_->position(id), cell_center(cells_[id]));
+}
+
+bool CellMapper::all_cells_occupied() const {
+  return unoccupied_cells().empty();
+}
+
+bool CellMapper::all_cells_connected() const {
+  return disconnected_cells().empty();
+}
+
+std::vector<core::GridCoord> CellMapper::unoccupied_cells() const {
+  std::vector<core::GridCoord> out;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].empty()) {
+      out.push_back({static_cast<std::int32_t>(i / grid_side_),
+                     static_cast<std::int32_t>(i % grid_side_)});
+    }
+  }
+  return out;
+}
+
+std::vector<core::GridCoord> CellMapper::disconnected_cells() const {
+  std::vector<core::GridCoord> out;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!members_[i].empty() && !graph_->induced_connected(members_[i])) {
+      out.push_back({static_cast<std::int32_t>(i / grid_side_),
+                     static_cast<std::int32_t>(i % grid_side_)});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::emulation

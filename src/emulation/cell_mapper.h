@@ -1,0 +1,73 @@
+// Cell mapping VP : V_R -> [m] x [m] (Section 5.1).
+//
+// The square terrain of side L is partitioned into m x m non-overlapping
+// equal cells of side c = L/m. Every physical node knows its own (x, y)
+// coordinates and the terrain boundary, so it can compute the grid
+// coordinates of its cell, the cell's geographic center, and its Euclidean
+// distance to that center - all the local knowledge the Section 5 protocols
+// assume.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/grid_topology.h"
+#include "net/geometry.h"
+#include "net/network_graph.h"
+
+namespace wsn::emulation {
+
+/// Immutable node-to-cell assignment for one deployment.
+class CellMapper {
+ public:
+  /// Partitions `terrain` into `grid_side` x `grid_side` cells and assigns
+  /// every node of `graph` to its containing cell.
+  CellMapper(const net::NetworkGraph& graph, net::Rect terrain,
+             std::size_t grid_side);
+
+  const net::NetworkGraph& graph() const { return *graph_; }
+  const net::Rect& terrain() const { return terrain_; }
+  std::size_t grid_side() const { return grid_side_; }
+  double cell_side() const { return terrain_.width() / static_cast<double>(grid_side_); }
+
+  /// VP(s): the virtual grid coordinate of the cell containing node `id`.
+  core::GridCoord cell_of(net::NodeId id) const { return cells_[id]; }
+
+  /// CELL_(r,c): all nodes assigned to the cell, sorted by id.
+  std::span<const net::NodeId> members(const core::GridCoord& cell) const;
+
+  /// Geographic center of the cell (Section 5.2's ctr).
+  net::Point cell_center(const core::GridCoord& cell) const;
+
+  /// Euclidean distance from node `id` to its own cell's center.
+  double distance_to_center(net::NodeId id) const;
+
+  /// Geographic rectangle of a cell.
+  net::Rect cell_rect(const core::GridCoord& cell) const;
+
+  /// Paper precondition: at least one node per cell.
+  bool all_cells_occupied() const;
+
+  /// Paper assumption: the subgraph induced by each cell's nodes is
+  /// connected.
+  bool all_cells_connected() const;
+
+  /// Cells violating either precondition (for diagnostics).
+  std::vector<core::GridCoord> unoccupied_cells() const;
+  std::vector<core::GridCoord> disconnected_cells() const;
+
+ private:
+  std::size_t cell_index(const core::GridCoord& cell) const {
+    return static_cast<std::size_t>(cell.row) * grid_side_ +
+           static_cast<std::size_t>(cell.col);
+  }
+
+  const net::NetworkGraph* graph_;
+  net::Rect terrain_;
+  std::size_t grid_side_;
+  std::vector<core::GridCoord> cells_;            // node -> cell
+  std::vector<std::vector<net::NodeId>> members_; // cell (row-major) -> nodes
+};
+
+}  // namespace wsn::emulation

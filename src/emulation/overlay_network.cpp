@@ -1,0 +1,130 @@
+#include "emulation/overlay_network.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace wsn::emulation {
+
+OverlayNetwork::OverlayNetwork(net::LinkLayer& link, const CellMapper& mapper,
+                               EmulationResult emulation, BindingResult binding,
+                               core::LeaderPlacement placement)
+    : link_(link),
+      mapper_(mapper),
+      emulation_(std::move(emulation)),
+      binding_(std::move(binding)),
+      grid_(mapper.grid_side()),
+      groups_(grid_, placement),
+      handlers_(grid_.node_count()) {
+  const auto& graph = link_.graph();
+  const std::size_t n = graph.node_count();
+
+  // Intra-cell BFS trees rooted at each cell's bound leader: every member
+  // learns its next hop toward the leader.
+  toward_leader_.assign(n, net::kNoNode);
+  for (const core::GridCoord& cell : grid_.all_coords()) {
+    const net::NodeId root = binding_.leader_of(cell, mapper_.grid_side());
+    if (root == net::kNoNode) continue;
+    toward_leader_[root] = root;
+    auto members = mapper_.members(cell);
+    std::vector<bool> in_cell(n, false);
+    for (net::NodeId m : members) in_cell[m] = true;
+    std::deque<net::NodeId> frontier{root};
+    while (!frontier.empty()) {
+      const net::NodeId u = frontier.front();
+      frontier.pop_front();
+      for (net::NodeId v : graph.neighbors(u)) {
+        if (in_cell[v] && toward_leader_[v] == net::kNoNode) {
+          toward_leader_[v] = u;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+
+  for (net::NodeId i = 0; i < n; ++i) {
+    link_.set_receiver(
+        i, [this, i](const net::Packet& pkt) { on_receive(i, pkt); });
+  }
+}
+
+void OverlayNetwork::send(const core::GridCoord& from, const core::GridCoord& to,
+                          std::any payload, double size_units) {
+  virtual_hops_ += manhattan(from, to);
+  const net::NodeId origin = bound_node(from);
+  if (origin == net::kNoNode) {
+    ++failed_;
+    return;
+  }
+  OverlayPacket pkt{from, to, size_units,
+                    std::make_shared<std::any>(std::move(payload))};
+  if (from == to) {
+    // Self-delivery at the bound node: free, as on the virtual layer.
+    simulator().post([this, pkt]() {
+      const std::size_t idx = grid_.index_of(pkt.dst);
+      if (handlers_[idx]) {
+        handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units,
+                                            *pkt.payload});
+      }
+    });
+    return;
+  }
+  forward(origin, pkt);
+}
+
+net::NodeId OverlayNetwork::next_hop(net::NodeId at,
+                                     const core::GridCoord& dst_cell) const {
+  const core::GridCoord here = mapper_.cell_of(at);
+  if (here == dst_cell) {
+    // Climb the intra-cell tree toward the bound leader.
+    const net::NodeId up = toward_leader_[at];
+    return up == at ? net::kNoNode : up;  // at the leader already: no hop
+  }
+  // Dimension-order cell routing: fix the column first, then the row,
+  // mirroring GridTopology::route so virtual and physical paths cross the
+  // same cells.
+  core::Direction d;
+  if (here.col != dst_cell.col) {
+    d = here.col < dst_cell.col ? core::Direction::kEast
+                                : core::Direction::kWest;
+  } else {
+    d = here.row < dst_cell.row ? core::Direction::kSouth
+                                : core::Direction::kNorth;
+  }
+  return emulation_.tables[at][d];
+}
+
+void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt) {
+  const net::NodeId nh = next_hop(at, pkt.dst);
+  if (nh == net::kNoNode) {
+    // Either routing is impossible or `at` is already the destination
+    // leader (self-send handled earlier, so reaching here with no hop and
+    // the right cell means delivery).
+    if (mapper_.cell_of(at) == pkt.dst && at == bound_node(pkt.dst)) {
+      const std::size_t idx = grid_.index_of(pkt.dst);
+      if (handlers_[idx]) {
+        handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units,
+                                            *pkt.payload});
+      }
+    } else {
+      ++failed_;
+    }
+    return;
+  }
+  ++physical_hops_;
+  link_.unicast(at, nh, pkt, pkt.size_units);
+}
+
+void OverlayNetwork::on_receive(net::NodeId at, const net::Packet& raw) {
+  const auto pkt = std::any_cast<OverlayPacket>(raw.payload);
+  if (mapper_.cell_of(at) == pkt.dst && at == bound_node(pkt.dst)) {
+    const std::size_t idx = grid_.index_of(pkt.dst);
+    if (handlers_[idx]) {
+      handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units,
+                                          *pkt.payload});
+    }
+    return;
+  }
+  forward(at, pkt);
+}
+
+}  // namespace wsn::emulation

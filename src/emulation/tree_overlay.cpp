@@ -1,0 +1,234 @@
+#include "emulation/tree_overlay.h"
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "emulation/emulation_protocol.h"
+
+namespace wsn::emulation {
+
+std::optional<std::size_t> TreeOverlay::index_of(
+    const core::GridCoord& cell) const {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i] == cell) return i;
+  }
+  return std::nullopt;
+}
+
+TreeOverlay build_tree_overlay(const CellMapper& mapper,
+                               const BindingResult& binding,
+                               const core::GridCoord& root_hint) {
+  const std::size_t m = mapper.grid_side();
+  core::GridTopology grid(m);
+
+  // Collect occupied cells (those with a bound leader).
+  std::vector<core::GridCoord> occupied;
+  for (const core::GridCoord& cell : grid.all_coords()) {
+    if (binding.leader_of(cell, m) != net::kNoNode) occupied.push_back(cell);
+  }
+  if (occupied.empty()) {
+    throw std::runtime_error("build_tree_overlay: no occupied cells");
+  }
+
+  // Root: occupied cell closest to the hint (row-major tie-break via scan
+  // order).
+  std::size_t root = 0;
+  for (std::size_t i = 1; i < occupied.size(); ++i) {
+    if (core::manhattan(occupied[i], root_hint) <
+        core::manhattan(occupied[root], root_hint)) {
+      root = i;
+    }
+  }
+  std::swap(occupied[0], occupied[root]);
+
+  TreeOverlay tree;
+  auto occupied_index = [&occupied](const core::GridCoord& c)
+      -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < occupied.size(); ++i) {
+      if (occupied[i] == c) return i;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<bool> reached(occupied.size(), false);
+  std::vector<std::size_t> parent_of(occupied.size(), 0);
+  std::vector<std::uint32_t> depth_of(occupied.size(), 0);
+
+  // Phase 1: BFS over 4-adjacent occupied cells.
+  std::deque<std::size_t> frontier{0};
+  reached[0] = true;
+  std::size_t reached_count = 1;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    for (core::Direction d : core::kAllDirections) {
+      const core::GridCoord next = core::GridTopology::step(occupied[cur], d);
+      if (const auto idx = occupied_index(next); idx && !reached[*idx]) {
+        reached[*idx] = true;
+        parent_of[*idx] = cur;
+        depth_of[*idx] = depth_of[cur] + 1;
+        frontier.push_back(*idx);
+        ++reached_count;
+      }
+    }
+  }
+
+  // Phase 2: bridge detached clusters through the physically closest
+  // reached leader.
+  const auto& graph = mapper.graph();
+  while (reached_count < occupied.size()) {
+    std::size_t best_unreached = occupied.size();
+    std::size_t best_anchor = occupied.size();
+    std::uint32_t best_dist = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t i = 0; i < occupied.size(); ++i) {
+      if (reached[i]) continue;
+      const net::NodeId leader = binding.leader_of(occupied[i], m);
+      const auto dist = graph.hop_distances(leader);
+      for (std::size_t j = 0; j < occupied.size(); ++j) {
+        if (!reached[j]) continue;
+        const net::NodeId other = binding.leader_of(occupied[j], m);
+        if (dist[other] < best_dist) {
+          best_dist = dist[other];
+          best_unreached = i;
+          best_anchor = j;
+        }
+      }
+    }
+    if (best_unreached == occupied.size()) {
+      throw std::runtime_error(
+          "build_tree_overlay: physical network disconnects occupied cells");
+    }
+    reached[best_unreached] = true;
+    parent_of[best_unreached] = best_anchor;
+    depth_of[best_unreached] = depth_of[best_anchor] + 1;
+    ++reached_count;
+  }
+
+  tree.cells = occupied;
+  tree.parent = std::move(parent_of);
+  tree.depth = std::move(depth_of);
+  tree.leader.reserve(occupied.size());
+  for (const core::GridCoord& cell : tree.cells) {
+    tree.leader.push_back(binding.leader_of(cell, m));
+  }
+  return tree;
+}
+
+namespace {
+
+/// Source-routed convergecast packet: `value` travels along `path` toward
+/// the cell with tree index `target`.
+struct TreeMsg {
+  std::size_t target;
+  std::shared_ptr<std::vector<net::NodeId>> path;
+  std::size_t hop;
+  double value;
+};
+
+constexpr double kTreeMsgUnits = 1.0;
+
+struct TreeState {
+  std::vector<double> acc;
+  std::vector<std::size_t> pending;
+  TreeAggregation result;
+  bool done = false;
+};
+
+}  // namespace
+
+TreeAggregation run_tree_sum(net::LinkLayer& link, const TreeOverlay& tree,
+                             std::span<const double> leader_values) {
+  if (leader_values.size() != tree.size()) {
+    throw std::invalid_argument("run_tree_sum: values/cells size mismatch");
+  }
+  const auto& graph = link.graph();
+  auto& sim = link.simulator();
+
+  auto state = std::make_shared<TreeState>();
+  state->acc.assign(leader_values.begin(), leader_values.end());
+  state->pending.assign(tree.size(), 0);
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    ++state->pending[tree.parent[i]];
+  }
+
+  // Pre-computed physical routes for each tree edge (child -> parent).
+  std::vector<std::shared_ptr<std::vector<net::NodeId>>> routes(tree.size());
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    auto path = graph.shortest_path(tree.leader[i],
+                                    tree.leader[tree.parent[i]]);
+    if (path.empty()) {
+      throw std::runtime_error("run_tree_sum: leaders not connected");
+    }
+    routes[i] = std::make_shared<std::vector<net::NodeId>>(std::move(path));
+  }
+
+  // Forward declaration dance via shared function object.
+  auto send_up = std::make_shared<std::function<void(std::size_t)>>();
+
+  // `launch` must not capture send_up itself, or the shared function would
+  // own itself through the closure and never free.
+  auto launch = [state, &link, &tree, routes](std::size_t child) {
+    const auto& path = routes[child];
+    const TreeMsg msg{tree.parent[child], path, 1, state->acc[child]};
+    ++state->result.messages;
+    ++state->result.physical_hops;
+    link.unicast((*path)[0], (*path)[1], msg, kTreeMsgUnits);
+  };
+  *send_up = launch;
+
+  // Receivers: forward along the source route; fold at the target leader.
+  for (net::NodeId node = 0; node < graph.node_count(); ++node) {
+    link.set_receiver(node, [state, &link, &tree, node,
+                             send_up](const net::Packet& pkt) {
+      auto msg = std::any_cast<TreeMsg>(pkt.payload);
+      const auto& path = *msg.path;
+      if (path[msg.hop] != node) return;  // stale overhearing; ignore
+      if (msg.hop + 1 < path.size()) {
+        TreeMsg next = msg;
+        ++next.hop;
+        ++state->result.physical_hops;
+        link.unicast(node, path[msg.hop + 1], next, kTreeMsgUnits);
+        return;
+      }
+      // Arrived at the target cell's leader: fold.
+      const std::size_t cell = msg.target;
+      const sim::Time lat = link.compute(node, 1.0);
+      link.simulator().schedule_in(lat, [state, &link, cell, value = msg.value,
+                                         send_up]() {
+        state->acc[cell] += value;
+        if (--state->pending[cell] == 0) {
+          if (cell == 0) {
+            state->result.value = state->acc[0];
+            state->result.finished = link.simulator().now();
+            state->done = true;
+          } else {
+            (*send_up)(cell);
+          }
+        }
+      });
+    });
+  }
+
+  // Leaves start immediately; the root of a singleton tree finishes now.
+  if (tree.size() == 1) {
+    state->result.value = state->acc[0];
+    state->done = true;
+  } else {
+    for (std::size_t i = 1; i < tree.size(); ++i) {
+      if (state->pending[i] == 0) launch(i);
+    }
+  }
+
+  sim.run();
+  for (net::NodeId node = 0; node < graph.node_count(); ++node) {
+    link.set_receiver(node, nullptr);
+  }
+  if (!state->done) {
+    throw std::runtime_error("run_tree_sum: aggregation did not complete");
+  }
+  return state->result;
+}
+
+}  // namespace wsn::emulation

@@ -1,0 +1,71 @@
+// Tree virtual topology for non-uniform deployments (Section 3.2): "a grid
+// will be an appropriate choice of virtual topology for uniform node
+// deployment over the terrain. For non-uniform deployments, other virtual
+// topologies such as a tree could be more appropriate."
+//
+// When a clustered deployment leaves grid cells empty, the grid emulation
+// precondition fails. The tree overlay instead spans only the OCCUPIED
+// cells: a BFS spanning tree over the occupied-cell adjacency graph, each
+// cell represented by its bound leader. Convergecast aggregation (sum /
+// count / max of per-cell readings) then works on any deployment whose
+// occupied cells are mutually reachable, at a cost proportional to the sum
+// of tree-edge path lengths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "emulation/cell_mapper.h"
+#include "emulation/leader_binding.h"
+#include "net/link_layer.h"
+
+namespace wsn::emulation {
+
+/// A spanning tree over the occupied cells of a deployment.
+struct TreeOverlay {
+  /// Occupied cells in BFS discovery order; [0] is the root.
+  std::vector<core::GridCoord> cells;
+  /// parent[i] = index into `cells` of cell i's parent; root points at
+  /// itself.
+  std::vector<std::size_t> parent;
+  /// depth[i] = tree hops from the root.
+  std::vector<std::uint32_t> depth;
+  /// Physical node bound to each cell (its elected leader).
+  std::vector<net::NodeId> leader;
+
+  std::size_t size() const { return cells.size(); }
+  std::uint32_t height() const {
+    std::uint32_t h = 0;
+    for (std::uint32_t d : depth) h = std::max(h, d);
+    return h;
+  }
+  std::optional<std::size_t> index_of(const core::GridCoord& cell) const;
+};
+
+/// Builds the BFS spanning tree over occupied cells, rooted at the occupied
+/// cell nearest to `root_hint` (4-adjacency between occupied cells; cells
+/// reachable only diagonally are bridged through the physically shortest
+/// leader-to-leader route, so the tree exists whenever the physical network
+/// is connected). Throws std::runtime_error if no cell is occupied.
+TreeOverlay build_tree_overlay(const CellMapper& mapper,
+                               const BindingResult& binding,
+                               const core::GridCoord& root_hint = {0, 0});
+
+/// Result of one convergecast aggregation over the tree.
+struct TreeAggregation {
+  double value = 0.0;
+  sim::Time finished = 0.0;
+  std::uint64_t messages = 0;       // one per non-root cell
+  std::uint64_t physical_hops = 0;  // total single-hop transmissions
+};
+
+/// Sums `leader_values[i]` (one reading per occupied cell, aligned with
+/// `tree.cells`) at the root by convergecast: leaves send first, interior
+/// cells fold children then forward, each tree edge realized as the
+/// shortest physical path between the two cell leaders. Runs the simulator
+/// to quiescence; energy lands in the link's ledger.
+TreeAggregation run_tree_sum(net::LinkLayer& link, const TreeOverlay& tree,
+                             std::span<const double> leader_values);
+
+}  // namespace wsn::emulation

@@ -1,0 +1,148 @@
+#include "net/deployment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wsn::net {
+namespace {
+
+Point clamp_into(const Rect& r, Point p) {
+  // Keep the point strictly inside the half-open rectangle so cell_of never
+  // lands out of range.
+  const double eps_x = r.width() * 1e-9;
+  const double eps_y = r.height() * 1e-9;
+  p.x = std::clamp(p.x, r.x0, r.x1 - eps_x);
+  p.y = std::clamp(p.y, r.y0, r.y1 - eps_y);
+  return p;
+}
+
+std::vector<Point> deploy_uniform(std::size_t n, const Rect& terrain,
+                                  sim::Rng& rng) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Point{rng.uniform(terrain.x0, terrain.x1),
+                        rng.uniform(terrain.y0, terrain.y1)});
+  }
+  return out;
+}
+
+std::vector<Point> deploy_perturbed_grid(const DeploymentConfig& cfg,
+                                         sim::Rng& rng) {
+  // Lay nodes on a regular lattice fine enough to hold node_count points,
+  // then jitter each by Gaussian noise scaled to the virtual cell size.
+  std::size_t side = 1;
+  while (side * side < cfg.node_count) ++side;
+  const double dx = cfg.terrain.width() / static_cast<double>(side);
+  const double dy = cfg.terrain.height() / static_cast<double>(side);
+  const double cell =
+      cfg.terrain.width() / static_cast<double>(std::max<std::size_t>(
+                                cfg.cells_per_side, 1));
+  const double sigma = cfg.jitter_fraction * cell;
+  std::vector<Point> out;
+  out.reserve(cfg.node_count);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    const std::size_t r = i / side;
+    const std::size_t c = i % side;
+    Point p{cfg.terrain.x0 + (static_cast<double>(c) + 0.5) * dx +
+                rng.normal(0.0, sigma),
+            cfg.terrain.y0 + (static_cast<double>(r) + 0.5) * dy +
+                rng.normal(0.0, sigma)};
+    out.push_back(clamp_into(cfg.terrain, p));
+  }
+  return out;
+}
+
+std::vector<Point> deploy_clustered(const DeploymentConfig& cfg,
+                                    sim::Rng& rng) {
+  const std::size_t k = std::max<std::size_t>(cfg.cluster_count, 1);
+  std::vector<Point> centers = deploy_uniform(k, cfg.terrain, rng);
+  const double sigma = cfg.cluster_spread * cfg.terrain.width();
+  std::vector<Point> out;
+  out.reserve(cfg.node_count);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    const Point& c = centers[rng.below(k)];
+    Point p{c.x + rng.normal(0.0, sigma), c.y + rng.normal(0.0, sigma)};
+    out.push_back(clamp_into(cfg.terrain, p));
+  }
+  return out;
+}
+
+std::vector<Point> deploy_one_per_cell(const DeploymentConfig& cfg,
+                                       sim::Rng& rng) {
+  const std::size_t m = cfg.cells_per_side;
+  const std::size_t base = m * m;
+  if (cfg.node_count < base) {
+    throw std::invalid_argument(
+        "deploy: kOnePerCellPlus requires node_count >= cells^2");
+  }
+  const double cw = cfg.terrain.width() / static_cast<double>(m);
+  const double ch = cfg.terrain.height() / static_cast<double>(m);
+  std::vector<Point> out;
+  out.reserve(cfg.node_count);
+  for (std::size_t row = 0; row < m; ++row) {
+    for (std::size_t col = 0; col < m; ++col) {
+      const double x0 = cfg.terrain.x0 + static_cast<double>(col) * cw;
+      const double y0 = cfg.terrain.y0 + static_cast<double>(row) * ch;
+      out.push_back(Point{rng.uniform(x0, x0 + cw), rng.uniform(y0, y0 + ch)});
+    }
+  }
+  for (std::size_t i = base; i < cfg.node_count; ++i) {
+    out.push_back(Point{rng.uniform(cfg.terrain.x0, cfg.terrain.x1),
+                        rng.uniform(cfg.terrain.y0, cfg.terrain.y1)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Point> deploy(const DeploymentConfig& config, sim::Rng& rng) {
+  if (config.node_count == 0) return {};
+  if (config.terrain.width() <= 0 || config.terrain.height() <= 0) {
+    throw std::invalid_argument("deploy: terrain must have positive area");
+  }
+  switch (config.kind) {
+    case DeploymentKind::kUniformRandom:
+      return deploy_uniform(config.node_count, config.terrain, rng);
+    case DeploymentKind::kPerturbedGrid:
+      return deploy_perturbed_grid(config, rng);
+    case DeploymentKind::kClustered:
+      return deploy_clustered(config, rng);
+    case DeploymentKind::kOnePerCellPlus:
+      return deploy_one_per_cell(config, rng);
+  }
+  throw std::logic_error("deploy: unknown deployment kind");
+}
+
+std::size_t cell_of(const Point& p, const Rect& terrain,
+                    std::size_t cells_per_side) {
+  const double m = static_cast<double>(cells_per_side);
+  auto clamp_idx = [&](double v) {
+    auto idx = static_cast<std::ptrdiff_t>(v);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(cells_per_side) - 1);
+    return static_cast<std::size_t>(idx);
+  };
+  const std::size_t col = clamp_idx((p.x - terrain.x0) / terrain.width() * m);
+  // Row 0 is the north (top) edge: y grows southward in terrain coordinates.
+  const std::size_t row = clamp_idx((p.y - terrain.y0) / terrain.height() * m);
+  return row * cells_per_side + col;
+}
+
+std::vector<std::size_t> cell_occupancy(const std::vector<Point>& positions,
+                                        const Rect& terrain,
+                                        std::size_t cells_per_side) {
+  std::vector<std::size_t> counts(cells_per_side * cells_per_side, 0);
+  for (const Point& p : positions) {
+    ++counts[cell_of(p, terrain, cells_per_side)];
+  }
+  return counts;
+}
+
+bool covers_all_cells(const std::vector<Point>& positions, const Rect& terrain,
+                      std::size_t cells_per_side) {
+  const auto counts = cell_occupancy(positions, terrain, cells_per_side);
+  return std::ranges::all_of(counts, [](std::size_t c) { return c > 0; });
+}
+
+}  // namespace wsn::net

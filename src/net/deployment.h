@@ -1,0 +1,64 @@
+// Node deployment models: where the physical sensor nodes land on the
+// terrain. The paper assumes "large-scale, homogeneous, dense, arbitrarily
+// deployed" networks; these generators produce the arbitrary part while the
+// cell-occupancy helper enforces the paper's feasibility precondition that
+// every virtual-grid cell contains at least one node.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/geometry.h"
+#include "sim/rng.h"
+
+namespace wsn::net {
+
+/// Identifier of a physical sensor node; index into position/energy arrays.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Deployment pattern families used throughout the experiments.
+enum class DeploymentKind {
+  kUniformRandom,   // n iid-uniform positions over the terrain
+  kPerturbedGrid,   // regular grid jittered by Gaussian noise
+  kClustered,       // Gaussian clusters around random centers
+  kOnePerCellPlus,  // one guaranteed node per cell + uniform extras
+};
+
+struct DeploymentConfig {
+  DeploymentKind kind = DeploymentKind::kUniformRandom;
+  std::size_t node_count = 0;
+  Rect terrain;
+  /// For kPerturbedGrid / kOnePerCellPlus: cells per terrain side.
+  std::size_t cells_per_side = 1;
+  /// For kPerturbedGrid: jitter stddev as a fraction of cell side.
+  double jitter_fraction = 0.15;
+  /// For kClustered: number of cluster centers.
+  std::size_t cluster_count = 8;
+  /// For kClustered: cluster stddev as a fraction of terrain side.
+  double cluster_spread = 0.08;
+};
+
+/// Generates node positions according to `config`. Every position lies
+/// strictly inside the terrain rectangle.
+std::vector<Point> deploy(const DeploymentConfig& config, sim::Rng& rng);
+
+/// Returns the index of the grid cell (row-major) containing `p`, for an
+/// m-by-m partition of `terrain` into equal square cells. The paper's
+/// cell(i,j) with row i from the top (north) edge, matching the oriented
+/// grid used by the virtual architecture.
+std::size_t cell_of(const Point& p, const Rect& terrain,
+                    std::size_t cells_per_side);
+
+/// Number of nodes per cell for an m-by-m partition; used to check the
+/// "at least one sensor node in each geographic cell" precondition.
+std::vector<std::size_t> cell_occupancy(const std::vector<Point>& positions,
+                                        const Rect& terrain,
+                                        std::size_t cells_per_side);
+
+/// True iff every cell of the m-by-m partition holds at least one node.
+bool covers_all_cells(const std::vector<Point>& positions, const Rect& terrain,
+                      std::size_t cells_per_side);
+
+}  // namespace wsn::net

@@ -1,0 +1,55 @@
+// Planar geometry primitives for terrain and deployment modeling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace wsn::net {
+
+/// A point on the deployment terrain, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance (the paper's delta function in Section 5.1).
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+/// Axis-aligned rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+  Point center() const { return {(x0 + x1) / 2.0, (y0 + y1) / 2.0}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Square terrain of side `side` meters anchored at the origin, as assumed
+/// in Section 5.1 ("deployed over a square terrain of side L").
+inline Rect square_terrain(double side) { return Rect{0.0, 0.0, side, side}; }
+
+}  // namespace wsn::net

@@ -1,0 +1,195 @@
+// Event-driven physical network: single-hop broadcast/unicast over the
+// unit-disk connectivity graph, with energy charged per the uniform cost
+// model and delivery latency derived from the radio bandwidth.
+//
+// This is the substrate the Section 5 runtime protocols execute on. A
+// broadcast is one transmission heard by every one-hop neighbor: the sender
+// pays tx energy once per data unit and every neighbor in range pays rx
+// energy, matching the short-range omnidirectional antenna model.
+#pragma once
+
+#include <any>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/energy.h"
+#include "net/network_graph.h"
+#include "net/radio.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace wsn::net {
+
+/// A message in flight. `payload` is protocol-defined; `size_units` drives
+/// both latency and energy.
+struct Packet {
+  NodeId sender = kNoNode;
+  double size_units = 1.0;
+  std::any payload;
+};
+
+/// Physical network façade: owns delivery scheduling and energy accounting,
+/// borrows the simulator.
+class LinkLayer {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  LinkLayer(sim::Simulator& sim, const NetworkGraph& graph, RadioModel radio,
+            CpuModel cpu, EnergyLedger& ledger)
+      : sim_(sim), graph_(graph), radio_(radio), cpu_(cpu), ledger_(ledger),
+        receivers_(graph.node_count()), down_(graph.node_count(), false) {}
+
+  sim::Simulator& simulator() { return sim_; }
+  const NetworkGraph& graph() const { return graph_; }
+  const RadioModel& radio() const { return radio_; }
+  const CpuModel& cpu() const { return cpu_; }
+  EnergyLedger& ledger() { return ledger_; }
+  sim::CounterSet& counters() { return counters_; }
+
+  /// Installs the receive handler for `node`. Packets delivered to a node
+  /// with no handler are counted and dropped.
+  void set_receiver(NodeId node, Receiver r) {
+    receivers_[node] = std::move(r);
+  }
+
+  /// Per-packet loss probability applied independently per receiver.
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  /// Distance-dependent loss: `fn(d)` returns the drop probability for a
+  /// receiver at Euclidean distance d from the sender (composed with the
+  /// flat loss probability). Models path-loss/shadowing-induced fringe
+  /// unreliability near the edge of the nominal disk; pass nullptr to
+  /// disable.
+  void set_distance_loss(std::function<double(double)> fn) {
+    distance_loss_ = std::move(fn);
+  }
+
+  /// A sigmoid fringe model: reliable up to `reliable_radius`, then the
+  /// drop probability rises smoothly toward 1 at the nominal range.
+  static std::function<double(double)> sigmoid_fringe(double reliable_radius,
+                                                      double range) {
+    const double width = std::max((range - reliable_radius) / 4.0, 1e-9);
+    return [reliable_radius, width](double d) {
+      return 1.0 / (1.0 + std::exp(-(d - reliable_radius) / width)) *
+             (d > reliable_radius ? 1.0 : 0.0);
+    };
+  }
+
+  /// Opt-in transmitter serialization (default off): a node's radio can
+  /// push only one packet at a time, so back-to-back transmissions queue.
+  /// The physical-layer counterpart of core::Congestion::kNodeSerialized.
+  void set_tx_serialization(bool on) { tx_serialized_ = on; }
+
+  /// Marks a node as failed (crashed / removed): it neither transmits nor
+  /// receives. Section 5.1 motivates periodic protocol re-execution with
+  /// exactly such failures.
+  void set_down(NodeId node, bool down) { down_[node] = down; }
+  bool is_down(NodeId node) const { return down_[node]; }
+  std::size_t down_count() const {
+    std::size_t n = 0;
+    for (bool d : down_) n += d ? 1 : 0;
+    return n;
+  }
+
+  /// One local broadcast: sender pays tx once; each live neighbor pays rx
+  /// and receives the packet after the transmission latency.
+  void broadcast(NodeId from, std::any payload, double size_units = 1.0) {
+    if (down_[from] || ledger_.depleted(from)) {
+      counters_.add("link.tx_dead");
+      return;
+    }
+    ledger_.charge(from, EnergyUse::kTx, radio_.tx_energy_per_unit * size_units);
+    counters_.add("link.broadcast");
+    const sim::Time arrive = tx_start(from) + radio_.tx_latency(size_units);
+    if (tx_serialized_) tx_busy_until_(from) = arrive;
+    for (NodeId nbr : graph_.neighbors(from)) {
+      deliver_at(arrive, from, nbr, payload, size_units);
+    }
+  }
+
+  /// One-hop unicast; `to` must be a one-hop neighbor of `from`. With a
+  /// short-range omnidirectional antenna the energy cost equals broadcast
+  /// (neighbors overhear but discard; we charge rx only at the addressee,
+  /// the standard idealization in the algorithm-design literature the paper
+  /// builds on).
+  void unicast(NodeId from, NodeId to, std::any payload,
+               double size_units = 1.0) {
+    if (down_[from] || ledger_.depleted(from)) {
+      counters_.add("link.tx_dead");
+      return;
+    }
+    ledger_.charge(from, EnergyUse::kTx, radio_.tx_energy_per_unit * size_units);
+    counters_.add("link.unicast");
+    const sim::Time arrive = tx_start(from) + radio_.tx_latency(size_units);
+    if (tx_serialized_) tx_busy_until_(from) = arrive;
+    deliver_at(arrive, from, to, payload, size_units);
+  }
+
+  /// Charges compute energy and returns the latency of `ops` computations;
+  /// callers schedule follow-up work after that latency.
+  sim::Time compute(NodeId node, double ops) {
+    ledger_.charge(node, EnergyUse::kCompute, cpu_.energy_per_op * ops);
+    counters_.add("link.compute");
+    return cpu_.compute_latency(ops);
+  }
+
+ private:
+  /// Earliest instant `from` may begin transmitting.
+  sim::Time tx_start(NodeId from) {
+    if (!tx_serialized_) return sim_.now();
+    if (busy_.size() != graph_.node_count()) {
+      busy_.assign(graph_.node_count(), 0.0);
+    }
+    const sim::Time start = std::max(sim_.now(), busy_[from]);
+    if (start > sim_.now()) counters_.add("link.tx_queued");
+    return start;
+  }
+
+  sim::Time& tx_busy_until_(NodeId from) { return busy_[from]; }
+
+  void deliver_at(sim::Time at, NodeId from, NodeId to, std::any payload,
+                  double size_units) {
+    if (loss_probability_ > 0 && sim_.rng().chance(loss_probability_)) {
+      counters_.add("link.lost");
+      return;
+    }
+    if (distance_loss_) {
+      const double d = distance(graph_.position(from), graph_.position(to));
+      if (sim_.rng().chance(distance_loss_(d))) {
+        counters_.add("link.lost_fringe");
+        return;
+      }
+    }
+    sim_.schedule_at(at, [this, from, to, payload = std::move(payload),
+                          size_units]() {
+      if (down_[to] || ledger_.depleted(to)) {
+        counters_.add("link.rx_dead");
+        return;
+      }
+      ledger_.charge(to, EnergyUse::kRx, radio_.rx_energy_per_unit * size_units);
+      counters_.add("link.delivered");
+      if (receivers_[to]) {
+        receivers_[to](Packet{from, size_units, payload});
+      } else {
+        counters_.add("link.no_receiver");
+      }
+    });
+  }
+
+  sim::Simulator& sim_;
+  const NetworkGraph& graph_;
+  RadioModel radio_;
+  CpuModel cpu_;
+  EnergyLedger& ledger_;
+  std::vector<Receiver> receivers_;
+  std::vector<bool> down_;
+  sim::CounterSet counters_;
+  double loss_probability_ = 0.0;
+  std::function<double(double)> distance_loss_;
+  bool tx_serialized_ = false;
+  std::vector<sim::Time> busy_;
+};
+
+}  // namespace wsn::net

@@ -1,0 +1,188 @@
+#include "net/network_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wsn::net {
+namespace {
+
+// Uniform spatial hash over buckets of side `range` so neighbor search only
+// scans the 3x3 bucket neighborhood.
+struct BucketGrid {
+  BucketGrid(const std::vector<Point>& pts, double cell) : cell_side(cell) {
+    if (pts.empty()) return;
+    min_x = min_y = std::numeric_limits<double>::infinity();
+    for (const Point& p : pts) {
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+    }
+    double max_x = -std::numeric_limits<double>::infinity();
+    double max_y = max_x;
+    for (const Point& p : pts) {
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    cols = static_cast<std::size_t>((max_x - min_x) / cell_side) + 1;
+    rows = static_cast<std::size_t>((max_y - min_y) / cell_side) + 1;
+    buckets.resize(cols * rows);
+    for (NodeId i = 0; i < pts.size(); ++i) {
+      buckets[index_of(pts[i])].push_back(i);
+    }
+  }
+
+  std::size_t index_of(const Point& p) const {
+    const auto c = static_cast<std::size_t>((p.x - min_x) / cell_side);
+    const auto r = static_cast<std::size_t>((p.y - min_y) / cell_side);
+    return std::min(r, rows - 1) * cols + std::min(c, cols - 1);
+  }
+
+  double cell_side;
+  double min_x = 0;
+  double min_y = 0;
+  std::size_t cols = 0;
+  std::size_t rows = 0;
+  std::vector<std::vector<NodeId>> buckets;
+};
+
+}  // namespace
+
+NetworkGraph::NetworkGraph(std::vector<Point> positions, double range)
+    : positions_(std::move(positions)), range_(range) {
+  if (range <= 0) {
+    throw std::invalid_argument("NetworkGraph: range must be positive");
+  }
+  const std::size_t n = positions_.size();
+  offsets_.assign(n + 1, 0);
+  if (n == 0) return;
+
+  const BucketGrid grid(positions_, range_);
+  const double range_sq = range_ * range_;
+
+  std::vector<std::vector<NodeId>> adj(n);
+  for (std::size_t b = 0; b < grid.buckets.size(); ++b) {
+    const std::size_t br = b / grid.cols;
+    const std::size_t bc = b % grid.cols;
+    for (NodeId i : grid.buckets[b]) {
+      for (std::size_t dr = 0; dr < 3; ++dr) {
+        for (std::size_t dc = 0; dc < 3; ++dc) {
+          const std::ptrdiff_t nr = static_cast<std::ptrdiff_t>(br + dr) - 1;
+          const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(bc + dc) - 1;
+          if (nr < 0 || nc < 0 ||
+              nr >= static_cast<std::ptrdiff_t>(grid.rows) ||
+              nc >= static_cast<std::ptrdiff_t>(grid.cols)) {
+            continue;
+          }
+          for (NodeId j : grid.buckets[static_cast<std::size_t>(nr) * grid.cols +
+                                       static_cast<std::size_t>(nc)]) {
+            if (j <= i) continue;
+            if (distance_sq(positions_[i], positions_[j]) <= range_sq) {
+              adj[i].push_back(j);
+              adj[j].push_back(i);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::ranges::sort(adj[i]);
+    offsets_[i + 1] = offsets_[i] + adj[i].size();
+  }
+  adjacency_.reserve(offsets_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    adjacency_.insert(adjacency_.end(), adj[i].begin(), adj[i].end());
+  }
+}
+
+bool NetworkGraph::has_edge(NodeId a, NodeId b) const {
+  const auto nbrs = neighbors(a);
+  return std::ranges::binary_search(nbrs, b);
+}
+
+bool NetworkGraph::connected() const {
+  const std::size_t n = node_count();
+  if (n == 0) return true;
+  const auto dist = hop_distances(0);
+  return std::ranges::none_of(
+      dist, [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+bool NetworkGraph::induced_connected(std::span<const NodeId> members) const {
+  if (members.empty()) return true;
+  const auto dist = hop_distances_within(members.front(), members);
+  return std::ranges::all_of(members, [&](NodeId m) {
+    return dist[m] != kUnreachable;
+  });
+}
+
+std::vector<std::uint32_t> NetworkGraph::hop_distances(NodeId source) const {
+  std::vector<std::uint32_t> dist(node_count(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> NetworkGraph::hop_distances_within(
+    NodeId source, std::span<const NodeId> members) const {
+  std::vector<bool> in_set(node_count(), false);
+  for (NodeId m : members) in_set[m] = true;
+  std::vector<std::uint32_t> dist(node_count(), kUnreachable);
+  if (!in_set[source]) return dist;
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (in_set[v] && dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> NetworkGraph::shortest_path(NodeId from, NodeId to) const {
+  std::vector<NodeId> parent(node_count(), kNoNode);
+  std::vector<bool> seen(node_count(), false);
+  std::deque<NodeId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (u == to) break;
+    for (NodeId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        frontier.push_back(v);
+      }
+    }
+  }
+  if (!seen[to]) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = to; cur != kNoNode; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::ranges::reverse(path);
+  return path;
+}
+
+}  // namespace wsn::net

@@ -1,0 +1,100 @@
+// Time-ordered event queue for the discrete-event simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace wsn::sim {
+
+/// Simulation time. One unit corresponds to one "unit of latency" of the
+/// paper's uniform cost model (the time to transmit B units of data or
+/// complete R computations).
+using Time = double;
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Min-heap of timestamped callbacks with FIFO tie-breaking.
+///
+/// Ties are broken by insertion order so that simulations are deterministic:
+/// two events scheduled for the same instant fire in the order they were
+/// scheduled.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(Time at, Callback fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    ++live_;
+    return id;
+  }
+
+  /// Marks the event as cancelled; it will be skipped when reached.
+  /// Returns true if the event was live (issued, not yet fired or cancelled).
+  bool cancel(EventId id) {
+    if (id >= next_id_ || fired_.contains(id) || cancelled_.contains(id)) {
+      return false;
+    }
+    cancelled_.insert(id);
+    --live_;
+    return true;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the next live event. Requires !empty().
+  Time next_time() {
+    drop_cancelled();
+    return heap_.top().at;
+  }
+
+  /// Pops and returns the next live event. Requires !empty().
+  std::pair<Time, Callback> pop() {
+    drop_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    remember_fired(top.id);
+    return {top.at, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    Callback fn;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+  }
+
+  void remember_fired(EventId id) {
+    // The fired set exists only to make double-cancel well defined; keep it
+    // from growing without bound in long simulations.
+    if (fired_.size() > 1u << 20) fired_.clear();
+    fired_.insert(id);
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> fired_;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace wsn::sim

@@ -1,0 +1,170 @@
+#include "synthesis/program.h"
+
+#include <stdexcept>
+
+namespace wsn::synthesis {
+
+AggregationProgram::AggregationProgram(core::MessageFabric& fabric,
+                                       ProgramHooks hooks)
+    : fabric_(fabric), hooks_(std::move(hooks)) {
+  if (!hooks_.sense || !hooks_.merge || !hooks_.seal || !hooks_.payload_units ||
+      !hooks_.exfiltrate) {
+    throw std::invalid_argument("AggregationProgram: all hooks are required");
+  }
+  max_level_ = fabric_.groups().max_level();
+  states_.resize(fabric_.grid().node_count());
+  for (NodeState& s : states_) {
+    s.my_sub_graph.resize(max_level_ + 1);
+    s.msgs_received.assign(max_level_ + 1, 0);
+    s.merges_done.assign(max_level_ + 1, 0);
+    s.contributed.assign(max_level_ + 1, false);
+    s.level_sent.assign(max_level_ + 1, false);
+  }
+  for (const core::GridCoord& c : fabric_.grid().all_coords()) {
+    fabric_.set_receiver(c, [this, c](const core::VirtualMessage& msg) {
+      on_receive(c, msg);
+    });
+  }
+}
+
+AggregationProgram::~AggregationProgram() {
+  for (const core::GridCoord& c : fabric_.grid().all_coords()) {
+    fabric_.set_receiver(c, nullptr);
+  }
+}
+
+void AggregationProgram::start_round() {
+  stats_ = RoundStats{};
+  for (NodeState& s : states_) {
+    s = NodeState{};
+    s.my_sub_graph.resize(max_level_ + 1);
+    s.msgs_received.assign(max_level_ + 1, 0);
+    s.merges_done.assign(max_level_ + 1, 0);
+    s.contributed.assign(max_level_ + 1, false);
+    s.level_sent.assign(max_level_ + 1, false);
+    s.start = true;
+  }
+  for (const core::GridCoord& c : fabric_.grid().all_coords()) {
+    fabric_.simulator().post([this, c]() { on_start(c); });
+  }
+}
+
+void AggregationProgram::on_start(const core::GridCoord& c) {
+  NodeState& s = state(c);
+  if (!s.start) return;
+  s.start = false;
+  // Compute mySubGraph[0] from intra-cell readings, then transmit.
+  s.my_sub_graph[0] = hooks_.sense(c);
+  const sim::Time lat = fabric_.compute(c, hooks_.sense_ops);
+  fabric_.simulator().schedule_in(lat,
+                                  [this, c]() { transmit_level(c, 0); });
+}
+
+void AggregationProgram::transmit_level(const core::GridCoord& c,
+                                        std::uint32_t level) {
+  NodeState& s = state(c);
+  if (s.level_sent[level]) return;
+  s.level_sent[level] = true;
+
+  std::any payload = hooks_.seal(s.my_sub_graph[level], c, level);
+
+  if (level == max_level_) {
+    // Final aggregation complete: exfiltrate.
+    stats_.finished = true;
+    stats_.finished_at = fabric_.simulator().now();
+    stats_.exfiltration_node = c;
+    result_ = payload;
+    hooks_.exfiltrate(c, std::move(payload));
+    return;
+  }
+
+  const std::uint32_t target_level = level + 1;
+  const core::GridCoord leader = fabric_.groups().leader_of(c, target_level);
+  if (leader == c) {
+    // Self-contribution: "one of the four incoming messages ... is from the
+    // node to itself" - no radio, merge locally.
+    ++stats_.self_merges;
+    hooks_.merge(s.my_sub_graph[target_level], payload);
+    const sim::Time lat = fabric_.compute(c, hooks_.merge_ops);
+    fabric_.simulator().schedule_in(lat, [this, c, target_level]() {
+      state(c).contributed[target_level] = true;
+      check_advance(c, target_level);
+    });
+    return;
+  }
+
+  ++stats_.messages_sent;
+  const double units = hooks_.payload_units(payload);
+  MGraph msg{c, std::make_shared<std::any>(std::move(payload)), target_level};
+  fabric_.send(c, leader, std::move(msg), units);
+}
+
+void AggregationProgram::on_receive(const core::GridCoord& c,
+                                    const core::VirtualMessage& vmsg) {
+  const auto msg = std::any_cast<MGraph>(vmsg.payload);
+  NodeState& s = state(c);
+  // merge(mGraph, mySubGraph[mrecLevel]); msgsReceived[mrecLevel]++
+  hooks_.merge(s.my_sub_graph[msg.mrec_level], *msg.msub_graph);
+  ++s.msgs_received[msg.mrec_level];
+  ++stats_.remote_merges;
+  const sim::Time lat = fabric_.compute(c, hooks_.merge_ops);
+  const std::uint32_t level = msg.mrec_level;
+  fabric_.simulator().schedule_in(lat, [this, c, level]() {
+    ++state(c).merges_done[level];
+    check_advance(c, level);
+  });
+}
+
+void AggregationProgram::check_advance(const core::GridCoord& c,
+                                       std::uint32_t level) {
+  NodeState& s = state(c);
+  if (level == 0 || level > max_level_ || s.level_sent[level]) return;
+  if (!fabric_.groups().is_leader(c, level)) return;
+  // A level-l leader that also leads one of its sub-blocks contributes its
+  // own piece locally and expects 3 remote messages (the Figure 4 count,
+  // which assumes the paper's NW mapping); otherwise all 4 sub-block pieces
+  // arrive over the network. Gating on completed merges keeps the last
+  // merge's compute latency on the critical path.
+  const bool leads_sub_block = fabric_.groups().is_leader(c, level - 1);
+  const std::uint32_t expected_remote = leads_sub_block ? 3 : 4;
+  const bool self_ok = !leads_sub_block || s.contributed[level];
+  if (s.merges_done[level] == expected_remote && self_ok) {
+    transmit_level(c, level);
+  }
+}
+
+std::string render_figure4() {
+  return R"(State (initial values) :
+  start(= false), recLevel(= 0), maxrecLevel,
+  mySubGraph[1..maxrecLevel](= NULL),
+  myCoords, msgsReceived[1..maxrecLevel](= 0)
+  transmit(= false)
+
+Message alphabet :
+  mGraph = {senderCoord, msubGraph, mrecLevel}
+
+Condition : start = true
+Action    : start = false
+            compute mySubGraph[recLevel] from intra-cell readings
+            transmit = true
+            recLevel = recLevel + 1
+
+Condition : received mGraph
+Action    : merge(mGraph, mySubGraph[mrecLevel])
+            msgsReceived[mrecLevel]++
+
+Condition : transmit = true
+Action    : message = {myCoords, mySubGraph, recLevel}
+            if (recLevel = maxrecLevel)
+              exfiltrate message
+            else
+              send message to Leader(recLevel+1)
+            transmit = false
+
+Condition : msgsReceived[recLevel] = 3
+Action    : transmit = true
+            recLevel = recLevel + 1
+)";
+}
+
+}  // namespace wsn::synthesis

@@ -1,0 +1,71 @@
+#include "synthesis/spec.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/grid_topology.h"
+
+namespace wsn::synthesis {
+
+std::string ProgramSpec::render() const {
+  std::ostringstream os;
+  os << "State (initial values) :\n ";
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    os << ' ' << state[i].name << "(= " << state[i].initial << ')';
+    if (i + 1 < state.size()) os << ',';
+    if (i % 3 == 2 && i + 1 < state.size()) os << "\n ";
+  }
+  os << "\n\nMessage alphabet :\n  " << message_name << " = {";
+  for (std::size_t i = 0; i < message_fields.size(); ++i) {
+    if (i) os << ", ";
+    os << message_fields[i].name;
+  }
+  os << "}\n";
+  for (const Clause& clause : clauses) {
+    os << "\nCondition : " << clause.condition << '\n';
+    for (std::size_t i = 0; i < clause.actions.size(); ++i) {
+      os << (i == 0 ? "Action    : " : "            ") << clause.actions[i]
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+ProgramSpec figure4_spec(std::size_t grid_side) {
+  if (!core::GridTopology::is_power_of_two(grid_side)) {
+    throw std::invalid_argument("figure4_spec: side must be a power of two");
+  }
+  std::uint32_t levels = 0;
+  for (std::size_t s = grid_side; s > 1; s >>= 1) ++levels;
+
+  ProgramSpec spec;
+  spec.max_rec_level = levels;
+  spec.expected_messages = 3;
+  spec.state = {
+      {"start", "false"},
+      {"recLevel", "0"},
+      {"maxrecLevel", std::to_string(levels)},
+      {"mySubGraph[1..maxrecLevel]", "NULL"},
+      {"myCoords", "-"},
+      {"msgsReceived[1..maxrecLevel]", "0"},
+      {"transmit", "false"},
+  };
+  spec.message_name = "mGraph";
+  spec.message_fields = {{"senderCoord"}, {"msubGraph"}, {"mrecLevel"}};
+  spec.clauses = {
+      {"start = true",
+       {"start = false", "compute mySubGraph[recLevel] from intra-cell readings",
+        "transmit = true", "recLevel = recLevel + 1"}},
+      {"received mGraph",
+       {"merge(mGraph, mySubGraph[mrecLevel])", "msgsReceived[mrecLevel]++"}},
+      {"transmit = true",
+       {"message = {myCoords, mySubGraph, recLevel}",
+        "if (recLevel = maxrecLevel)", "  exfiltrate message", "else",
+        "  send message to Leader(recLevel+1)", "transmit = false"}},
+      {"msgsReceived[recLevel] = " + std::to_string(spec.expected_messages),
+       {"transmit = true", "recLevel = recLevel + 1"}},
+  };
+  return spec;
+}
+
+}  // namespace wsn::synthesis

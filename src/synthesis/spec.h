@@ -1,0 +1,56 @@
+// Declarative program specification: Figure 4 as a data structure.
+//
+// The synthesis stage does not emit C++; it emits a guarded-rule program -
+// state variables with initial values, a message alphabet, and
+// condition/action clauses - which a node runtime then executes. Keeping
+// the specification as data (rather than only as the interpreter's code)
+// lets the synthesizer parameterize it (maxrecLevel, expected message
+// count, exfiltration target) and lets tools render it exactly as the
+// paper's figure prints it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsn::synthesis {
+
+/// A state variable with its initial value, e.g. "recLevel" = "0".
+struct StateVariable {
+  std::string name;
+  std::string initial;
+};
+
+/// One field of the message alphabet record.
+struct MessageField {
+  std::string name;
+};
+
+/// A guarded clause: when `condition` holds, run `actions` in order.
+struct Clause {
+  std::string condition;
+  std::vector<std::string> actions;
+};
+
+/// The synthesized per-node program.
+struct ProgramSpec {
+  std::vector<StateVariable> state;
+  std::string message_name;               // "mGraph"
+  std::vector<MessageField> message_fields;
+  std::vector<Clause> clauses;
+
+  /// Parameters the synthesizer filled in.
+  std::uint32_t max_rec_level = 0;
+  std::uint32_t expected_messages = 3;  // figure: msgsReceived[recLevel] = 3
+
+  /// Renders the spec in the layout of Figure 4.
+  std::string render() const;
+};
+
+/// The Figure 4 program for a grid of the given side (power of two):
+/// maxrecLevel = log2(side); the expected message count is 3 under the
+/// paper's NW-corner mapping (one of the four quad-tree inputs is the
+/// leader's own contribution).
+ProgramSpec figure4_spec(std::size_t grid_side);
+
+}  // namespace wsn::synthesis

@@ -1,0 +1,86 @@
+#include "synthesis/synthesizer.h"
+
+#include <limits>
+#include <sstream>
+
+namespace wsn::synthesis {
+
+std::string SynthesisReport::describe() const {
+  std::ostringstream os;
+  os << "Synthesis report\n"
+     << "  regular k-ary tree : " << (regular_kary_tree ? "yes" : "no");
+  if (regular_kary_tree) os << " (k = " << arity << ", levels = " << levels << ")";
+  os << "\n  leaders aligned    : " << (leaders_aligned ? "yes" : "no")
+     << "\n  coverage           : " << (coverage_ok ? "ok" : "VIOLATED")
+     << "\n  spatial correlation: " << (spatial_correlation_ok ? "ok" : "VIOLATED")
+     << "\n  implementation     : "
+     << (use_group_communication ? "group communication middleware"
+                                 : "point-to-point send/receive")
+     << '\n';
+  for (const std::string& n : notes) os << "  note: " << n << '\n';
+  return os.str();
+}
+
+SynthesisReport synthesize(const taskgraph::QuadTree& tree,
+                           const taskgraph::RoleAssignment& mapping,
+                           const core::GroupHierarchy& groups) {
+  SynthesisReport report;
+  const taskgraph::TaskGraph& graph = tree.graph;
+  graph.validate();
+
+  // Arity analysis.
+  std::uint32_t arity = 0;
+  bool uniform = true;
+  for (const taskgraph::Task& t : graph.tasks()) {
+    if (t.children.empty()) continue;
+    const auto k = static_cast<std::uint32_t>(t.children.size());
+    if (arity == 0) {
+      arity = k;
+    } else if (arity != k) {
+      uniform = false;
+    }
+  }
+  report.regular_kary_tree = uniform && arity > 0;
+  report.arity = uniform ? arity : 0;
+  report.levels = graph.height();
+  if (!uniform) {
+    report.notes.push_back("non-uniform arity: falling back to explicit sends");
+  }
+
+  // Constraint checks (the mapping tool's output must be feasible).
+  const core::GridTopology& grid = groups.grid();
+  report.coverage_ok = taskgraph::check_coverage(graph, mapping, grid).empty();
+  report.spatial_correlation_ok =
+      taskgraph::check_spatial_correlation(graph, mapping, grid).empty();
+
+  // Leader alignment: each interior task must sit on the level-l leader of
+  // its extent, which is what makes Leader(recLevel+1) addressing resolve to
+  // the parent's executor at run time.
+  report.leaders_aligned = true;
+  for (const taskgraph::Task& t : graph.tasks()) {
+    if (t.children.empty()) continue;
+    core::GridCoord nw{std::numeric_limits<std::int32_t>::max(),
+                       std::numeric_limits<std::int32_t>::max()};
+    for (taskgraph::TaskId leaf : graph.leaf_descendants(t.id)) {
+      const core::GridCoord c = mapping.coord_of[leaf];
+      nw.row = std::min(nw.row, c.row);
+      nw.col = std::min(nw.col, c.col);
+    }
+    if (mapping.coord_of[t.id] != groups.leader_of(nw, t.level)) {
+      report.leaders_aligned = false;
+      report.notes.push_back(
+          "interior task not on its block leader; group addressing disabled");
+      break;
+    }
+  }
+
+  report.use_group_communication =
+      report.regular_kary_tree && report.leaders_aligned;
+  if (report.use_group_communication) {
+    report.notes.push_back(
+        "parent-child interaction bound to Leader(recLevel+1) middleware calls");
+  }
+  return report;
+}
+
+}  // namespace wsn::synthesis

@@ -1,0 +1,56 @@
+// Program synthesis stage (Section 4.3 / design flow of Figure 1).
+//
+// Input: the mapped task graph. Output: the decision of which middleware
+// services implement the graph's interactions, plus the parameters of the
+// per-node program. "The structure of the task graph and explicit
+// annotations by the application developer are used to determine which of
+// the available middleware services (if any) are useful. For instance, in a
+// task graph structured as a k-ary tree, the interaction between every
+// parent node and its k children can be implemented using a middleware API
+// for group communication."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/groups.h"
+#include "taskgraph/mapping.h"
+#include "taskgraph/quadtree.h"
+
+namespace wsn::synthesis {
+
+/// What the synthesizer decided and why.
+struct SynthesisReport {
+  /// The graph is a complete k-ary tree with uniform arity.
+  bool regular_kary_tree = false;
+  std::uint32_t arity = 0;
+  std::uint32_t levels = 0;
+
+  /// Every interior task is mapped onto the group leader of its extent at
+  /// its level, so parent-child interaction can use Leader(level) group
+  /// addressing instead of explicit coordinates.
+  bool leaders_aligned = false;
+
+  /// Selected implementation: group communication middleware (true) or
+  /// plain point-to-point send/receive (false).
+  bool use_group_communication = false;
+
+  /// Mapping constraint check outcomes.
+  bool coverage_ok = false;
+  bool spatial_correlation_ok = false;
+
+  std::vector<std::string> notes;
+
+  std::string describe() const;
+};
+
+/// Analyzes the mapped quad-tree and decides the synthesis strategy. The
+/// emitted per-node program is AggregationProgram (program.h) with
+/// maxrecLevel = levels; this function validates that the mapping supports
+/// its Leader(recLevel+1) addressing.
+SynthesisReport synthesize(const taskgraph::QuadTree& tree,
+                           const taskgraph::RoleAssignment& mapping,
+                           const core::GroupHierarchy& groups);
+
+}  // namespace wsn::synthesis

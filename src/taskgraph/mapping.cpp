@@ -1,0 +1,254 @@
+#include "taskgraph/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <deque>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace wsn::taskgraph {
+namespace {
+
+std::vector<core::GridCoord> leaf_cells(const TaskGraph& graph,
+                                        const RoleAssignment& mapping,
+                                        TaskId id) {
+  std::vector<core::GridCoord> cells;
+  for (TaskId leaf : graph.leaf_descendants(id)) {
+    cells.push_back(mapping.coord_of[leaf]);
+  }
+  return cells;
+}
+
+bool region_connected(const std::vector<core::GridCoord>& cells) {
+  if (cells.empty()) return true;
+  std::set<core::GridCoord> pending(cells.begin(), cells.end());
+  std::deque<core::GridCoord> frontier{*pending.begin()};
+  pending.erase(pending.begin());
+  while (!frontier.empty()) {
+    const core::GridCoord c = frontier.front();
+    frontier.pop_front();
+    for (core::Direction d : core::kAllDirections) {
+      const core::GridCoord n = core::GridTopology::step(c, d);
+      auto it = pending.find(n);
+      if (it != pending.end()) {
+        frontier.push_back(n);
+        pending.erase(it);
+      }
+    }
+  }
+  return pending.empty();
+}
+
+std::string coord_str(const core::GridCoord& c) {
+  std::ostringstream os;
+  os << c;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ConstraintViolation> check_coverage(const TaskGraph& graph,
+                                                const RoleAssignment& mapping,
+                                                const core::GridTopology& grid) {
+  std::vector<ConstraintViolation> out;
+  std::vector<int> hits(grid.node_count(), 0);
+  const auto leaves = graph.leaves();
+  if (leaves.size() != grid.node_count()) {
+    out.push_back({kNoTask, "leaf count != virtual node count"});
+  }
+  for (TaskId leaf : leaves) {
+    const core::GridCoord c = mapping.coord_of[leaf];
+    if (!grid.contains(c)) {
+      out.push_back({leaf, "leaf mapped off-grid at " + coord_str(c)});
+      continue;
+    }
+    if (++hits[grid.index_of(c)] > 1) {
+      out.push_back({leaf, "second sampling task at " + coord_str(c)});
+    }
+  }
+  return out;
+}
+
+std::vector<ConstraintViolation> check_spatial_correlation(
+    const TaskGraph& graph, const RoleAssignment& mapping,
+    const core::GridTopology& grid) {
+  (void)grid;
+  std::vector<ConstraintViolation> out;
+  for (const Task& t : graph.tasks()) {
+    if (t.children.empty()) continue;
+    std::vector<core::GridCoord> parent_extent;
+    for (TaskId child : t.children) {
+      auto child_extent = leaf_cells(graph, mapping, child);
+      if (!region_connected(child_extent)) {
+        out.push_back(
+            {child, "child extent is not a contiguous geographic region"});
+      }
+      parent_extent.insert(parent_extent.end(), child_extent.begin(),
+                           child_extent.end());
+    }
+    if (!region_connected(parent_extent)) {
+      out.push_back(
+          {t.id, "children do not cover a single contiguous extent"});
+    }
+  }
+  return out;
+}
+
+bool satisfies_constraints(const TaskGraph& graph, const RoleAssignment& mapping,
+                           const core::GridTopology& grid) {
+  return check_coverage(graph, mapping, grid).empty() &&
+         check_spatial_correlation(graph, mapping, grid).empty();
+}
+
+RoleAssignment paper_mapping(const QuadTree& tree,
+                             const core::GroupHierarchy& groups) {
+  RoleAssignment mapping;
+  mapping.coord_of.resize(tree.graph.size());
+  // Leaves: Morton index k -> cell with Morton index k (identity placement,
+  // satisfying coverage by construction).
+  for (std::uint64_t k = 0; k < tree.leaf_by_morton.size(); ++k) {
+    mapping.coord_of[tree.leaf_by_morton[k]] = core::morton_coord(k);
+  }
+  // Interior tasks: the group leader of their extent at their level. The
+  // extent's NW corner is the minimum coordinate over leaf descendants.
+  for (const Task& t : tree.graph.tasks()) {
+    if (t.children.empty()) continue;
+    core::GridCoord nw{std::numeric_limits<std::int32_t>::max(),
+                       std::numeric_limits<std::int32_t>::max()};
+    for (TaskId leaf : tree.graph.leaf_descendants(t.id)) {
+      const core::GridCoord c = mapping.coord_of[leaf];
+      nw.row = std::min(nw.row, c.row);
+      nw.col = std::min(nw.col, c.col);
+    }
+    mapping.coord_of[t.id] = groups.leader_of(nw, t.level);
+  }
+  return mapping;
+}
+
+RoleAssignment random_interior_mapping(const QuadTree& tree, sim::Rng& rng) {
+  core::GridTopology grid(tree.grid_side);
+  core::GroupHierarchy groups(grid);
+  RoleAssignment mapping = paper_mapping(tree, groups);
+  for (const Task& t : tree.graph.tasks()) {
+    if (t.children.empty()) continue;
+    // Uniform cell within the task's own extent (a level-sized block).
+    const auto leaves = tree.graph.leaf_descendants(t.id);
+    const std::size_t pick = rng.below(leaves.size());
+    mapping.coord_of[t.id] = mapping.coord_of[leaves[pick]];
+  }
+  return mapping;
+}
+
+RoleAssignment scrambled_leaf_mapping(const QuadTree& tree, sim::Rng& rng) {
+  core::GridTopology grid(tree.grid_side);
+  core::GroupHierarchy groups(grid);
+  RoleAssignment mapping = paper_mapping(tree, groups);
+  auto leaves = tree.graph.leaves();
+  // Fisher-Yates over the leaf placements.
+  for (std::size_t i = leaves.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(mapping.coord_of[leaves[i - 1]], mapping.coord_of[leaves[j]]);
+  }
+  return mapping;
+}
+
+MappingCost evaluate_mapping(const TaskGraph& graph,
+                             const RoleAssignment& mapping,
+                             const core::GridTopology& grid,
+                             const core::CostModel& cost) {
+  MappingCost result;
+  std::vector<double> node_energy(grid.node_count(), 0.0);
+  std::vector<double> finish(graph.size(), 0.0);
+
+  for (TaskId id : graph.bottom_up_order()) {
+    const Task& t = graph.task(id);
+    // Computation at the executing node.
+    const double ops = t.annotations.compute_ops;
+    node_energy[grid.index_of(mapping.coord_of[id])] +=
+        cost.compute_energy(ops);
+    result.total_energy += cost.compute_energy(ops);
+
+    double ready = 0.0;  // when all inputs have arrived
+    for (TaskId c : t.children) {
+      const Task& child = graph.task(c);
+      const double units = child.annotations.output_units;
+      const core::GridCoord from = mapping.coord_of[c];
+      const core::GridCoord to = mapping.coord_of[id];
+      const std::uint32_t hops = core::manhattan(from, to);
+      result.total_hops += hops;
+      result.total_energy += cost.path_energy(hops, units);
+      // Charge endpoints and relays along the dimension-order route.
+      if (hops > 0) {
+        const auto path = grid.route(from, to);
+        node_energy[grid.index_of(from)] += cost.tx_energy(units);
+        for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+          node_energy[grid.index_of(path[i])] +=
+              cost.tx_energy(units) + cost.rx_energy(units);
+        }
+        node_energy[grid.index_of(to)] += cost.rx_energy(units);
+      }
+      ready = std::max(ready, finish[c] + cost.path_latency(hops, units));
+    }
+    finish[id] = ready + cost.compute_latency(ops);
+  }
+  result.critical_latency = finish[graph.root()];
+
+  double sum = 0.0;
+  for (double e : node_energy) {
+    sum += e;
+    result.max_node_energy = std::max(result.max_node_energy, e);
+  }
+  const double mean = sum / static_cast<double>(node_energy.size());
+  double var = 0.0;
+  for (double e : node_energy) var += (e - mean) * (e - mean);
+  result.energy_stddev =
+      std::sqrt(var / static_cast<double>(node_energy.size()));
+  return result;
+}
+
+namespace {
+
+double objective_value(const MappingCost& c, MappingObjective obj) {
+  switch (obj) {
+    case MappingObjective::kTotalEnergy: return c.total_energy;
+    case MappingObjective::kCriticalLatency: return c.critical_latency;
+    case MappingObjective::kEnergyBalance: return c.max_node_energy;
+  }
+  return c.total_energy;
+}
+
+}  // namespace
+
+RoleAssignment improve_mapping(const TaskGraph& graph, RoleAssignment mapping,
+                               const core::GridTopology& grid,
+                               const core::CostModel& cost,
+                               MappingObjective objective,
+                               std::size_t iterations, sim::Rng& rng) {
+  double best = objective_value(evaluate_mapping(graph, mapping, grid, cost),
+                                objective);
+  std::vector<TaskId> interior;
+  for (const Task& t : graph.tasks()) {
+    if (!t.children.empty()) interior.push_back(t.id);
+  }
+  if (interior.empty()) return mapping;
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const TaskId victim = interior[rng.below(interior.size())];
+    const core::GridCoord old = mapping.coord_of[victim];
+    mapping.coord_of[victim] =
+        grid.coord_of(rng.below(grid.node_count()));
+    const double candidate = objective_value(
+        evaluate_mapping(graph, mapping, grid, cost), objective);
+    if (candidate < best &&
+        check_spatial_correlation(graph, mapping, grid).empty()) {
+      best = candidate;
+    } else {
+      mapping.coord_of[victim] = old;
+    }
+  }
+  return mapping;
+}
+
+}  // namespace wsn::taskgraph

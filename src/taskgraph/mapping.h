@@ -1,0 +1,106 @@
+// Role assignment (Section 4.2): mapping tasks of the application graph to
+// nodes of the virtual topology, subject to the design-time constraints of
+// Section 4.1, optimizing energy-oriented metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/grid_topology.h"
+#include "core/groups.h"
+#include "sim/rng.h"
+#include "taskgraph/quadtree.h"
+#include "taskgraph/task_graph.h"
+
+namespace wsn::taskgraph {
+
+/// A task-to-virtual-node mapping.
+struct RoleAssignment {
+  /// coord_of[task id] = virtual grid node executing the task.
+  std::vector<core::GridCoord> coord_of;
+
+  const core::GridCoord& operator[](TaskId id) const { return coord_of[id]; }
+  core::GridCoord& operator[](TaskId id) { return coord_of[id]; }
+};
+
+/// One violated constraint, for diagnostics.
+struct ConstraintViolation {
+  TaskId task = kNoTask;
+  std::string reason;
+};
+
+/// Coverage constraint (Section 4.1): "each leaf node of the task graph ...
+/// should be mapped to a distinct node of the virtual topology" and every
+/// virtual node receives exactly one sampling task.
+std::vector<ConstraintViolation> check_coverage(const TaskGraph& graph,
+                                                const RoleAssignment& mapping,
+                                                const core::GridTopology& grid);
+
+/// Spatial-correlation constraint (Section 4.1): "all children of a given
+/// node should represent information about a single contiguous geographic
+/// extent". Each child subtree's leaf cells must form a 4-connected region,
+/// and the union over all children of a parent must also be contiguous.
+std::vector<ConstraintViolation> check_spatial_correlation(
+    const TaskGraph& graph, const RoleAssignment& mapping,
+    const core::GridTopology& grid);
+
+/// Convenience: true iff both constraints hold.
+bool satisfies_constraints(const TaskGraph& graph, const RoleAssignment& mapping,
+                           const core::GridTopology& grid);
+
+/// The paper's mapping (Figures 2-3): leaf with Morton index k is mapped to
+/// the grid cell with Morton index k; the level-l interior task of a block
+/// is mapped to that block's level-l group leader (north-west corner under
+/// the default placement), so the root lands at location 0 and the level-1
+/// tasks at 0, 4, 8 and 12, exactly as in the figures.
+RoleAssignment paper_mapping(const QuadTree& tree,
+                             const core::GroupHierarchy& groups);
+
+/// Ablation variant: leaves as in paper_mapping, interior tasks placed
+/// uniformly at random within their own extent (keeps both constraints).
+RoleAssignment random_interior_mapping(const QuadTree& tree, sim::Rng& rng);
+
+/// Deliberately constraint-violating mapping (random leaf permutation
+/// destroys spatial correlation); used by tests and the constraint-checking
+/// demo.
+RoleAssignment scrambled_leaf_mapping(const QuadTree& tree, sim::Rng& rng);
+
+/// Estimated costs of executing one activation of every task under a
+/// mapping, per the uniform cost model. This is the "rapid first-order
+/// performance estimation" the virtual architecture promises.
+struct MappingCost {
+  double total_energy = 0.0;     // tx+rx+compute over all tasks
+  double critical_latency = 0.0; // longest compute+transfer chain to root
+  double max_node_energy = 0.0;  // hottest virtual node (balance indicator)
+  double energy_stddev = 0.0;    // spread of per-node energy
+  std::uint64_t total_hops = 0;  // sum of per-edge hop counts
+};
+
+/// Evaluates `mapping` analytically (no simulation): communication cost per
+/// edge is manhattan hops x message units (Section 4.2), relays included;
+/// computation cost per task from its annotations.
+MappingCost evaluate_mapping(const TaskGraph& graph,
+                             const RoleAssignment& mapping,
+                             const core::GridTopology& grid,
+                             const core::CostModel& cost);
+
+/// Objectives for local-search improvement.
+enum class MappingObjective : std::uint8_t {
+  kTotalEnergy,
+  kCriticalLatency,
+  kEnergyBalance,  // minimize hottest-node energy
+};
+
+/// Hill-climbing improvement: repeatedly proposes moving one interior task
+/// to a random grid node (leaves stay fixed by the coverage constraint) and
+/// keeps the move if the objective improves and constraints still hold.
+/// Returns the improved assignment; `iterations` proposals are made.
+RoleAssignment improve_mapping(const TaskGraph& graph, RoleAssignment mapping,
+                               const core::GridTopology& grid,
+                               const core::CostModel& cost,
+                               MappingObjective objective,
+                               std::size_t iterations, sim::Rng& rng);
+
+}  // namespace wsn::taskgraph

@@ -1,0 +1,108 @@
+#include "taskgraph/quadtree.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace wsn::taskgraph {
+namespace {
+
+struct Builder {
+  QuadTree* tree;
+  TaskAnnotations leaf_ann;
+  TaskAnnotations merge_ann;
+  std::vector<core::GridCoord> origins;
+  std::vector<std::uint32_t> sides;
+
+  TaskId build(core::GridCoord origin, std::uint32_t side, TaskId parent) {
+    if (side == 1) {
+      const TaskId id = tree->graph.add_task(TaskKind::kSense, parent, leaf_ann);
+      record(id, origin, side);
+      tree->leaf_by_morton[core::morton_index(origin)] = id;
+      return id;
+    }
+    const TaskId id = tree->graph.add_task(TaskKind::kMerge, parent, merge_ann);
+    record(id, origin, side);
+    const auto half = static_cast<std::int32_t>(side / 2);
+    // Morton (NW, NE, SW, SE) order, matching Figures 2-3.
+    build(origin, side / 2, id);
+    build({origin.row, origin.col + half}, side / 2, id);
+    build({origin.row + half, origin.col}, side / 2, id);
+    build({origin.row + half, origin.col + half}, side / 2, id);
+    return id;
+  }
+
+  void record(TaskId id, core::GridCoord origin, std::uint32_t side) {
+    if (origins.size() <= id) {
+      origins.resize(id + 1);
+      sides.resize(id + 1);
+    }
+    origins[id] = origin;
+    sides[id] = side;
+  }
+};
+
+// Extents are reconstructed on demand from leaf descendants; the builder's
+// record of origins is only needed during figure_label rendering, so QuadTree
+// stores labels directly instead of a second parallel structure.
+
+}  // namespace
+
+std::uint64_t QuadTree::figure_label(TaskId id) const {
+  // The label is the Morton index of the north-west corner of the task's
+  // extent = the minimum Morton index over its leaf cells (Z-order visits
+  // the NW corner of any aligned block first).
+  const auto leaves = graph.leaf_descendants(id);
+  std::uint64_t best = ~0ULL;
+  for (TaskId leaf : leaves) {
+    for (std::uint64_t k = 0; k < leaf_by_morton.size(); ++k) {
+      if (leaf_by_morton[k] == leaf && k < best) best = k;
+    }
+  }
+  return best;
+}
+
+QuadTree build_quad_tree(std::size_t grid_side, TaskAnnotations leaf_ann,
+                         TaskAnnotations merge_ann) {
+  if (!core::GridTopology::is_power_of_two(grid_side)) {
+    throw std::invalid_argument(
+        "build_quad_tree: grid side must be a power of two");
+  }
+  QuadTree tree;
+  tree.grid_side = grid_side;
+  tree.leaf_by_morton.assign(grid_side * grid_side, kNoTask);
+  Builder b{&tree, leaf_ann, merge_ann, {}, {}};
+  b.build({0, 0}, static_cast<std::uint32_t>(grid_side), kNoTask);
+  tree.graph.validate();
+  return tree;
+}
+
+std::string render_figure2(const QuadTree& tree) {
+  std::ostringstream os;
+  const std::uint32_t height = tree.graph.height();
+  for (std::uint32_t level = height; level + 1 > 0; --level) {
+    os << "Level " << level << ":";
+    for (TaskId id : tree.graph.at_level(level)) {
+      os << ' ' << tree.figure_label(id);
+    }
+    os << '\n';
+    if (level == 0) break;
+  }
+  os << "Sensor data feeds the " << tree.graph.leaves().size()
+     << " level-0 tasks.\n";
+  return os.str();
+}
+
+std::string render_figure3(std::size_t grid_side) {
+  std::ostringstream os;
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(grid_side); ++r) {
+    for (std::int32_t c = 0; c < static_cast<std::int32_t>(grid_side); ++c) {
+      if (c) os << ' ';
+      os.width(3);
+      os << core::morton_index({r, c});
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wsn::taskgraph

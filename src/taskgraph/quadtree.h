@@ -1,0 +1,52 @@
+// The quad-tree task graph of the case study (Figure 2).
+//
+// "A leaf node corresponds to a task that is linked to the sensing
+// interface, and interior nodes represent in-network processing on the
+// sampled data. At each level of the tree, every node transmits its
+// information to its parent at the next higher level."
+//
+// Leaves are ordered by Morton (Z-order) index over the grid so that sibling
+// groups of four cover exactly the 2x2 sub-blocks the figure shows; the
+// Figure 2 labels (0..15 at the leaves, 0/4/8/12 at level 1, 0 at the root)
+// are the Morton indices of the north-west corners of each task's extent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grid_topology.h"
+#include "taskgraph/task_graph.h"
+
+namespace wsn::taskgraph {
+
+/// A quad-tree over a power-of-two grid plus the leaf ordering used by the
+/// paper's figures.
+struct QuadTree {
+  TaskGraph graph;
+  std::size_t grid_side = 0;
+  /// leaf_by_morton[k] = task id of the leaf whose grid cell has Morton
+  /// index k.
+  std::vector<TaskId> leaf_by_morton;
+
+  /// Morton index of the north-west corner of `id`'s extent - the label the
+  /// paper's Figure 2 prints on the node.
+  std::uint64_t figure_label(TaskId id) const;
+};
+
+/// Builds the quad-tree for a `grid_side` x `grid_side` grid (side must be a
+/// power of two). Leaf annotations come from `leaf_ann`, interior ones from
+/// `merge_ann`; interior compute_ops scale with the number of children
+/// merged (one op per incoming boundary description by default).
+QuadTree build_quad_tree(std::size_t grid_side,
+                         TaskAnnotations leaf_ann = {1.0, 1.0},
+                         TaskAnnotations merge_ann = {1.0, 3.0});
+
+/// Renders the levels of the tree with figure labels, reproducing the
+/// structure of Figure 2 as text.
+std::string render_figure2(const QuadTree& tree);
+
+/// Renders the grid of Morton labels (the region labeling of Figure 3).
+std::string render_figure3(std::size_t grid_side);
+
+}  // namespace wsn::taskgraph

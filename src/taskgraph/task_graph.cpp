@@ -1,0 +1,136 @@
+#include "taskgraph/task_graph.h"
+
+#include <algorithm>
+
+namespace wsn::taskgraph {
+
+TaskId TaskGraph::add_task(TaskKind kind, TaskId parent, TaskAnnotations ann) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  Task t;
+  t.id = id;
+  t.kind = kind;
+  t.parent = parent;
+  t.annotations = ann;
+  if (parent == kNoTask) {
+    if (root_ != kNoTask) {
+      throw std::logic_error("TaskGraph: second root added");
+    }
+    root_ = id;
+  } else {
+    if (parent >= tasks_.size()) {
+      throw std::out_of_range("TaskGraph: parent does not exist");
+    }
+    tasks_[parent].children.push_back(id);
+  }
+  tasks_.push_back(std::move(t));
+  // Recompute levels along the ancestor chain (levels = height of subtree).
+  TaskId cur = parent;
+  std::uint32_t child_level = 0;
+  while (cur != kNoTask) {
+    Task& p = tasks_[cur];
+    if (p.level >= child_level + 1) break;
+    p.level = child_level + 1;
+    child_level = p.level;
+    cur = p.parent;
+  }
+  return id;
+}
+
+std::vector<TaskId> TaskGraph::leaves() const {
+  std::vector<TaskId> out;
+  for (const Task& t : tasks_) {
+    if (t.kind == TaskKind::kSense) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::at_level(std::uint32_t level) const {
+  std::vector<TaskId> out;
+  for (const Task& t : tasks_) {
+    if (t.level == level) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::leaf_descendants(TaskId id) const {
+  std::vector<TaskId> out;
+  std::vector<TaskId> stack{id};
+  while (!stack.empty()) {
+    const TaskId cur = stack.back();
+    stack.pop_back();
+    const Task& t = tasks_.at(cur);
+    if (t.children.empty()) {
+      out.push_back(cur);
+    } else {
+      stack.insert(stack.end(), t.children.begin(), t.children.end());
+    }
+  }
+  std::ranges::sort(out);
+  return out;
+}
+
+std::uint32_t TaskGraph::height() const {
+  std::uint32_t h = 0;
+  for (const Task& t : tasks_) h = std::max(h, t.level);
+  return h;
+}
+
+std::vector<TaskId> TaskGraph::bottom_up_order() const {
+  std::vector<TaskId> order(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    order[i] = static_cast<TaskId>(i);
+  }
+  std::ranges::stable_sort(order, [this](TaskId a, TaskId b) {
+    return tasks_[a].level < tasks_[b].level;
+  });
+  return order;
+}
+
+void TaskGraph::validate() const {
+  if (tasks_.empty()) throw std::logic_error("TaskGraph: empty");
+  if (root_ == kNoTask) throw std::logic_error("TaskGraph: no root");
+  std::size_t rootless = 0;
+  for (const Task& t : tasks_) {
+    if (t.parent == kNoTask) {
+      ++rootless;
+      continue;
+    }
+    const Task& p = tasks_.at(t.parent);
+    if (!std::ranges::count(p.children, t.id)) {
+      throw std::logic_error("TaskGraph: parent/child link inconsistent");
+    }
+  }
+  if (rootless != 1) throw std::logic_error("TaskGraph: multiple roots");
+  for (const Task& t : tasks_) {
+    if (t.children.empty()) {
+      if (t.level != 0) throw std::logic_error("TaskGraph: leaf level != 0");
+      if (t.kind != TaskKind::kSense) {
+        throw std::logic_error("TaskGraph: childless task is not a leaf");
+      }
+      continue;
+    }
+    std::uint32_t max_child = 0;
+    for (TaskId c : t.children) {
+      max_child = std::max(max_child, tasks_.at(c).level);
+      if (tasks_.at(c).parent != t.id) {
+        throw std::logic_error("TaskGraph: child has wrong parent");
+      }
+    }
+    if (t.level != max_child + 1) {
+      throw std::logic_error("TaskGraph: level is not 1 + max child level");
+    }
+  }
+  // Acyclicity: parent chains must terminate at the root within |V| steps.
+  for (const Task& t : tasks_) {
+    TaskId cur = t.id;
+    std::size_t steps = 0;
+    while (cur != kNoTask) {
+      cur = tasks_.at(cur).parent;
+      if (++steps > tasks_.size()) {
+        throw std::logic_error("TaskGraph: cycle in parent chain");
+      }
+    }
+  }
+}
+
+}  // namespace wsn::taskgraph

@@ -1,0 +1,230 @@
+// Reference connected-component labeling and feature-grid fixtures.
+#include <gtest/gtest.h>
+
+#include "app/field.h"
+#include "app/labeling.h"
+
+namespace wsn::app {
+namespace {
+
+FeatureGrid from_art(const std::vector<std::string>& art) {
+  FeatureGrid g(art.size());
+  for (std::size_t r = 0; r < art.size(); ++r) {
+    for (std::size_t c = 0; c < art[r].size(); ++c) {
+      g.set({static_cast<std::int32_t>(r), static_cast<std::int32_t>(c)},
+            art[r][c] == '#');
+    }
+  }
+  return g;
+}
+
+TEST(Labeling, EmptyGridHasNoRegions) {
+  const Labeling l = label_regions(empty_grid(8));
+  EXPECT_EQ(l.region_count(), 0u);
+  for (std::uint32_t v : l.labels) EXPECT_EQ(v, 0u);
+}
+
+TEST(Labeling, FullGridIsOneRegion) {
+  const Labeling l = label_regions(full_grid(8));
+  ASSERT_EQ(l.region_count(), 1u);
+  EXPECT_EQ(l.regions[0].area, 64u);
+  EXPECT_EQ(l.regions[0].bounds.row_min, 0);
+  EXPECT_EQ(l.regions[0].bounds.row_max, 7);
+  EXPECT_EQ(l.regions[0].bounds.col_min, 0);
+  EXPECT_EQ(l.regions[0].bounds.col_max, 7);
+}
+
+TEST(Labeling, SingleCellRegion) {
+  FeatureGrid g(4);
+  g.set({2, 1}, true);
+  const Labeling l = label_regions(g);
+  ASSERT_EQ(l.region_count(), 1u);
+  EXPECT_EQ(l.regions[0].area, 1u);
+  EXPECT_EQ(l.label_at({2, 1}), 1u);
+  EXPECT_EQ(l.label_at({2, 2}), 0u);
+}
+
+TEST(Labeling, CheckerboardIsAllSingletons) {
+  const std::size_t side = 8;
+  const Labeling l = label_regions(checkerboard_grid(side));
+  EXPECT_EQ(l.region_count(), side * side / 2);
+  for (const Region& r : l.regions) EXPECT_EQ(r.area, 1u);
+}
+
+TEST(Labeling, DiagonalCellsAreNotConnected) {
+  const auto g = from_art({
+      "#...",
+      ".#..",
+      "..#.",
+      "...#",
+  });
+  EXPECT_EQ(label_regions(g).region_count(), 4u);
+}
+
+TEST(Labeling, UShapeIsOneRegion) {
+  const auto g = from_art({
+      "#..#",
+      "#..#",
+      "#..#",
+      "####",
+  });
+  const Labeling l = label_regions(g);
+  ASSERT_EQ(l.region_count(), 1u);
+  EXPECT_EQ(l.regions[0].area, 10u);
+}
+
+TEST(Labeling, MergePropagatesAcrossStaircase) {
+  // The staircase forces the two-pass algorithm to resolve label
+  // equivalences discovered late.
+  const auto g = from_art({
+      "####....",
+      "...#....",
+      "...#####",
+      ".......#",
+      "####...#",
+      "#..#...#",
+      "#..#####",
+      "#.......",
+  });
+  const Labeling l = label_regions(g);
+  ASSERT_EQ(l.region_count(), 1u);
+  EXPECT_EQ(l.regions[0].area, 26u);
+}
+
+TEST(Labeling, TwoRegionsWithDistinctLabels) {
+  const auto g = from_art({
+      "##..",
+      "##..",
+      "..##",
+      "..##",
+  });
+  const Labeling l = label_regions(g);
+  ASSERT_EQ(l.region_count(), 2u);
+  EXPECT_NE(l.label_at({0, 0}), l.label_at({3, 3}));
+  EXPECT_EQ(l.regions[0].area, 4u);
+  EXPECT_EQ(l.regions[1].area, 4u);
+}
+
+TEST(Labeling, LabelsAreDenseAndRowMajorOrdered) {
+  const auto g = from_art({
+      "#.#.",
+      "....",
+      "#.#.",
+      "....",
+  });
+  const Labeling l = label_regions(g);
+  ASSERT_EQ(l.region_count(), 4u);
+  EXPECT_EQ(l.label_at({0, 0}), 1u);
+  EXPECT_EQ(l.label_at({0, 2}), 2u);
+  EXPECT_EQ(l.label_at({2, 0}), 3u);
+  EXPECT_EQ(l.label_at({2, 2}), 4u);
+}
+
+TEST(Labeling, RingGridIsOneRegionWithHole) {
+  const Labeling l = label_regions(ring_grid(8));
+  ASSERT_EQ(l.region_count(), 1u);
+  // 4x4 ring within an 8-grid: perimeter of the 2..5 square = 12 cells.
+  EXPECT_EQ(l.regions[0].area, 12u);
+}
+
+TEST(Labeling, AreasSumToFeatureCount) {
+  sim::Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const FeatureGrid g = random_grid(16, 0.4, rng);
+    const Labeling l = label_regions(g);
+    std::uint64_t sum = 0;
+    for (const Region& r : l.regions) sum += r.area;
+    EXPECT_EQ(sum, g.feature_count());
+  }
+}
+
+TEST(Labeling, EveryFeatureCellIsLabeledAndBackgroundIsNot) {
+  sim::Rng rng(7);
+  const FeatureGrid g = random_grid(12, 0.5, rng);
+  const Labeling l = label_regions(g);
+  for (std::int32_t r = 0; r < 12; ++r) {
+    for (std::int32_t c = 0; c < 12; ++c) {
+      EXPECT_EQ(l.label_at({r, c}) != 0, g.at(r, c));
+    }
+  }
+}
+
+TEST(Labeling, FourConnectivityWithinRegions) {
+  // Any two 4-adjacent feature cells must share a label.
+  sim::Rng rng(99);
+  const FeatureGrid g = random_grid(20, 0.55, rng);
+  const Labeling l = label_regions(g);
+  for (std::int32_t r = 0; r < 20; ++r) {
+    for (std::int32_t c = 0; c < 20; ++c) {
+      if (!g.at(r, c)) continue;
+      if (c + 1 < 20 && g.at(r, c + 1)) {
+        EXPECT_EQ(l.label_at({r, c}), l.label_at({r, c + 1}));
+      }
+      if (r + 1 < 20 && g.at(r + 1, c)) {
+        EXPECT_EQ(l.label_at({r, c}), l.label_at({r + 1, c}));
+      }
+    }
+  }
+}
+
+TEST(FeatureGrid, RenderShowsFeatures) {
+  FeatureGrid g(2);
+  g.set({0, 1}, true);
+  EXPECT_EQ(g.render(), ".#\n..\n");
+}
+
+TEST(FeatureGrid, OutOfBoundsThrows) {
+  FeatureGrid g(4);
+  EXPECT_THROW(g.at({4, 0}), std::out_of_range);
+  EXPECT_THROW(g.at({0, -1}), std::out_of_range);
+}
+
+TEST(FeatureGrid, StripesAndFixtures) {
+  const FeatureGrid s = stripes_grid(8, 2);
+  EXPECT_TRUE(s.at(0, 0));
+  EXPECT_TRUE(s.at(1, 5));
+  EXPECT_FALSE(s.at(2, 0));
+  EXPECT_EQ(label_regions(s).region_count(), 2u);
+
+  EXPECT_EQ(empty_grid(4).feature_count(), 0u);
+  EXPECT_EQ(full_grid(4).feature_count(), 16u);
+  EXPECT_EQ(checkerboard_grid(4).feature_count(), 8u);
+}
+
+TEST(Fields, ThresholdSampleRespectsThreshold) {
+  const ScalarField f = gradient_field(0.0, 1.0);
+  const FeatureGrid g = threshold_sample(f, 8, 0.5);
+  // Gradient grows southward; the south half should be features.
+  EXPECT_FALSE(g.at(0, 0));
+  EXPECT_TRUE(g.at(7, 7));
+  EXPECT_EQ(label_regions(g).region_count(), 1u);
+}
+
+TEST(Fields, PlumeIsZeroUpwind) {
+  const ScalarField f = plume_field(0.5, 0.5, 0.0);
+  EXPECT_EQ(f(0.1, 0.5), 0.0);  // west of source, wind blows east
+  EXPECT_GT(f(0.7, 0.5), 0.0);
+}
+
+TEST(Fields, ValueNoiseIsDeterministicInSeed) {
+  const ScalarField a = value_noise_field(123);
+  const ScalarField b = value_noise_field(123);
+  const ScalarField c = value_noise_field(124);
+  EXPECT_EQ(a(0.3, 0.7), b(0.3, 0.7));
+  EXPECT_NE(a(0.3, 0.7), c(0.3, 0.7));
+}
+
+TEST(Fields, HotspotFieldPeaksNearCenters) {
+  sim::Rng rng(5);
+  const ScalarField f = hotspot_field(3, rng);
+  // Field is positive everywhere and bounded by the sum of amplitudes.
+  for (double u = 0.05; u < 1.0; u += 0.3) {
+    for (double v = 0.05; v < 1.0; v += 0.3) {
+      EXPECT_GE(f(u, v), 0.0);
+      EXPECT_LE(f(u, v), 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsn::app

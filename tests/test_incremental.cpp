@@ -1,0 +1,160 @@
+// Incremental re-aggregation across sampling rounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "app/field.h"
+#include "app/incremental.h"
+#include "app/labeling.h"
+#include "core/virtual_network.h"
+
+namespace wsn::app {
+namespace {
+
+std::vector<std::uint64_t> sorted_areas(const std::vector<RegionInfo>& regions) {
+  std::vector<std::uint64_t> areas;
+  for (const RegionInfo& r : regions) areas.push_back(r.area);
+  std::ranges::sort(areas);
+  return areas;
+}
+
+std::vector<std::uint64_t> sorted_areas(const Labeling& labeling) {
+  std::vector<std::uint64_t> areas;
+  for (const Region& r : labeling.regions) areas.push_back(r.area);
+  std::ranges::sort(areas);
+  return areas;
+}
+
+TEST(Incremental, FirstRoundMatchesReference) {
+  sim::Rng rng(1);
+  const FeatureGrid grid = random_grid(16, 0.45, rng);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  const auto [regions, stats] = agg.round(grid);
+  EXPECT_TRUE(stats.full_round);
+  EXPECT_EQ(stats.changed_leaves, 256u);
+  EXPECT_EQ(stats.messages, 255u);  // same pattern as the one-shot program
+  EXPECT_EQ(sorted_areas(regions), sorted_areas(label_regions(grid)));
+}
+
+TEST(Incremental, UnchangedRoundIsFree) {
+  const FeatureGrid grid = checkerboard_grid(8);
+  sim::Simulator sim(2);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  agg.round(grid);
+  const double energy_after_first = vnet.ledger().total();
+  const auto [regions, stats] = agg.round(grid);
+  EXPECT_FALSE(stats.full_round);
+  EXPECT_EQ(stats.changed_leaves, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_DOUBLE_EQ(vnet.ledger().total(), energy_after_first);
+  EXPECT_EQ(regions.size(), label_regions(grid).region_count());
+}
+
+TEST(Incremental, SingleCellChangePropagatesAlongOnePath) {
+  FeatureGrid grid = empty_grid(16);
+  sim::Simulator sim(3);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  agg.round(grid);
+
+  grid.set({9, 9}, true);
+  const auto [regions, stats] = agg.round(grid);
+  EXPECT_EQ(stats.changed_leaves, 1u);
+  // One root-to-leaf path: at most maxrecLevel+1 = 5 tree edges, of which
+  // self-edges are free.
+  EXPECT_LE(stats.messages, 5u);
+  EXPECT_GE(stats.messages, 1u);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].area, 1u);
+  EXPECT_EQ(regions[0].bounds.row_min, 9);
+}
+
+TEST(Incremental, DeltaRoundsTrackEvolvingField) {
+  sim::Simulator sim(4);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  // A plume drifting east across 6 rounds.
+  for (int round = 0; round < 6; ++round) {
+    const double u = 0.1 + 0.12 * round;
+    const FeatureGrid grid = threshold_sample(
+        plume_field(u, 0.5, 0.0, 0.08, 0.8), 16, 0.3);
+    const auto [regions, stats] = agg.round(grid);
+    const Labeling reference = label_regions(grid);
+    EXPECT_EQ(regions.size(), reference.region_count()) << "round " << round;
+    EXPECT_EQ(sorted_areas(regions), sorted_areas(reference));
+    if (round > 0) {
+      EXPECT_FALSE(stats.full_round);
+      EXPECT_LT(stats.messages, 255u) << "delta must beat a full round";
+    }
+  }
+}
+
+TEST(Incremental, DeltaMessagesScaleWithChangedPaths) {
+  sim::Simulator sim(5);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  FeatureGrid grid = empty_grid(16);
+  agg.round(grid);
+
+  // Flip cells one by one within the same 2x2 block: the shared upper path
+  // means the second change costs no more than the first.
+  grid.set({0, 0}, true);
+  const auto [r1, s1] = agg.round(grid);
+  grid.set({0, 1}, true);
+  const auto [r2, s2] = agg.round(grid);
+  EXPECT_LE(s2.messages, s1.messages + 1);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0].area, 2u);
+
+  // A change in the far corner uses a disjoint path but still only one.
+  grid.set({15, 15}, true);
+  const auto [r3, s3] = agg.round(grid);
+  EXPECT_LE(s3.messages, 5u);
+  EXPECT_EQ(r3.size(), 2u);
+}
+
+TEST(Incremental, RandomChurnStaysCorrect) {
+  sim::Rng rng(6);
+  sim::Simulator sim(6);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  FeatureGrid grid = random_grid(16, 0.5, rng);
+  agg.round(grid);
+  for (int round = 0; round < 10; ++round) {
+    // Flip ~8 random cells.
+    for (int k = 0; k < 8; ++k) {
+      const core::GridCoord c{static_cast<std::int32_t>(rng.below(16)),
+                              static_cast<std::int32_t>(rng.below(16))};
+      grid.set(c, !grid.at(c));
+    }
+    const auto [regions, stats] = agg.round(grid);
+    const Labeling reference = label_regions(grid);
+    ASSERT_EQ(regions.size(), reference.region_count()) << "round " << round;
+    EXPECT_EQ(sorted_areas(regions), sorted_areas(reference));
+    EXPECT_LE(stats.changed_leaves, 8u);
+  }
+}
+
+TEST(Incremental, SingleNodeGrid) {
+  sim::Simulator sim(7);
+  core::VirtualNetwork vnet(sim, core::GridTopology(1),
+                            core::uniform_cost_model());
+  IncrementalAggregator agg(vnet);
+  FeatureGrid grid(1);
+  grid.set({0, 0}, true);
+  const auto [regions, stats] = agg.round(grid);
+  EXPECT_EQ(regions.size(), 1u);
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+}  // namespace
+}  // namespace wsn::app

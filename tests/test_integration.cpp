@@ -1,0 +1,236 @@
+// End-to-end integration: the same synthesized program produces identical
+// results on the virtual grid and on the emulated physical network, and the
+// analytical predictions match the virtual-layer measurements exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/analytical.h"
+#include "analysis/metrics.h"
+#include "app/centralized.h"
+#include "app/dnc.h"
+#include "app/field.h"
+#include "app/topographic.h"
+#include "core/virtual_network.h"
+#include "emulation/overlay_network.h"
+#include "net/deployment.h"
+
+namespace wsn {
+namespace {
+
+std::vector<std::uint64_t> sorted_areas(
+    const std::vector<app::RegionInfo>& regions) {
+  std::vector<std::uint64_t> areas;
+  for (const app::RegionInfo& r : regions) areas.push_back(r.area);
+  std::ranges::sort(areas);
+  return areas;
+}
+
+/// Builds a full physical stack (deployment, emulation, binding, overlay)
+/// for a `grid_side` virtual grid.
+struct PhysicalStack {
+  PhysicalStack(std::size_t grid_side, std::size_t nodes, std::uint64_t seed)
+      : sim(seed) {
+    const net::Rect terrain =
+        net::square_terrain(static_cast<double>(grid_side));
+    net::DeploymentConfig cfg;
+    cfg.kind = net::DeploymentKind::kOnePerCellPlus;
+    cfg.node_count = nodes;
+    cfg.terrain = terrain;
+    cfg.cells_per_side = grid_side;
+    auto positions = net::deploy(cfg, sim.rng());
+    graph = std::make_unique<net::NetworkGraph>(std::move(positions), 1.3);
+    mapper = std::make_unique<emulation::CellMapper>(*graph, terrain, grid_side);
+    ledger = std::make_unique<net::EnergyLedger>(graph->node_count());
+    link = std::make_unique<net::LinkLayer>(
+        sim, *graph, net::RadioModel{1.3, 1.0, 1.0, 1.0}, net::CpuModel{},
+        *ledger);
+    auto emu = emulation::run_topology_emulation(*link, *mapper);
+    auto bind = emulation::run_leader_binding(*link, *mapper);
+    setup_energy = ledger->total();
+    overlay = std::make_unique<emulation::OverlayNetwork>(
+        *link, *mapper, std::move(emu), std::move(bind));
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::NetworkGraph> graph;
+  std::unique_ptr<emulation::CellMapper> mapper;
+  std::unique_ptr<net::EnergyLedger> ledger;
+  std::unique_ptr<net::LinkLayer> link;
+  std::unique_ptr<emulation::OverlayNetwork> overlay;
+  double setup_energy = 0.0;
+};
+
+TEST(Integration, VirtualRunMatchesReferenceLabeling) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    sim::Rng field_rng(seed);
+    const app::FeatureGrid grid = app::random_grid(16, 0.45, field_rng);
+    sim::Simulator sim(seed);
+    core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                              core::uniform_cost_model());
+    const auto outcome = app::run_topographic_query(vnet, grid);
+    const app::Labeling reference = app::label_regions(grid);
+    EXPECT_EQ(outcome.regions.size(), reference.region_count());
+    EXPECT_EQ(sorted_areas(outcome.regions),
+              sorted_areas(app::dnc_label(grid)));
+  }
+}
+
+TEST(Integration, PhysicalRunMatchesVirtualResult) {
+  sim::Rng field_rng(77);
+  const app::FeatureGrid grid = app::random_grid(4, 0.5, field_rng);
+
+  // Virtual layer.
+  sim::Simulator vsim(5);
+  core::VirtualNetwork vnet(vsim, core::GridTopology(4),
+                            core::uniform_cost_model());
+  const auto virtual_outcome = app::run_topographic_query(vnet, grid);
+
+  // Physical layer.
+  PhysicalStack phys(4, 160, 5);
+  const auto physical_outcome = app::run_topographic_query(*phys.overlay, grid);
+
+  EXPECT_EQ(sorted_areas(virtual_outcome.regions),
+            sorted_areas(physical_outcome.regions));
+  EXPECT_EQ(virtual_outcome.round.messages_sent,
+            physical_outcome.round.messages_sent);
+  // The overlay pays at least the virtual hop count per message.
+  EXPECT_GE(phys.overlay->physical_hops(), phys.overlay->virtual_hops());
+  EXPECT_EQ(phys.overlay->failed_sends(), 0u);
+}
+
+TEST(Integration, AnalyticalPredictionMatchesVirtualMeasurementExactly) {
+  for (std::size_t side : {2u, 4u, 8u, 16u}) {
+    const app::FeatureGrid grid = app::full_grid(side);
+    sim::Simulator sim(1);
+    core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                              core::uniform_cost_model());
+    const auto outcome = app::run_topographic_query(vnet, grid);
+    const auto predicted =
+        analysis::predict_quadtree(side, core::uniform_cost_model());
+    EXPECT_EQ(outcome.round.messages_sent, predicted.messages);
+    EXPECT_EQ(vnet.total_hops(), predicted.total_hops);
+    EXPECT_DOUBLE_EQ(outcome.round.finished_at, predicted.latency);
+    const auto report = analysis::energy_report(vnet.ledger());
+    EXPECT_DOUBLE_EQ(report.total, predicted.total_energy);
+  }
+}
+
+TEST(Integration, CentralizedPredictionMatchesVirtualMeasurement) {
+  for (std::size_t side : {4u, 8u}) {
+    const app::FeatureGrid grid = app::checkerboard_grid(side);
+    sim::Simulator sim(2);
+    core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                              core::uniform_cost_model());
+    const auto outcome = app::run_centralized_query(vnet, grid);
+    const auto predicted =
+        analysis::predict_centralized(side, core::uniform_cost_model());
+    EXPECT_EQ(outcome.messages, predicted.messages);
+    EXPECT_EQ(vnet.total_hops(), predicted.total_hops);
+    EXPECT_DOUBLE_EQ(outcome.finished_at, predicted.latency);
+    EXPECT_DOUBLE_EQ(analysis::energy_report(vnet.ledger()).total,
+                     predicted.total_energy);
+    // And it labels correctly.
+    EXPECT_EQ(outcome.regions.size(), side * side / 2);
+  }
+}
+
+TEST(Integration, CentralizedAndQuadtreeAgreeOnRegions) {
+  sim::Rng field_rng(31);
+  const app::FeatureGrid grid = app::random_grid(8, 0.4, field_rng);
+  sim::Simulator sim_a(3);
+  core::VirtualNetwork vnet_a(sim_a, core::GridTopology(8),
+                              core::uniform_cost_model());
+  const auto quadtree = app::run_topographic_query(vnet_a, grid);
+  sim::Simulator sim_b(4);
+  core::VirtualNetwork vnet_b(sim_b, core::GridTopology(8),
+                              core::uniform_cost_model());
+  const auto centralized = app::run_centralized_query(vnet_b, grid);
+  EXPECT_EQ(sorted_areas(quadtree.regions), sorted_areas(centralized.regions));
+}
+
+TEST(Integration, QuadtreeBeatsCentralizedOnTotalEnergyAtScale) {
+  // The design-flow trade-off of Section 2: in-network merging avoids
+  // shipping every status across the grid.
+  const std::size_t side = 16;
+  const app::FeatureGrid grid = app::ring_grid(side);
+
+  sim::Simulator sim_a(5);
+  core::VirtualNetwork vnet_a(sim_a, core::GridTopology(side),
+                              core::uniform_cost_model());
+  app::run_topographic_query(vnet_a, grid);
+  const double dnc_energy = vnet_a.ledger().total();
+
+  sim::Simulator sim_b(6);
+  core::VirtualNetwork vnet_b(sim_b, core::GridTopology(side),
+                              core::uniform_cost_model());
+  app::run_centralized_query(vnet_b, grid);
+  const double central_energy = vnet_b.ledger().total();
+
+  EXPECT_LT(dnc_energy, central_energy);
+}
+
+TEST(Integration, StretchIsModestOnDenseDeployments) {
+  PhysicalStack phys(4, 240, 11);
+  sim::Rng field_rng(11);
+  const app::FeatureGrid grid = app::random_grid(4, 0.5, field_rng);
+  app::run_topographic_query(*phys.overlay, grid);
+  const double stretch = static_cast<double>(phys.overlay->physical_hops()) /
+                         static_cast<double>(phys.overlay->virtual_hops());
+  EXPECT_GE(stretch, 1.0);
+  EXPECT_LE(stretch, 6.0);  // dense cells keep detours short
+}
+
+TEST(Integration, ExfiltrationLandsOnRootLeader) {
+  const app::FeatureGrid grid = app::full_grid(8);
+  sim::Simulator sim(7);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  const auto outcome = app::run_topographic_query(vnet, grid);
+  EXPECT_EQ(outcome.round.exfiltration_node, (core::GridCoord{0, 0}));
+  EXPECT_EQ(outcome.regions.size(), 1u);
+  EXPECT_EQ(outcome.regions[0].area, 64u);
+}
+
+TEST(Integration, EnergyConservationOnVirtualLayer) {
+  // Ledger total must equal hops * (tx+rx) * units + compute charges when
+  // all messages have unit size.
+  const app::FeatureGrid grid = app::checkerboard_grid(8);
+  sim::Simulator sim(8);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  const auto outcome = app::run_topographic_query(vnet, grid);
+  const auto report = analysis::energy_report(vnet.ledger());
+  const double comm = static_cast<double>(vnet.total_hops()) * 2.0;
+  EXPECT_DOUBLE_EQ(report.tx + report.rx, comm);
+  const double sense = 64.0;
+  const double merges = static_cast<double>(outcome.round.self_merges +
+                                            outcome.round.remote_merges);
+  EXPECT_DOUBLE_EQ(report.compute, sense + merges);
+}
+
+TEST(Integration, LossyPhysicalNetworkStillSetsUpTables) {
+  // With packet loss the emulation protocol may need retries in a real
+  // system; here we only assert the protocol remains safe (no crash, audit
+  // holds) under loss, not that it converges fully.
+  sim::Simulator sim(9);
+  const net::Rect terrain = net::square_terrain(4.0);
+  net::DeploymentConfig cfg;
+  cfg.kind = net::DeploymentKind::kOnePerCellPlus;
+  cfg.node_count = 160;
+  cfg.terrain = terrain;
+  cfg.cells_per_side = 4;
+  auto positions = net::deploy(cfg, sim.rng());
+  net::NetworkGraph graph(std::move(positions), 1.3);
+  net::EnergyLedger ledger(graph.node_count());
+  net::LinkLayer link(sim, graph, net::RadioModel{1.3, 1.0, 1.0, 1.0},
+                      net::CpuModel{}, ledger);
+  link.set_loss_probability(0.2);
+  emulation::CellMapper mapper(graph, terrain, 4);
+  const auto result = emulation::run_topology_emulation(link, mapper);
+  EXPECT_TRUE(result.boundary_audit_passed);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,321 @@
+// Physical substrate: geometry, deployments, unit-disk graph, energy
+// ledger, link layer.
+#include <gtest/gtest.h>
+
+#include "net/deployment.h"
+#include "net/energy.h"
+#include "net/geometry.h"
+#include "net/link_layer.h"
+#include "net/network_graph.h"
+#include "net/radio.h"
+#include "sim/simulator.h"
+
+namespace wsn::net {
+namespace {
+
+TEST(Geometry, Distances) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(Geometry, RectContainsHalfOpen) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({9.999, 5}));
+  EXPECT_FALSE(r.contains({10, 5}));
+  EXPECT_FALSE(r.contains({-0.1, 5}));
+  EXPECT_EQ(r.center().x, 5.0);
+}
+
+TEST(Deployment, UniformStaysInTerrain) {
+  sim::Rng rng(1);
+  const auto pts = deploy({DeploymentKind::kUniformRandom, 500,
+                           square_terrain(100.0)},
+                          rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(square_terrain(100.0).contains(p));
+  }
+}
+
+TEST(Deployment, OnePerCellGuaranteesCoverage) {
+  sim::Rng rng(2);
+  DeploymentConfig cfg;
+  cfg.kind = DeploymentKind::kOnePerCellPlus;
+  cfg.node_count = 100;
+  cfg.terrain = square_terrain(80.0);
+  cfg.cells_per_side = 8;
+  const auto pts = deploy(cfg, rng);
+  EXPECT_TRUE(covers_all_cells(pts, cfg.terrain, 8));
+}
+
+TEST(Deployment, OnePerCellRejectsTooFewNodes) {
+  sim::Rng rng(3);
+  DeploymentConfig cfg;
+  cfg.kind = DeploymentKind::kOnePerCellPlus;
+  cfg.node_count = 10;
+  cfg.terrain = square_terrain(10.0);
+  cfg.cells_per_side = 4;  // needs >= 16
+  EXPECT_THROW(deploy(cfg, rng), std::invalid_argument);
+}
+
+TEST(Deployment, PerturbedGridAndClusteredStayInside) {
+  sim::Rng rng(4);
+  DeploymentConfig cfg;
+  cfg.terrain = square_terrain(50.0);
+  cfg.node_count = 300;
+  cfg.kind = DeploymentKind::kPerturbedGrid;
+  cfg.cells_per_side = 10;
+  for (const Point& p : deploy(cfg, rng)) {
+    EXPECT_TRUE(cfg.terrain.contains(p));
+  }
+  cfg.kind = DeploymentKind::kClustered;
+  for (const Point& p : deploy(cfg, rng)) {
+    EXPECT_TRUE(cfg.terrain.contains(p));
+  }
+}
+
+TEST(Deployment, CellOfMapsCorners) {
+  const Rect t = square_terrain(100.0);
+  EXPECT_EQ(cell_of({1, 1}, t, 4), 0u);           // NW corner -> cell (0,0)
+  EXPECT_EQ(cell_of({99, 1}, t, 4), 3u);          // NE in x -> col 3
+  EXPECT_EQ(cell_of({1, 99}, t, 4), 12u);         // south -> row 3
+  EXPECT_EQ(cell_of({99, 99}, t, 4), 15u);
+  EXPECT_EQ(cell_of({26, 51}, t, 4), 9u);         // row 2, col 1
+}
+
+TEST(Deployment, OccupancySumsToNodeCount) {
+  sim::Rng rng(5);
+  const Rect t = square_terrain(10.0);
+  const auto pts = deploy({DeploymentKind::kUniformRandom, 200, t}, rng);
+  const auto occ = cell_occupancy(pts, t, 5);
+  std::size_t sum = 0;
+  for (std::size_t c : occ) sum += c;
+  EXPECT_EQ(sum, 200u);
+}
+
+TEST(NetworkGraph, EdgesRespectRange) {
+  // Three collinear points, 1 apart; range 1.5 connects only neighbors.
+  NetworkGraph g({{0, 0}, {1, 0}, {2, 0}}, 1.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(NetworkGraph, SymmetricAdjacency) {
+  sim::Rng rng(6);
+  const auto pts = deploy({DeploymentKind::kUniformRandom, 150,
+                           square_terrain(10.0)},
+                          rng);
+  NetworkGraph g(pts, 1.6);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    for (NodeId j : g.neighbors(i)) {
+      EXPECT_TRUE(g.has_edge(j, i));
+      EXPECT_LE(distance(g.position(i), g.position(j)), 1.6);
+    }
+  }
+}
+
+TEST(NetworkGraph, BruteForceCrossCheck) {
+  sim::Rng rng(7);
+  const auto pts = deploy({DeploymentKind::kUniformRandom, 80,
+                           square_terrain(5.0)},
+                          rng);
+  const double range = 1.1;
+  NetworkGraph g(pts, range);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (distance(pts[i], pts[j]) <= range) {
+        ++expected;
+        EXPECT_TRUE(g.has_edge(static_cast<NodeId>(i), static_cast<NodeId>(j)));
+      }
+    }
+  }
+  EXPECT_EQ(g.edge_count(), expected);
+}
+
+TEST(NetworkGraph, HopDistancesAndPath) {
+  // 5-node line.
+  NetworkGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}, 1.1);
+  const auto d = g.hop_distances(0);
+  EXPECT_EQ(d[4], 4u);
+  const auto path = g.shortest_path(0, 4);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 4u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(NetworkGraph, DisconnectedDetection) {
+  NetworkGraph g({{0, 0}, {1, 0}, {10, 0}, {11, 0}}, 1.5);
+  EXPECT_FALSE(g.connected());
+  EXPECT_TRUE(g.shortest_path(0, 2).empty());
+  const auto d = g.hop_distances(0);
+  EXPECT_EQ(d[2], NetworkGraph::kUnreachable);
+}
+
+TEST(NetworkGraph, InducedConnectivity) {
+  //  0-1-2 chain plus isolated-from-subset node 3 adjacent only to 2.
+  NetworkGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.1);
+  const std::vector<NodeId> chain{0, 1, 2};
+  EXPECT_TRUE(g.induced_connected(chain));
+  const std::vector<NodeId> split{0, 2};  // 1 removed: no edge 0-2
+  EXPECT_FALSE(g.induced_connected(split));
+}
+
+TEST(EnergyLedger, ChargesAndCategories) {
+  EnergyLedger ledger(3);
+  ledger.charge(0, EnergyUse::kTx, 2.0);
+  ledger.charge(0, EnergyUse::kRx, 1.0);
+  ledger.charge(1, EnergyUse::kCompute, 4.0);
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.spent(0, EnergyUse::kTx), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.total(), 7.0);
+  EXPECT_DOUBLE_EQ(ledger.total(EnergyUse::kCompute), 4.0);
+  EXPECT_EQ(ledger.hottest(), 1u);
+  EXPECT_THROW(ledger.charge(0, EnergyUse::kTx, -1.0), std::invalid_argument);
+}
+
+TEST(EnergyLedger, BudgetAndDepletion) {
+  EnergyLedger ledger(2, 5.0);
+  ledger.charge(0, EnergyUse::kTx, 4.0);
+  EXPECT_FALSE(ledger.depleted(0));
+  EXPECT_DOUBLE_EQ(ledger.remaining(0), 1.0);
+  ledger.charge(0, EnergyUse::kTx, 1.5);
+  EXPECT_TRUE(ledger.depleted(0));
+  EXPECT_FALSE(ledger.depleted(1));
+  ledger.reset();
+  EXPECT_FALSE(ledger.depleted(0));
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+}
+
+class LinkLayerTest : public ::testing::Test {
+ protected:
+  LinkLayerTest()
+      : graph_({{0, 0}, {1, 0}, {2, 0}}, 1.1),
+        ledger_(graph_.node_count()),
+        link_(sim_, graph_, RadioModel{1.1, 1.0, 1.0, 1.0}, CpuModel{},
+              ledger_) {}
+
+  sim::Simulator sim_{1};
+  NetworkGraph graph_;
+  EnergyLedger ledger_;
+  LinkLayer link_;
+};
+
+TEST_F(LinkLayerTest, BroadcastReachesNeighborsOnly) {
+  std::vector<int> got(3, 0);
+  for (NodeId i = 0; i < 3; ++i) {
+    link_.set_receiver(i, [&got, i](const Packet&) { ++got[i]; });
+  }
+  link_.broadcast(1, std::string("hello"), 1.0);
+  sim_.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 0, 1}));  // node 1 does not hear itself
+  // Energy: 1 tx at sender, 1 rx at each neighbor.
+  EXPECT_DOUBLE_EQ(ledger_.spent(1, EnergyUse::kTx), 1.0);
+  EXPECT_DOUBLE_EQ(ledger_.spent(0, EnergyUse::kRx), 1.0);
+  EXPECT_DOUBLE_EQ(ledger_.spent(2, EnergyUse::kRx), 1.0);
+  EXPECT_DOUBLE_EQ(ledger_.total(), 3.0);
+}
+
+TEST_F(LinkLayerTest, DeliveryLatencyFollowsBandwidth) {
+  sim::Time arrival = -1;
+  link_.set_receiver(0, [&](const Packet&) { arrival = sim_.now(); });
+  link_.broadcast(1, 0, 2.5);  // 2.5 units at B=1
+  sim_.run();
+  EXPECT_DOUBLE_EQ(arrival, 2.5);
+}
+
+TEST_F(LinkLayerTest, UnicastChargesOnlyAddressee) {
+  int got = 0;
+  link_.set_receiver(2, [&](const Packet& p) {
+    ++got;
+    EXPECT_EQ(p.sender, 1u);
+  });
+  link_.unicast(1, 2, 0, 1.0);
+  sim_.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_DOUBLE_EQ(ledger_.spent(0), 0.0);  // bystander pays nothing
+  EXPECT_DOUBLE_EQ(ledger_.spent(1, EnergyUse::kTx), 1.0);
+  EXPECT_DOUBLE_EQ(ledger_.spent(2, EnergyUse::kRx), 1.0);
+}
+
+TEST_F(LinkLayerTest, DeadNodesNeitherSendNorReceive) {
+  EnergyLedger ledger(3, 1.0);
+  LinkLayer link(sim_, graph_, RadioModel{1.1, 1.0, 1.0, 1.0}, CpuModel{},
+                 ledger);
+  ledger.charge(0, EnergyUse::kCompute, 2.0);  // deplete node 0
+  int got = 0;
+  link.set_receiver(0, [&](const Packet&) { ++got; });
+  link.set_receiver(2, [&](const Packet&) { ++got; });
+  link.broadcast(1, 0, 0.5);
+  sim_.run();
+  EXPECT_EQ(got, 1);  // only node 2
+  EXPECT_EQ(link.counters().get("link.rx_dead"), 1u);
+  link.broadcast(0, 0, 0.5);  // dead sender
+  sim_.run();
+  EXPECT_EQ(link.counters().get("link.tx_dead"), 1u);
+}
+
+TEST_F(LinkLayerTest, LossDropsPackets) {
+  link_.set_loss_probability(1.0);
+  int got = 0;
+  link_.set_receiver(0, [&](const Packet&) { ++got; });
+  link_.broadcast(1, 0, 1.0);
+  sim_.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(link_.counters().get("link.lost"), 2u);
+}
+
+TEST_F(LinkLayerTest, DistanceLossDropsFringeOnly) {
+  // Nodes at distance 1 (0-1, 1-2): with a fringe starting at 1.05 the
+  // links are fully reliable; with the fringe at 0.5 they drop often.
+  int got = 0;
+  link_.set_receiver(0, [&](const Packet&) { ++got; });
+  link_.set_distance_loss(net::LinkLayer::sigmoid_fringe(1.05, 1.1));
+  for (int i = 0; i < 50; ++i) link_.unicast(1, 0, 0, 1.0);
+  sim_.run();
+  EXPECT_EQ(got, 50);
+  link_.set_distance_loss(net::LinkLayer::sigmoid_fringe(0.2, 1.1));
+  got = 0;
+  for (int i = 0; i < 200; ++i) link_.unicast(1, 0, 0, 1.0);
+  sim_.run();
+  EXPECT_LT(got, 150);  // significant fringe loss
+  EXPECT_GT(link_.counters().get("link.lost_fringe"), 0u);
+}
+
+TEST_F(LinkLayerTest, TxSerializationQueuesBackToBackSends) {
+  link_.set_tx_serialization(true);
+  std::vector<sim::Time> arrivals;
+  link_.set_receiver(0, [&](const Packet&) { arrivals.push_back(sim_.now()); });
+  // Three unit packets fired at t=0 from the same radio: with a serialized
+  // transmitter they arrive at 1, 2, 3 instead of all at 1.
+  for (int i = 0; i < 3; ++i) link_.unicast(1, 0, 0, 1.0);
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 1.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 2.0);
+  EXPECT_DOUBLE_EQ(arrivals[2], 3.0);
+  EXPECT_EQ(link_.counters().get("link.tx_queued"), 2u);
+}
+
+TEST_F(LinkLayerTest, TxSerializationOffByDefault) {
+  std::vector<sim::Time> arrivals;
+  link_.set_receiver(0, [&](const Packet&) { arrivals.push_back(sim_.now()); });
+  for (int i = 0; i < 3; ++i) link_.unicast(1, 0, 0, 1.0);
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  for (sim::Time t : arrivals) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST_F(LinkLayerTest, ComputeChargesAndReturnsLatency) {
+  const sim::Time lat = link_.compute(1, 3.0);
+  EXPECT_DOUBLE_EQ(lat, 3.0);
+  EXPECT_DOUBLE_EQ(ledger_.spent(1, EnergyUse::kCompute), 3.0);
+}
+
+}  // namespace
+}  // namespace wsn::net

@@ -1,0 +1,215 @@
+// Discrete-event kernel: RNG determinism, event ordering, cancellation,
+// clock semantics, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace wsn::sim {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= a2() != c();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  bool nonzero = false;
+  for (int i = 0; i < 10; ++i) nonzero |= r() != 0;
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    const double w = r.uniform(3.0, 5.0);
+    EXPECT_GE(w, 3.0);
+    EXPECT_LT(w, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, BetweenCoversBothEndpoints) {
+  Rng r(13);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= v == -2;
+    hi |= v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(17);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // Child stream should differ from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= parent() != child();
+  EXPECT_TRUE(differs);
+}
+
+TEST(EventQueue, FifoTieBreaking) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule(0.5, [&] { order.push_back(0); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  const EventId b = q.schedule(2.0, [&] { fired += 10; });
+  q.schedule(3.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, ClockAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.schedule_in(2.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(0.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{1.0, 1.5, 2.0}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, PostRunsAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_in(5.0, [&] {
+    sim.post([&] { EXPECT_EQ(sim.now(), 5.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_in(1.0, [&] {
+    EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  sim.schedule_in(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, EventBudgetGuardsRunaway) {
+  Simulator sim;
+  std::function<void()> loop = [&] { sim.post(loop); };
+  sim.post(loop);
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+}
+
+TEST(Trace, CountersAccumulate) {
+  CounterSet counters;
+  counters.add("a");
+  counters.add("a", 4);
+  counters.add("b");
+  EXPECT_EQ(counters.get("a"), 5u);
+  EXPECT_EQ(counters.get("b"), 1u);
+  EXPECT_EQ(counters.get("missing"), 0u);
+  counters.reset();
+  EXPECT_EQ(counters.get("a"), 0u);
+}
+
+TEST(Trace, SummaryStatistics) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Trace, EmptySummaryIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(Trace, LinearFitRecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wsn::sim

@@ -1,0 +1,102 @@
+// Distributed storage + decoupled query processing (Section 3.1).
+#include <gtest/gtest.h>
+
+#include "app/field.h"
+#include "app/labeling.h"
+#include "app/storage.h"
+#include "core/virtual_network.h"
+
+namespace wsn::app {
+namespace {
+
+TEST(Storage, StoredCountsPartitionTheRegionSet) {
+  sim::Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const FeatureGrid grid = random_grid(16, 0.45, rng);
+    sim::Simulator sim(static_cast<std::uint64_t>(trial) + 1);
+    core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                              core::uniform_cost_model());
+    const RegionStore store = run_and_store(vnet, grid);
+    const Labeling reference = label_regions(grid);
+    EXPECT_EQ(store.total_regions, reference.region_count());
+    double sum = 0;
+    for (double v : store.closed_here) sum += v;
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(reference.region_count()))
+        << "every region must close at exactly one node";
+  }
+}
+
+TEST(Storage, OnlyMergingLeadersStore) {
+  const FeatureGrid grid = checkerboard_grid(8);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  const RegionStore store = run_and_store(vnet, grid);
+  core::GroupHierarchy groups((core::GridTopology(8)));
+  for (std::size_t i = 0; i < store.closed_here.size(); ++i) {
+    if (store.closed_here[i] == 0.0) continue;
+    const core::GridCoord c = vnet.grid().coord_of(i);
+    // Storage nodes are leaders at some level >= 1.
+    EXPECT_TRUE(groups.is_leader(c, 1) || groups.is_leader(c, 2) ||
+                groups.is_leader(c, 3))
+        << "non-leader stored a count at " << c.row << "," << c.col;
+  }
+}
+
+TEST(Storage, CountQueryReturnsExactTotal) {
+  sim::Rng rng(2);
+  const FeatureGrid grid = random_grid(16, 0.4, rng);
+  sim::Simulator sim(3);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  const RegionStore store = run_and_store(vnet, grid);
+  const auto result = count_regions_query(vnet, store);
+  EXPECT_DOUBLE_EQ(result.value, static_cast<double>(store.total_regions));
+}
+
+TEST(Storage, QueryIsCheaperThanRegathering) {
+  sim::Rng rng(3);
+  const FeatureGrid grid = random_grid(16, 0.4, rng);
+  sim::Simulator sim(4);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  const RegionStore store = run_and_store(vnet, grid);
+  const double gather_energy = vnet.ledger().total();
+  const auto result = count_regions_query(vnet, store);
+  const double query_energy = vnet.ledger().total() - gather_energy;
+  EXPECT_LT(query_energy, gather_energy / 4.0)
+      << "stored-count query should be far cheaper than re-gathering";
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(Storage, EmptyFieldAnswersZeroForFree) {
+  const FeatureGrid grid = empty_grid(8);
+  sim::Simulator sim(5);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  const RegionStore store = run_and_store(vnet, grid);
+  EXPECT_EQ(store.total_regions, 0u);
+  const double before = vnet.ledger().total();
+  const auto result = count_regions_query(vnet, store);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_DOUBLE_EQ(vnet.ledger().total(), before);  // no traffic at all
+}
+
+TEST(Storage, SingleRegionClosesAtRootOnly) {
+  const FeatureGrid grid = full_grid(8);
+  sim::Simulator sim(6);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  const RegionStore store = run_and_store(vnet, grid);
+  EXPECT_EQ(store.total_regions, 1u);
+  // The single grid-spanning region stays open until the root.
+  EXPECT_DOUBLE_EQ(store.closed_here[vnet.grid().index_of({0, 0})], 1.0);
+  double elsewhere = 0;
+  for (std::size_t i = 1; i < store.closed_here.size(); ++i) {
+    elsewhere += store.closed_here[i];
+  }
+  EXPECT_DOUBLE_EQ(elsewhere, 0.0);
+}
+
+}  // namespace
+}  // namespace wsn::app

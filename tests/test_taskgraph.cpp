@@ -1,0 +1,243 @@
+// Application model: task graphs, the Figure 2 quad-tree, the Figure 3
+// mapping, constraints, and mapping cost evaluation.
+#include <gtest/gtest.h>
+
+#include "taskgraph/mapping.h"
+#include "taskgraph/quadtree.h"
+#include "taskgraph/task_graph.h"
+
+namespace wsn::taskgraph {
+namespace {
+
+TEST(TaskGraph, BuildAndValidateSmallTree) {
+  TaskGraph g;
+  const TaskId root = g.add_task(TaskKind::kMerge, kNoTask);
+  const TaskId a = g.add_task(TaskKind::kSense, root);
+  const TaskId b = g.add_task(TaskKind::kSense, root);
+  g.validate();
+  EXPECT_EQ(g.root(), root);
+  EXPECT_EQ(g.leaves(), (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(g.task(root).level, 1u);
+  EXPECT_EQ(g.height(), 1u);
+}
+
+TEST(TaskGraph, SecondRootRejected) {
+  TaskGraph g;
+  g.add_task(TaskKind::kMerge, kNoTask);
+  EXPECT_THROW(g.add_task(TaskKind::kMerge, kNoTask), std::logic_error);
+}
+
+TEST(TaskGraph, MissingParentRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(TaskKind::kSense, 5), std::out_of_range);
+}
+
+TEST(TaskGraph, LevelsPropagateUpward) {
+  TaskGraph g;
+  const TaskId root = g.add_task(TaskKind::kMerge, kNoTask);
+  const TaskId mid = g.add_task(TaskKind::kMerge, root);
+  g.add_task(TaskKind::kSense, mid);
+  g.add_task(TaskKind::kSense, root);
+  g.validate();
+  EXPECT_EQ(g.task(mid).level, 1u);
+  EXPECT_EQ(g.task(root).level, 2u);
+}
+
+TEST(TaskGraph, BottomUpOrderChildrenFirst) {
+  const QuadTree tree = build_quad_tree(4);
+  const auto order = tree.graph.bottom_up_order();
+  std::vector<bool> seen(tree.graph.size(), false);
+  for (TaskId id : order) {
+    for (TaskId c : tree.graph.task(id).children) {
+      EXPECT_TRUE(seen[c]) << "child " << c << " after parent " << id;
+    }
+    seen[id] = true;
+  }
+}
+
+TEST(TaskGraph, LeafDescendants) {
+  const QuadTree tree = build_quad_tree(4);
+  const auto all = tree.graph.leaf_descendants(tree.graph.root());
+  EXPECT_EQ(all.size(), 16u);
+  const TaskId level1 = tree.graph.task(tree.graph.root()).children[0];
+  EXPECT_EQ(tree.graph.leaf_descendants(level1).size(), 4u);
+}
+
+TEST(QuadTree, StructureMatchesFigure2) {
+  const QuadTree tree = build_quad_tree(4);
+  tree.graph.validate();
+  EXPECT_EQ(tree.graph.size(), 21u);  // 16 + 4 + 1
+  EXPECT_EQ(tree.graph.height(), 2u);
+  EXPECT_EQ(tree.graph.leaves().size(), 16u);
+  // Figure labels: root 0; level 1 = 0,4,8,12; level 0 = 0..15.
+  EXPECT_EQ(tree.figure_label(tree.graph.root()), 0u);
+  std::vector<std::uint64_t> level1_labels;
+  for (TaskId id : tree.graph.at_level(1)) {
+    level1_labels.push_back(tree.figure_label(id));
+  }
+  EXPECT_EQ(level1_labels, (std::vector<std::uint64_t>{0, 4, 8, 12}));
+  std::vector<std::uint64_t> leaf_labels;
+  for (TaskId id : tree.graph.at_level(0)) {
+    leaf_labels.push_back(tree.figure_label(id));
+  }
+  // DFS construction order visits quadrants NW, NE, SW, SE - i.e. Morton
+  // order - so labels ascend 0..15.
+  std::vector<std::uint64_t> expected(16);
+  for (std::size_t i = 0; i < 16; ++i) expected[i] = i;
+  EXPECT_EQ(leaf_labels, expected);
+}
+
+TEST(QuadTree, RenderFigure2) {
+  const QuadTree tree = build_quad_tree(4);
+  const std::string text = render_figure2(tree);
+  EXPECT_NE(text.find("Level 2: 0\n"), std::string::npos);
+  EXPECT_NE(text.find("Level 1: 0 4 8 12\n"), std::string::npos);
+  EXPECT_NE(text.find("Level 0: 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15\n"),
+            std::string::npos);
+}
+
+TEST(QuadTree, NonPowerOfTwoRejected) {
+  EXPECT_THROW(build_quad_tree(3), std::invalid_argument);
+  EXPECT_THROW(build_quad_tree(0), std::invalid_argument);
+}
+
+TEST(QuadTree, SingleCellDegenerates) {
+  const QuadTree tree = build_quad_tree(1);
+  EXPECT_EQ(tree.graph.size(), 1u);
+  EXPECT_EQ(tree.graph.height(), 0u);
+}
+
+TEST(Mapping, PaperMappingMatchesFigure3) {
+  const QuadTree tree = build_quad_tree(4);
+  core::GridTopology grid(4);
+  core::GroupHierarchy groups(grid);
+  const RoleAssignment mapping = paper_mapping(tree, groups);
+  // Root at location 0 = (0,0).
+  EXPECT_EQ(mapping[tree.graph.root()], (core::GridCoord{0, 0}));
+  // Level-1 tasks at Morton locations 0, 4, 8, 12 = the 2x2 block corners.
+  const auto level1 = tree.graph.at_level(1);
+  EXPECT_EQ(mapping[level1[0]], (core::GridCoord{0, 0}));
+  EXPECT_EQ(mapping[level1[1]], (core::GridCoord{0, 2}));
+  EXPECT_EQ(mapping[level1[2]], (core::GridCoord{2, 0}));
+  EXPECT_EQ(mapping[level1[3]], (core::GridCoord{2, 2}));
+  // Leaves: Morton index k -> cell with Morton index k.
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(mapping[tree.leaf_by_morton[k]], core::morton_coord(k));
+  }
+}
+
+TEST(Mapping, PaperMappingSatisfiesConstraints) {
+  for (std::size_t side : {2u, 4u, 8u, 16u}) {
+    const QuadTree tree = build_quad_tree(side);
+    core::GridTopology grid(side);
+    core::GroupHierarchy groups(grid);
+    const RoleAssignment mapping = paper_mapping(tree, groups);
+    EXPECT_TRUE(check_coverage(tree.graph, mapping, grid).empty());
+    EXPECT_TRUE(check_spatial_correlation(tree.graph, mapping, grid).empty());
+    EXPECT_TRUE(satisfies_constraints(tree.graph, mapping, grid));
+  }
+}
+
+TEST(Mapping, ScrambledLeavesViolateSpatialCorrelation) {
+  const QuadTree tree = build_quad_tree(8);
+  core::GridTopology grid(8);
+  sim::Rng rng(1234);
+  const RoleAssignment mapping = scrambled_leaf_mapping(tree, rng);
+  // Coverage still holds (permutation), spatial correlation breaks.
+  EXPECT_TRUE(check_coverage(tree.graph, mapping, grid).empty());
+  EXPECT_FALSE(check_spatial_correlation(tree.graph, mapping, grid).empty());
+}
+
+TEST(Mapping, CoverageViolationsDetected) {
+  const QuadTree tree = build_quad_tree(4);
+  core::GridTopology grid(4);
+  core::GroupHierarchy groups(grid);
+  RoleAssignment mapping = paper_mapping(tree, groups);
+  // Map two leaves to the same cell.
+  const auto leaves = tree.graph.leaves();
+  mapping[leaves[1]] = mapping[leaves[0]];
+  const auto violations = check_coverage(tree.graph, mapping, grid);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].reason.find("second sampling task"),
+            std::string::npos);
+}
+
+TEST(Mapping, OffGridLeafDetected) {
+  const QuadTree tree = build_quad_tree(2);
+  core::GridTopology grid(2);
+  core::GroupHierarchy groups(grid);
+  RoleAssignment mapping = paper_mapping(tree, groups);
+  mapping[tree.graph.leaves()[0]] = {5, 5};
+  EXPECT_FALSE(check_coverage(tree.graph, mapping, grid).empty());
+}
+
+TEST(Mapping, RandomInteriorKeepsConstraints) {
+  const QuadTree tree = build_quad_tree(8);
+  core::GridTopology grid(8);
+  sim::Rng rng(77);
+  const RoleAssignment mapping = random_interior_mapping(tree, rng);
+  EXPECT_TRUE(satisfies_constraints(tree.graph, mapping, grid));
+}
+
+TEST(Mapping, EvaluateMatchesHandComputedCosts) {
+  // 2x2 grid: root at (0,0); children at (0,0),(0,1),(1,0),(1,1) with unit
+  // annotations. Hops: 0+1+1+2 = 4.
+  const QuadTree tree = build_quad_tree(2);
+  core::GridTopology grid(2);
+  core::GroupHierarchy groups(grid);
+  const RoleAssignment mapping = paper_mapping(tree, groups);
+  const MappingCost cost =
+      evaluate_mapping(tree.graph, mapping, grid, core::uniform_cost_model());
+  EXPECT_EQ(cost.total_hops, 4u);
+  // Energy: comm 4 hops * 2 + compute (4 leaves * 1 + root merge_ops(3)).
+  EXPECT_DOUBLE_EQ(cost.total_energy, 8.0 + 4.0 + 3.0);
+  // Latency: sense(1) + diagonal transfer(2) + merge(3) = 6.
+  EXPECT_DOUBLE_EQ(cost.critical_latency, 6.0);
+}
+
+TEST(Mapping, ImproveNeverWorsensObjective) {
+  const QuadTree tree = build_quad_tree(8);
+  core::GridTopology grid(8);
+  core::GroupHierarchy groups(grid);
+  const core::CostModel cost = core::uniform_cost_model();
+  RoleAssignment mapping = paper_mapping(tree, groups);
+  const double before =
+      evaluate_mapping(tree.graph, mapping, grid, cost).total_energy;
+  sim::Rng rng(9);
+  const RoleAssignment improved = improve_mapping(
+      tree.graph, mapping, grid, cost, MappingObjective::kTotalEnergy, 200, rng);
+  const double after =
+      evaluate_mapping(tree.graph, improved, grid, cost).total_energy;
+  EXPECT_LE(after, before);
+  EXPECT_TRUE(check_spatial_correlation(tree.graph, improved, grid).empty());
+}
+
+TEST(Mapping, CenterPlacementShortensCriticalPath) {
+  // With leaders at block centers the farthest child transfer per level is
+  // 2^(l-1) hops instead of the NW corner's 2^l, halving the top-level leg
+  // of the critical path. Total hops stay equal: center leaders receive 4
+  // remote messages of 2^(l-1) hops where NW leaders receive 3 averaging
+  // 2^(l-1) * 4/3.
+  const QuadTree tree = build_quad_tree(8);
+  core::GridTopology grid(8);
+  const core::CostModel cost = core::uniform_cost_model();
+  core::GroupHierarchy nw(grid, core::LeaderPlacement::kNorthWest);
+  core::GroupHierarchy center(grid, core::LeaderPlacement::kBlockCenter);
+  const MappingCost c_nw =
+      evaluate_mapping(tree.graph, paper_mapping(tree, nw), grid, cost);
+  const MappingCost c_center =
+      evaluate_mapping(tree.graph, paper_mapping(tree, center), grid, cost);
+  EXPECT_LT(c_center.critical_latency, c_nw.critical_latency);
+  EXPECT_EQ(c_center.total_hops, c_nw.total_hops);
+}
+
+TEST(Figure3, RenderShowsMortonGrid) {
+  const std::string text = render_figure3(4);
+  // First row of Figure 3: 0 1 4 5.
+  EXPECT_NE(text.find("  0   1   4   5"), std::string::npos);
+  // Last row: 10 11 14 15.
+  EXPECT_NE(text.find(" 10  11  14  15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn::taskgraph

@@ -1,0 +1,109 @@
+// Event-driven target tracking on the virtual architecture.
+#include <gtest/gtest.h>
+
+#include "app/tracking.h"
+
+namespace wsn::app {
+namespace {
+
+TEST(Tracking, SignalFallsOffWithDistance) {
+  const TrackingConfig config;
+  const net::Point target{4.0, 4.0};
+  const double at_target = signal_at({4, 4}, target, config);
+  const double nearby = signal_at({4, 6}, target, config);
+  const double far = signal_at({0, 15}, target, config);
+  EXPECT_GT(at_target, nearby);
+  EXPECT_GT(nearby, far);
+  EXPECT_DOUBLE_EQ(at_target, config.amplitude);
+}
+
+TEST(Tracking, TrajectorySamplingHitsWaypoints) {
+  const std::vector<net::Point> waypoints{{0, 0}, {10, 0}, {10, 10}};
+  const auto samples = sample_trajectory(waypoints, 21);
+  ASSERT_EQ(samples.size(), 21u);
+  EXPECT_EQ(samples.front().x, 0.0);
+  EXPECT_EQ(samples.back().x, 10.0);
+  EXPECT_EQ(samples.back().y, 10.0);
+  // The mid sample (arc length 10 of 20) is the corner waypoint.
+  EXPECT_NEAR(samples[10].x, 10.0, 1e-9);
+  EXPECT_NEAR(samples[10].y, 0.0, 1e-9);
+}
+
+TEST(Tracking, TrajectoryNeedsTwoWaypoints) {
+  const std::vector<net::Point> one{{0, 0}};
+  EXPECT_THROW(sample_trajectory(one, 5), std::invalid_argument);
+  const std::vector<net::Point> two{{0, 0}, {1, 1}};
+  EXPECT_THROW(sample_trajectory(two, 1), std::invalid_argument);
+}
+
+TEST(Tracking, EstimatesFollowTheTarget) {
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  const std::vector<net::Point> waypoints{{2.0, 2.0}, {13.0, 13.0}};
+  const auto trajectory = sample_trajectory(waypoints, 12);
+  const TrackingResult result = run_tracking(vnet, trajectory);
+  ASSERT_EQ(result.rounds.size(), 12u);
+  EXPECT_EQ(result.detected_rounds, 12u);
+  // Weighted centroid of a symmetric falloff lands near the target.
+  EXPECT_LT(result.mean_error, 1.0);
+  for (const TrackEstimate& r : result.rounds) {
+    EXPECT_TRUE(r.detected);
+    EXPECT_LT(r.error, 2.0);
+    // The head is a strong detector, i.e. close to the target.
+    const net::Point head_pos{static_cast<double>(r.head.col),
+                              static_cast<double>(r.head.row)};
+    EXPECT_LT(net::distance(head_pos, r.true_position), 3.0);
+  }
+}
+
+TEST(Tracking, HeadHandsOffAlongTheTrack) {
+  sim::Simulator sim(2);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  const std::vector<net::Point> waypoints{{1.0, 1.0}, {14.0, 14.0}};
+  const auto trajectory = sample_trajectory(waypoints, 20);
+  const TrackingResult result = run_tracking(vnet, trajectory);
+  // A target crossing the whole field must change heads several times.
+  EXPECT_GE(result.head_handoffs, 5u);
+}
+
+TEST(Tracking, EnergyStaysLocalizedNearTrajectory) {
+  sim::Simulator sim(3);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  // Target confined to the NW quadrant.
+  const std::vector<net::Point> waypoints{{2.0, 2.0}, {5.0, 5.0}};
+  const auto trajectory = sample_trajectory(waypoints, 10);
+  run_tracking(vnet, trajectory);
+  // Nodes in the far SE quadrant never detected or relayed: zero energy.
+  double se_energy = 0;
+  double nw_energy = 0;
+  for (std::int32_t r = 0; r < 16; ++r) {
+    for (std::int32_t c = 0; c < 16; ++c) {
+      const double e = vnet.ledger().spent(
+          static_cast<net::NodeId>(vnet.grid().index_of({r, c})));
+      if (r >= 12 && c >= 12) se_energy += e;
+      if (r < 8 && c < 8) nw_energy += e;
+    }
+  }
+  EXPECT_EQ(se_energy, 0.0);
+  EXPECT_GT(nw_energy, 0.0);
+}
+
+TEST(Tracking, NoDetectionWhenTargetTooWeak) {
+  sim::Simulator sim(4);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  TrackingConfig config;
+  config.detection_threshold = 2.0;  // above the amplitude: never detected
+  const std::vector<net::Point> waypoints{{1.0, 1.0}, {6.0, 6.0}};
+  const auto trajectory = sample_trajectory(waypoints, 5);
+  const TrackingResult result = run_tracking(vnet, trajectory, config);
+  EXPECT_EQ(result.detected_rounds, 0u);
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_DOUBLE_EQ(vnet.ledger().total(), 0.0);
+}
+
+}  // namespace
+}  // namespace wsn::app
