@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dnc_vs_centralized.dir/bench_dnc_vs_centralized.cpp.o"
+  "CMakeFiles/bench_dnc_vs_centralized.dir/bench_dnc_vs_centralized.cpp.o.d"
+  "bench_dnc_vs_centralized"
+  "bench_dnc_vs_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dnc_vs_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

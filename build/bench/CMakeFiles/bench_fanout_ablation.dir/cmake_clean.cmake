@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fanout_ablation.dir/bench_fanout_ablation.cpp.o"
+  "CMakeFiles/bench_fanout_ablation.dir/bench_fanout_ablation.cpp.o.d"
+  "bench_fanout_ablation"
+  "bench_fanout_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanout_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

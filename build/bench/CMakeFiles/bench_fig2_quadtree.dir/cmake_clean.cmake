@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_quadtree.dir/bench_fig2_quadtree.cpp.o"
+  "CMakeFiles/bench_fig2_quadtree.dir/bench_fig2_quadtree.cpp.o.d"
+  "bench_fig2_quadtree"
+  "bench_fig2_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leader_binding.dir/bench_leader_binding.cpp.o"
+  "CMakeFiles/bench_leader_binding.dir/bench_leader_binding.cpp.o.d"
+  "bench_leader_binding"
+  "bench_leader_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leader_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_size.dir/bench_message_size.cpp.o"
+  "CMakeFiles/bench_message_size.dir/bench_message_size.cpp.o.d"
+  "bench_message_size"
+  "bench_message_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

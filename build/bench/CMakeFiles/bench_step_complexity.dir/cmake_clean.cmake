@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_step_complexity.dir/bench_step_complexity.cpp.o"
+  "CMakeFiles/bench_step_complexity.dir/bench_step_complexity.cpp.o.d"
+  "bench_step_complexity"
+  "bench_step_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_step_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

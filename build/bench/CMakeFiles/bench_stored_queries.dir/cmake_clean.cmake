@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stored_queries.dir/bench_stored_queries.cpp.o"
+  "CMakeFiles/bench_stored_queries.dir/bench_stored_queries.cpp.o.d"
+  "bench_stored_queries"
+  "bench_stored_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stored_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

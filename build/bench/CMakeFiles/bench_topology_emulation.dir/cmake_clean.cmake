@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_emulation.dir/bench_topology_emulation.cpp.o"
+  "CMakeFiles/bench_topology_emulation.dir/bench_topology_emulation.cpp.o.d"
+  "bench_topology_emulation"
+  "bench_topology_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_topology.dir/bench_tree_topology.cpp.o"
+  "CMakeFiles/bench_tree_topology.dir/bench_tree_topology.cpp.o.d"
+  "bench_tree_topology"
+  "bench_tree_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contaminant_plume.dir/contaminant_plume.cpp.o"
+  "CMakeFiles/contaminant_plume.dir/contaminant_plume.cpp.o.d"
+  "contaminant_plume"
+  "contaminant_plume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contaminant_plume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topographic_mapping.dir/topographic_mapping.cpp.o"
+  "CMakeFiles/topographic_mapping.dir/topographic_mapping.cpp.o.d"
+  "topographic_mapping"
+  "topographic_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topographic_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

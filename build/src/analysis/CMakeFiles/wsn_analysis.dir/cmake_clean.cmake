@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_analysis.dir/analytical.cpp.o"
+  "CMakeFiles/wsn_analysis.dir/analytical.cpp.o.d"
+  "libwsn_analysis.a"
+  "libwsn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/boundary.cpp" "src/app/CMakeFiles/wsn_app.dir/boundary.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/boundary.cpp.o.d"
+  "/root/repo/src/app/centralized.cpp" "src/app/CMakeFiles/wsn_app.dir/centralized.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/centralized.cpp.o.d"
+  "/root/repo/src/app/contours.cpp" "src/app/CMakeFiles/wsn_app.dir/contours.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/contours.cpp.o.d"
+  "/root/repo/src/app/dnc.cpp" "src/app/CMakeFiles/wsn_app.dir/dnc.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/dnc.cpp.o.d"
+  "/root/repo/src/app/feature_grid.cpp" "src/app/CMakeFiles/wsn_app.dir/feature_grid.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/feature_grid.cpp.o.d"
+  "/root/repo/src/app/field.cpp" "src/app/CMakeFiles/wsn_app.dir/field.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/field.cpp.o.d"
+  "/root/repo/src/app/incremental.cpp" "src/app/CMakeFiles/wsn_app.dir/incremental.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/incremental.cpp.o.d"
+  "/root/repo/src/app/labeling.cpp" "src/app/CMakeFiles/wsn_app.dir/labeling.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/labeling.cpp.o.d"
+  "/root/repo/src/app/queries.cpp" "src/app/CMakeFiles/wsn_app.dir/queries.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/queries.cpp.o.d"
+  "/root/repo/src/app/serialize.cpp" "src/app/CMakeFiles/wsn_app.dir/serialize.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/serialize.cpp.o.d"
+  "/root/repo/src/app/storage.cpp" "src/app/CMakeFiles/wsn_app.dir/storage.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/storage.cpp.o.d"
+  "/root/repo/src/app/topographic.cpp" "src/app/CMakeFiles/wsn_app.dir/topographic.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/topographic.cpp.o.d"
+  "/root/repo/src/app/tracking.cpp" "src/app/CMakeFiles/wsn_app.dir/tracking.cpp.o" "gcc" "src/app/CMakeFiles/wsn_app.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synthesis/CMakeFiles/wsn_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/wsn_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

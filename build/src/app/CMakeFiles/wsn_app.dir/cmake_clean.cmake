@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_app.dir/boundary.cpp.o"
+  "CMakeFiles/wsn_app.dir/boundary.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/centralized.cpp.o"
+  "CMakeFiles/wsn_app.dir/centralized.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/contours.cpp.o"
+  "CMakeFiles/wsn_app.dir/contours.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/dnc.cpp.o"
+  "CMakeFiles/wsn_app.dir/dnc.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/feature_grid.cpp.o"
+  "CMakeFiles/wsn_app.dir/feature_grid.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/field.cpp.o"
+  "CMakeFiles/wsn_app.dir/field.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/incremental.cpp.o"
+  "CMakeFiles/wsn_app.dir/incremental.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/labeling.cpp.o"
+  "CMakeFiles/wsn_app.dir/labeling.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/queries.cpp.o"
+  "CMakeFiles/wsn_app.dir/queries.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/serialize.cpp.o"
+  "CMakeFiles/wsn_app.dir/serialize.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/storage.cpp.o"
+  "CMakeFiles/wsn_app.dir/storage.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/topographic.cpp.o"
+  "CMakeFiles/wsn_app.dir/topographic.cpp.o.d"
+  "CMakeFiles/wsn_app.dir/tracking.cpp.o"
+  "CMakeFiles/wsn_app.dir/tracking.cpp.o.d"
+  "libwsn_app.a"
+  "libwsn_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/grid_topology.cpp" "src/core/CMakeFiles/wsn_core.dir/grid_topology.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/grid_topology.cpp.o.d"
+  "/root/repo/src/core/groups.cpp" "src/core/CMakeFiles/wsn_core.dir/groups.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/groups.cpp.o.d"
+  "/root/repo/src/core/primitives.cpp" "src/core/CMakeFiles/wsn_core.dir/primitives.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/primitives.cpp.o.d"
+  "/root/repo/src/core/regions.cpp" "src/core/CMakeFiles/wsn_core.dir/regions.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/regions.cpp.o.d"
+  "/root/repo/src/core/virtual_network.cpp" "src/core/CMakeFiles/wsn_core.dir/virtual_network.cpp.o" "gcc" "src/core/CMakeFiles/wsn_core.dir/virtual_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

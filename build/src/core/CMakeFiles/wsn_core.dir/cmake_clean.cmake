@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_core.dir/grid_topology.cpp.o"
+  "CMakeFiles/wsn_core.dir/grid_topology.cpp.o.d"
+  "CMakeFiles/wsn_core.dir/groups.cpp.o"
+  "CMakeFiles/wsn_core.dir/groups.cpp.o.d"
+  "CMakeFiles/wsn_core.dir/primitives.cpp.o"
+  "CMakeFiles/wsn_core.dir/primitives.cpp.o.d"
+  "CMakeFiles/wsn_core.dir/regions.cpp.o"
+  "CMakeFiles/wsn_core.dir/regions.cpp.o.d"
+  "CMakeFiles/wsn_core.dir/virtual_network.cpp.o"
+  "CMakeFiles/wsn_core.dir/virtual_network.cpp.o.d"
+  "libwsn_core.a"
+  "libwsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulation/cell_mapper.cpp" "src/emulation/CMakeFiles/wsn_emulation.dir/cell_mapper.cpp.o" "gcc" "src/emulation/CMakeFiles/wsn_emulation.dir/cell_mapper.cpp.o.d"
+  "/root/repo/src/emulation/emulation_protocol.cpp" "src/emulation/CMakeFiles/wsn_emulation.dir/emulation_protocol.cpp.o" "gcc" "src/emulation/CMakeFiles/wsn_emulation.dir/emulation_protocol.cpp.o.d"
+  "/root/repo/src/emulation/leader_binding.cpp" "src/emulation/CMakeFiles/wsn_emulation.dir/leader_binding.cpp.o" "gcc" "src/emulation/CMakeFiles/wsn_emulation.dir/leader_binding.cpp.o.d"
+  "/root/repo/src/emulation/overlay_network.cpp" "src/emulation/CMakeFiles/wsn_emulation.dir/overlay_network.cpp.o" "gcc" "src/emulation/CMakeFiles/wsn_emulation.dir/overlay_network.cpp.o.d"
+  "/root/repo/src/emulation/tree_overlay.cpp" "src/emulation/CMakeFiles/wsn_emulation.dir/tree_overlay.cpp.o" "gcc" "src/emulation/CMakeFiles/wsn_emulation.dir/tree_overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

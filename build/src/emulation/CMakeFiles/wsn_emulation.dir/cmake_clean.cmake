@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_emulation.dir/cell_mapper.cpp.o"
+  "CMakeFiles/wsn_emulation.dir/cell_mapper.cpp.o.d"
+  "CMakeFiles/wsn_emulation.dir/emulation_protocol.cpp.o"
+  "CMakeFiles/wsn_emulation.dir/emulation_protocol.cpp.o.d"
+  "CMakeFiles/wsn_emulation.dir/leader_binding.cpp.o"
+  "CMakeFiles/wsn_emulation.dir/leader_binding.cpp.o.d"
+  "CMakeFiles/wsn_emulation.dir/overlay_network.cpp.o"
+  "CMakeFiles/wsn_emulation.dir/overlay_network.cpp.o.d"
+  "CMakeFiles/wsn_emulation.dir/tree_overlay.cpp.o"
+  "CMakeFiles/wsn_emulation.dir/tree_overlay.cpp.o.d"
+  "libwsn_emulation.a"
+  "libwsn_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

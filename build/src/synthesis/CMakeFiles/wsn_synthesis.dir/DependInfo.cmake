@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthesis/program.cpp" "src/synthesis/CMakeFiles/wsn_synthesis.dir/program.cpp.o" "gcc" "src/synthesis/CMakeFiles/wsn_synthesis.dir/program.cpp.o.d"
+  "/root/repo/src/synthesis/spec.cpp" "src/synthesis/CMakeFiles/wsn_synthesis.dir/spec.cpp.o" "gcc" "src/synthesis/CMakeFiles/wsn_synthesis.dir/spec.cpp.o.d"
+  "/root/repo/src/synthesis/synthesizer.cpp" "src/synthesis/CMakeFiles/wsn_synthesis.dir/synthesizer.cpp.o" "gcc" "src/synthesis/CMakeFiles/wsn_synthesis.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/wsn_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

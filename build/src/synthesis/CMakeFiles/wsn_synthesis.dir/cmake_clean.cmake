@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_synthesis.dir/program.cpp.o"
+  "CMakeFiles/wsn_synthesis.dir/program.cpp.o.d"
+  "CMakeFiles/wsn_synthesis.dir/spec.cpp.o"
+  "CMakeFiles/wsn_synthesis.dir/spec.cpp.o.d"
+  "CMakeFiles/wsn_synthesis.dir/synthesizer.cpp.o"
+  "CMakeFiles/wsn_synthesis.dir/synthesizer.cpp.o.d"
+  "libwsn_synthesis.a"
+  "libwsn_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgraph/mapping.cpp" "src/taskgraph/CMakeFiles/wsn_taskgraph.dir/mapping.cpp.o" "gcc" "src/taskgraph/CMakeFiles/wsn_taskgraph.dir/mapping.cpp.o.d"
+  "/root/repo/src/taskgraph/quadtree.cpp" "src/taskgraph/CMakeFiles/wsn_taskgraph.dir/quadtree.cpp.o" "gcc" "src/taskgraph/CMakeFiles/wsn_taskgraph.dir/quadtree.cpp.o.d"
+  "/root/repo/src/taskgraph/task_graph.cpp" "src/taskgraph/CMakeFiles/wsn_taskgraph.dir/task_graph.cpp.o" "gcc" "src/taskgraph/CMakeFiles/wsn_taskgraph.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

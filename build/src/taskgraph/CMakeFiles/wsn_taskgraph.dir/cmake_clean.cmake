@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_taskgraph.dir/mapping.cpp.o"
+  "CMakeFiles/wsn_taskgraph.dir/mapping.cpp.o.d"
+  "CMakeFiles/wsn_taskgraph.dir/quadtree.cpp.o"
+  "CMakeFiles/wsn_taskgraph.dir/quadtree.cpp.o.d"
+  "CMakeFiles/wsn_taskgraph.dir/task_graph.cpp.o"
+  "CMakeFiles/wsn_taskgraph.dir/task_graph.cpp.o.d"
+  "libwsn_taskgraph.a"
+  "libwsn_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_boundary.dir/test_app_boundary.cpp.o"
+  "CMakeFiles/test_app_boundary.dir/test_app_boundary.cpp.o.d"
+  "test_app_boundary"
+  "test_app_boundary.pdb"
+  "test_app_boundary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_labeling.dir/test_app_labeling.cpp.o"
+  "CMakeFiles/test_app_labeling.dir/test_app_labeling.cpp.o.d"
+  "test_app_labeling"
+  "test_app_labeling.pdb"
+  "test_app_labeling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

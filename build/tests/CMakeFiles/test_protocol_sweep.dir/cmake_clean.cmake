@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_sweep.dir/test_protocol_sweep.cpp.o"
+  "CMakeFiles/test_protocol_sweep.dir/test_protocol_sweep.cpp.o.d"
+  "test_protocol_sweep"
+  "test_protocol_sweep.pdb"
+  "test_protocol_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regions_tree.dir/test_regions_tree.cpp.o"
+  "CMakeFiles/test_regions_tree.dir/test_regions_tree.cpp.o.d"
+  "test_regions_tree"
+  "test_regions_tree.pdb"
+  "test_regions_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regions_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
