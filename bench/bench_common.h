@@ -1,10 +1,12 @@
 // Shared helpers for the experiment benches: canonical physical-network
-// stack construction and formatting.
+// stack construction, formatting, and the machine-readable --json emitter.
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "emulation/cell_mapper.h"
 #include "emulation/emulation_protocol.h"
@@ -12,6 +14,9 @@
 #include "emulation/overlay_network.h"
 #include "net/deployment.h"
 #include "net/link_layer.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/scoped_timer.h"
 #include "sim/simulator.h"
 
 namespace wsn::bench {
@@ -51,6 +56,14 @@ struct PhysicalStack {
            binding_result.unique_leaders;
   }
 
+  /// Registers every instrument of the stack (overlay gauges, link
+  /// counters, physical energy ledger, protocol audit counts) in one call.
+  void register_metrics(obs::MetricsRegistry& registry) const {
+    overlay->register_metrics(registry);
+    emulation::register_metrics(registry, emulation_result);
+    emulation::register_metrics(registry, binding_result);
+  }
+
   sim::Simulator sim;
   std::unique_ptr<net::NetworkGraph> graph;
   std::unique_ptr<emulation::CellMapper> mapper;
@@ -68,5 +81,56 @@ inline void print_header(const std::string& id, const std::string& title,
   std::printf("=== %s: %s ===\n", id.c_str(), title.c_str());
   std::printf("Paper artifact/claim: %s\n\n", claim.c_str());
 }
+
+/// Value of `--json <path>` in argv, or "" when absent. Every bench accepts
+/// this flag; with it, the bench appends one JSON object per result row to
+/// `<path>` alongside its human-readable table.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Machine-readable result emitter: one JSON object per row, JSONL framing.
+///
+/// Contract (the BENCH_*.json perf-trajectory consumer relies on it):
+///   {"bench":"<bench id>", "<field>":<number|string>, ...}
+/// Field names are bench-specific; numeric fields round-trip as written.
+/// A default-constructed or empty-path writer is disabled and row() is a
+/// no-op, so benches call it unconditionally.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  explicit JsonWriter(const std::string& path) {
+    if (!path.empty()) out_ = std::fopen(path.c_str(), "w");
+  }
+  ~JsonWriter() {
+    if (out_ != nullptr) std::fclose(out_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool enabled() const { return out_ != nullptr; }
+
+  void row(const std::string& bench,
+           std::initializer_list<std::pair<const char*, obs::AttrValue>>
+               fields) {
+    if (out_ == nullptr) return;
+    std::string line = "{\"bench\":";
+    obs::json_append_string(line, bench);
+    for (const auto& [key, value] : fields) {
+      line += ',';
+      obs::json_append_string(line, key);
+      line += ':';
+      obs::json_append_value(line, value);
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), out_);
+  }
+
+ private:
+  std::FILE* out_ = nullptr;
+};
 
 }  // namespace wsn::bench

@@ -40,11 +40,12 @@ RunResult run(std::size_t side, bool centralized, core::Congestion congestion) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E12 / ablation", "Contention sensitivity of the cost model",
       "per-node transmitter serialization: in-network merging keeps its "
       "parallelism, the centralized funnel serializes");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   analysis::Table table({"side", "algo", "latency(free)", "latency(busy)",
                          "slowdown", "queued pkts"});
@@ -59,6 +60,13 @@ int main() {
                  analysis::Table::num(busy.latency, 1),
                  analysis::Table::num(busy.latency / free.latency, 2),
                  analysis::Table::num(busy.queued)});
+      json.row("congestion",
+               {{"side", static_cast<std::uint64_t>(side)},
+                {"algo", centralized ? "centralized" : "quad-tree"},
+                {"latency_free", free.latency},
+                {"latency_busy", busy.latency},
+                {"slowdown", busy.latency / free.latency},
+                {"queued", busy.queued}});
     }
   }
   std::printf("%s\n", table.str().c_str());

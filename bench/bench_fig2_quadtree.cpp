@@ -9,12 +9,13 @@
 #include "bench/bench_common.h"
 #include "taskgraph/quadtree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
   bench::print_header(
       "E1 / Figure 2", "Quad-tree representation of the algorithm",
       "data flow graph structured as a quad-tree; leaves sample, interior "
       "nodes merge; labels 0..15 / 0,4,8,12 / 0");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   const taskgraph::QuadTree tree = taskgraph::build_quad_tree(4);
   std::printf("%s\n", render_figure2(tree).c_str());
@@ -22,7 +23,11 @@ int main() {
   analysis::Table table({"grid side", "tasks", "leaves", "interior", "levels",
                          "arity"});
   for (std::size_t side : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    const taskgraph::QuadTree t = taskgraph::build_quad_tree(side);
+    double wall_ms = 0.0;
+    const taskgraph::QuadTree t = [&] {
+      obs::ScopedTimer timer(&wall_ms);
+      return taskgraph::build_quad_tree(side);
+    }();
     std::size_t interior = 0;
     std::size_t arity = 0;
     for (const auto& task : t.graph.tasks()) {
@@ -36,6 +41,13 @@ int main() {
                analysis::Table::num(interior),
                analysis::Table::num(t.graph.height()),
                analysis::Table::num(arity)});
+    json.row("fig2_quadtree",
+             {{"side", static_cast<std::uint64_t>(side)},
+              {"tasks", static_cast<std::uint64_t>(t.graph.size())},
+              {"leaves", static_cast<std::uint64_t>(t.graph.leaves().size())},
+              {"interior", static_cast<std::uint64_t>(interior)},
+              {"levels", static_cast<std::uint64_t>(t.graph.height())},
+              {"wall_ms", wall_ms}});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

@@ -9,12 +9,13 @@
 #include "analysis/table.h"
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
   bench::print_header(
       "E8 / Sec 5.2", "Binding virtual processes to physical nodes",
       "eventually the only node with ldr=true is the one closest to the "
       "cell center; residual-energy metric supported for rotation");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   analysis::Table table({"grid", "node/cell", "bcast/node", "converged@",
                          "unique", "oracle match", "mean d(leader,center)"});
@@ -54,6 +55,16 @@ int main() {
            binding.unique_leaders ? "yes" : "NO",
            match ? "yes" : "NO",
            analysis::Table::num(center_dist.mean(), 3)});
+      json.row("leader_binding",
+               {{"grid_side", static_cast<std::uint64_t>(grid_side)},
+                {"per_cell", static_cast<std::uint64_t>(per_cell)},
+                {"broadcasts", binding.broadcasts},
+                {"converged_at",
+                 binding.converged_at - stack.emulation_result.converged_at},
+                {"unique", static_cast<std::uint64_t>(
+                               binding.unique_leaders ? 1 : 0)},
+                {"oracle_match", static_cast<std::uint64_t>(match ? 1 : 0)},
+                {"mean_center_dist", center_dist.mean()}});
     }
   }
   std::printf("%s\n", table.str().c_str());

@@ -1,6 +1,8 @@
 // Google-benchmark micro kernels: throughput of the computational primitives
 // the experiments lean on (reference labeling, boundary merges, the full
-// divide-and-conquer pass, Morton indexing, emulation-protocol setup).
+// divide-and-conquer pass, Morton indexing, emulation-protocol setup), plus
+// the tracing-overhead proof (disabled tracing must cost nothing on the
+// send hot path).
 #include <benchmark/benchmark.h>
 
 #include "app/boundary.h"
@@ -11,6 +13,8 @@
 #include "core/virtual_network.h"
 #include "bench/bench_common.h"
 #include "core/grid_topology.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -85,6 +89,47 @@ void BM_EmulationSetup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmulationSetup)->Arg(2)->Arg(4)->Arg(8);
+
+// Tracing-overhead proof for the ISSUE-1 acceptance criterion: the virtual
+// send hot path with tracing disabled must be indistinguishable from the
+// pre-obs baseline, i.e. BM_VirtualSendTracingOff ~= what this kernel
+// measured before the obs layer existed, and the assertion below proves the
+// disabled path emitted nothing. BM_VirtualSendNullSink bounds the cost of
+// the fully-armed path for comparison.
+void send_kernel(benchmark::State& state) {
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(16),
+                            core::uniform_cost_model());
+  const core::GridCoord a{0, 0};
+  const core::GridCoord b{15, 15};
+  for (auto _ : state) {
+    vnet.send(a, b, 0.0, 1.0);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_VirtualSendTracingOff(benchmark::State& state) {
+  // Sink installed but every category masked: the guard must early-out
+  // before building any event. The canary asserts it did.
+  obs::RingBufferSink canary(16);
+  obs::ScopedTrace guard(canary, /*mask=*/0);
+  send_kernel(state);
+  if (canary.size() != 0 || canary.overwritten() != 0) {
+    state.SkipWithError("disabled tracing emitted events on the hot path");
+  }
+}
+BENCHMARK(BM_VirtualSendTracingOff);
+
+void BM_VirtualSendNullSink(benchmark::State& state) {
+  obs::NullSink sink;
+  obs::ScopedTrace guard(sink, obs::kAllCategories);
+  send_kernel(state);
+  if (sink.accepted() == 0) {
+    state.SkipWithError("armed tracing emitted nothing; guard is broken");
+  }
+}
+BENCHMARK(BM_VirtualSendNullSink);
 
 }  // namespace
 

@@ -18,12 +18,13 @@
 #include "bench/bench_common.h"
 #include "core/virtual_network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
   bench::print_header(
       "E9 / Sec 2", "Predicted vs virtual vs physical performance",
       "the virtual architecture's analysis must track execution on the "
       "underlying network, modulo the emulation stretch");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   analysis::Table table({"side", "node/cell", "layer", "latency", "energy",
                          "msgs", "stretch"});
@@ -35,6 +36,12 @@ int main() {
                analysis::Table::num(predicted.latency, 1),
                analysis::Table::num(predicted.total_energy, 0),
                analysis::Table::num(predicted.messages), "1.00"});
+    json.row("predicted_vs_measured",
+             {{"side", static_cast<std::uint64_t>(side)},
+              {"layer", "predicted"},
+              {"latency", predicted.latency},
+              {"energy", predicted.total_energy},
+              {"messages", static_cast<std::uint64_t>(predicted.messages)}});
 
     sim::Simulator vsim(1);
     core::VirtualNetwork vnet(vsim, core::GridTopology(side),
@@ -44,13 +51,24 @@ int main() {
                analysis::Table::num(v.round.finished_at, 1),
                analysis::Table::num(vnet.ledger().total(), 0),
                analysis::Table::num(v.round.messages_sent), "1.00"});
+    json.row("predicted_vs_measured",
+             {{"side", static_cast<std::uint64_t>(side)},
+              {"layer", "virtual"},
+              {"latency", v.round.finished_at},
+              {"energy", vnet.ledger().total()},
+              {"messages",
+               static_cast<std::uint64_t>(v.round.messages_sent)}});
 
     for (std::size_t per_cell : {8u, 16u}) {
+      double wall_ms = 0.0;
       bench::PhysicalStack stack(side, side * side * per_cell, 1.3,
                                  42 + side + per_cell);
       if (!stack.healthy()) continue;
       const double e_before = stack.ledger->total();
-      const auto p = app::run_topographic_query(*stack.overlay, grid);
+      const auto p = [&] {
+        obs::ScopedTimer timer(&wall_ms);
+        return app::run_topographic_query(*stack.overlay, grid);
+      }();
       const double stretch =
           static_cast<double>(stack.overlay->physical_hops()) /
           static_cast<double>(stack.overlay->virtual_hops());
@@ -61,6 +79,16 @@ int main() {
            analysis::Table::num(stack.ledger->total() - e_before, 0),
            analysis::Table::num(p.round.messages_sent),
            analysis::Table::num(stretch, 2)});
+      json.row("predicted_vs_measured",
+               {{"side", static_cast<std::uint64_t>(side)},
+                {"per_cell", static_cast<std::uint64_t>(per_cell)},
+                {"layer", "physical"},
+                {"latency", p.round.finished_at - stack.setup_time},
+                {"energy", stack.ledger->total() - e_before},
+                {"messages",
+                 static_cast<std::uint64_t>(p.round.messages_sent)},
+                {"stretch", stretch},
+                {"wall_ms", wall_ms}});
 
       // Result equivalence: all layers must label identically.
       if (p.regions.size() != v.regions.size()) {

@@ -36,12 +36,13 @@ double max_intra_cell_path(const wsn::bench::PhysicalStack& stack) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
   bench::print_header(
       "E7 / Sec 5.1", "Topology emulation protocol cost",
       "parallel per-cell path setup; <=1 boundary crossing per message; "
       "latency ~ max intra-cell path length");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   analysis::Table table({"grid", "nodes", "node/cell", "bcast/node",
                          "suppressed%", "converged@", "max cell path",
@@ -49,11 +50,25 @@ int main() {
   for (std::size_t grid_side : {2u, 4u, 8u}) {
     for (std::size_t per_cell : {6u, 12u, 24u}) {
       const std::size_t nodes = grid_side * grid_side * per_cell;
-      bench::PhysicalStack stack(grid_side, nodes, 1.3,
-                                 1000 + grid_side * 10 + per_cell);
+      double wall_ms = 0.0;
+      const auto stack_ptr = [&] {
+        obs::ScopedTimer timer(&wall_ms);
+        return std::make_unique<bench::PhysicalStack>(
+            grid_side, nodes, 1.3, 1000 + grid_side * 10 + per_cell);
+      }();
+      const auto& stack = *stack_ptr;
       if (!stack.healthy()) continue;
       const auto& r = stack.emulation_result;
       const double path = max_intra_cell_path(stack);
+      json.row("topology_emulation",
+               {{"grid_side", static_cast<std::uint64_t>(grid_side)},
+                {"nodes", static_cast<std::uint64_t>(nodes)},
+                {"broadcasts", r.broadcasts},
+                {"suppressed", r.suppressed},
+                {"deliveries", r.deliveries},
+                {"converged_at", r.converged_at},
+                {"max_cell_path", path},
+                {"wall_ms", wall_ms}});
       table.row(
           {analysis::Table::num(grid_side) + "x" + analysis::Table::num(grid_side),
            analysis::Table::num(nodes),

@@ -6,7 +6,15 @@
 //   4. Read the answers (region count, areas) and the predicted costs.
 //
 // Build & run:  ./examples/quickstart
+//
+// Observability (see README "Observability"):
+//   --trace <path>         dump the full JSONL event trace
+//   --chrome-trace <path>  dump a Chrome trace_event file (about://tracing)
+//   --metrics <path>       dump the unified metrics snapshot as JSON
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "analysis/analytical.h"
 #include "analysis/metrics.h"
@@ -14,9 +22,37 @@
 #include "app/queries.h"
 #include "app/topographic.h"
 #include "core/virtual_network.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 
-int main() {
+namespace {
+
+std::string arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace wsn;
+
+  const std::string trace_path = arg_value(argc, argv, "--trace");
+  const std::string chrome_path = arg_value(argc, argv, "--chrome-trace");
+  const std::string metrics_path = arg_value(argc, argv, "--metrics");
+
+  // Capture everything the run emits when any dump was requested; with no
+  // sink installed, tracing stays disabled and costs one branch per site.
+  obs::RingBufferSink sink(1 << 20);
+  const bool tracing = !trace_path.empty() || !chrome_path.empty();
+  if (tracing) {
+    obs::tracer().set_sink(&sink);
+    obs::tracer().set_mask(obs::kAllCategories);
+  }
 
   // 1. A 16x16 virtual grid with the paper's unit cost model.
   const std::size_t side = 16;
@@ -58,5 +94,52 @@ int main() {
   std::printf("network messages    : %llu (predicted %llu)\n",
               static_cast<unsigned long long>(outcome.round.messages_sent),
               static_cast<unsigned long long>(predicted.messages));
+
+  // Observability dumps.
+  if (tracing) {
+    obs::tracer().set_sink(nullptr);
+    obs::tracer().set_mask(0);
+    const auto events = sink.events();
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      obs::write_jsonl(events, out);
+      if (out) {
+        std::printf("trace               : %zu events -> %s (JSONL%s)\n",
+                    events.size(), trace_path.c_str(),
+                    sink.overwritten() > 0 ? ", oldest dropped" : "");
+      } else {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+    }
+    if (!chrome_path.empty()) {
+      std::ofstream out(chrome_path);
+      obs::write_chrome_trace(events, out);
+      if (out) {
+        std::printf("chrome trace        : %s (load in about://tracing)\n",
+                    chrome_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write chrome trace to %s\n",
+                     chrome_path.c_str());
+        return 1;
+      }
+    }
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    vnet.register_metrics(registry);
+    std::ofstream out(metrics_path);
+    registry.write_json(out);
+    if (out) {
+      std::printf("metrics snapshot    : %s (energy totals match the report "
+                  "above)\n",
+                  metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

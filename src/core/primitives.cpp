@@ -7,8 +7,37 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace wsn::core {
 namespace {
+
+/// Emits the 'B' span event of a collective and returns its flow id, or 0
+/// when the collective category is disabled.
+std::uint64_t collective_begin(MessageFabric& fabric, const char* what,
+                               const GridCoord& leader, std::size_t members) {
+  auto& tr = obs::tracer();
+  if (!tr.enabled(obs::Category::kCollective)) return 0;
+  const std::uint64_t flow = tr.next_flow();
+  tr.emit({fabric.simulator().now(),
+           static_cast<std::int64_t>(fabric.grid().index_of(leader)),
+           obs::Category::kCollective, 'B', what, flow,
+           {{"members", static_cast<std::uint64_t>(members)}}});
+  return flow;
+}
+
+/// Emits the matching 'E' span event at completion.
+void collective_end(MessageFabric& fabric, const char* what,
+                    const GridCoord& leader, std::uint64_t flow,
+                    const CollectiveResult& result) {
+  auto& tr = obs::tracer();
+  if (!tr.enabled(obs::Category::kCollective)) return;
+  tr.emit({fabric.simulator().now(),
+           static_cast<std::int64_t>(fabric.grid().index_of(leader)),
+           obs::Category::kCollective, 'E', what, flow,
+           {{"value", result.value},
+            {"messages", static_cast<std::uint64_t>(result.messages)}}});
+}
 
 double identity_of(ReduceOp op) {
   switch (op) {
@@ -52,6 +81,8 @@ void group_reduce(MessageFabric& fabric, std::span<const GridCoord> members,
   }
   auto state = std::make_shared<ReduceState>();
   state->acc = identity_of(op);
+  const std::uint64_t flow =
+      collective_begin(fabric, "reduce", leader, members.size());
 
   // The leader's own value folds in locally, for free.
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -62,8 +93,11 @@ void group_reduce(MessageFabric& fabric, std::span<const GridCoord> members,
     }
   }
 
-  auto finish = [&fabric, state, done = std::move(done)]() {
-    done(CollectiveResult{state->acc, fabric.simulator().now(), state->messages});
+  auto finish = [&fabric, state, leader, flow, done = std::move(done)]() {
+    const CollectiveResult result{state->acc, fabric.simulator().now(),
+                                  state->messages};
+    collective_end(fabric, "reduce", leader, flow, result);
+    done(result);
   };
 
   if (state->outstanding == 0) {
@@ -95,11 +129,16 @@ void group_broadcast(MessageFabric& fabric, const GridCoord& leader,
                      std::function<void(const CollectiveResult&)> done) {
   auto state = std::make_shared<ReduceState>();
   state->acc = value;
+  const std::uint64_t flow =
+      collective_begin(fabric, "broadcast", leader, members.size());
   for (const GridCoord& m : members) {
     if (!(m == leader)) ++state->outstanding;
   }
-  auto finish = [&fabric, state, done = std::move(done)]() {
-    done(CollectiveResult{state->acc, fabric.simulator().now(), state->messages});
+  auto finish = [&fabric, state, leader, flow, done = std::move(done)]() {
+    const CollectiveResult result{state->acc, fabric.simulator().now(),
+                                  state->messages};
+    collective_end(fabric, "broadcast", leader, flow, result);
+    done(result);
   };
   if (state->outstanding == 0) {
     fabric.simulator().post(finish);
@@ -128,9 +167,13 @@ void group_barrier(MessageFabric& fabric, std::span<const GridCoord> members,
   }
   auto member_list =
       std::make_shared<std::vector<GridCoord>>(members.begin(), members.end());
+  const std::uint64_t flow =
+      collective_begin(fabric, "barrier", leader, members.size());
 
-  auto finish = [&fabric, messages, done = std::move(done)]() {
-    done(CollectiveResult{0.0, fabric.simulator().now(), *messages});
+  auto finish = [&fabric, messages, leader, flow, done = std::move(done)]() {
+    const CollectiveResult result{0.0, fabric.simulator().now(), *messages};
+    collective_end(fabric, "barrier", leader, flow, result);
+    done(result);
   };
 
   if (expected == 0) {
@@ -218,18 +261,24 @@ void group_sort(MessageFabric& fabric, std::span<const GridCoord> members,
                 const GridCoord& leader, std::span<const double> values,
                 double message_units,
                 std::function<void(std::vector<double>, CollectiveResult)> done) {
+  const std::uint64_t flow =
+      collective_begin(fabric, "sort", leader, members.size());
   gather_at_leader(
       fabric, members, leader, values, message_units,
-      [&fabric, leader, done = std::move(done)](std::shared_ptr<GatherState> st) {
+      [&fabric, leader, flow,
+       done = std::move(done)](std::shared_ptr<GatherState> st) {
         const auto n = static_cast<double>(st->gathered.size());
         const double ops = n <= 1 ? 1.0 : n * std::log2(n);
         const sim::Time lat = fabric.compute(leader, ops);
-        fabric.simulator().schedule_in(lat, [&fabric, st, done]() {
+        fabric.simulator().schedule_in(lat, [&fabric, leader, flow, st,
+                                             done]() {
           std::vector<double> sorted = st->gathered;
           std::ranges::sort(sorted);
-          done(std::move(sorted), CollectiveResult{
-                                      static_cast<double>(st->gathered.size()),
-                                      fabric.simulator().now(), st->messages});
+          const CollectiveResult result{
+              static_cast<double>(st->gathered.size()),
+              fabric.simulator().now(), st->messages};
+          collective_end(fabric, "sort", leader, flow, result);
+          done(std::move(sorted), result);
         });
       });
 }
@@ -242,16 +291,18 @@ void group_rank(MessageFabric& fabric, std::span<const GridCoord> members,
   // Copy members: the span may not outlive the async completion.
   auto member_list =
       std::make_shared<std::vector<GridCoord>>(members.begin(), members.end());
+  const std::uint64_t flow =
+      collective_begin(fabric, "rank", leader, members.size());
 
   gather_at_leader(
       fabric, members, leader, values, message_units,
-      [&fabric, leader, member_list,
+      [&fabric, leader, member_list, flow,
        done = std::move(done)](std::shared_ptr<GatherState> st) {
         const auto n = static_cast<double>(st->gathered.size());
         const double ops = n <= 1 ? 1.0 : n * std::log2(n);
         const sim::Time lat = fabric.compute(leader, ops);
-        fabric.simulator().schedule_in(lat, [&fabric, leader, member_list, st,
-                                           done]() {
+        fabric.simulator().schedule_in(lat, [&fabric, leader, member_list,
+                                             flow, st, done]() {
           // Stable rank by (value, member order).
           std::vector<std::size_t> order(st->gathered.size());
           std::iota(order.begin(), order.end(), 0);
@@ -268,10 +319,12 @@ void group_rank(MessageFabric& fabric, std::span<const GridCoord> members,
           for (const GridCoord& m : *member_list) {
             if (!(m == leader)) ++*outstanding;
           }
-          auto finish = [&fabric, ranks, st, done]() {
-            done(*ranks, CollectiveResult{static_cast<double>(ranks->size()),
+          auto finish = [&fabric, leader, flow, ranks, st, done]() {
+            const CollectiveResult result{static_cast<double>(ranks->size()),
                                           fabric.simulator().now(),
-                                          st->messages});
+                                          st->messages};
+            collective_end(fabric, "rank", leader, flow, result);
+            done(*ranks, result);
           };
           if (*outstanding == 0) {
             fabric.simulator().post(finish);

@@ -3,9 +3,17 @@
 namespace wsn::core {
 
 void VirtualNetwork::deliver(const GridCoord& from, const GridCoord& to,
-                             const std::any& payload, double size_units) {
+                             const std::any& payload, double size_units,
+                             std::uint64_t flow) {
   const std::size_t idx = grid_.index_of(to);
   counters_.add("vnet.delivered");
+  if (obs::tracer().enabled(obs::Category::kVirtual)) {
+    obs::tracer().emit(
+        {sim_.now(), static_cast<std::int64_t>(idx), obs::Category::kVirtual,
+         'i', "deliver", flow,
+         {{"src", static_cast<std::uint64_t>(grid_.index_of(from))},
+          {"size", size_units}}});
+  }
   if (receivers_[idx]) {
     receivers_[idx](VirtualMessage{from, size_units, payload});
   } else {
@@ -15,7 +23,7 @@ void VirtualNetwork::deliver(const GridCoord& from, const GridCoord& to,
 
 void VirtualNetwork::forward_serialized(
     std::shared_ptr<std::vector<GridCoord>> path, std::size_t hop,
-    std::shared_ptr<std::any> payload, double size_units) {
+    std::shared_ptr<std::any> payload, double size_units, std::uint64_t flow) {
   // The packet sits at path[hop] and must cross to path[hop+1].
   const GridCoord& here = (*path)[hop];
   const std::size_t here_idx = grid_.index_of(here);
@@ -23,14 +31,29 @@ void VirtualNetwork::forward_serialized(
   const sim::Time depart =
       std::max(now, tx_busy_until_[here_idx]) + cost_.hop_latency(size_units);
   tx_busy_until_[here_idx] = depart;
-  if (depart > now) counters_.add("vnet.queued");
+  if (depart > now + cost_.hop_latency(size_units)) {
+    counters_.add("vnet.queued");
+  }
+  if (obs::tracer().enabled(obs::Category::kVirtual)) {
+    // One relay span: `wait` is pure queueing delay behind the relay's
+    // transmitter; summing waits over a flow explains exactly how far the
+    // measured latency exceeds hops x hop_latency.
+    obs::tracer().emit(
+        {now, static_cast<std::int64_t>(here_idx), obs::Category::kVirtual,
+         'i', "hop", flow,
+         {{"hop", static_cast<std::uint64_t>(hop)},
+          {"next",
+           static_cast<std::uint64_t>(grid_.index_of((*path)[hop + 1]))},
+          {"depart", depart},
+          {"wait", depart - now - cost_.hop_latency(size_units)}}});
+  }
 
-  sim_.schedule_at(depart, [this, path, hop, payload, size_units]() {
+  sim_.schedule_at(depart, [this, path, hop, payload, size_units, flow]() {
     const std::size_t next = hop + 1;
     if (next + 1 == path->size()) {
-      deliver(path->front(), path->back(), *payload, size_units);
+      deliver(path->front(), path->back(), *payload, size_units, flow);
     } else {
-      forward_serialized(path, next, payload, size_units);
+      forward_serialized(path, next, payload, size_units, flow);
     }
   });
 }
@@ -40,6 +63,18 @@ void VirtualNetwork::send(const GridCoord& from, const GridCoord& to,
   counters_.add("vnet.send");
   const std::uint32_t hops = manhattan(from, to);
   total_hops_ += hops;
+
+  auto& tr = obs::tracer();
+  std::uint64_t flow = 0;
+  if (tr.enabled(obs::Category::kVirtual)) {
+    flow = tr.next_flow();
+    tr.emit({sim_.now(), static_cast<std::int64_t>(grid_.index_of(from)),
+             obs::Category::kVirtual, 'i', hops == 0 ? "self_send" : "send",
+             flow,
+             {{"dst", static_cast<std::uint64_t>(grid_.index_of(to))},
+              {"hops", static_cast<std::uint64_t>(hops)},
+              {"size", size_units}}});
+  }
 
   if (hops == 0) {
     // Self-delivery: no radio involved, no energy, no latency.
@@ -70,15 +105,34 @@ void VirtualNetwork::send(const GridCoord& from, const GridCoord& to,
   if (congestion_ == Congestion::kNodeSerialized) {
     forward_serialized(std::make_shared<std::vector<GridCoord>>(path), 0,
                        std::make_shared<std::any>(std::move(payload)),
-                       size_units);
+                       size_units, flow);
     return;
   }
 
+  if (tr.enabled(obs::Category::kVirtual)) {
+    // Contention-free hops are fully determined at send time: relay i
+    // transmits at now + i * hop_latency with zero queueing. Emitting the
+    // chain here keeps traces path-reconstructable in both congestion
+    // modes without scheduling per-hop events the cost model doesn't need.
+    const sim::Time now = sim_.now();
+    const sim::Time hop_latency = cost_.hop_latency(size_units);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      tr.emit({now + static_cast<double>(i) * hop_latency,
+               static_cast<std::int64_t>(grid_.index_of(path[i])),
+               obs::Category::kVirtual, 'i', "hop", flow,
+               {{"hop", static_cast<std::uint64_t>(i)},
+                {"next", static_cast<std::uint64_t>(grid_.index_of(path[i + 1]))},
+                {"depart", now + static_cast<double>(i + 1) * hop_latency},
+                {"wait", 0.0}}});
+    }
+  }
+
   const sim::Time latency = cost_.path_latency(hops, size_units);
-  sim_.schedule_in(latency,
-                   [this, from, to, payload = std::move(payload), size_units]() {
-                     deliver(from, to, payload, size_units);
-                   });
+  sim_.schedule_in(
+      latency,
+      [this, from, to, payload = std::move(payload), size_units, flow]() {
+        deliver(from, to, payload, size_units, flow);
+      });
 }
 
 }  // namespace wsn::core

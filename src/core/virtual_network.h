@@ -20,6 +20,8 @@
 #include "core/grid_topology.h"
 #include "core/groups.h"
 #include "net/energy.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -90,14 +92,27 @@ class VirtualNetwork final : public MessageFabric {
 
   Congestion congestion() const { return congestion_; }
 
+  /// Registers this network's instruments (counters, ledger, hop gauge)
+  /// under `prefix` in the unified registry.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "vnet") const {
+    registry.add_counters(prefix + ".counters", &counters_);
+    registry.add_ledger(prefix + ".energy", &ledger_);
+    registry.add_gauge(prefix + ".total_hops", [this] {
+      return static_cast<double>(total_hops_);
+    });
+  }
+
  private:
   /// One store-and-forward hop under kNodeSerialized: the packet waits for
   /// the relay's transmitter, then occupies it for one hop latency.
+  /// `flow` is the trace correlation id of the originating send (0 when
+  /// tracing is disabled).
   void forward_serialized(std::shared_ptr<std::vector<GridCoord>> path,
                           std::size_t hop, std::shared_ptr<std::any> payload,
-                          double size_units);
+                          double size_units, std::uint64_t flow);
   void deliver(const GridCoord& from, const GridCoord& to,
-               const std::any& payload, double size_units);
+               const std::any& payload, double size_units, std::uint64_t flow);
 
   sim::Simulator& sim_;
   GridTopology grid_;

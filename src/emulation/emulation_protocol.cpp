@@ -3,6 +3,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace wsn::emulation {
 namespace {
 
@@ -148,7 +150,7 @@ EmulationResult run_protocol(net::LinkLayer& link, const CellMapper& mapper,
   // Receive rule: suppress foreign-cell tables; adopt unseen directions from
   // same-cell neighbors and rebroadcast on change.
   for (net::NodeId i = 0; i < n; ++i) {
-    link.set_receiver(i, [state, &mapper, schedule_broadcast,
+    link.set_receiver(i, [state, &link, &mapper, schedule_broadcast,
                           i](const net::Packet& pkt) {
       ++state->deliveries;
       const auto msg = std::any_cast<TableMsg>(pkt.payload);
@@ -165,7 +167,17 @@ EmulationResult run_protocol(net::LinkLayer& link, const CellMapper& mapper,
           changed = true;
         }
       }
-      if (changed) schedule_broadcast(i);
+      if (changed) {
+        if (obs::tracer().enabled(obs::Category::kProtocol)) {
+          obs::tracer().emit({link.simulator().now(),
+                              static_cast<std::int64_t>(i),
+                              obs::Category::kProtocol, 'i', "emulation.adopt",
+                              0,
+                              {{"from",
+                                static_cast<std::uint64_t>(msg.sender)}}});
+        }
+        schedule_broadcast(i);
+      }
     });
   }
 
@@ -187,6 +199,14 @@ EmulationResult run_protocol(net::LinkLayer& link, const CellMapper& mapper,
   result.adoptions = state->adoptions;
   result.converged_at = sim.now();
   result.boundary_audit_passed = state->boundary_audit_passed;
+  if (obs::tracer().enabled(obs::Category::kProtocol)) {
+    obs::tracer().emit({sim.now(), -1, obs::Category::kProtocol, 'i',
+                        "emulation.converged", 0,
+                        {{"broadcasts", result.broadcasts},
+                         {"deliveries", result.deliveries},
+                         {"suppressed", result.suppressed},
+                         {"adoptions", result.adoptions}}});
+  }
 
   // Release the receiver closures (they hold the shared state).
   for (net::NodeId i = 0; i < n; ++i) link.set_receiver(i, nullptr);

@@ -28,6 +28,7 @@
 
 #include "emulation/cell_mapper.h"
 #include "net/link_layer.h"
+#include "obs/metrics_registry.h"
 #include "sim/trace.h"
 
 namespace wsn::emulation {
@@ -56,6 +57,27 @@ struct EmulationResult {
   double converged_at = 0.0;            // simulation time of quiescence
   bool boundary_audit_passed = true;    // no message traveled >1 cell
 };
+
+/// Registers the audit counts of a completed emulation run (by value — the
+/// snapshot does not track later runs) under `prefix` in the registry.
+inline void register_metrics(obs::MetricsRegistry& registry,
+                             const EmulationResult& result,
+                             const std::string& prefix = "emulation") {
+  registry.add_gauge(prefix + ".broadcasts", [v = result.broadcasts] {
+    return static_cast<double>(v);
+  });
+  registry.add_gauge(prefix + ".deliveries", [v = result.deliveries] {
+    return static_cast<double>(v);
+  });
+  registry.add_gauge(prefix + ".suppressed", [v = result.suppressed] {
+    return static_cast<double>(v);
+  });
+  registry.add_gauge(prefix + ".adoptions", [v = result.adoptions] {
+    return static_cast<double>(v);
+  });
+  registry.add_gauge(prefix + ".converged_at",
+                     [v = result.converged_at] { return v; });
+}
 
 /// Runs the protocol to quiescence on `link` and returns the tables.
 ///

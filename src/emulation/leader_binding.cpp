@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace wsn::emulation {
 namespace {
 
@@ -115,6 +117,21 @@ BindingResult run_election(net::LinkLayer& link, const CellMapper& mapper,
                             static_cast<std::size_t>(cell.col);
     if (result.leaders[idx] != net::kNoNode) result.unique_leaders = false;
     result.leaders[idx] = i;
+    if (obs::tracer().enabled(obs::Category::kProtocol)) {
+      obs::tracer().emit({sim.now(), static_cast<std::int64_t>(i),
+                          obs::Category::kProtocol, 'i', "binding.elected", 0,
+                          {{"row", static_cast<std::int64_t>(cell.row)},
+                           {"col", static_cast<std::int64_t>(cell.col)}}});
+    }
+  }
+  if (obs::tracer().enabled(obs::Category::kProtocol)) {
+    obs::tracer().emit({sim.now(), -1, obs::Category::kProtocol, 'i',
+                        "binding.converged", 0,
+                        {{"broadcasts", result.broadcasts},
+                         {"suppressed", result.suppressed},
+                         {"unique",
+                          static_cast<std::uint64_t>(
+                              result.unique_leaders ? 1 : 0)}}});
   }
   for (net::NodeId i = 0; i < n; ++i) link.set_receiver(i, nullptr);
   return result;

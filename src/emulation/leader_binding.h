@@ -19,6 +19,7 @@
 #include "emulation/cell_mapper.h"
 #include "net/energy.h"
 #include "net/link_layer.h"
+#include "obs/metrics_registry.h"
 
 namespace wsn::emulation {
 
@@ -44,6 +45,24 @@ struct BindingResult {
                    static_cast<std::size_t>(cell.col)];
   }
 };
+
+/// Registers the audit counts of a completed binding run (by value) under
+/// `prefix` in the registry.
+inline void register_metrics(obs::MetricsRegistry& registry,
+                             const BindingResult& result,
+                             const std::string& prefix = "binding") {
+  registry.add_gauge(prefix + ".broadcasts", [v = result.broadcasts] {
+    return static_cast<double>(v);
+  });
+  registry.add_gauge(prefix + ".suppressed", [v = result.suppressed] {
+    return static_cast<double>(v);
+  });
+  registry.add_gauge(prefix + ".converged_at",
+                     [v = result.converged_at] { return v; });
+  registry.add_gauge(prefix + ".unique_leaders", [v = result.unique_leaders] {
+    return v ? 1.0 : 0.0;
+  });
+}
 
 /// Runs the election to quiescence. Ties on the metric break toward the
 /// lower node id, making the winner unique and deterministic. Nodes marked

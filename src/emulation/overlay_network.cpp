@@ -55,20 +55,45 @@ void OverlayNetwork::send(const core::GridCoord& from, const core::GridCoord& to
     ++failed_;
     return;
   }
+  auto& tr = obs::tracer();
+  std::uint64_t flow = 0;
+  // Allocate a flow id if any layer below will emit with it: the overlay's
+  // own events or the physical hops serving this send.
+  if (tr.enabled(obs::Category::kOverlay) ||
+      tr.enabled(obs::Category::kLink)) {
+    flow = tr.next_flow();
+  }
+  if (tr.enabled(obs::Category::kOverlay)) {
+    tr.emit({simulator().now(), static_cast<std::int64_t>(origin),
+             obs::Category::kOverlay, 'i', from == to ? "self_send" : "send",
+             flow,
+             {{"src", static_cast<std::uint64_t>(grid_.index_of(from))},
+              {"dst", static_cast<std::uint64_t>(grid_.index_of(to))},
+              {"vhops", static_cast<std::uint64_t>(manhattan(from, to))},
+              {"size", size_units}}});
+  }
   OverlayPacket pkt{from, to, size_units,
-                    std::make_shared<std::any>(std::move(payload))};
+                    std::make_shared<std::any>(std::move(payload)), flow};
   if (from == to) {
     // Self-delivery at the bound node: free, as on the virtual layer.
-    simulator().post([this, pkt]() {
-      const std::size_t idx = grid_.index_of(pkt.dst);
-      if (handlers_[idx]) {
-        handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units,
-                                            *pkt.payload});
-      }
-    });
+    simulator().post([this, origin, pkt]() { deliver_local(origin, pkt); });
     return;
   }
   forward(origin, pkt);
+}
+
+void OverlayNetwork::deliver_local(net::NodeId at, const OverlayPacket& pkt) {
+  if (obs::tracer().enabled(obs::Category::kOverlay)) {
+    obs::tracer().emit(
+        {simulator().now(), static_cast<std::int64_t>(at),
+         obs::Category::kOverlay, 'i', "deliver", pkt.flow,
+         {{"src", static_cast<std::uint64_t>(grid_.index_of(pkt.src))},
+          {"dst", static_cast<std::uint64_t>(grid_.index_of(pkt.dst))}}});
+  }
+  const std::size_t idx = grid_.index_of(pkt.dst);
+  if (handlers_[idx]) {
+    handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units, *pkt.payload});
+  }
 }
 
 net::NodeId OverlayNetwork::next_hop(net::NodeId at,
@@ -100,28 +125,20 @@ void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt) {
     // leader (self-send handled earlier, so reaching here with no hop and
     // the right cell means delivery).
     if (mapper_.cell_of(at) == pkt.dst && at == bound_node(pkt.dst)) {
-      const std::size_t idx = grid_.index_of(pkt.dst);
-      if (handlers_[idx]) {
-        handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units,
-                                            *pkt.payload});
-      }
+      deliver_local(at, pkt);
     } else {
       ++failed_;
     }
     return;
   }
   ++physical_hops_;
-  link_.unicast(at, nh, pkt, pkt.size_units);
+  link_.unicast(at, nh, pkt, pkt.size_units, pkt.flow);
 }
 
 void OverlayNetwork::on_receive(net::NodeId at, const net::Packet& raw) {
   const auto pkt = std::any_cast<OverlayPacket>(raw.payload);
   if (mapper_.cell_of(at) == pkt.dst && at == bound_node(pkt.dst)) {
-    const std::size_t idx = grid_.index_of(pkt.dst);
-    if (handlers_[idx]) {
-      handlers_[idx](core::VirtualMessage{pkt.src, pkt.size_units,
-                                          *pkt.payload});
-    }
+    deliver_local(at, pkt);
     return;
   }
   forward(at, pkt);

@@ -22,6 +22,8 @@
 #include "emulation/emulation_protocol.h"
 #include "emulation/leader_binding.h"
 #include "net/link_layer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace wsn::emulation {
 
@@ -66,16 +68,36 @@ class OverlayNetwork final : public core::MessageFabric {
   /// Messages that could not be routed (missing table entry / no leader).
   std::uint64_t failed_sends() const { return failed_; }
 
+  /// Registers the overlay's instruments plus its LinkLayer's under
+  /// `prefix` / `prefix`.link in the unified registry.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "overlay") const {
+    registry.add_gauge(prefix + ".physical_hops", [this] {
+      return static_cast<double>(physical_hops_);
+    });
+    registry.add_gauge(prefix + ".virtual_hops", [this] {
+      return static_cast<double>(virtual_hops_);
+    });
+    registry.add_gauge(prefix + ".failed_sends",
+                       [this] { return static_cast<double>(failed_); });
+    link_.register_metrics(registry, prefix + ".link");
+  }
+
  private:
   struct OverlayPacket {
     core::GridCoord src;
     core::GridCoord dst;
     double size_units;
     std::shared_ptr<std::any> payload;
+    /// Trace correlation id of the originating virtual send; carried into
+    /// every physical LinkLayer hop beneath it (Section 5 emulation
+    /// boundary provenance). 0 when tracing was off at send time.
+    std::uint64_t flow = 0;
   };
 
   void on_receive(net::NodeId at, const net::Packet& pkt);
   void forward(net::NodeId at, const OverlayPacket& pkt);
+  void deliver_local(net::NodeId at, const OverlayPacket& pkt);
 
   /// Next physical hop from `at` toward the destination cell/leader, or
   /// kNoNode if routing is impossible.

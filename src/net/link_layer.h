@@ -17,6 +17,8 @@
 #include "net/energy.h"
 #include "net/network_graph.h"
 #include "net/radio.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -95,7 +97,13 @@ class LinkLayer {
 
   /// One local broadcast: sender pays tx once; each live neighbor pays rx
   /// and receives the packet after the transmission latency.
-  void broadcast(NodeId from, std::any payload, double size_units = 1.0) {
+  ///
+  /// `flow` is an optional trace correlation id (obs::TraceEvent::flow):
+  /// overlay/protocol callers thread the originating message's id through
+  /// so a trace reconstructs which physical transmissions served which
+  /// logical send. Pass 0 for uncorrelated traffic.
+  void broadcast(NodeId from, std::any payload, double size_units = 1.0,
+                 std::uint64_t flow = 0) {
     if (down_[from] || ledger_.depleted(from)) {
       counters_.add("link.tx_dead");
       return;
@@ -104,8 +112,13 @@ class LinkLayer {
     counters_.add("link.broadcast");
     const sim::Time arrive = tx_start(from) + radio_.tx_latency(size_units);
     if (tx_serialized_) tx_busy_until_(from) = arrive;
+    if (obs::tracer().enabled(obs::Category::kLink)) {
+      obs::tracer().emit({sim_.now(), static_cast<std::int64_t>(from),
+                          obs::Category::kLink, 'i', "broadcast", flow,
+                          {{"size", size_units}, {"arrive", arrive}}});
+    }
     for (NodeId nbr : graph_.neighbors(from)) {
-      deliver_at(arrive, from, nbr, payload, size_units);
+      deliver_at(arrive, from, nbr, payload, size_units, flow);
     }
   }
 
@@ -115,7 +128,7 @@ class LinkLayer {
   /// the standard idealization in the algorithm-design literature the paper
   /// builds on).
   void unicast(NodeId from, NodeId to, std::any payload,
-               double size_units = 1.0) {
+               double size_units = 1.0, std::uint64_t flow = 0) {
     if (down_[from] || ledger_.depleted(from)) {
       counters_.add("link.tx_dead");
       return;
@@ -124,7 +137,14 @@ class LinkLayer {
     counters_.add("link.unicast");
     const sim::Time arrive = tx_start(from) + radio_.tx_latency(size_units);
     if (tx_serialized_) tx_busy_until_(from) = arrive;
-    deliver_at(arrive, from, to, payload, size_units);
+    if (obs::tracer().enabled(obs::Category::kLink)) {
+      obs::tracer().emit({sim_.now(), static_cast<std::int64_t>(from),
+                          obs::Category::kLink, 'i', "unicast", flow,
+                          {{"to", static_cast<std::uint64_t>(to)},
+                           {"size", size_units},
+                           {"arrive", arrive}}});
+    }
+    deliver_at(arrive, from, to, payload, size_units, flow);
   }
 
   /// Charges compute energy and returns the latency of `ops` computations;
@@ -133,6 +153,16 @@ class LinkLayer {
     ledger_.charge(node, EnergyUse::kCompute, cpu_.energy_per_op * ops);
     counters_.add("link.compute");
     return cpu_.compute_latency(ops);
+  }
+
+  /// Registers this layer's instruments (counters, shared ledger, down-node
+  /// gauge) under `prefix` in the unified registry.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "link") const {
+    registry.add_counters(prefix + ".counters", &counters_);
+    registry.add_ledger(prefix + ".energy", &ledger_);
+    registry.add_gauge(prefix + ".down_nodes",
+                       [this] { return static_cast<double>(down_count()); });
   }
 
  private:
@@ -150,7 +180,7 @@ class LinkLayer {
   sim::Time& tx_busy_until_(NodeId from) { return busy_[from]; }
 
   void deliver_at(sim::Time at, NodeId from, NodeId to, std::any payload,
-                  double size_units) {
+                  double size_units, std::uint64_t flow) {
     if (loss_probability_ > 0 && sim_.rng().chance(loss_probability_)) {
       counters_.add("link.lost");
       return;
@@ -163,13 +193,19 @@ class LinkLayer {
       }
     }
     sim_.schedule_at(at, [this, from, to, payload = std::move(payload),
-                          size_units]() {
+                          size_units, flow]() {
       if (down_[to] || ledger_.depleted(to)) {
         counters_.add("link.rx_dead");
         return;
       }
       ledger_.charge(to, EnergyUse::kRx, radio_.rx_energy_per_unit * size_units);
       counters_.add("link.delivered");
+      if (obs::tracer().enabled(obs::Category::kLink)) {
+        obs::tracer().emit({sim_.now(), static_cast<std::int64_t>(to),
+                            obs::Category::kLink, 'i', "deliver", flow,
+                            {{"from", static_cast<std::uint64_t>(from)},
+                             {"size", size_units}}});
+      }
       if (receivers_[to]) {
         receivers_[to](Packet{from, size_units, payload});
       } else {

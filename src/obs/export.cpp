@@ -1,0 +1,242 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace wsn::obs {
+
+std::string to_jsonl(const TraceEvent& ev) {
+  std::string out;
+  out += "{\"t\":";
+  json_append_double(out, ev.time);
+  out += ",\"node\":";
+  out += std::to_string(ev.node);
+  out += ",\"cat\":";
+  json_append_string(out, category_name(ev.category));
+  out += ",\"ph\":";
+  json_append_string(out, std::string(1, ev.phase));
+  out += ",\"name\":";
+  json_append_string(out, ev.name);
+  out += ",\"flow\":";
+  out += std::to_string(ev.flow);
+  out += ",\"args\":{";
+  bool first = true;
+  for (const Attr& a : ev.attrs) {
+    if (!first) out += ',';
+    first = false;
+    json_append_string(out, a.key);
+    out += ':';
+    json_append_value(out, a.value);
+  }
+  out += "}}";
+  return out;
+}
+
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  for (const TraceEvent& ev : events) out << to_jsonl(ev) << '\n';
+}
+
+namespace {
+
+/// Hand-rolled parser for exactly the JSON subset to_jsonl emits: flat
+/// objects with string keys and string/number values, one level of nesting
+/// for "args". Kept beside the writer so the formats cannot drift apart.
+class JsonlParser {
+ public:
+  explicit JsonlParser(const std::string& line) : s_(line) {}
+
+  TraceEvent parse() {
+    TraceEvent ev;
+    expect('{');
+    bool first = true;
+    while (peek() != '}') {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "t") {
+        ev.time = std::get<double>(parse_number());
+      } else if (key == "node") {
+        ev.node = as_int(parse_number());
+      } else if (key == "cat") {
+        const std::string name = parse_string();
+        if (!category_from_name(name, ev.category)) {
+          fail("unknown category: " + name);
+        }
+      } else if (key == "ph") {
+        const std::string ph = parse_string();
+        if (ph.size() != 1) fail("phase must be one char");
+        ev.phase = ph[0];
+      } else if (key == "name") {
+        ev.name = parse_string();
+      } else if (key == "flow") {
+        ev.flow = static_cast<std::uint64_t>(as_int(parse_number()));
+      } else if (key == "args") {
+        parse_args(ev);
+      } else {
+        fail("unknown key: " + key);
+      }
+    }
+    expect('}');
+    return ev;
+  }
+
+ private:
+  void parse_args(TraceEvent& ev) {
+    expect('{');
+    bool first = true;
+    while (peek() != '}') {
+      if (!first) expect(',');
+      first = false;
+      Attr a;
+      a.key = parse_string();
+      expect(':');
+      if (peek() == '"') {
+        a.value = parse_string();
+      } else {
+        a.value = parse_number();
+      }
+      ev.attrs.push_back(std::move(a));
+    }
+    expect('}');
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of line");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            out += static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  /// Number typing mirrors the writer: a '.' or exponent means double,
+  /// a leading '-' means int64, anything else uint64.
+  AttrValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      if (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E') {
+        is_double = true;
+      }
+      ++pos_;
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (tok.empty()) fail("expected number");
+    if (is_double) return std::strtod(tok.c_str(), nullptr);
+    if (tok[0] == '-') {
+      return static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10));
+    }
+    return static_cast<std::uint64_t>(std::strtoull(tok.c_str(), nullptr, 10));
+  }
+
+  static std::int64_t as_int(const AttrValue& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+      return static_cast<std::int64_t>(*u);
+    }
+    throw std::runtime_error("parse_jsonl: expected integer field");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("parse_jsonl: " + why + " at offset " +
+                             std::to_string(pos_) + " in: " + s_);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceEvent> parse_jsonl(std::istream& in) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.push_back(JsonlParser(line).parse());
+  }
+  return out;
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    std::string line;
+    if (!first) line += ",\n";
+    first = false;
+    line += "{\"name\":";
+    json_append_string(line, ev.name);
+    line += ",\"cat\":";
+    json_append_string(line, category_name(ev.category));
+    line += ",\"ph\":";
+    json_append_string(line, std::string(1, ev.phase));
+    if (ev.phase == 'i') line += ",\"s\":\"t\"";
+    // 1 cost-model time unit = 1 ms; ts is in microseconds.
+    line += ",\"ts\":";
+    json_append_double(line, ev.time * 1000.0);
+    line += ",\"pid\":0,\"tid\":";
+    line += std::to_string(ev.node);
+    line += ",\"args\":{";
+    bool first_attr = true;
+    if (ev.flow != 0) {
+      line += "\"flow\":" + std::to_string(ev.flow);
+      first_attr = false;
+    }
+    for (const Attr& a : ev.attrs) {
+      if (!first_attr) line += ',';
+      first_attr = false;
+      json_append_string(line, a.key);
+      line += ':';
+      json_append_value(line, a.value);
+    }
+    line += "}}";
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace wsn::obs

@@ -1,0 +1,36 @@
+// Trace exporters and the JSONL re-importer.
+//
+// Two formats:
+//   * JSONL — one self-describing JSON object per event, the grep/jq-able
+//     archival format. parse_jsonl() reads it back losslessly (integer vs
+//     double attribute kinds survive the round trip), which is what lets
+//     tests and offline tools reconstruct message provenance from a file.
+//   * Chrome trace_event JSON — loadable in about://tracing or
+//     https://ui.perfetto.dev. Simulation time is mapped 1 cost-model unit
+//     = 1 ms (ts is microseconds), nodes become "threads" so per-node
+//     timelines line up visually.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wsn::obs {
+
+/// One event as a single-line JSON object (no trailing newline).
+std::string to_jsonl(const TraceEvent& ev);
+
+/// Writes one JSON object per line.
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Parses a JSONL stream produced by write_jsonl. Throws std::runtime_error
+/// on malformed input; blank lines are skipped.
+std::vector<TraceEvent> parse_jsonl(std::istream& in);
+
+/// Writes a Chrome trace_event file ({"traceEvents":[...]}).
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out);
+
+}  // namespace wsn::obs

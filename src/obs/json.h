@@ -1,0 +1,68 @@
+// Minimal JSON writing helpers shared by the trace exporters, the metrics
+// registry, and the bench --json emitter. Writing only — parsing of the
+// JSONL trace subset lives in obs/export.cpp next to its writer so the two
+// stay in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace wsn::obs {
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+inline void json_append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Appends `v` so that it parses back to the same double: %.17g, forced to
+/// contain '.' or an exponent so readers can distinguish it from integers.
+inline void json_append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string s(buf);
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  // JSON has no inf/nan literals; clamp to null (exporters never emit these
+  // in practice, but a metric could be inf e.g. an empty Summary's min).
+  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos) {
+    s = "null";
+  }
+  out += s;
+}
+
+inline void json_append_value(std::string& out, const AttrValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+    out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    json_append_double(out, *d);
+  } else {
+    json_append_string(out, std::get<std::string>(v));
+  }
+}
+
+}  // namespace wsn::obs

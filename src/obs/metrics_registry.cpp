@@ -1,0 +1,152 @@
+#include "obs/metrics_registry.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace wsn::obs {
+
+void MetricsRegistry::add_counters(std::string name,
+                                   const sim::CounterSet* counters) {
+  counters_.push_back({std::move(name), counters});
+}
+
+void MetricsRegistry::add_ledger(std::string name,
+                                 const net::EnergyLedger* ledger) {
+  ledgers_.push_back({std::move(name), ledger});
+}
+
+void MetricsRegistry::add_gauge(std::string name, std::function<double()> fn) {
+  gauges_.push_back({std::move(name), std::move(fn)});
+}
+
+void MetricsRegistry::add_summary(std::string name,
+                                  std::function<sim::Summary()> fn) {
+  summaries_.push_back({std::move(name), std::move(fn)});
+}
+
+namespace {
+
+LedgerSnapshot snapshot_of(const net::EnergyLedger& ledger) {
+  // Mirrors analysis::energy_report exactly (same Summary arithmetic) so
+  // the two agree to the last bit; test_obs asserts this.
+  LedgerSnapshot s;
+  const sim::Summary d = ledger.distribution();
+  s.total = d.sum();
+  s.mean = d.mean();
+  s.stddev = d.stddev();
+  s.cv = d.cv();
+  s.max = d.max();
+  s.min = d.min();
+  s.tx = ledger.total(net::EnergyUse::kTx);
+  s.rx = ledger.total(net::EnergyUse::kRx);
+  s.compute = ledger.total(net::EnergyUse::kCompute);
+  return s;
+}
+
+void append_ledger_json(std::string& out, const LedgerSnapshot& s) {
+  out += "{\"total\":";
+  json_append_double(out, s.total);
+  out += ",\"mean\":";
+  json_append_double(out, s.mean);
+  out += ",\"stddev\":";
+  json_append_double(out, s.stddev);
+  out += ",\"cv\":";
+  json_append_double(out, s.cv);
+  out += ",\"max\":";
+  json_append_double(out, s.max);
+  out += ",\"min\":";
+  json_append_double(out, s.min);
+  out += ",\"tx\":";
+  json_append_double(out, s.tx);
+  out += ",\"rx\":";
+  json_append_double(out, s.rx);
+  out += ",\"compute\":";
+  json_append_double(out, s.compute);
+  out += '}';
+}
+
+}  // namespace
+
+LedgerSnapshot MetricsRegistry::ledger_snapshot(const std::string& name) const {
+  for (const LedgerEntry& e : ledgers_) {
+    if (e.name == name) return snapshot_of(*e.ledger);
+  }
+  throw std::out_of_range("MetricsRegistry: unknown ledger " + name);
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  for (const GaugeEntry& e : gauges_) {
+    if (e.name == name) return e.fn();
+  }
+  throw std::out_of_range("MetricsRegistry: unknown gauge " + name);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name,
+                                       const std::string& key) const {
+  for (const CounterEntry& e : counters_) {
+    if (e.name == name) return e.counters->get(key);
+  }
+  return 0;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const CounterEntry& e : counters_) {
+    sep();
+    json_append_string(out, e.name);
+    out += ":{";
+    bool first_key = true;
+    for (const auto& [key, value] : e.counters->sorted()) {
+      if (!first_key) out += ',';
+      first_key = false;
+      json_append_string(out, key);
+      out += ':';
+      out += std::to_string(value);
+    }
+    out += '}';
+  }
+  for (const LedgerEntry& e : ledgers_) {
+    sep();
+    json_append_string(out, e.name);
+    out += ':';
+    append_ledger_json(out, snapshot_of(*e.ledger));
+  }
+  for (const GaugeEntry& e : gauges_) {
+    sep();
+    json_append_string(out, e.name);
+    out += ':';
+    json_append_double(out, e.fn());
+  }
+  for (const SummaryEntry& e : summaries_) {
+    sep();
+    json_append_string(out, e.name);
+    const sim::Summary s = e.fn();
+    out += ":{\"count\":";
+    out += std::to_string(s.count());
+    out += ",\"mean\":";
+    json_append_double(out, s.mean());
+    out += ",\"stddev\":";
+    json_append_double(out, s.stddev());
+    out += ",\"min\":";
+    json_append_double(out, s.min());
+    out += ",\"max\":";
+    json_append_double(out, s.max());
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << to_json() << '\n';
+}
+
+}  // namespace wsn::obs

@@ -1,0 +1,84 @@
+// Unified metrics registry.
+//
+// Before this layer, each component kept its own numbers in its own shape:
+// sim::CounterSet strings on VirtualNetwork/LinkLayer, net::EnergyLedger
+// totals, ad-hoc uint64 gauges on OverlayNetwork, protocol audit counts on
+// EmulationResult/BindingResult. The registry consolidates all of them
+// behind one object with one JSON snapshot exporter, so an experiment can
+// dump its complete measurement state in a single machine-readable blob.
+//
+// The registry borrows (never owns) the instruments: registered pointers
+// must outlive it or be removed first. Snapshot order is registration
+// order; counter keys are sorted, so output is byte-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/energy.h"
+#include "sim/trace.h"
+
+namespace wsn::obs {
+
+/// Materialized view of one registered EnergyLedger. Field-for-field the
+/// same quantities (computed the same way) as analysis::EnergyReport, so
+/// registry snapshots agree exactly with analysis::energy_report.
+struct LedgerSnapshot {
+  double total = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+  double tx = 0.0;
+  double rx = 0.0;
+  double compute = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Registers a named counter set; keys appear as "<name>.<counter>".
+  void add_counters(std::string name, const sim::CounterSet* counters);
+
+  /// Registers a per-node energy ledger, snapshotted as a LedgerSnapshot.
+  void add_ledger(std::string name, const net::EnergyLedger* ledger);
+
+  /// Registers a live scalar, polled at snapshot time.
+  void add_gauge(std::string name, std::function<double()> fn);
+
+  /// Registers a streaming summary, polled at snapshot time; exported as
+  /// {count, mean, stddev, min, max}.
+  void add_summary(std::string name, std::function<sim::Summary()> fn);
+
+  /// Polls the named ledger now. Throws std::out_of_range if unknown.
+  LedgerSnapshot ledger_snapshot(const std::string& name) const;
+
+  /// Polls the named gauge now. Throws std::out_of_range if unknown.
+  double gauge(const std::string& name) const;
+
+  /// Current value of "<counters-name>.<key>", 0 if absent.
+  std::uint64_t counter(const std::string& name, const std::string& key) const;
+
+  /// One JSON object capturing every registered instrument, e.g.
+  /// {"vnet.counters":{"vnet.send":12,...},
+  ///  "vnet.energy":{"total":96.0,"tx":48.0,...},
+  ///  "overlay.physical_hops":130.0}
+  std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct CounterEntry { std::string name; const sim::CounterSet* counters; };
+  struct LedgerEntry { std::string name; const net::EnergyLedger* ledger; };
+  struct GaugeEntry { std::string name; std::function<double()> fn; };
+  struct SummaryEntry { std::string name; std::function<sim::Summary()> fn; };
+
+  std::vector<CounterEntry> counters_;
+  std::vector<LedgerEntry> ledgers_;
+  std::vector<GaugeEntry> gauges_;
+  std::vector<SummaryEntry> summaries_;
+};
+
+}  // namespace wsn::obs

@@ -1,0 +1,47 @@
+// Wall-clock phase timer for sim-phase profiling.
+//
+// The simulator's virtual clock measures cost-model time; this measures
+// how long the host actually took to execute a phase (setup, protocol
+// convergence, a query round), which is what the bench --json rows report
+// alongside the simulated quantities.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <utility>
+
+namespace wsn::obs {
+
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// On destruction, stores elapsed milliseconds into `*out_ms`.
+  explicit ScopedTimer(double* out_ms)
+      : out_(out_ms), start_(Clock::now()) {}
+
+  /// On destruction, invokes `on_done(elapsed_ms)`.
+  explicit ScopedTimer(std::function<void(double)> on_done)
+      : on_done_(std::move(on_done)), start_(Clock::now()) {}
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  ~ScopedTimer() {
+    const double ms = elapsed_ms();
+    if (out_ != nullptr) *out_ = ms;
+    if (on_done_) on_done_(ms);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* out_ = nullptr;
+  std::function<void(double)> on_done_;
+  Clock::time_point start_;
+};
+
+}  // namespace wsn::obs

@@ -1,0 +1,78 @@
+// Trace sinks: where emitted TraceEvents go.
+//
+// RingBufferSink is the default capture device: bounded memory, overwrite-
+// oldest semantics, so it can stay installed for an entire experiment
+// without unbounded growth. NullSink measures the cost of the emission
+// machinery itself (bench_micro_kernels uses it to prove the disabled path
+// is free).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wsn::obs {
+
+/// Swallows every event. Installing it exercises the full guard + emit
+/// path without retaining anything.
+class NullSink final : public TraceSink {
+ public:
+  void accept(TraceEvent) override { ++accepted_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  std::uint64_t accepted_ = 0;
+};
+
+/// Bounded ring buffer: keeps the most recent `capacity` events, counting
+/// (not keeping) older ones it had to overwrite.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  void accept(TraceEvent ev) override {
+    if (capacity_ == 0) {
+      ++overwritten_;
+      return;
+    }
+    if (events_.size() < capacity_) {
+      events_.push_back(std::move(ev));
+    } else {
+      events_[head_] = std::move(ev);
+      head_ = (head_ + 1) % capacity_;
+      ++overwritten_;
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Events in emission order (oldest surviving first).
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    events_.clear();
+    head_ = 0;
+    overwritten_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // oldest element once full
+  std::uint64_t overwritten_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wsn::obs

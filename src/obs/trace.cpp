@@ -1,0 +1,34 @@
+#include "obs/trace.h"
+
+namespace wsn::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kVirtual: return "vnet";
+    case Category::kLink: return "link";
+    case Category::kOverlay: return "overlay";
+    case Category::kProtocol: return "protocol";
+    case Category::kCollective: return "collective";
+    case Category::kBench: return "bench";
+    case Category::kApp: return "app";
+  }
+  return "app";
+}
+
+bool category_from_name(const std::string& name, Category& out) {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    if (name == category_name(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace wsn::obs

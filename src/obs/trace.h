@@ -1,0 +1,137 @@
+// Structured event tracing for the simulation stack.
+//
+// The paper's methodology rests on latency/energy being *predictable* from
+// the uniform cost model; when a measured number diverges from the
+// analytical one, this layer answers *why*: every virtual send, physical
+// transmission, protocol round, and collective phase can emit a
+// TraceEvent carrying the simulation time, the node involved, and typed
+// attributes. Events flow into a pluggable TraceSink (bounded ring buffer
+// by default) and can be exported as JSONL or as a Chrome trace_event file
+// loadable in about://tracing / Perfetto (see obs/export.h).
+//
+// Tracing is zero-cost when disabled: emission sites guard on
+// `tracer().enabled(category)` — one pointer load, one mask test — before
+// constructing any event or attribute, so the hot paths (VirtualNetwork::
+// send, LinkLayer::unicast) pay a single predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace wsn::obs {
+
+/// Event categories, maskable individually on the Tracer. One bit each.
+enum class Category : std::uint8_t {
+  kVirtual = 0,     // VirtualNetwork sends/hops/deliveries
+  kLink = 1,        // LinkLayer transmissions and receptions
+  kOverlay = 2,     // OverlayNetwork (Section 5 runtime) provenance
+  kProtocol = 3,    // topology emulation + leader binding rounds
+  kCollective = 4,  // group_reduce / broadcast / barrier / sort / rank
+  kBench = 5,       // bench harness phases
+  kApp = 6,         // application-level events
+};
+inline constexpr std::size_t kCategoryCount = 7;
+inline constexpr std::uint32_t kAllCategories = (1u << kCategoryCount) - 1;
+
+/// Stable short name used in exports ("vnet", "link", ...).
+const char* category_name(Category c);
+/// Inverse of category_name; returns false if `name` is unknown.
+bool category_from_name(const std::string& name, Category& out);
+
+/// Typed attribute value. Integer kinds are kept distinct so exports
+/// round-trip exactly (see obs/export.h).
+using AttrValue = std::variant<std::int64_t, std::uint64_t, double, std::string>;
+
+struct Attr {
+  std::string key;
+  AttrValue value;
+
+  bool operator==(const Attr&) const = default;
+};
+
+/// One structured trace event.
+///
+/// `flow` correlates the events of one logical message across layers: a
+/// VirtualNetwork or OverlayNetwork send allocates a flow id and every
+/// relay/delivery event of that message — including the physical LinkLayer
+/// hops beneath an overlay send — carries it, so the full path and
+/// per-hop queueing delay of a message can be reconstructed from a trace.
+struct TraceEvent {
+  double time = 0.0;           // simulation time (cost-model units)
+  std::int64_t node = -1;      // node id / grid index; -1 = not node-bound
+  Category category = Category::kApp;
+  char phase = 'i';            // Chrome phase: 'i' instant, 'B'/'E' span
+  std::string name;            // e.g. "send", "hop", "deliver"
+  std::uint64_t flow = 0;      // correlation id; 0 = none
+  std::vector<Attr> attrs;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Destination of emitted events.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void accept(TraceEvent ev) = 0;
+};
+
+/// Process-wide trace dispatcher. Disabled (null sink, empty mask) by
+/// default; tests and tools install a sink via ScopedTrace.
+class Tracer {
+ public:
+  /// The hot-path guard: true iff a sink is installed and `c` is enabled.
+  bool enabled(Category c) const {
+    return sink_ != nullptr &&
+           (mask_ & (1u << static_cast<unsigned>(c))) != 0;
+  }
+
+  /// Forwards `ev` to the sink. Callers must pre-check enabled(category);
+  /// emitting with no sink is a silent no-op.
+  void emit(TraceEvent ev) {
+    if (sink_ != nullptr) sink_->accept(std::move(ev));
+  }
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+  void set_mask(std::uint32_t mask) { mask_ = mask; }
+  std::uint32_t mask() const { return mask_; }
+  void enable(Category c) { mask_ |= 1u << static_cast<unsigned>(c); }
+
+  /// Allocates a fresh correlation id (monotonic, never 0).
+  std::uint64_t next_flow() { return ++flow_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint32_t mask_ = 0;
+  std::uint64_t flow_ = 0;
+};
+
+/// The process-global tracer all emission sites consult.
+Tracer& tracer();
+
+/// RAII installer: routes the global tracer into `sink` with `mask` for the
+/// current scope, restoring the previous sink/mask on destruction. Keeps
+/// tests and tools from leaking trace state into each other.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceSink& sink, std::uint32_t mask = kAllCategories)
+      : prev_sink_(tracer().sink()), prev_mask_(tracer().mask()) {
+    tracer().set_sink(&sink);
+    tracer().set_mask(mask);
+  }
+  ~ScopedTrace() {
+    tracer().set_sink(prev_sink_);
+    tracer().set_mask(prev_mask_);
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSink* prev_sink_;
+  std::uint32_t prev_mask_;
+};
+
+}  // namespace wsn::obs

@@ -5,13 +5,16 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace wsn::sim {
 
 /// Named monotonic counters, e.g. "msg.broadcast", "msg.suppressed".
+/// Backed by a hash map — add() on the hot path costs one hash, not a
+/// red-black-tree walk; use sorted() where deterministic order matters.
 class CounterSet {
  public:
   void add(const std::string& name, std::uint64_t delta = 1) {
@@ -25,10 +28,29 @@ class CounterSet {
 
   void reset() { counters_.clear(); }
 
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  /// Merges another set into this one (e.g. aggregating per-node counter
+  /// sets) without re-hashing keys already present.
+  CounterSet& operator+=(const CounterSet& other) {
+    for (const auto& [name, value] : other.counters_) {
+      counters_[name] += value;
+    }
+    return *this;
+  }
+
+  const std::unordered_map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+
+  /// Key-sorted copy for deterministic iteration (exports, table output).
+  std::vector<std::pair<std::string, std::uint64_t>> sorted() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out(counters_.begin(),
+                                                           counters_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::unordered_map<std::string, std::uint64_t> counters_;
 };
 
 /// Streaming summary statistics (Welford) plus min/max.

@@ -1,0 +1,401 @@
+// Observability layer: trace events, sinks, exporters, provenance
+// reconstruction, and the unified metrics registry.
+//
+// The provenance tests are the heart: they prove a message's full path and
+// queueing delay can be reconstructed from a captured trace alone — on the
+// virtual layer under contention, and across the Section-5 emulation
+// boundary where one overlay send fans into many physical link hops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "bench/bench_common.h"
+#include "core/virtual_network.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/scoped_timer.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace wsn;
+
+const obs::AttrValue* find_attr(const obs::TraceEvent& ev,
+                                const std::string& key) {
+  for (const auto& a : ev.attrs) {
+    if (a.key == key) return &a.value;
+  }
+  return nullptr;
+}
+
+double attr_num(const obs::TraceEvent& ev, const std::string& key) {
+  const obs::AttrValue* v = find_attr(ev, key);
+  if (v == nullptr) ADD_FAILURE() << "missing attr " << key;
+  if (v == nullptr) return 0.0;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* u = std::get_if<std::uint64_t>(v)) {
+    return static_cast<double>(*u);
+  }
+  if (const auto* i = std::get_if<std::int64_t>(v)) {
+    return static_cast<double>(*i);
+  }
+  ADD_FAILURE() << "attr " << key << " is not numeric";
+  return 0.0;
+}
+
+TEST(RingBufferSink, KeepsMostRecentAcrossWraparound) {
+  obs::RingBufferSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.accept({static_cast<double>(i), i, obs::Category::kApp, 'i', "e",
+                 static_cast<std::uint64_t>(i),
+                 {}});
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.overwritten(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].node, static_cast<std::int64_t>(6 + i));
+  }
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.overwritten(), 0u);
+}
+
+TEST(RingBufferSink, ZeroCapacityDropsEverything) {
+  obs::RingBufferSink sink(0);
+  sink.accept({0.0, 0, obs::Category::kApp, 'i', "e", 0, {}});
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.overwritten(), 1u);
+}
+
+TEST(Tracer, DisabledCategoriesEmitNothing) {
+  obs::RingBufferSink sink(16);
+  obs::ScopedTrace guard(sink, 1u << static_cast<unsigned>(
+                                   obs::Category::kLink));
+  EXPECT_TRUE(obs::tracer().enabled(obs::Category::kLink));
+  EXPECT_FALSE(obs::tracer().enabled(obs::Category::kVirtual));
+
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(4),
+                            core::uniform_cost_model());
+  vnet.send({0, 0}, {3, 3}, 0.0);
+  sim.run();
+  EXPECT_EQ(sink.size(), 0u) << "kVirtual events leaked past the mask";
+}
+
+TEST(Tracer, ScopedTraceRestoresPreviousState) {
+  obs::RingBufferSink outer(4);
+  {
+    obs::ScopedTrace a(outer, obs::kAllCategories);
+    {
+      obs::NullSink inner;
+      obs::ScopedTrace b(inner, 0);
+      EXPECT_FALSE(obs::tracer().enabled(obs::Category::kApp));
+    }
+    EXPECT_TRUE(obs::tracer().enabled(obs::Category::kApp));
+    obs::tracer().emit({1.0, 2, obs::Category::kApp, 'i', "after", 0, {}});
+  }
+  EXPECT_FALSE(obs::tracer().enabled(obs::Category::kApp));
+  EXPECT_EQ(outer.size(), 1u);
+}
+
+TEST(JsonlExport, RoundTripsLosslessly) {
+  // Typing convention: doubles always carry '.'/exponent; negative integers
+  // are int64; non-negative integers are uint64. Events that follow it
+  // (as every emitter in the tree does) survive the round trip bit-exact.
+  std::vector<obs::TraceEvent> events;
+  events.push_back({0.5, -1, obs::Category::kProtocol, 'B', "span", 7,
+                    {{"neg", static_cast<std::int64_t>(-42)},
+                     {"big", std::uint64_t{1} << 63},
+                     {"frac", 0.1},
+                     {"whole", 3.0},
+                     {"tiny", -2.5e-7},
+                     {"text", std::string("q\"uo\\te\n\x01end")}}});
+  events.push_back({12.25, 9, obs::Category::kCollective, 'E', "span", 7, {}});
+
+  std::ostringstream out;
+  obs::write_jsonl(events, out);
+  std::istringstream in(out.str());
+  const auto parsed = obs::parse_jsonl(in);
+  ASSERT_EQ(parsed.size(), events.size());
+  EXPECT_EQ(parsed[0], events[0]);
+  EXPECT_EQ(parsed[1], events[1]);
+}
+
+TEST(JsonlExport, ParseRejectsGarbage) {
+  std::istringstream in("{\"t\":1.0,\"node\":0,");
+  EXPECT_THROW(obs::parse_jsonl(in), std::runtime_error);
+}
+
+TEST(ChromeExport, ProducesLoadableSkeleton) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({2.0, 5, obs::Category::kVirtual, 'i', "send", 1,
+                    {{"hops", std::uint64_t{3}}}});
+  std::ostringstream out;
+  obs::write_chrome_trace(events, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // 1 cost-model unit = 1 ms = 1000 us.
+  EXPECT_NE(json.find("\"ts\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":5"), std::string::npos);
+}
+
+// -- Provenance: virtual layer under per-node transmitter serialization --
+
+TEST(Provenance, ReconstructsQueuedMultiHopSend) {
+  obs::RingBufferSink sink(1 << 12);
+  obs::ScopedTrace guard(sink, obs::kAllCategories);
+
+  const std::size_t side = 4;
+  sim::Simulator sim(1);
+  core::GridTopology grid(side);
+  core::VirtualNetwork vnet(sim, grid, core::uniform_cost_model(),
+                            core::LeaderPlacement::kNorthWest,
+                            core::Congestion::kNodeSerialized);
+  // Two messages leave the same transmitter at t=0: the second must queue
+  // behind the first at every shared relay.
+  vnet.send({0, 0}, {0, 3}, 0.0);
+  vnet.send({0, 0}, {0, 3}, 0.0);
+  sim.run();
+
+  // Group the trace by flow id.
+  std::map<std::uint64_t, std::vector<obs::TraceEvent>> flows;
+  for (const auto& ev : sink.events()) {
+    ASSERT_NE(ev.flow, 0u);
+    flows[ev.flow].push_back(ev);
+  }
+  ASSERT_EQ(flows.size(), 2u);
+
+  const double hop_latency = core::uniform_cost_model().hop_latency(1.0);
+  bool saw_queueing = false;
+  for (const auto& [flow, events] : flows) {
+    const obs::TraceEvent* send = nullptr;
+    const obs::TraceEvent* deliver = nullptr;
+    std::vector<const obs::TraceEvent*> hops;
+    for (const auto& ev : events) {
+      if (ev.name == "send") send = &ev;
+      if (ev.name == "deliver") deliver = &ev;
+      if (ev.name == "hop") hops.push_back(&ev);
+    }
+    ASSERT_NE(send, nullptr);
+    ASSERT_NE(deliver, nullptr);
+    const auto expected_hops = static_cast<std::size_t>(attr_num(*send, "hops"));
+    ASSERT_EQ(hops.size(), expected_hops);
+
+    // The hop chain is a connected path: send node -> ... -> deliver node.
+    EXPECT_EQ(hops.front()->node, send->node);
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      EXPECT_EQ(static_cast<std::int64_t>(attr_num(*hops[i], "next")),
+                hops[i + 1]->node);
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(attr_num(*hops.back(), "next")),
+              deliver->node);
+    EXPECT_EQ(static_cast<std::int64_t>(attr_num(*send, "dst")),
+              deliver->node);
+
+    // The latency decomposes exactly: transit + recorded queueing waits.
+    double waits = 0.0;
+    for (const auto* h : hops) waits += attr_num(*h, "wait");
+    EXPECT_DOUBLE_EQ(deliver->time - send->time,
+                     static_cast<double>(expected_hops) * hop_latency + waits);
+    if (waits > 0.0) saw_queueing = true;
+  }
+  EXPECT_TRUE(saw_queueing) << "test failed to provoke contention";
+}
+
+// -- Provenance: across the Section-5 emulation boundary --
+
+TEST(Provenance, OverlaySendTracksPhysicalHops) {
+  const std::size_t grid_side = 4;
+  bench::PhysicalStack stack(grid_side, grid_side * grid_side * 8, 1.4, 11);
+  ASSERT_TRUE(stack.healthy());
+
+  // Arm tracing only after setup so the capture holds exactly one send.
+  obs::RingBufferSink sink(1 << 12);
+  obs::ScopedTrace guard(sink, obs::kAllCategories);
+
+  const core::GridCoord src{0, 0};
+  const core::GridCoord dst{3, 3};
+  bool received = false;
+  stack.overlay->set_receiver(dst, [&](const core::VirtualMessage&) {
+    received = true;
+  });
+  stack.overlay->send(src, dst, std::any{1.0}, 1.0);
+  stack.sim.run();
+  ASSERT_TRUE(received);
+
+  const obs::TraceEvent* overlay_send = nullptr;
+  const obs::TraceEvent* overlay_deliver = nullptr;
+  std::vector<const obs::TraceEvent*> unicasts;
+  std::vector<const obs::TraceEvent*> link_delivers;
+  const std::vector<obs::TraceEvent> captured = sink.events();
+  for (const auto& ev : captured) {
+    if (ev.category == obs::Category::kOverlay && ev.name == "send") {
+      overlay_send = &ev;
+    }
+    if (ev.category == obs::Category::kOverlay && ev.name == "deliver") {
+      overlay_deliver = &ev;
+    }
+    if (ev.category == obs::Category::kLink && ev.name == "unicast") {
+      unicasts.push_back(&ev);
+    }
+    if (ev.category == obs::Category::kLink && ev.name == "deliver") {
+      link_delivers.push_back(&ev);
+    }
+  }
+  ASSERT_NE(overlay_send, nullptr);
+  ASSERT_NE(overlay_deliver, nullptr);
+  ASSERT_FALSE(unicasts.empty());
+
+  // One flow id spans both layers: the physical hops beneath the overlay
+  // send all carry the id the overlay allocated.
+  const std::uint64_t flow = overlay_send->flow;
+  ASSERT_NE(flow, 0u);
+  EXPECT_EQ(overlay_deliver->flow, flow);
+  for (const auto* u : unicasts) EXPECT_EQ(u->flow, flow);
+  for (const auto* d : link_delivers) EXPECT_EQ(d->flow, flow);
+
+  // The physical hop chain is connected end to end: it starts at the node
+  // bound to the source cell, each transmission is received by its
+  // addressee, and the final receiver is where the overlay delivers.
+  ASSERT_EQ(link_delivers.size(), unicasts.size());
+  EXPECT_EQ(unicasts.front()->node, overlay_send->node);
+  for (std::size_t i = 0; i < unicasts.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(attr_num(*unicasts[i], "to")),
+              link_delivers[i]->node);
+    EXPECT_EQ(static_cast<std::int64_t>(attr_num(*link_delivers[i], "from")),
+              unicasts[i]->node);
+    if (i + 1 < unicasts.size()) {
+      EXPECT_EQ(link_delivers[i]->node, unicasts[i + 1]->node);
+    }
+  }
+  EXPECT_EQ(link_delivers.back()->node, overlay_deliver->node);
+  EXPECT_EQ(overlay_deliver->node,
+            static_cast<std::int64_t>(
+                stack.binding_result.leader_of(dst, grid_side)));
+  // Physical routing can never beat the virtual hop count.
+  EXPECT_GE(unicasts.size(),
+            static_cast<std::size_t>(manhattan(src, dst)));
+}
+
+// -- Unified metrics registry --
+
+TEST(MetricsRegistry, SnapshotMatchesEnergyReportExactly) {
+  sim::Simulator sim(3);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  for (std::int32_t i = 0; i < 8; ++i) {
+    vnet.send({0, i}, {7, 7 - i}, 0.0, 1.0 + 0.25 * i);
+    vnet.compute({static_cast<std::int32_t>(i % 8), 0}, 3.0);
+  }
+  sim.run();
+
+  obs::MetricsRegistry registry;
+  vnet.register_metrics(registry);
+
+  const analysis::EnergyReport report = analysis::energy_report(vnet.ledger());
+  const obs::LedgerSnapshot snap = registry.ledger_snapshot("vnet.energy");
+  EXPECT_EQ(snap.total, report.total);
+  EXPECT_EQ(snap.mean, report.mean);
+  EXPECT_EQ(snap.stddev, report.stddev);
+  EXPECT_EQ(snap.cv, report.cv);
+  EXPECT_EQ(snap.max, report.max);
+  EXPECT_EQ(snap.min, report.min);
+  EXPECT_EQ(snap.tx, report.tx);
+  EXPECT_EQ(snap.rx, report.rx);
+  EXPECT_EQ(snap.compute, report.compute);
+
+  EXPECT_EQ(registry.counter("vnet.counters", "vnet.send"), 8u);
+  EXPECT_EQ(registry.gauge("vnet.total_hops"),
+            static_cast<double>(vnet.total_hops()));
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsCompleteAndStable) {
+  sim::Simulator sim(3);
+  core::VirtualNetwork vnet(sim, core::GridTopology(4),
+                            core::uniform_cost_model());
+  vnet.send({0, 0}, {3, 3}, 0.0);
+  sim.run();
+
+  obs::MetricsRegistry registry;
+  vnet.register_metrics(registry);
+  registry.add_gauge("custom.answer", [] { return 42.0; });
+  registry.add_summary("custom.dist", [&vnet] {
+    return vnet.ledger().distribution();
+  });
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"vnet.counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"vnet.send\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"vnet.energy\""), std::string::npos);
+  EXPECT_NE(json.find("\"custom.answer\":42.0"), std::string::npos);
+  EXPECT_NE(json.find("\"custom.dist\""), std::string::npos);
+  // Polling twice with unchanged state is byte-identical.
+  EXPECT_EQ(registry.to_json(), json);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(), json + "\n");
+}
+
+TEST(MetricsRegistry, PhysicalStackRegistersWholeStack) {
+  bench::PhysicalStack stack(2, 24, 1.4, 5);
+  ASSERT_TRUE(stack.healthy());
+  obs::MetricsRegistry registry;
+  stack.register_metrics(registry);
+
+  const obs::LedgerSnapshot link_energy =
+      registry.ledger_snapshot("overlay.link.energy");
+  EXPECT_EQ(link_energy.total, stack.ledger->total());
+  EXPECT_EQ(registry.gauge("emulation.broadcasts"),
+            static_cast<double>(stack.emulation_result.broadcasts));
+  EXPECT_EQ(registry.gauge("binding.converged_at"),
+            stack.binding_result.converged_at);
+}
+
+// -- Satellites: CounterSet growth, wall-clock timer --
+
+TEST(CounterSet, MergeAccumulatesAndSortedIsOrdered) {
+  sim::CounterSet a;
+  a.add("x", 2);
+  a.add("y");
+  sim::CounterSet b;
+  b.add("y", 4);
+  b.add("z");
+  a += b;
+  EXPECT_EQ(a.get("x"), 2u);
+  EXPECT_EQ(a.get("y"), 5u);
+  EXPECT_EQ(a.get("z"), 1u);
+  const auto sorted = a.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "x");
+  EXPECT_EQ(sorted[1].first, "y");
+  EXPECT_EQ(sorted[2].first, "z");
+}
+
+TEST(ScopedTimer, MeasuresNonNegativeWallClock) {
+  double ms = -1.0;
+  {
+    obs::ScopedTimer timer(&ms);
+    volatile double sink_v = 0.0;
+    for (int i = 0; i < 1000; ++i) sink_v = sink_v + static_cast<double>(i);
+  }
+  EXPECT_GE(ms, 0.0);
+
+  double via_callback = -1.0;
+  {
+    obs::ScopedTimer timer([&](double v) { via_callback = v; });
+  }
+  EXPECT_GE(via_callback, 0.0);
+}
+
+}  // namespace
