@@ -16,12 +16,13 @@
 #include "bench/bench_common.h"
 #include "core/virtual_network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
   bench::print_header(
       "E5 / Sec 2", "Divide-and-conquer vs centralized collection",
       "in-network merging wins on total energy at scale; the crossover and "
       "hot-spot behavior come from the cost model");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   analysis::Table table({"side", "N", "algo", "energy", "latency", "max node E",
                          "balance(cv)", "msgs"});
@@ -41,6 +42,15 @@ int main() {
                  analysis::Table::num(outcome.round.finished_at, 1),
                  analysis::Table::num(e.max, 1), analysis::Table::num(e.cv, 2),
                  analysis::Table::num(outcome.round.messages_sent)});
+      json.row("dnc_vs_centralized",
+               {{"side", static_cast<std::uint64_t>(side)},
+                {"algo", "quad-tree"},
+                {"energy", e.total},
+                {"latency", outcome.round.finished_at},
+                {"max_node_energy", e.max},
+                {"cv", e.cv},
+                {"messages",
+                 static_cast<std::uint64_t>(outcome.round.messages_sent)}});
     }
     {
       sim::Simulator sim(2);
@@ -53,6 +63,14 @@ int main() {
                  analysis::Table::num(outcome.finished_at, 1),
                  analysis::Table::num(e.max, 1), analysis::Table::num(e.cv, 2),
                  analysis::Table::num(outcome.messages)});
+      json.row("dnc_vs_centralized",
+               {{"side", static_cast<std::uint64_t>(side)},
+                {"algo", "centralized"},
+                {"energy", e.total},
+                {"latency", outcome.finished_at},
+                {"max_node_energy", e.max},
+                {"cv", e.cv},
+                {"messages", static_cast<std::uint64_t>(outcome.messages)}});
     }
   }
   std::printf("%s\n", table.str().c_str());

@@ -11,12 +11,13 @@
 #include "analysis/table.h"
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
   bench::print_header(
       "E18 / design-flow ablation", "Divide-and-conquer fan-out sweep",
       "fan-out trades tree depth (merge latency) against per-leader load; "
       "the communication term of the critical path is fan-out-invariant");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   const core::CostModel cost = core::uniform_cost_model();
   for (std::size_t side : {16u, 64u}) {
@@ -35,6 +36,14 @@ int main() {
                  analysis::Table::num(pred.total_energy, 0),
                  analysis::Table::num(pred.latency, 1),
                  analysis::Table::num(fanout)});
+      json.row("fanout_ablation",
+               {{"side", static_cast<std::uint64_t>(side)},
+                {"fanout", fanout},
+                {"levels", static_cast<std::uint64_t>(p / j)},
+                {"messages", static_cast<std::uint64_t>(pred.messages)},
+                {"total_hops", static_cast<std::uint64_t>(pred.total_hops)},
+                {"energy", pred.total_energy},
+                {"latency", pred.latency}});
     }
     std::printf("%s\n", table.str().c_str());
   }

@@ -10,8 +10,9 @@
 #include "synthesis/synthesizer.h"
 #include "taskgraph/mapping.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E2 / Figure 3", "Example mapping onto the 4x4 grid",
       "terrain partitioned into 2x2 blocks; sibling leaves share a block; "
@@ -41,6 +42,12 @@ int main() {
       taskgraph::check_spatial_correlation(tree.graph, mapping, grid);
   std::printf("coverage violations: %zu\nspatial-correlation violations: %zu\n",
               coverage.size(), spatial.size());
+  json.row("fig3_mapping",
+           {{"tasks", static_cast<std::uint64_t>(tree.graph.tasks().size())},
+            {"coverage_violations", static_cast<std::uint64_t>(coverage.size())},
+            {"spatial_violations", static_cast<std::uint64_t>(spatial.size())},
+            {"root_row", static_cast<std::int64_t>(mapping[tree.graph.root()].row)},
+            {"root_col", static_cast<std::int64_t>(mapping[tree.graph.root()].col)}});
 
   const auto report = synthesis::synthesize(tree, mapping, groups);
   std::printf("\n%s\n", report.describe().c_str());

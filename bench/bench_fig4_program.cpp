@@ -13,8 +13,9 @@
 #include "core/virtual_network.h"
 #include "synthesis/program.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E3 / Figure 4", "Synthesized program specification",
       "reactive condition/action program; asynchronous incremental merging; "
@@ -46,6 +47,18 @@ int main() {
   node << outcome.round.exfiltration_node;
   table.row({"exfiltration node", node.str()});
   std::printf("%s\n", table.str().c_str());
+  json.row("fig4_program",
+           {{"side", static_cast<std::uint64_t>(side)},
+            {"regions", static_cast<std::uint64_t>(outcome.regions.size())},
+            {"regions_reference",
+             static_cast<std::uint64_t>(reference.region_count())},
+            {"messages",
+             static_cast<std::uint64_t>(outcome.round.messages_sent)},
+            {"self_merges",
+             static_cast<std::uint64_t>(outcome.round.self_merges)},
+            {"remote_merges",
+             static_cast<std::uint64_t>(outcome.round.remote_merges)},
+            {"finished_at", outcome.round.finished_at}});
 
   std::printf(
       "Check: region counts agree; messages = side^2 - 1 = %zu; the node\n"

@@ -14,8 +14,9 @@
 #include "core/virtual_network.h"
 #include "sim/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E6 / Sec 4.2", "Group communication cost vs hierarchy level",
       "member-to-leader cost proportional to minimum hop count; advertised "
@@ -45,6 +46,13 @@ int main() {
                analysis::Table::num(pred.max_hops),
                analysis::Table::num(
                    cost.path_energy(pred.max_hops, 1.0), 0)});
+    json.row("group_comm",
+             {{"level", static_cast<std::uint64_t>(level)},
+              {"mean_hops", hops.mean()},
+              {"max_hops", hops.max()},
+              {"pred_mean_hops", pred.mean_hops},
+              {"pred_max_hops", static_cast<std::uint64_t>(pred.max_hops)},
+              {"energy_per_msg_max", cost.path_energy(pred.max_hops, 1.0)}});
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -70,5 +78,7 @@ int main() {
       "\nCheck: measured means/maxima equal the closed forms 2^k - 1 and\n"
       "2(2^k - 1) at every level - the middleware's advertised cost is the\n"
       "exact shortest-path hop count.\n");
+  json.row("group_comm_reduce",
+           {{"level", static_cast<std::uint64_t>(3)}, {"latency", latency}});
   return 0;
 }

@@ -15,8 +15,9 @@
 #include "bench/bench_common.h"
 #include "core/virtual_network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E17 / Sec 4.1 ext", "Incremental re-aggregation across rounds",
       "delta rounds touch only changed paths; unchanged quadrants reuse "
@@ -51,6 +52,13 @@ int main() {
                stats.full_round ? "(cold)" : analysis::Table::num(saving, 1),
                analysis::Table::num(stats.merges),
                analysis::Table::num(regions.size()), correct ? "yes" : "NO"});
+    json.row("incremental",
+             {{"round", static_cast<std::uint64_t>(round)},
+              {"changed_leaves", static_cast<std::uint64_t>(stats.changed_leaves)},
+              {"messages", static_cast<std::uint64_t>(stats.messages)},
+              {"merges", static_cast<std::uint64_t>(stats.merges)},
+              {"regions", static_cast<std::uint64_t>(regions.size())},
+              {"correct", static_cast<std::uint64_t>(correct ? 1 : 0)}});
     prev_energy = vnet.ledger().total();
   }
   (void)prev_energy;

@@ -83,10 +83,11 @@ double rotated_lifetime(std::size_t side, const app::FeatureGrid& grid,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E11 / Secs 2,7", "Network lifetime under repeated querying",
       "energy balance determines lifetime; leader rotation extends it");
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
 
   const double budget = 10000.0;
   analysis::Table table({"side", "strategy", "hottest E/round", "total E/round",
@@ -118,6 +119,25 @@ int main() {
                analysis::Table::num(central.hottest, 1),
                analysis::Table::num(central.total, 0),
                analysis::Table::num(budget / central.hottest, 0)});
+
+    json.row("lifetime", {{"side", static_cast<std::uint64_t>(side)},
+                          {"strategy", "quadtree_nw"},
+                          {"hottest_per_round", qt.hottest},
+                          {"total_per_round", qt.total},
+                          {"lifetime_rounds", budget / qt.hottest}});
+    json.row("lifetime", {{"side", static_cast<std::uint64_t>(side)},
+                          {"strategy", "quadtree_center"},
+                          {"hottest_per_round", qc.hottest},
+                          {"total_per_round", qc.total},
+                          {"lifetime_rounds", budget / qc.hottest}});
+    json.row("lifetime", {{"side", static_cast<std::uint64_t>(side)},
+                          {"strategy", "quadtree_rotating"},
+                          {"lifetime_rounds", rotated}});
+    json.row("lifetime", {{"side", static_cast<std::uint64_t>(side)},
+                          {"strategy", "centralized"},
+                          {"hottest_per_round", central.hottest},
+                          {"total_per_round", central.total},
+                          {"lifetime_rounds", budget / central.hottest}});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

@@ -13,8 +13,9 @@
 #include "app/topographic.h"
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E13 / Sec 5.1", "Periodic protocol re-execution under node failures",
       "repair keeps verified entries and re-learns only what failures "
@@ -82,6 +83,20 @@ int main() {
                analysis::Table::num(cold_run.adoptions),
                analysis::Table::num(reelected), ok ? "yes" : "NO",
                analysis::Table::num(overlay.failed_sends())});
+    json.row("maintenance",
+             {{"failed_pct", fail_fraction * 100.0},
+              {"repair_broadcasts",
+               static_cast<std::uint64_t>(repaired.broadcasts)},
+              {"cold_broadcasts",
+               static_cast<std::uint64_t>(cold_run.broadcasts)},
+              {"repair_adoptions",
+               static_cast<std::uint64_t>(repaired.adoptions)},
+              {"cold_adoptions",
+               static_cast<std::uint64_t>(cold_run.adoptions)},
+              {"reelected", static_cast<std::uint64_t>(reelected)},
+              {"query_ok", static_cast<std::uint64_t>(ok ? 1 : 0)},
+              {"failed_sends",
+               static_cast<std::uint64_t>(overlay.failed_sends())}});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

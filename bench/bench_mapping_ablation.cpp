@@ -11,8 +11,9 @@
 #include "bench/bench_common.h"
 #include "taskgraph/mapping.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E10 / Sec 4.2", "Mapping / leader-placement ablation",
       "interior-task placement trades latency against balance; the virtual "
@@ -33,6 +34,13 @@ int main() {
                analysis::Table::num(c.critical_latency, 1),
                analysis::Table::num(c.max_node_energy, 1),
                analysis::Table::num(c.energy_stddev, 2), ok ? "ok" : "VIOLATED"});
+    json.row("mapping_ablation",
+             {{"mapping", name.c_str()},
+              {"total_energy", c.total_energy},
+              {"critical_latency", c.critical_latency},
+              {"max_node_energy", c.max_node_energy},
+              {"energy_stddev", c.energy_stddev},
+              {"constraints_ok", static_cast<std::uint64_t>(ok ? 1 : 0)}});
   };
 
   core::GroupHierarchy nw(grid, core::LeaderPlacement::kNorthWest);

@@ -13,8 +13,9 @@
 #include "core/virtual_network.h"
 #include "sim/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E14 / ablation", "Boundary-summary compression and exact message sizes",
       "summary bytes track the block perimeter, not its area; raw-status "
@@ -47,6 +48,11 @@ int main() {
                  analysis::Table::num(bytes / (block * block), 3),
                  analysis::Table::num(raw, 0),
                  analysis::Table::num(raw / bytes, 2)});
+      json.row("message_size", {{"field", family.name},
+                                {"block", static_cast<std::uint64_t>(block)},
+                                {"bytes", bytes},
+                                {"raw_bytes", raw},
+                                {"compression", raw / bytes}});
     }
   }
   std::printf("%s\n", table.str().c_str());
@@ -85,6 +91,13 @@ int main() {
                                     ledger.total(net::EnergyUse::kRx),
                                 0),
            analysis::Table::num(*max_units, 2)});
+      json.row("message_size_run",
+               {{"sizes", exact ? "exact" : "fixed"},
+                {"field", family.name},
+                {"latency", prog.stats().finished_at},
+                {"comm_energy", ledger.total(net::EnergyUse::kTx) +
+                                    ledger.total(net::EnergyUse::kRx)},
+                {"max_msg_units", *max_units}});
     }
   }
   std::printf("%s\n", run_table.str().c_str());

@@ -16,8 +16,9 @@
 #include "core/virtual_network.h"
 #include "sim/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E4 / Sec 4.1", "O(sqrt(N)) step complexity of the quad-tree algorithm",
       "steps grow linearly in sqrt(N) = grid side; latency = sense + "
@@ -51,6 +52,12 @@ int main() {
                analysis::Table::num(static_cast<double>(stats.steps) /
                                         static_cast<double>(side),
                                     3)});
+    json.row("step_complexity",
+             {{"side", static_cast<std::uint64_t>(side)},
+              {"levels", static_cast<std::uint64_t>(stats.levels)},
+              {"steps", static_cast<std::uint64_t>(stats.steps)},
+              {"latency", outcome.round.finished_at},
+              {"latency_pred", predicted.latency}});
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -60,6 +67,10 @@ int main() {
               steps_fit.slope, steps_fit.intercept, steps_fit.r2);
   std::printf("latency vs sqrt(N): slope %.3f, intercept %.3f, r^2 %.6f\n",
               lat_fit.slope, lat_fit.intercept, lat_fit.r2);
+  json.row("step_complexity_fit", {{"steps_slope", steps_fit.slope},
+                                   {"steps_r2", steps_fit.r2},
+                                   {"latency_slope", lat_fit.slope},
+                                   {"latency_r2", lat_fit.r2}});
   std::printf(
       "\nCheck: both fits are linear in m = sqrt(N) with r^2 ~ 1 (steps\n"
       "slope ~1, latency slope ~2), confirming the O(sqrt N) claim; the\n"

@@ -14,8 +14,9 @@
 #include "bench/bench_common.h"
 #include "core/virtual_network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsn;
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E16 / Sec 3.1", "Decoupled query processing over distributed storage",
       "count queries sum stored local counts instead of re-estimating "
@@ -59,6 +60,14 @@ int main() {
                analysis::Table::num(query_energy / gather_energy, 3),
                analysis::Table::num(query_latency, 1),
                analysis::Table::num(gather_latency, 1)});
+    json.row("stored_queries",
+             {{"side", static_cast<std::uint64_t>(side)},
+              {"regions", static_cast<std::uint64_t>(store.total_regions)},
+              {"storage_nodes", static_cast<std::uint64_t>(storage_nodes)},
+              {"gather_energy", gather_energy},
+              {"query_energy", query_energy},
+              {"query_latency", query_latency},
+              {"gather_latency", gather_latency}});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

@@ -49,7 +49,8 @@ struct Stack {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
   bench::print_header(
       "E15 / Sec 3.2", "Virtual topology choice: grid vs tree",
       "grid emulation needs every cell occupied; a spanning tree over "
@@ -113,6 +114,18 @@ int main() {
                analysis::Table::num(result.messages),
                analysis::Table::num(result.physical_hops),
                analysis::Table::num(result.finished - t0, 1)});
+    json.row("tree_topology",
+             {{"deployment", s.name},
+              {"occupied", static_cast<std::uint64_t>(occupied)},
+              {"grid_feasible", static_cast<std::uint64_t>(grid_ok ? 1 : 0)},
+              {"tree_size", static_cast<std::uint64_t>(tree.size())},
+              {"tree_height", static_cast<std::uint64_t>(tree.height())},
+              {"sum_ok",
+               static_cast<std::uint64_t>(result.value == expected ? 1 : 0)},
+              {"messages", static_cast<std::uint64_t>(result.messages)},
+              {"physical_hops",
+               static_cast<std::uint64_t>(result.physical_hops)},
+              {"latency", result.finished - t0}});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

@@ -45,7 +45,8 @@ void VirtualNetwork::forward_serialized(
           {"next",
            static_cast<std::uint64_t>(grid_.index_of((*path)[hop + 1]))},
           {"depart", depart},
-          {"wait", depart - now - cost_.hop_latency(size_units)}}});
+          {"wait", depart - now - cost_.hop_latency(size_units)},
+          {"size", size_units}}});
   }
 
   sim_.schedule_at(depart, [this, path, hop, payload, size_units, flow]() {
@@ -123,7 +124,8 @@ void VirtualNetwork::send(const GridCoord& from, const GridCoord& to,
                {{"hop", static_cast<std::uint64_t>(i)},
                 {"next", static_cast<std::uint64_t>(grid_.index_of(path[i + 1]))},
                 {"depart", now + static_cast<double>(i + 1) * hop_latency},
-                {"wait", 0.0}}});
+                {"wait", 0.0},
+                {"size", size_units}}});
     }
   }
 

@@ -1,0 +1,50 @@
+// Bench regression baselines.
+//
+// Every bench emits machine-readable JSONL rows via --json (bench::JsonWriter):
+// one object per configuration with a "bench" id and numeric result fields.
+// The simulated quantities in those rows — latency, energy, message counts —
+// are deterministic functions of the cost model, so a committed baseline can
+// be compared tightly: any drift beyond tolerance is either an intended
+// behavior change (refresh the baseline, explain in the PR) or a regression.
+// Wall-clock fields are the exception; by repo convention they end in "_ms"
+// and are skipped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsn::obs::analyze {
+
+/// One field whose value drifted beyond tolerance.
+struct FieldDelta {
+  std::string bench;       // "bench" id of the row
+  std::size_t row = 0;     // ordinal of the row within its bench
+  std::string field;
+  double baseline = 0.0;
+  double current = 0.0;
+
+  /// Relative change, scaled to max(|baseline|, 1) so near-zero baselines
+  /// do not explode.
+  double rel_change() const;
+};
+
+struct CompareReport {
+  std::vector<FieldDelta> regressions;   // numeric drift beyond tolerance
+  std::vector<std::string> mismatches;   // structural: missing rows/fields,
+                                         // changed string fields
+  std::vector<std::string> notes;        // informational: new benches/fields
+  std::size_t fields_compared = 0;
+  std::size_t rows_compared = 0;
+
+  bool ok() const { return regressions.empty() && mismatches.empty(); }
+};
+
+/// Compares two bench JSONL captures. `tolerance` is the allowed relative
+/// change per numeric field (0.10 = 10%). Throws std::runtime_error on
+/// malformed input.
+CompareReport compare_bench(const std::string& baseline_jsonl,
+                            const std::string& current_jsonl,
+                            double tolerance);
+
+}  // namespace wsn::obs::analyze

@@ -1,0 +1,141 @@
+#include "obs/analyze/check.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "obs/analyze/energy.h"
+#include "obs/analyze/flows.h"
+
+namespace wsn::obs::analyze {
+
+namespace {
+
+std::string flow_tag(const Flow& f) {
+  return "flow " + std::to_string(f.id);
+}
+
+bool close_rel(double a, double b, double rel) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel * std::max(scale, 1.0);
+}
+
+}  // namespace
+
+CheckReport check_trace(const std::vector<TraceEvent>& events) {
+  CheckReport report;
+  report.events_seen = events.size();
+
+  const std::vector<Flow> flows = reconstruct_flows(events);
+  for (const Flow& f : flows) {
+    ++report.flows_checked;
+    if (f.delivered && !f.has_send) {
+      report.issues.push_back(flow_tag(f) + ": delivery without a send");
+      continue;
+    }
+    if (f.has_send && !f.delivered &&
+        !(f.layer == Category::kVirtual && f.self_send)) {
+      report.issues.push_back(flow_tag(f) + ": sent but never delivered");
+      continue;
+    }
+    if (!f.has_send) {
+      // Hop/tx records with neither send nor deliver: truncated capture.
+      report.issues.push_back(flow_tag(f) + ": fragments without send");
+      continue;
+    }
+    if (f.delivered && f.deliver_time < f.send_time) {
+      report.issues.push_back(flow_tag(f) + ": delivered before sent");
+    }
+    for (const Hop& h : f.hops) {
+      if (h.wait < 0.0 || h.transmit() < 0.0 || h.depart < h.start) {
+        report.issues.push_back(flow_tag(f) + ": acausal hop at node " +
+                                std::to_string(h.node));
+        break;
+      }
+    }
+    if (f.layer == Category::kVirtual && !f.self_send) {
+      if (f.hops.size() != f.expected_hops) {
+        report.issues.push_back(
+            flow_tag(f) + ": announced " + std::to_string(f.expected_hops) +
+            " hops, traced " + std::to_string(f.hops.size()));
+      } else if (f.delivered) {
+        // Exact decomposition: end-to-end latency == sum of hop spans, in
+        // both congestion modes (serialized hops chain depart -> start).
+        double span_sum = 0.0;
+        for (const Hop& h : f.hops) span_sum += h.depart - h.start;
+        if (!close_rel(f.latency(), span_sum, 1e-9)) {
+          report.issues.push_back(flow_tag(f) +
+                                  ": latency does not decompose into hops");
+        }
+      }
+    }
+  }
+
+  // Physical-layer receive/transmit pairing for correlated flows. (Flow 0
+  // is uncorrelated background traffic and cannot be paired.)
+  std::unordered_map<std::uint64_t, std::size_t> link_tx;
+  std::unordered_map<std::uint64_t, std::size_t> link_rx;
+  for (const TraceEvent& ev : events) {
+    if (ev.category != Category::kLink || ev.flow == 0) continue;
+    if (ev.name == "broadcast" || ev.name == "unicast") ++link_tx[ev.flow];
+    if (ev.name == "deliver") ++link_rx[ev.flow];
+  }
+  for (const auto& [flow, receives] : link_rx) {
+    if (link_tx.find(flow) == link_tx.end()) {
+      report.issues.push_back("flow " + std::to_string(flow) +
+                              ": link receive without any transmission");
+    }
+  }
+
+  for (const CollectiveSpan& c : reconstruct_collectives(events)) {
+    ++report.collectives_checked;
+    if (!c.closed) {
+      report.issues.push_back("collective " + std::to_string(c.id) + " (" +
+                              c.name + "): never completed");
+    } else if (c.end < c.begin) {
+      report.issues.push_back("collective " + std::to_string(c.id) + " (" +
+                              c.name + "): ends before it begins");
+    }
+  }
+  // Orphan 'E' events (end without begin) slip past reconstruction; count
+  // them directly.
+  std::unordered_map<std::uint64_t, bool> began;
+  for (const TraceEvent& ev : events) {
+    if (ev.category != Category::kCollective || ev.flow == 0) continue;
+    if (ev.phase == 'B') began[ev.flow] = true;
+    if (ev.phase == 'E' && !began[ev.flow]) {
+      report.issues.push_back("collective " + std::to_string(ev.flow) +
+                              ": completion without a start");
+    }
+  }
+  return report;
+}
+
+CheckReport check_energy(const std::vector<TraceEvent>& events,
+                         const JsonValue& metrics_snapshot,
+                         double rel_tolerance) {
+  CheckReport report;
+  report.events_seen = events.size();
+  const EnergyMap derived = attribute_energy(events);
+
+  auto compare = [&](const char* section, const LayerEnergy& layer) {
+    const JsonValue* sec = metrics_snapshot.find(section);
+    if (sec == nullptr) return;  // layer not registered in this run
+    for (const char* field : {"tx", "rx"}) {
+      const JsonValue* v = sec->find(field);
+      if (v == nullptr) continue;
+      const double live = v->number();
+      const double traced =
+          std::string(field) == "tx" ? layer.tx : layer.rx;
+      if (!close_rel(live, traced, rel_tolerance)) {
+        report.issues.push_back(std::string(section) + "." + field +
+                                ": ledger " + std::to_string(live) +
+                                " != trace-derived " + std::to_string(traced));
+      }
+    }
+  };
+  compare("vnet.energy", derived.vnet);
+  compare("link.energy", derived.link);
+  return report;
+}
+
+}  // namespace wsn::obs::analyze

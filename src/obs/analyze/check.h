@@ -1,0 +1,50 @@
+// Trace invariant checker — the test oracle over captured runs.
+//
+// A structurally sound trace satisfies, independent of workload:
+//   * every delivery belongs to a flow that was sent (no orphan receives);
+//   * every non-self send terminates in a delivery (flows terminate; the
+//     virtual layer is lossless, and overlay sends resolve to a leader);
+//   * a virtual flow crosses exactly the hop count its send announced, and
+//     each hop's timeline is causal (non-negative wait and transmit time);
+//   * the end-to-end latency decomposes exactly into the per-hop spans;
+//   * every physical-layer receive in a correlated flow follows a
+//     transmission of that flow;
+//   * collective 'B'/'E' spans pair up and close forward in time.
+//
+// check_energy() additionally replays the charging rules (energy.h) and
+// compares the result against a live MetricsRegistry snapshot: trace-derived
+// radio energy must equal the ledger's tx/rx totals exactly (compute energy
+// is not traced and is excluded). Together the two checks make any captured
+// run a self-validating artifact, usable as a ctest oracle and as the CI
+// gate over the quickstart capture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analyze/json_reader.h"
+#include "obs/trace.h"
+
+namespace wsn::obs::analyze {
+
+struct CheckReport {
+  std::vector<std::string> issues;
+  std::size_t flows_checked = 0;
+  std::size_t collectives_checked = 0;
+  std::size_t events_seen = 0;
+
+  bool ok() const { return issues.empty(); }
+};
+
+/// Structural invariants over a captured event stream.
+CheckReport check_trace(const std::vector<TraceEvent>& events);
+
+/// Conservation check: trace-derived radio energy vs. a MetricsRegistry
+/// snapshot (the JSON written by `--metrics`). Only sections present in the
+/// snapshot are compared ("vnet.energy", "link.energy"); `rel_tolerance`
+/// absorbs decimal round-tripping.
+CheckReport check_energy(const std::vector<TraceEvent>& events,
+                         const JsonValue& metrics_snapshot,
+                         double rel_tolerance = 1e-9);
+
+}  // namespace wsn::obs::analyze

@@ -1,0 +1,366 @@
+#include "obs/analyze/cli.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/table.h"
+#include "obs/analyze/bench_compare.h"
+#include "obs/analyze/check.h"
+#include "obs/analyze/energy.h"
+#include "obs/analyze/flows.h"
+#include "obs/analyze/json_reader.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+
+namespace wsn::obs::analyze {
+
+namespace {
+
+using analysis::Table;
+
+constexpr int kOk = 0;
+constexpr int kFindings = 1;
+constexpr int kUsage = 2;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<TraceEvent> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return parse_jsonl(in);
+}
+
+/// "10%" => 0.10, "0.1" => 0.1. Throws on junk or negatives.
+double parse_tolerance(const std::string& s) {
+  std::size_t used = 0;
+  double v = std::stod(s, &used);
+  if (used < s.size()) {
+    if (s.substr(used) != "%") {
+      throw std::runtime_error("bad tolerance: " + s);
+    }
+    v /= 100.0;
+  }
+  if (v < 0.0) throw std::runtime_error("tolerance must be >= 0");
+  return v;
+}
+
+/// Simple flag scanner: positional args in order, `--name value` pairs by
+/// lookup. Unknown flags are an error to keep the CLI honest.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  const std::string* flag(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+Args scan_args(const std::vector<std::string>& argv, std::size_t start,
+               const std::vector<std::string>& known_flags) {
+  Args out;
+  for (std::size_t i = start; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      bool known = false;
+      for (const std::string& k : known_flags) known = known || k == a;
+      if (!known) throw std::runtime_error("unknown flag: " + a);
+      if (i + 1 >= argv.size()) {
+        throw std::runtime_error(a + " needs a value");
+      }
+      out.flags.emplace_back(a, argv[++i]);
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+const char* layer_name(Category c) {
+  return c == Category::kOverlay ? "overlay" : "virtual";
+}
+
+int cmd_flows(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("flows: expected exactly one trace file");
+  }
+  const auto flows = reconstruct_flows(load_trace(args.positional[0]));
+  std::size_t limit = flows.size();
+  if (const std::string* v = args.flag("--limit")) {
+    limit = static_cast<std::size_t>(std::stoull(*v));
+  }
+  Table t({"flow", "layer", "src", "dst", "hops", "send", "deliver",
+           "latency", "wait", "transmit"});
+  std::size_t shown = 0;
+  for (const Flow& f : flows) {
+    if (shown >= limit) break;
+    ++shown;
+    t.row({Table::num(f.id), layer_name(f.layer), Table::num(f.src_node),
+           Table::num(f.dst_node), Table::num(f.hops.size()),
+           Table::num(f.send_time, 3),
+           f.delivered ? Table::num(f.deliver_time, 3) : "-",
+           f.delivered ? Table::num(f.latency(), 3) : "-",
+           Table::num(f.total_wait(), 3), Table::num(f.total_transmit(), 3)});
+  }
+  out << t.str();
+  out << shown << " of " << flows.size() << " flows\n";
+  return kOk;
+}
+
+int cmd_critical_path(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("critical-path: expected exactly one trace file");
+  }
+  const auto flows = reconstruct_flows(load_trace(args.positional[0]));
+  const CriticalPathReport report = critical_path(flows);
+  if (report.chain.empty()) {
+    out << "no delivered flows in trace\n";
+    return kOk;
+  }
+  Table t({"flow", "layer", "src", "dst", "send", "deliver", "gap_before",
+           "wait", "transmit"});
+  for (const ChainLink& link : report.chain) {
+    const Flow& f = *link.flow;
+    t.row({Table::num(f.id), layer_name(f.layer), Table::num(f.src_node),
+           Table::num(f.dst_node), Table::num(f.send_time, 3),
+           Table::num(f.deliver_time, 3), Table::num(link.gap_before, 3),
+           Table::num(f.total_wait(), 3), Table::num(f.total_transmit(), 3)});
+  }
+  out << t.str();
+  out << "critical path: " << report.chain.size() << " messages, "
+      << Table::num(report.total(), 3) << " time units ["
+      << Table::num(report.start_time, 3) << ", "
+      << Table::num(report.end_time, 3) << "]\n";
+  out << "  queueing  " << Table::num(report.message_wait, 3) << "\n"
+      << "  transmit  " << Table::num(report.message_transmit, 3) << "\n"
+      << "  node gaps " << Table::num(report.node_gaps, 3) << "\n";
+  return kOk;
+}
+
+int cmd_energy_map(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("energy-map: expected exactly one trace file");
+  }
+  const EnergyMap map = attribute_energy(load_trace(args.positional[0]));
+  std::size_t side = 0;
+  if (const std::string* v = args.flag("--side")) {
+    side = static_cast<std::size_t>(std::stoull(*v));
+  }
+  std::size_t top = 5;
+  if (const std::string* v = args.flag("--top")) {
+    top = static_cast<std::size_t>(std::stoull(*v));
+  }
+
+  for (const auto& [label, layer] :
+       {std::pair<const char*, const LayerEnergy&>{"virtual", map.vnet},
+        std::pair<const char*, const LayerEnergy&>{"link", map.link}}) {
+    if (layer.empty()) continue;
+    out << label << " layer: tx " << Table::num(layer.tx, 3) << ", rx "
+        << Table::num(layer.rx, 3) << ", total "
+        << Table::num(layer.total(), 3) << " across " << layer.nodes.size()
+        << " nodes\n";
+    // Top spenders.
+    std::vector<std::size_t> idx(layer.nodes.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return layer.nodes[a].total() > layer.nodes[b].total();
+    });
+    Table t({"node", "tx", "rx", "total"});
+    for (std::size_t i = 0; i < idx.size() && i < top; ++i) {
+      const NodeEnergy& n = layer.nodes[idx[i]];
+      t.row({Table::num(idx[i]), Table::num(n.tx, 3), Table::num(n.rx, 3),
+             Table::num(n.total(), 3)});
+    }
+    out << t.str();
+  }
+
+  if (!map.vnet.empty()) {
+    const HotspotReport hs = hotspot_report(map.vnet, side);
+    out << "hotspot: node " << hs.hottest_node << " spent "
+        << Table::num(hs.hottest_energy, 3) << " ("
+        << Table::num(hs.hotspot_factor(), 2) << "x the grid mean, side "
+        << hs.side << ")\n";
+    if (!hs.levels.empty()) {
+      Table t({"level", "leaders", "leader_mean", "follower_mean",
+               "imbalance"});
+      for (const LevelEnergy& le : hs.levels) {
+        t.row({Table::num(le.level), Table::num(le.leader_count),
+               Table::num(le.leader_mean, 3), Table::num(le.follower_mean, 3),
+               Table::num(le.imbalance(), 2)});
+      }
+      out << t.str();
+    }
+  }
+  if (map.vnet.empty() && map.link.empty()) {
+    out << "no radio events in trace\n";
+  }
+  return kOk;
+}
+
+int cmd_histogram(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("histogram: expected exactly one trace file");
+  }
+  std::size_t buckets = 32;
+  if (const std::string* v = args.flag("--buckets")) {
+    buckets = static_cast<std::size_t>(std::stoull(*v));
+  }
+  const auto flows = reconstruct_flows(load_trace(args.positional[0]));
+
+  auto summarize = [&](const char* what, auto value_of, auto include) {
+    double lo = 0.0, hi = 0.0;
+    std::size_t n = 0;
+    for (const Flow& f : flows) {
+      if (!include(f)) continue;
+      const double v = value_of(f);
+      if (n == 0) lo = hi = v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      ++n;
+    }
+    if (n == 0) {
+      out << what << ": no samples\n";
+      return;
+    }
+    Histogram h(lo, hi > lo ? hi : lo + 1.0, buckets);
+    for (const Flow& f : flows) {
+      if (include(f)) h.add(value_of(f));
+    }
+    out << what << ": n " << h.count() << ", mean "
+        << Table::num(h.mean(), 3) << ", p50 " << Table::num(h.p50(), 3)
+        << ", p95 " << Table::num(h.p95(), 3) << ", p99 "
+        << Table::num(h.p99(), 3) << ", max " << Table::num(h.max(), 3)
+        << "\n";
+  };
+  summarize(
+      "latency", [](const Flow& f) { return f.latency(); },
+      [](const Flow& f) { return f.delivered && !f.self_send; });
+  summarize(
+      "size", [](const Flow& f) { return f.size; },
+      [](const Flow& f) { return f.has_send; });
+  return kOk;
+}
+
+int cmd_check(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("check: expected exactly one trace file");
+  }
+  const auto events = load_trace(args.positional[0]);
+  CheckReport report = check_trace(events);
+  if (const std::string* metrics = args.flag("--metrics")) {
+    const CheckReport energy =
+        check_energy(events, parse_json(read_file(*metrics)));
+    report.issues.insert(report.issues.end(), energy.issues.begin(),
+                         energy.issues.end());
+  }
+  out << report.events_seen << " events, " << report.flows_checked
+      << " flows, " << report.collectives_checked << " collectives\n";
+  if (report.ok()) {
+    out << "all invariants hold\n";
+    return kOk;
+  }
+  for (const std::string& issue : report.issues) out << "FAIL " << issue << "\n";
+  out << report.issues.size() << " invariant violation(s)\n";
+  return kFindings;
+}
+
+int cmd_bench_compare(const Args& args, std::ostream& out) {
+  const std::string* baseline = args.flag("--baseline");
+  const std::string* current = args.flag("--current");
+  if (baseline == nullptr || current == nullptr || !args.positional.empty()) {
+    throw std::runtime_error(
+        "bench-compare: needs --baseline FILE and --current FILE");
+  }
+  double tolerance = 0.10;
+  if (const std::string* v = args.flag("--tolerance")) {
+    tolerance = parse_tolerance(*v);
+  }
+  const CompareReport report =
+      compare_bench(read_file(*baseline), read_file(*current), tolerance);
+  out << report.rows_compared << " rows, " << report.fields_compared
+      << " fields compared (tolerance "
+      << Table::num(tolerance * 100.0, 1) << "%)\n";
+  for (const std::string& note : report.notes) out << "note: " << note << "\n";
+  for (const std::string& m : report.mismatches) {
+    out << "MISMATCH " << m << "\n";
+  }
+  if (!report.regressions.empty()) {
+    Table t({"bench", "row", "field", "baseline", "current", "change"});
+    for (const FieldDelta& d : report.regressions) {
+      t.row({d.bench, Table::num(d.row), d.field, Table::num(d.baseline, 4),
+             Table::num(d.current, 4),
+             Table::num(d.rel_change() * 100.0, 2) + "%"});
+    }
+    out << t.str();
+  }
+  if (report.ok()) {
+    out << "no regressions\n";
+    return kOk;
+  }
+  out << report.regressions.size() << " regression(s), "
+      << report.mismatches.size() << " mismatch(es)\n";
+  return kFindings;
+}
+
+void usage(std::ostream& err) {
+  err << "usage: wsn-inspect <command> [args]\n"
+         "  flows TRACE [--limit N]            reconstructed message flows\n"
+         "  critical-path TRACE                slowest dependency chain\n"
+         "  energy-map TRACE [--side N] [--top N]\n"
+         "                                     per-node/per-level energy\n"
+         "  histogram TRACE [--buckets N]      latency/size distributions\n"
+         "  check TRACE [--metrics FILE]       trace invariant checker\n"
+         "  bench-compare --baseline FILE --current FILE [--tolerance 10%]\n"
+         "                                     bench regression gate\n";
+}
+
+}  // namespace
+
+int run_inspect(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    usage(err);
+    return args.empty() ? kUsage : kOk;
+  }
+  const std::string& cmd = args[0];
+  try {
+    if (cmd == "flows") {
+      return cmd_flows(scan_args(args, 1, {"--limit"}), out);
+    }
+    if (cmd == "critical-path") {
+      return cmd_critical_path(scan_args(args, 1, {}), out);
+    }
+    if (cmd == "energy-map") {
+      return cmd_energy_map(scan_args(args, 1, {"--side", "--top"}), out);
+    }
+    if (cmd == "histogram") {
+      return cmd_histogram(scan_args(args, 1, {"--buckets"}), out);
+    }
+    if (cmd == "check") {
+      return cmd_check(scan_args(args, 1, {"--metrics"}), out);
+    }
+    if (cmd == "bench-compare") {
+      return cmd_bench_compare(
+          scan_args(args, 1, {"--baseline", "--current", "--tolerance"}),
+          out);
+    }
+    err << "unknown command: " << cmd << "\n";
+    usage(err);
+    return kUsage;
+  } catch (const std::exception& e) {
+    err << "wsn-inspect " << cmd << ": " << e.what() << "\n";
+    return kUsage;
+  }
+}
+
+}  // namespace wsn::obs::analyze

@@ -1,0 +1,103 @@
+// Trace-derived energy attribution.
+//
+// Replays the energy-charging rules of the live layers over a captured
+// trace, event by event: a virtual-layer send charges the sender's radio,
+// every relay hop charges rx+tx at the relay, every delivery charges the
+// receiver; on the physical link layer broadcast/unicast charge the
+// transmitter and each link delivery charges its receiver. The result is a
+// per-node tx/rx map that — on a complete capture — must equal what the
+// EnergyLedger accumulated live (compute energy is not traced, so the
+// comparison covers radio energy only; see check.h).
+//
+// On top of the raw map, hotspot_report() folds per-node energy through the
+// group hierarchy to quantify the leader/follower imbalance the paper's
+// energy-balance discussion predicts: leaders aggregate traffic, so mean
+// leader spend grows with level while follower spend stays flat.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wsn::obs::analyze {
+
+/// Per-unit radio energy rates, mirroring CostModel (virtual layer) and
+/// RadioModel (link layer). Defaults are the paper's uniform cost model.
+struct EnergyRates {
+  double vnet_tx = 1.0;
+  double vnet_rx = 1.0;
+  double link_tx = 1.0;
+  double link_rx = 1.0;
+};
+
+struct NodeEnergy {
+  double tx = 0.0;
+  double rx = 0.0;
+
+  double total() const { return tx + rx; }
+};
+
+/// Energy attributed to one layer, indexed by that layer's node id space
+/// (grid indices for the virtual layer, physical NodeIds for the link
+/// layer — the two spaces are unrelated and kept apart).
+struct LayerEnergy {
+  std::vector<NodeEnergy> nodes;
+  double tx = 0.0;
+  double rx = 0.0;
+
+  double total() const { return tx + rx; }
+  bool empty() const { return nodes.empty(); }
+
+  /// Node slot, growing the map as needed. Negative ids (unbound context)
+  /// are folded into slot 0 so no charge is silently dropped.
+  NodeEnergy& at(std::int64_t node);
+};
+
+struct EnergyMap {
+  LayerEnergy vnet;
+  LayerEnergy link;
+
+  double total() const { return vnet.total() + link.total(); }
+};
+
+/// Replays the charging rules over `events`. Self-sends are free (no radio),
+/// matching VirtualNetwork; lost or dead-receiver packets emit no deliver
+/// event and therefore — correctly — attract no rx charge.
+EnergyMap attribute_energy(const std::vector<TraceEvent>& events,
+                           const EnergyRates& rates = {});
+
+/// Mean radio energy of level-k leaders vs. everyone else.
+struct LevelEnergy {
+  std::uint32_t level = 0;
+  std::size_t leader_count = 0;
+  double leader_mean = 0.0;
+  double follower_mean = 0.0;
+
+  /// Leader/follower imbalance; 0 when followers spent nothing.
+  double imbalance() const {
+    return follower_mean > 0.0 ? leader_mean / follower_mean : 0.0;
+  }
+};
+
+struct HotspotReport {
+  std::size_t side = 0;            // inferred (or given) grid side
+  std::int64_t hottest_node = -1;
+  double hottest_energy = 0.0;
+  double mean_energy = 0.0;
+  /// Per-hierarchy-level imbalance, levels 1..max. Empty when the node
+  /// count does not form a power-of-two grid (no hierarchy to fold over).
+  std::vector<LevelEnergy> levels;
+
+  /// Hottest-node spend relative to the mean: the concentration factor.
+  double hotspot_factor() const {
+    return mean_energy > 0.0 ? hottest_energy / mean_energy : 0.0;
+  }
+};
+
+/// Folds a virtual-layer energy map through the group hierarchy. `side` of 0
+/// infers the smallest square grid covering the highest charged node id.
+HotspotReport hotspot_report(const LayerEnergy& vnet, std::size_t side = 0);
+
+}  // namespace wsn::obs::analyze

@@ -1,0 +1,203 @@
+#include "obs/analyze/flows.h"
+
+#include <unordered_map>
+
+namespace wsn::obs::analyze {
+
+namespace {
+
+const AttrValue* find_attr(const TraceEvent& ev, const char* key) {
+  for (const Attr& a : ev.attrs) {
+    if (a.key == key) return &a.value;
+  }
+  return nullptr;
+}
+
+double attr_num(const TraceEvent& ev, const char* key, double fallback = 0.0) {
+  const AttrValue* v = find_attr(ev, key);
+  if (v == nullptr) return fallback;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* u = std::get_if<std::uint64_t>(v)) {
+    return static_cast<double>(*u);
+  }
+  if (const auto* i = std::get_if<std::int64_t>(v)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+double Flow::total_wait() const {
+  double w = 0.0;
+  for (const Hop& h : hops) w += h.wait;
+  return w;
+}
+
+double Flow::total_transmit() const {
+  double t = 0.0;
+  for (const Hop& h : hops) t += h.transmit();
+  return t;
+}
+
+std::vector<Flow> reconstruct_flows(const std::vector<TraceEvent>& events) {
+  std::vector<Flow> flows;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  auto flow_of = [&](std::uint64_t id) -> Flow& {
+    auto [it, fresh] = index.try_emplace(id, flows.size());
+    if (fresh) {
+      flows.emplace_back();
+      flows.back().id = id;
+    }
+    return flows[it->second];
+  };
+
+  for (const TraceEvent& ev : events) {
+    if (ev.flow == 0 || ev.category == Category::kCollective) continue;
+    Flow& f = flow_of(ev.flow);
+    switch (ev.category) {
+      case Category::kVirtual:
+      case Category::kOverlay:
+        if (ev.name == "send" || ev.name == "self_send") {
+          f.has_send = true;
+          f.layer = ev.category;
+          f.src_node = ev.node;
+          f.send_time = ev.time;
+          f.self_send = ev.name == "self_send";
+          f.size = attr_num(ev, "size", 1.0);
+          f.expected_hops = static_cast<std::uint64_t>(
+              attr_num(ev, ev.category == Category::kOverlay ? "vhops" : "hops"));
+          f.dst_index = static_cast<std::int64_t>(attr_num(ev, "dst", -1.0));
+        } else if (ev.name == "deliver") {
+          f.delivered = true;
+          f.dst_node = ev.node;
+          f.deliver_time = ev.time;
+          if (f.layer == Category::kVirtual && ev.category == Category::kOverlay) {
+            f.layer = Category::kOverlay;  // deliver seen before its send
+          }
+        } else if (ev.name == "hop") {
+          f.hops.push_back({ev.node,
+                            static_cast<std::int64_t>(attr_num(ev, "next", -1.0)),
+                            ev.time, attr_num(ev, "depart"),
+                            attr_num(ev, "wait")});
+        }
+        break;
+      case Category::kLink:
+        // Physical transmissions serving an overlay send become its hops.
+        if (ev.name == "unicast") {
+          f.hops.push_back({ev.node,
+                            static_cast<std::int64_t>(attr_num(ev, "to", -1.0)),
+                            ev.time, attr_num(ev, "arrive", ev.time), 0.0});
+        } else if (ev.name == "broadcast") {
+          f.hops.push_back({ev.node, -1, ev.time,
+                            attr_num(ev, "arrive", ev.time), 0.0});
+        }
+        // "deliver" confirms a hop already recorded at its unicast; skip.
+        break;
+      default:
+        break;  // protocol/bench/app events carry no flow structure
+    }
+  }
+  return flows;
+}
+
+std::vector<CollectiveSpan> reconstruct_collectives(
+    const std::vector<TraceEvent>& events) {
+  std::vector<CollectiveSpan> spans;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (const TraceEvent& ev : events) {
+    if (ev.category != Category::kCollective || ev.flow == 0) continue;
+    if (ev.phase == 'B') {
+      index[ev.flow] = spans.size();
+      CollectiveSpan s;
+      s.id = ev.flow;
+      s.name = ev.name;
+      s.leader = ev.node;
+      s.begin = ev.time;
+      s.members = static_cast<std::uint64_t>(attr_num(ev, "members"));
+      spans.push_back(std::move(s));
+    } else if (ev.phase == 'E') {
+      auto it = index.find(ev.flow);
+      if (it == index.end()) continue;  // orphan end (truncated capture)
+      CollectiveSpan& s = spans[it->second];
+      s.end = ev.time;
+      s.closed = true;
+      s.messages = static_cast<std::uint64_t>(attr_num(ev, "messages"));
+    }
+  }
+  return spans;
+}
+
+namespace {
+
+CriticalPathReport walk_critical_path(const std::vector<const Flow*>& pool) {
+  CriticalPathReport report;
+  const Flow* last = nullptr;
+  for (const Flow* f : pool) {
+    if (last == nullptr || f->deliver_time > last->deliver_time) last = f;
+  }
+  if (last == nullptr) return report;
+
+  // Backward walk: the predecessor of a flow is the pool flow that last
+  // delivered to its source node no later than it was sent. Delivery times
+  // strictly decrease along the walk, so it terminates; the size cap is a
+  // belt-and-braces guard against degenerate traces.
+  std::vector<const Flow*> reversed{last};
+  const Flow* cur = last;
+  while (reversed.size() <= pool.size()) {
+    const Flow* pred = nullptr;
+    for (const Flow* g : pool) {
+      if (g == cur || g->dst_node != cur->src_node) continue;
+      if (g->deliver_time > cur->send_time) continue;
+      if (pred == nullptr || g->deliver_time > pred->deliver_time) pred = g;
+    }
+    if (pred == nullptr) break;
+    reversed.push_back(pred);
+    cur = pred;
+  }
+
+  report.chain.reserve(reversed.size());
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    ChainLink link;
+    link.flow = *it;
+    if (!report.chain.empty()) {
+      link.gap_before = link.flow->send_time -
+                        report.chain.back().flow->deliver_time;
+    }
+    report.chain.push_back(link);
+  }
+  report.start_time = report.chain.front().flow->send_time;
+  report.end_time = report.chain.back().flow->deliver_time;
+  for (const ChainLink& link : report.chain) {
+    const Flow& f = *link.flow;
+    report.message_wait += f.total_wait();
+    report.message_transmit +=
+        f.hops.empty() ? f.latency() : f.total_transmit();
+    report.node_gaps += link.gap_before;
+  }
+  return report;
+}
+
+}  // namespace
+
+CriticalPathReport critical_path(const std::vector<Flow>& flows) {
+  std::vector<const Flow*> pool;
+  pool.reserve(flows.size());
+  for (const Flow& f : flows) {
+    if (f.delivered) pool.push_back(&f);
+  }
+  return walk_critical_path(pool);
+}
+
+CriticalPathReport critical_path_in(const std::vector<Flow>& flows, double t0,
+                                    double t1) {
+  std::vector<const Flow*> pool;
+  for (const Flow& f : flows) {
+    if (f.delivered && f.send_time >= t0 && f.deliver_time <= t1) {
+      pool.push_back(&f);
+    }
+  }
+  return walk_critical_path(pool);
+}
+
+}  // namespace wsn::obs::analyze

@@ -1,0 +1,64 @@
+// Generic JSON reader for the offline analysis toolkit.
+//
+// The trace JSONL re-importer (obs/export.cpp) parses exactly the shape its
+// writer emits; the analysis side also has to consume documents it did not
+// write line-by-line — MetricsRegistry snapshots (nested objects + arrays),
+// bench --json rows with bench-specific fields, and whole Chrome trace
+// files (the exporter-validation test re-parses its own output). This is a
+// small recursive-descent parser over a general value type for those.
+//
+// Number typing follows the repo-wide convention: '.'/exponent => double,
+// leading '-' => int64, otherwise uint64 — so numeric fields round-trip
+// through json_append_value/json_append_double losslessly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace wsn::obs::analyze {
+
+struct JsonValue;
+
+/// Object members in document order (bench rows and snapshots are written
+/// in a deterministic order; preserving it keeps diffs stable).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, JsonArray, JsonObject>
+      v = nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_number() const {
+    return std::holds_alternative<std::int64_t>(v) ||
+           std::holds_alternative<std::uint64_t>(v) ||
+           std::holds_alternative<double>(v);
+  }
+
+  /// Numeric value as double. Throws std::runtime_error if not a number.
+  double number() const;
+  /// String value. Throws std::runtime_error if not a string.
+  const std::string& string() const;
+  /// Array value. Throws std::runtime_error if not an array.
+  const JsonArray& array() const;
+  /// Object value. Throws std::runtime_error if not an object.
+  const JsonObject& object() const;
+
+  /// First member named `key`, or nullptr. Requires an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document; throws std::runtime_error on malformed
+/// input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace wsn::obs::analyze

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <istream>
@@ -60,7 +61,7 @@ class JsonlParser {
       const std::string key = parse_string();
       expect(':');
       if (key == "t") {
-        ev.time = std::get<double>(parse_number());
+        ev.time = as_double(parse_number());
       } else if (key == "node") {
         ev.node = as_int(parse_number());
       } else if (key == "cat") {
@@ -83,6 +84,7 @@ class JsonlParser {
       }
     }
     expect('}');
+    if (pos_ != s_.size()) fail("trailing garbage after event object");
     return ev;
   }
 
@@ -179,6 +181,20 @@ class JsonlParser {
     throw std::runtime_error("parse_jsonl: expected integer field");
   }
 
+  /// Tolerant double read: our writer always marks doubles with '.'/'e',
+  /// but hand-edited traces may carry "t":5 — accept any numeric kind
+  /// rather than surfacing std::bad_variant_access.
+  static double as_double(const AttrValue& v) {
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+      return static_cast<double>(*u);
+    }
+    throw std::runtime_error("parse_jsonl: expected numeric field");
+  }
+
   [[noreturn]] void fail(const std::string& why) const {
     throw std::runtime_error("parse_jsonl: " + why + " at offset " +
                              std::to_string(pos_) + " in: " + s_);
@@ -193,9 +209,16 @@ class JsonlParser {
 std::vector<TraceEvent> parse_jsonl(std::istream& in) {
   std::vector<TraceEvent> out;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    out.push_back(JsonlParser(line).parse());
+    try {
+      out.push_back(JsonlParser(line).parse());
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("line " + std::to_string(lineno) + ": " +
+                               e.what());
+    }
   }
   return out;
 }
@@ -204,6 +227,23 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
                         std::ostream& out) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
+  // Thread-name metadata ('M' phase) for every node that appears, so the
+  // per-node rows in about://tracing / Perfetto carry readable labels
+  // instead of bare tids. Sorted + deduped for byte-stable output.
+  std::vector<std::int64_t> nodes;
+  nodes.reserve(events.size());
+  for (const TraceEvent& ev : events) nodes.push_back(ev.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (std::int64_t node : nodes) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << node
+        << ",\"args\":{\"name\":\""
+        << (node < 0 ? std::string("(unbound)")
+                     : "node " + std::to_string(node))
+        << "\"}}";
+  }
   for (const TraceEvent& ev : events) {
     std::string line;
     if (!first) line += ",\n";

@@ -27,6 +27,18 @@ void MetricsRegistry::add_summary(std::string name,
   summaries_.push_back({std::move(name), std::move(fn)});
 }
 
+void MetricsRegistry::add_histogram(std::string name,
+                                    const Histogram* histogram) {
+  histograms_.push_back({std::move(name), histogram});
+}
+
+const Histogram& MetricsRegistry::histogram(const std::string& name) const {
+  for (const HistogramEntry& e : histograms_) {
+    if (e.name == name) return *e.histogram;
+  }
+  throw std::out_of_range("MetricsRegistry: unknown histogram " + name);
+}
+
 namespace {
 
 LedgerSnapshot snapshot_of(const net::EnergyLedger& ledger) {
@@ -140,6 +152,41 @@ std::string MetricsRegistry::to_json() const {
     out += ",\"max\":";
     json_append_double(out, s.max());
     out += '}';
+  }
+  for (const HistogramEntry& e : histograms_) {
+    sep();
+    json_append_string(out, e.name);
+    const Histogram& h = *e.histogram;
+    out += ":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"lo\":";
+    json_append_double(out, h.lo());
+    out += ",\"hi\":";
+    json_append_double(out, h.hi());
+    out += ",\"min\":";
+    json_append_double(out, h.min());
+    out += ",\"max\":";
+    json_append_double(out, h.max());
+    out += ",\"mean\":";
+    json_append_double(out, h.mean());
+    out += ",\"p50\":";
+    json_append_double(out, h.p50());
+    out += ",\"p95\":";
+    json_append_double(out, h.p95());
+    out += ",\"p99\":";
+    json_append_double(out, h.p99());
+    out += ",\"underflow\":";
+    out += std::to_string(h.underflow());
+    out += ",\"overflow\":";
+    out += std::to_string(h.overflow());
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::uint64_t b : h.buckets()) {
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += std::to_string(b);
+    }
+    out += "]}";
   }
   out += '}';
   return out;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/energy.h"
+#include "obs/histogram.h"
 #include "sim/trace.h"
 
 namespace wsn::obs {
@@ -53,6 +54,14 @@ class MetricsRegistry {
   /// {count, mean, stddev, min, max}.
   void add_summary(std::string name, std::function<sim::Summary()> fn);
 
+  /// Registers a fixed-bucket histogram, exported as
+  /// {count, lo, hi, min, max, mean, p50, p95, p99, underflow, overflow,
+  ///  buckets:[...]}. Borrowed like every other instrument.
+  void add_histogram(std::string name, const Histogram* histogram);
+
+  /// Polls the named histogram now. Throws std::out_of_range if unknown.
+  const Histogram& histogram(const std::string& name) const;
+
   /// Polls the named ledger now. Throws std::out_of_range if unknown.
   LedgerSnapshot ledger_snapshot(const std::string& name) const;
 
@@ -74,11 +83,13 @@ class MetricsRegistry {
   struct LedgerEntry { std::string name; const net::EnergyLedger* ledger; };
   struct GaugeEntry { std::string name; std::function<double()> fn; };
   struct SummaryEntry { std::string name; std::function<sim::Summary()> fn; };
+  struct HistogramEntry { std::string name; const Histogram* histogram; };
 
   std::vector<CounterEntry> counters_;
   std::vector<LedgerEntry> ledgers_;
   std::vector<GaugeEntry> gauges_;
   std::vector<SummaryEntry> summaries_;
+  std::vector<HistogramEntry> histograms_;
 };
 
 }  // namespace wsn::obs

@@ -1,0 +1,640 @@
+// Offline trace analysis toolkit: flow reconstruction, critical paths,
+// energy attribution, the invariant checker, bench-baseline comparison, the
+// histogram instrument, and the wsn-inspect CLI driver.
+//
+// The analysis pipeline is exercised end-to-end against real captures: a
+// simulated run emits through the tracer into a ring buffer, the events are
+// round-tripped through JSONL, and the offline code must recover exactly
+// what the live ledgers and counters saw.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "bench/bench_common.h"
+#include "core/primitives.h"
+#include "core/virtual_network.h"
+#include "obs/analyze/bench_compare.h"
+#include "obs/analyze/check.h"
+#include "obs/analyze/cli.h"
+#include "obs/analyze/energy.h"
+#include "obs/analyze/flows.h"
+#include "obs/analyze/json_reader.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace wsn;
+using namespace wsn::obs::analyze;
+
+/// Captured virtual-layer run: every node sends one unit message to the
+/// grid origin, optionally with transmitter serialization (queueing).
+std::vector<obs::TraceEvent> capture_all_to_origin(std::size_t side,
+                                                   core::Congestion congestion) {
+  obs::RingBufferSink sink(1 << 16);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(side),
+                            core::uniform_cost_model(),
+                            core::LeaderPlacement::kNorthWest, congestion);
+  {
+    obs::ScopedTrace trace(sink);
+    for (const auto& c : vnet.grid().all_coords()) {
+      vnet.send(c, {0, 0}, std::monostate{}, 1.0);
+    }
+    sim.run();
+  }
+  return sink.events();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram instrument
+
+TEST(Histogram, PercentilesOnUniformData) {
+  obs::Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 50.0, 1e-9);
+  // Bucket i holds exactly one sample; interpolation lands mid-bucket-edge.
+  EXPECT_NEAR(h.p50(), 50.0, 1.0);
+  EXPECT_NEAR(h.p95(), 95.0, 1.0);
+  EXPECT_NEAR(h.p99(), 99.0, 1.0);
+  EXPECT_NEAR(h.percentile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowTracked) {
+  obs::Histogram h(10.0, 20.0, 4);
+  h.add(5.0);    // underflow
+  h.add(25.0);   // overflow
+  h.add(12.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+  // p100 clamps to hi even though max() is beyond it.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(obs::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RegistrySnapshotCarriesPercentiles) {
+  obs::Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  obs::MetricsRegistry registry;
+  registry.add_histogram("app.latency", &h);
+  EXPECT_EQ(&registry.histogram("app.latency"), &h);
+  EXPECT_THROW(registry.histogram("nope"), std::out_of_range);
+
+  const JsonValue doc = parse_json(registry.to_json());
+  const JsonValue* hist = doc.find("app.latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->number(), 10.0);
+  EXPECT_NEAR(hist->find("p50")->number(), 5.0, 1.0);
+  EXPECT_NEAR(hist->find("p99")->number(), 9.9, 1.0);
+  ASSERT_TRUE(hist->find("buckets")->is_array());
+  EXPECT_EQ(hist->find("buckets")->array().size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(JsonReader, ParsesNestedDocument) {
+  const JsonValue v = parse_json(
+      R"({"a": [1, -2, 3.5, "x"], "b": {"c": true, "d": null}})");
+  const JsonArray& a = v.find("a")->array();
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<std::uint64_t>(a[0].v));
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(a[1].v));
+  EXPECT_TRUE(std::holds_alternative<double>(a[2].v));
+  EXPECT_EQ(a[3].string(), "x");
+  EXPECT_TRUE(v.find("b")->find("c")->is_bool());
+  EXPECT_TRUE(v.find("b")->find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{\"a\": 1"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1} extra"), std::runtime_error);
+  EXPECT_THROW(parse_json("{'a': 1}"), std::runtime_error);
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": tru}"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Flow reconstruction
+
+TEST(FlowReconstruction, RecoversPathAndLatencyContentionFree) {
+  const auto events =
+      capture_all_to_origin(8, core::Congestion::kNone);
+  const auto flows = reconstruct_flows(events);
+  ASSERT_EQ(flows.size(), 64u);
+
+  core::GridTopology grid(8);
+  for (const Flow& f : flows) {
+    ASSERT_TRUE(f.has_send);
+    if (f.self_send) {
+      EXPECT_EQ(f.expected_hops, 0u);
+      continue;
+    }
+    EXPECT_TRUE(f.delivered);
+    EXPECT_EQ(f.dst_node, 0);
+    const auto src = grid.coord_of(static_cast<std::size_t>(f.src_node));
+    EXPECT_EQ(f.expected_hops, manhattan(src, {0, 0}));
+    EXPECT_EQ(f.hops.size(), f.expected_hops);
+    // Unit cost model, no contention: latency == hops, zero queueing.
+    EXPECT_DOUBLE_EQ(f.latency(), static_cast<double>(f.expected_hops));
+    EXPECT_DOUBLE_EQ(f.total_wait(), 0.0);
+    EXPECT_DOUBLE_EQ(f.total_transmit(), f.latency());
+  }
+}
+
+TEST(FlowReconstruction, CapturesQueueingUnderSerialization) {
+  const auto events =
+      capture_all_to_origin(8, core::Congestion::kNodeSerialized);
+  const auto flows = reconstruct_flows(events);
+  double total_wait = 0.0;
+  for (const Flow& f : flows) {
+    if (f.self_send) continue;
+    EXPECT_TRUE(f.delivered);
+    // Exact decomposition even under queueing: latency = wait + transmit.
+    EXPECT_NEAR(f.latency(), f.total_wait() + f.total_transmit(), 1e-9);
+    total_wait += f.total_wait();
+  }
+  // 64 transmitters funneling into one corner must queue somewhere.
+  EXPECT_GT(total_wait, 0.0);
+}
+
+TEST(FlowReconstruction, CollectiveSpansPairUp) {
+  obs::RingBufferSink sink(1 << 14);
+  sim::Simulator sim(1);
+  core::GridTopology grid(4);
+  core::VirtualNetwork vnet(sim, grid, core::uniform_cost_model());
+  core::GroupHierarchy groups(grid);
+  {
+    obs::ScopedTrace trace(sink);
+    const auto members = groups.members({0, 0}, 2);
+    std::vector<double> values(members.size(), 1.0);
+    core::group_reduce(vnet, members, groups.leader_of({0, 0}, 2), values,
+                       core::ReduceOp::kSum, 1.0,
+                       [](const core::CollectiveResult&) {});
+    sim.run();
+  }
+  const auto spans = reconstruct_collectives(sink.events());
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].closed);
+  EXPECT_EQ(spans[0].members, 16u);
+  EXPECT_GT(spans[0].duration(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+
+TEST(CriticalPath, FollowsDependencyChain) {
+  obs::RingBufferSink sink(1 << 14);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  {
+    obs::ScopedTrace trace(sink);
+    // A three-stage relay: (0,7) -> (0,3), then after a merge pause the
+    // result continues (0,3) -> (0,1) -> (0,0).
+    vnet.set_receiver({0, 3}, [&](const core::VirtualMessage&) {
+      vnet.send({0, 3}, {0, 1}, std::monostate{}, 1.0);
+    });
+    vnet.set_receiver({0, 1}, [&](const core::VirtualMessage&) {
+      vnet.send({0, 1}, {0, 0}, std::monostate{}, 1.0);
+    });
+    vnet.send({0, 7}, {0, 3}, std::monostate{}, 1.0);
+    sim.run();
+  }
+  const auto flows = reconstruct_flows(sink.events());
+  ASSERT_EQ(flows.size(), 3u);
+  const CriticalPathReport report = critical_path(flows);
+  ASSERT_EQ(report.chain.size(), 3u);
+  // Chain in time order, rooted at the original sender.
+  EXPECT_EQ(report.chain.front().flow->src_node, 7);
+  EXPECT_EQ(report.chain.back().flow->dst_node, 0);
+  EXPECT_DOUBLE_EQ(report.chain.front().gap_before, 0.0);
+  // Sends happen inside the deliver callbacks at the delivery instant, so
+  // the chain has no idle node time and total == transmit.
+  EXPECT_DOUBLE_EQ(report.node_gaps, 0.0);
+  EXPECT_DOUBLE_EQ(report.total(), 4.0 + 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(report.message_transmit, 7.0);
+  EXPECT_DOUBLE_EQ(report.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(report.end_time, 7.0);
+}
+
+TEST(CriticalPath, WindowRestrictsChain) {
+  const auto events =
+      capture_all_to_origin(8, core::Congestion::kNone);
+  const auto flows = reconstruct_flows(events);
+  const CriticalPathReport full = critical_path(flows);
+  ASSERT_FALSE(full.chain.empty());
+  // All sends happen at t=0, so every chain is a single flow; the longest
+  // is the far-corner 14-hop message.
+  EXPECT_EQ(full.chain.size(), 1u);
+  EXPECT_DOUBLE_EQ(full.total(), 14.0);
+  const CriticalPathReport windowed = critical_path_in(flows, 0.0, 8.0);
+  ASSERT_FALSE(windowed.chain.empty());
+  EXPECT_LE(windowed.end_time, 8.0);
+  EXPECT_DOUBLE_EQ(windowed.total(), 8.0);
+}
+
+TEST(CriticalPath, EmptyOnNoDeliveries) {
+  const CriticalPathReport report = critical_path({});
+  EXPECT_TRUE(report.chain.empty());
+  EXPECT_DOUBLE_EQ(report.total(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Energy attribution
+
+TEST(EnergyAttribution, MatchesLedgerExactlyPerNode) {
+  obs::RingBufferSink sink(1 << 16);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  {
+    obs::ScopedTrace trace(sink);
+    for (const auto& c : vnet.grid().all_coords()) {
+      vnet.send(c, {0, 0}, std::monostate{}, 2.0);  // non-unit size
+    }
+    sim.run();
+  }
+  const EnergyMap map = attribute_energy(sink.events());
+  const auto& ledger = vnet.ledger();
+  EXPECT_NEAR(map.vnet.tx, ledger.total(net::EnergyUse::kTx), 1e-9);
+  EXPECT_NEAR(map.vnet.rx, ledger.total(net::EnergyUse::kRx), 1e-9);
+  ASSERT_EQ(map.vnet.nodes.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(map.vnet.nodes[i].tx,
+                ledger.spent(static_cast<net::NodeId>(i), net::EnergyUse::kTx),
+                1e-9)
+        << "node " << i;
+    EXPECT_NEAR(map.vnet.nodes[i].rx,
+                ledger.spent(static_cast<net::NodeId>(i), net::EnergyUse::kRx),
+                1e-9)
+        << "node " << i;
+  }
+}
+
+TEST(EnergyAttribution, LinkLayerMatchesLedger) {
+  bench::PhysicalStack stack(4, 40, 1.6, 7);
+  ASSERT_TRUE(stack.healthy());
+  stack.ledger->reset();  // drop setup-phase energy: the trace starts here
+  obs::RingBufferSink sink(1 << 16);
+  {
+    obs::ScopedTrace trace(sink);
+    for (int i = 0; i < 4; ++i) {
+      stack.overlay->send({3, 3}, {0, 0}, std::monostate{}, 1.0);
+    }
+    stack.sim.run();
+  }
+  const EnergyMap map = attribute_energy(sink.events());
+  EXPECT_GT(map.link.total(), 0.0);
+  EXPECT_NEAR(map.link.tx, stack.ledger->total(net::EnergyUse::kTx), 1e-9);
+  EXPECT_NEAR(map.link.rx, stack.ledger->total(net::EnergyUse::kRx), 1e-9);
+}
+
+TEST(EnergyAttribution, HotspotReportQuantifiesLeaderImbalance) {
+  // The quad-tree aggregation funnels summaries through NW-corner leaders;
+  // the per-level fold must show leaders outspending followers, more so at
+  // higher levels.
+  obs::RingBufferSink sink(1 << 16);
+  sim::Simulator sim(1);
+  core::GridTopology grid(16);
+  core::VirtualNetwork vnet(sim, grid, core::uniform_cost_model());
+  core::GroupHierarchy groups(grid);
+  {
+    obs::ScopedTrace trace(sink);
+    // Every node reports to its level-2 leader; leaders forward to the root.
+    for (const auto& c : grid.all_coords()) {
+      vnet.send(c, groups.leader_of(c, 2), std::monostate{}, 1.0);
+    }
+    for (const auto& leader : groups.leaders(2)) {
+      vnet.send(leader, {0, 0}, std::monostate{}, 1.0);
+    }
+    sim.run();
+  }
+  const EnergyMap map = attribute_energy(sink.events());
+  const HotspotReport hs = hotspot_report(map.vnet);
+  EXPECT_EQ(hs.side, 16u);
+  ASSERT_EQ(hs.levels.size(), 4u);
+  const LevelEnergy& l2 = hs.levels[1];
+  EXPECT_EQ(l2.level, 2u);
+  EXPECT_EQ(l2.leader_count, 16u);
+  EXPECT_GT(l2.leader_mean, l2.follower_mean);
+  EXPECT_GT(l2.imbalance(), 1.0);
+  EXPECT_GE(hs.hotspot_factor(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checker
+
+TEST(Checker, PassesOnRealCapture) {
+  const auto events =
+      capture_all_to_origin(8, core::Congestion::kNodeSerialized);
+  const CheckReport report = check_trace(events);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_EQ(report.flows_checked, 64u);
+}
+
+TEST(Checker, DetectsDroppedDelivery) {
+  auto events = capture_all_to_origin(4, core::Congestion::kNone);
+  auto it = std::find_if(events.begin(), events.end(),
+                         [](const obs::TraceEvent& e) {
+                           return e.name == "deliver";
+                         });
+  ASSERT_NE(it, events.end());
+  events.erase(it);
+  const CheckReport report = check_trace(events);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].find("never delivered"), std::string::npos);
+}
+
+TEST(Checker, DetectsOrphanDelivery) {
+  auto events = capture_all_to_origin(4, core::Congestion::kNone);
+  // Delete a send, keeping its hops/delivery: an orphan receive.
+  auto it = std::find_if(events.begin(), events.end(),
+                         [](const obs::TraceEvent& e) {
+                           return e.name == "send";
+                         });
+  ASSERT_NE(it, events.end());
+  events.erase(it);
+  const CheckReport report = check_trace(events);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].find("without a send"), std::string::npos);
+}
+
+TEST(Checker, DetectsTamperedHopTiming) {
+  auto events = capture_all_to_origin(4, core::Congestion::kNone);
+  for (obs::TraceEvent& ev : events) {
+    if (ev.name != "hop") continue;
+    for (obs::Attr& a : ev.attrs) {
+      if (a.key == "wait") a.value = -0.5;  // impossible negative queueing
+    }
+    break;
+  }
+  const CheckReport report = check_trace(events);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].find("acausal"), std::string::npos);
+}
+
+TEST(Checker, EnergyAgreesWithMetricsSnapshot) {
+  obs::RingBufferSink sink(1 << 16);
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(8),
+                            core::uniform_cost_model());
+  {
+    obs::ScopedTrace trace(sink);
+    for (const auto& c : vnet.grid().all_coords()) {
+      vnet.send(c, {0, 0}, std::monostate{}, 1.0);
+    }
+    sim.run();
+  }
+  obs::MetricsRegistry registry;
+  vnet.register_metrics(registry);
+  const JsonValue snapshot = parse_json(registry.to_json());
+
+  const CheckReport ok = check_energy(sink.events(), snapshot);
+  EXPECT_TRUE(ok.ok()) << (ok.issues.empty() ? "" : ok.issues[0]);
+
+  // A capture missing one hop's worth of events must be caught.
+  auto truncated = sink.events();
+  truncated.pop_back();
+  auto it = std::find_if(truncated.begin(), truncated.end(),
+                         [](const obs::TraceEvent& e) {
+                           return e.name == "deliver";
+                         });
+  ASSERT_NE(it, truncated.end());
+  truncated.erase(it);
+  const CheckReport bad = check_energy(truncated, snapshot);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.issues[0].find("vnet.energy"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bench comparison
+
+constexpr const char* kBaseline =
+    "{\"bench\":\"a\",\"side\":4,\"latency\":10.0,\"setup_ms\":3.5}\n"
+    "{\"bench\":\"a\",\"side\":8,\"latency\":20.0,\"setup_ms\":9.9}\n"
+    "{\"bench\":\"b\",\"algo\":\"tree\",\"energy\":100.0}\n";
+
+TEST(BenchCompare, IdenticalCapturesPass) {
+  const CompareReport r = compare_bench(kBaseline, kBaseline, 0.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.rows_compared, 3u);
+  // side+latency per 'a' row, energy for 'b'; setup_ms is wall clock and
+  // never compared.
+  EXPECT_EQ(r.fields_compared, 5u);
+}
+
+TEST(BenchCompare, FlagsDriftBeyondTolerance) {
+  const std::string current =
+      "{\"bench\":\"a\",\"side\":4,\"latency\":10.5,\"setup_ms\":99.0}\n"
+      "{\"bench\":\"a\",\"side\":8,\"latency\":25.0,\"setup_ms\":9.9}\n"
+      "{\"bench\":\"b\",\"algo\":\"tree\",\"energy\":100.0}\n";
+  const CompareReport r = compare_bench(kBaseline, current, 0.10);
+  ASSERT_EQ(r.regressions.size(), 1u);  // 10.0->10.5 is 5%: within tolerance
+  EXPECT_EQ(r.regressions[0].bench, "a");
+  EXPECT_EQ(r.regressions[0].field, "latency");
+  EXPECT_DOUBLE_EQ(r.regressions[0].baseline, 20.0);
+  EXPECT_DOUBLE_EQ(r.regressions[0].current, 25.0);
+  EXPECT_NEAR(r.regressions[0].rel_change(), 0.25, 1e-9);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BenchCompare, FlagsStructuralMismatches) {
+  const std::string missing_row =
+      "{\"bench\":\"a\",\"side\":4,\"latency\":10.0}\n"
+      "{\"bench\":\"b\",\"algo\":\"tree\",\"energy\":100.0}\n";
+  const CompareReport rows = compare_bench(kBaseline, missing_row, 0.10);
+  EXPECT_FALSE(rows.ok());
+  ASSERT_FALSE(rows.mismatches.empty());
+
+  const std::string changed_algo =
+      "{\"bench\":\"a\",\"side\":4,\"latency\":10.0,\"setup_ms\":1.0}\n"
+      "{\"bench\":\"a\",\"side\":8,\"latency\":20.0,\"setup_ms\":1.0}\n"
+      "{\"bench\":\"b\",\"algo\":\"list\",\"energy\":100.0}\n";
+  const CompareReport algo = compare_bench(kBaseline, changed_algo, 0.10);
+  EXPECT_FALSE(algo.ok());
+  EXPECT_NE(algo.mismatches[0].find("identity"), std::string::npos);
+
+  EXPECT_THROW(compare_bench("not json\n", kBaseline, 0.1),
+               std::runtime_error);
+  EXPECT_THROW(compare_bench("{\"no_bench_key\":1}\n", kBaseline, 0.1),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace exporter validation
+
+TEST(ChromeExport, ProducesValidJsonWithThreadNames) {
+  const auto events =
+      capture_all_to_origin(4, core::Congestion::kNone);
+  std::ostringstream os;
+  obs::write_chrome_trace(events, os);
+  const JsonValue doc = parse_json(os.str());  // whole file must parse
+
+  const JsonValue* trace_events = doc.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  const JsonArray& arr = trace_events->array();
+
+  std::set<std::int64_t> nodes_in_data;
+  std::set<std::int64_t> nodes_named;
+  std::map<std::uint64_t, double> last_ts;
+  for (const JsonValue& ev : arr) {
+    const std::string& name = ev.find("name")->string();
+    const auto tid = static_cast<std::int64_t>(ev.find("tid")->number());
+    if (ev.find("ph")->string() == "M") {
+      ASSERT_EQ(name, "thread_name");
+      nodes_named.insert(tid);
+      continue;
+    }
+    nodes_in_data.insert(tid);
+    // ts monotone per flow: the Chrome timeline arrows must point forward.
+    const JsonValue* flow = ev.find("args")->find("flow");
+    if (flow != nullptr) {
+      const double ts = ev.find("ts")->number();
+      const auto id = static_cast<std::uint64_t>(flow->number());
+      auto [it, fresh] = last_ts.try_emplace(id, ts);
+      if (!fresh) {
+        EXPECT_GE(ts, it->second) << "flow " << id << " went backwards";
+        it->second = ts;
+      }
+    }
+  }
+  // Every node appearing in data events carries a thread-name record.
+  for (std::int64_t node : nodes_in_data) {
+    EXPECT_TRUE(nodes_named.count(node)) << "node " << node << " unnamed";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLI driver
+
+class InspectCli : public ::testing::Test {
+ protected:
+  /// Runs a subcommand; returns exit code, fills out_/err_.
+  int run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run_inspect(args, out_, err_);
+  }
+
+  /// Writes a capture of the 8x8 all-to-origin run to a temp file.
+  std::string write_trace() {
+    const std::string path = testing::TempDir() + "analyze_cli.trace.jsonl";
+    const auto events =
+        capture_all_to_origin(8, core::Congestion::kNodeSerialized);
+    std::ofstream out(path);
+    obs::write_jsonl(events, out);
+    return path;
+  }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const std::string path = testing::TempDir() + name;
+    std::ofstream(path) << text;
+    return path;
+  }
+
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(InspectCli, FlowsTable) {
+  ASSERT_EQ(run({"flows", write_trace(), "--limit", "5"}), 0);
+  EXPECT_NE(out_.str().find("latency"), std::string::npos);
+  EXPECT_NE(out_.str().find("5 of 64 flows"), std::string::npos);
+}
+
+TEST_F(InspectCli, CriticalPath) {
+  ASSERT_EQ(run({"critical-path", write_trace()}), 0);
+  EXPECT_NE(out_.str().find("critical path:"), std::string::npos);
+  EXPECT_NE(out_.str().find("queueing"), std::string::npos);
+}
+
+TEST_F(InspectCli, EnergyMap) {
+  ASSERT_EQ(run({"energy-map", write_trace()}), 0);
+  EXPECT_NE(out_.str().find("virtual layer"), std::string::npos);
+  EXPECT_NE(out_.str().find("hotspot"), std::string::npos);
+  EXPECT_NE(out_.str().find("imbalance"), std::string::npos);
+}
+
+TEST_F(InspectCli, HistogramSummaries) {
+  ASSERT_EQ(run({"histogram", write_trace()}), 0);
+  EXPECT_NE(out_.str().find("latency"), std::string::npos);
+  EXPECT_NE(out_.str().find("p95"), std::string::npos);
+}
+
+TEST_F(InspectCli, CheckPassesAndFails) {
+  const std::string good = write_trace();
+  ASSERT_EQ(run({"check", good}), 0);
+  EXPECT_NE(out_.str().find("all invariants hold"), std::string::npos);
+
+  // Corrupt the capture: strip the first deliver line.
+  std::ifstream in(good);
+  std::string line;
+  std::string bad_text;
+  bool dropped = false;
+  while (std::getline(in, line)) {
+    if (!dropped && line.find("\"deliver\"") != std::string::npos) {
+      dropped = true;
+      continue;
+    }
+    bad_text += line + "\n";
+  }
+  ASSERT_TRUE(dropped);
+  const std::string bad = write_file("analyze_cli.bad.jsonl", bad_text);
+  EXPECT_EQ(run({"check", bad}), 1);
+  EXPECT_NE(out_.str().find("FAIL"), std::string::npos);
+}
+
+TEST_F(InspectCli, BenchCompareGate) {
+  const std::string base = write_file(
+      "analyze_cli.base.jsonl",
+      "{\"bench\":\"x\",\"latency\":10.0}\n{\"bench\":\"y\",\"e\":5.0}\n");
+  const std::string same = write_file(
+      "analyze_cli.same.jsonl",
+      "{\"bench\":\"x\",\"latency\":10.4}\n{\"bench\":\"y\",\"e\":5.0}\n");
+  const std::string worse = write_file(
+      "analyze_cli.worse.jsonl",
+      "{\"bench\":\"x\",\"latency\":14.0}\n{\"bench\":\"y\",\"e\":5.0}\n");
+  EXPECT_EQ(run({"bench-compare", "--baseline", base, "--current", same,
+                 "--tolerance", "10%"}),
+            0);
+  EXPECT_NE(out_.str().find("no regressions"), std::string::npos);
+  EXPECT_EQ(run({"bench-compare", "--baseline", base, "--current", worse,
+                 "--tolerance", "10%"}),
+            1);
+  EXPECT_NE(out_.str().find("regression"), std::string::npos);
+}
+
+TEST_F(InspectCli, UsageErrors) {
+  EXPECT_EQ(run({}), 2);
+  EXPECT_EQ(run({"no-such-command"}), 2);
+  EXPECT_EQ(run({"flows", "/no/such/file.jsonl"}), 2);
+  EXPECT_EQ(run({"flows", "a.jsonl", "--bogus", "1"}), 2);
+  EXPECT_EQ(run({"bench-compare", "--baseline", "only"}), 2);
+  EXPECT_EQ(run({"help"}), 0);
+}
+
+}  // namespace

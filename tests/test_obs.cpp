@@ -136,6 +136,62 @@ TEST(JsonlExport, ParseRejectsGarbage) {
   EXPECT_THROW(obs::parse_jsonl(in), std::runtime_error);
 }
 
+TEST(JsonlExport, ParseAcceptsIntegerTypedTime) {
+  // Foreign producers often emit whole-number times without a decimal
+  // point; the reader must coerce instead of dying on the variant type.
+  std::istringstream in(
+      "{\"t\":5,\"node\":2,\"cat\":\"vnet\",\"ph\":\"i\",\"name\":\"send\","
+      "\"flow\":1,\"args\":{}}\n");
+  const auto events = obs::parse_jsonl(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].time, 5.0);
+  EXPECT_EQ(events[0].node, 2);
+}
+
+TEST(JsonlExport, ParseFailuresAreCleanRuntimeErrors) {
+  // Every malformed shape must surface as std::runtime_error with a line
+  // number — never std::bad_variant_access or a silent skip.
+  const char* bad_lines[] = {
+      // string where a number is required
+      "{\"t\":\"x\",\"node\":0,\"cat\":\"vnet\",\"ph\":\"i\",\"name\":\"a\","
+      "\"flow\":0,\"args\":{}}",
+      // truncated mid-object
+      "{\"t\":1.0,\"node\":0,\"cat\":\"vnet\",\"ph\":\"i\",\"na",
+      // not an object at all
+      "[1,2,3]",
+      // unknown category
+      "{\"t\":1.0,\"node\":0,\"cat\":\"warp\",\"ph\":\"i\",\"name\":\"a\","
+      "\"flow\":0,\"args\":{}}",
+      // unknown top-level key
+      "{\"t\":1.0,\"node\":0,\"cat\":\"vnet\",\"ph\":\"i\",\"name\":\"a\","
+      "\"flow\":0,\"extra\":1,\"args\":{}}",
+      // multi-char phase
+      "{\"t\":1.0,\"node\":0,\"cat\":\"vnet\",\"ph\":\"BE\",\"name\":\"a\","
+      "\"flow\":0,\"args\":{}}",
+      // trailing garbage after a complete object
+      "{\"t\":1.0,\"node\":0,\"cat\":\"vnet\",\"ph\":\"i\",\"name\":\"a\","
+      "\"flow\":0,\"args\":{}} trailing",
+  };
+  for (const char* line : bad_lines) {
+    std::istringstream in(std::string(line) + "\n");
+    EXPECT_THROW(obs::parse_jsonl(in), std::runtime_error) << line;
+  }
+}
+
+TEST(JsonlExport, ParseErrorsCarryLineNumbers) {
+  std::istringstream in(
+      "{\"t\":1.0,\"node\":0,\"cat\":\"vnet\",\"ph\":\"i\",\"name\":\"a\","
+      "\"flow\":0,\"args\":{}}\n"
+      "{broken\n");
+  try {
+    obs::parse_jsonl(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ChromeExport, ProducesLoadableSkeleton) {
   std::vector<obs::TraceEvent> events;
   events.push_back({2.0, 5, obs::Category::kVirtual, 'i', "send", 1,

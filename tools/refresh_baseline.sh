@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_BASELINE.json: one JSONL row per bench table row, in a
+# fixed bench order so diffs stay readable. Run after an intentional
+# performance or algorithm change, then commit the result:
+#
+#   tools/refresh_baseline.sh build
+#   git add BENCH_BASELINE.json
+#
+# CI gates every push with
+#   wsn-inspect bench-compare --baseline BENCH_BASELINE.json \
+#       --current <fresh run> --tolerance 10%
+# so an uncommitted drift in any simulated quantity (energy, latency,
+# message counts, ...) fails the build. Wall-clock fields (*_ms) are never
+# compared. All benches listed here are seeded and deterministic;
+# bench_micro_kernels is excluded (google-benchmark has its own JSON
+# format and measures wall clock only).
+set -euo pipefail
+
+build_dir=${1:-build}
+out=${2:-BENCH_BASELINE.json}
+
+benches=(
+  bench_dnc_vs_centralized
+  bench_fanout_ablation
+  bench_fig3_mapping
+  bench_fig4_program
+  bench_group_comm
+  bench_incremental
+  bench_lifetime
+  bench_maintenance
+  bench_mapping_ablation
+  bench_message_size
+  bench_step_complexity
+  bench_stored_queries
+  bench_tree_topology
+)
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+for b in "${benches[@]}"; do
+  exe="$build_dir/bench/$b"
+  if [[ ! -x "$exe" ]]; then
+    echo "refresh_baseline: $exe not built" >&2
+    exit 2
+  fi
+  rows=$(mktemp)
+  "$exe" --json "$rows" > /dev/null
+  cat "$rows" >> "$tmp"
+  rm -f "$rows"
+  echo "refresh_baseline: $b" >&2
+done
+mv "$tmp" "$out"
+echo "refresh_baseline: wrote $(wc -l < "$out") rows to $out" >&2

@@ -1,0 +1,13 @@
+// wsn-inspect: offline analysis of trace/metrics/bench captures.
+// All logic lives in wsn_analyze (obs/analyze/cli.h) so tests can drive the
+// subcommands in-process; this is only the argv shim.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return wsn::obs::analyze::run_inspect(args, std::cout, std::cerr);
+}
