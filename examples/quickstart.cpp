@@ -11,21 +11,34 @@
 //   --trace <path>         dump the full JSONL event trace
 //   --chrome-trace <path>  dump a Chrome trace_event file (about://tracing)
 //   --metrics <path>       dump the unified metrics snapshot as JSON
+//
+// Robustness (see README "Fault tolerance"):
+//   --campaign <json>      additionally replay a fault-injection campaign
+//                          (e.g. campaigns/loss_burst.json) against a
+//                          physical deployment hardened with ARQ + leader
+//                          failover, appended after the classic output
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/analytical.h"
 #include "analysis/metrics.h"
 #include "app/field.h"
 #include "app/queries.h"
 #include "app/topographic.h"
+#include "bench/bench_common.h"
+#include "core/primitives.h"
 #include "core/virtual_network.h"
+#include "emulation/leader_binding.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
+#include "sim/fault_plan.h"
 
 namespace {
 
@@ -35,6 +48,15 @@ std::string arg_value(int argc, char** argv, const char* flag) {
   }
   return "";
 }
+
+/// The --campaign phase: a physical 8x8 deployment with the ARQ channel and
+/// automatic failover, kept alive until the metrics dump so its instruments
+/// can be registered.
+struct CampaignPhase {
+  wsn::bench::PhysicalStack stack{8, 200, 1.3, 1};
+  std::unique_ptr<wsn::emulation::FailoverBinder> binder;
+  std::unique_ptr<wsn::sim::FaultInjector> injector;
+};
 
 }  // namespace
 
@@ -95,6 +117,75 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(outcome.round.messages_sent),
               static_cast<unsigned long long>(predicted.messages));
 
+  // Optional fault-injection campaign, appended after the classic output so
+  // the default run stays byte-identical.
+  std::unique_ptr<CampaignPhase> campaign;
+  const std::string campaign_path = arg_value(argc, argv, "--campaign");
+  if (!campaign_path.empty()) {
+    std::ifstream in(campaign_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read campaign %s\n",
+                   campaign_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const sim::FaultPlan plan = sim::FaultPlan::from_json(buf.str());
+
+    campaign = std::make_unique<CampaignPhase>();
+    CampaignPhase& c = *campaign;
+    if (!c.stack.healthy()) {
+      std::fprintf(stderr, "error: campaign deployment unhealthy\n");
+      return 1;
+    }
+    net::ReliableConfig rcfg;
+    rcfg.max_retries = 3;
+    c.stack.enable_arq(rcfg);
+    c.binder = std::make_unique<emulation::FailoverBinder>(*c.stack.arq,
+                                                           *c.stack.overlay);
+    c.injector = std::make_unique<sim::FaultInjector>(
+        c.stack.sim, *c.stack.link, c.stack.mapper.get());
+    c.injector->set_leader_lookup([&c](const core::GridCoord& cell) {
+      return c.stack.overlay->bound_node(cell);
+    });
+    c.injector->arm(plan);
+    // Apply the campaign's t=0 faults before the first round begins.
+    c.stack.sim.run_until(c.stack.sim.now() + 0.5);
+
+    std::printf("\nFault campaign      : %s (%zu events)\n",
+                campaign_path.c_str(), plan.events.size());
+    std::printf("deployment          : 8x8 grid, 200 nodes, ARQ + failover\n");
+
+    std::vector<core::GridCoord> members;
+    std::vector<double> cvalues;
+    for (const core::GridCoord& cell : core::GridTopology(8).all_coords()) {
+      members.push_back(cell);
+      cvalues.push_back(1.0);
+    }
+    for (int round = 1; round <= 2; ++round) {
+      core::PartialResult result;
+      core::group_reduce_deadline(
+          *c.stack.overlay, members, {0, 0}, cvalues, core::ReduceOp::kSum,
+          1.0, 200.0,
+          [&result](const core::PartialResult& r) { result = r; });
+      c.stack.sim.run();
+      std::printf("round %d sum         : %.0f from %zu/%zu contributors "
+                  "(%s)\n",
+                  round, result.value, result.contributors.size(),
+                  result.expected.size(),
+                  result.complete()
+                      ? "complete"
+                      : result.deadline_hit ? "deadline hit" : "partial");
+    }
+    std::printf("leader failovers    : %llu\n",
+                static_cast<unsigned long long>(c.binder->failovers()));
+    std::printf("arq recovery        : %llu retransmits, %llu give-ups\n",
+                static_cast<unsigned long long>(
+                    c.stack.arq->counters().get("arq.retransmit")),
+                static_cast<unsigned long long>(
+                    c.stack.arq->counters().get("arq.give_up")));
+  }
+
   // Observability dumps.
   if (tracing) {
     obs::tracer().set_sink(nullptr);
@@ -129,6 +220,11 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     obs::MetricsRegistry registry;
     vnet.register_metrics(registry);
+    if (campaign) {
+      campaign->stack.register_metrics(registry);
+      campaign->injector->register_metrics(registry);
+      campaign->binder->register_metrics(registry);
+    }
     std::ofstream out(metrics_path);
     registry.write_json(out);
     if (out) {

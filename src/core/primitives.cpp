@@ -72,6 +72,16 @@ struct ReduceState {
 
 }  // namespace
 
+std::vector<GridCoord> PartialResult::missing() const {
+  std::vector<GridCoord> out;
+  for (const GridCoord& m : expected) {
+    bool found = false;
+    for (const GridCoord& c : contributors) found = found || c == m;
+    if (!found) out.push_back(m);
+  }
+  return out;
+}
+
 void group_reduce(MessageFabric& fabric, std::span<const GridCoord> members,
                   const GridCoord& leader, std::span<const double> values,
                   ReduceOp op, double message_units,
@@ -340,6 +350,238 @@ void group_rank(MessageFabric& fabric, std::span<const GridCoord> members,
             });
             fabric.send(leader, m, static_cast<double>((*ranks)[i]), 1.0);
           }
+        });
+      });
+}
+
+// ---- Deadline-bounded variants ------------------------------------------
+
+namespace {
+
+/// Shared state of a deadline-bounded gather. Contribution i corresponds to
+/// expected[i]; the leader's own value counts as arrived immediately.
+struct DeadlineState {
+  std::vector<GridCoord> expected;
+  std::vector<double> values;
+  std::vector<bool> arrived;
+  std::size_t outstanding = 0;
+  std::uint32_t messages = 0;
+  bool closed = false;
+  sim::EventId timer = 0;
+  std::uint64_t flow = 0;
+};
+
+/// Payload of a deadline-variant contribution: tagging with the member
+/// index both makes arrival order irrelevant and lets the leader attribute
+/// each arrival to a contributor.
+struct DeadlineTagged {
+  std::size_t index;
+  double value;
+};
+
+PartialResult make_partial(MessageFabric& fabric,
+                           const std::shared_ptr<DeadlineState>& st,
+                           bool deadline_hit, double value) {
+  PartialResult r;
+  r.value = value;
+  r.expected = st->expected;
+  for (std::size_t i = 0; i < st->expected.size(); ++i) {
+    if (st->arrived[i]) r.contributors.push_back(st->expected[i]);
+  }
+  r.finished = fabric.simulator().now();
+  r.messages = st->messages;
+  r.deadline_hit = deadline_hit;
+  return r;
+}
+
+/// Emits the 'E' span of a deadline collective, annotated with how partial
+/// the close was.
+void collective_end_partial(MessageFabric& fabric, const char* what,
+                            const GridCoord& leader, std::uint64_t flow,
+                            const PartialResult& result) {
+  auto& tr = obs::tracer();
+  if (!tr.enabled(obs::Category::kCollective)) return;
+  tr.emit({fabric.simulator().now(),
+           static_cast<std::int64_t>(fabric.grid().index_of(leader)),
+           obs::Category::kCollective, 'E', what, flow,
+           {{"value", result.value},
+            {"messages", static_cast<std::uint64_t>(result.messages)},
+            {"contributors",
+             static_cast<std::uint64_t>(result.contributors.size())},
+            {"expected", static_cast<std::uint64_t>(result.expected.size())},
+            {"partial",
+             static_cast<std::uint64_t>(result.complete() ? 0 : 1)}}});
+}
+
+/// The engine under all three deadline collectives: tagged gather at the
+/// leader, closed by whichever fires first — the last contribution or the
+/// deadline timer. `then(state, deadline_hit)` runs exactly once; late
+/// contributions afterwards only produce a kCollective "late" trace event.
+void deadline_gather(
+    MessageFabric& fabric, std::span<const GridCoord> members,
+    const GridCoord& leader, std::span<const double> values,
+    double message_units, sim::Time deadline, const char* what,
+    std::function<void(std::shared_ptr<DeadlineState>, bool)> then) {
+  if (members.size() != values.size()) {
+    throw std::invalid_argument(
+        "deadline collective: members/values size mismatch");
+  }
+  if (deadline < 0) {
+    throw std::invalid_argument("deadline collective: negative deadline");
+  }
+  auto st = std::make_shared<DeadlineState>();
+  st->expected.assign(members.begin(), members.end());
+  st->values.assign(values.begin(), values.end());
+  st->arrived.assign(members.size(), false);
+  st->flow = collective_begin(fabric, what, leader, members.size());
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == leader) {
+      st->arrived[i] = true;  // the leader's own value folds in locally
+    } else {
+      ++st->outstanding;
+    }
+  }
+
+  auto close = std::make_shared<std::function<void(bool)>>();
+  *close = [&fabric, st, leader, then = std::move(then)](bool hit) {
+    if (st->closed) return;
+    st->closed = true;
+    fabric.simulator().cancel(st->timer);
+    // Tombstone receiver: contributions that beat the retry budget but not
+    // the deadline are ignored, visibly.
+    fabric.set_receiver(leader, [&fabric, st, leader](const VirtualMessage&) {
+      auto& tr = obs::tracer();
+      if (tr.enabled(obs::Category::kCollective)) {
+        tr.emit({fabric.simulator().now(),
+                 static_cast<std::int64_t>(fabric.grid().index_of(leader)),
+                 obs::Category::kCollective, 'i', "late", st->flow, {}});
+      }
+    });
+    then(st, hit);
+  };
+
+  if (st->outstanding > 0) {
+    fabric.set_receiver(leader, [&fabric, st, leader,
+                                 close](const VirtualMessage& msg) {
+      if (st->closed) return;
+      const auto tagged = std::any_cast<DeadlineTagged>(msg.payload);
+      if (st->arrived[tagged.index]) return;  // duplicate contribution
+      const sim::Time fold_lat = fabric.compute(leader, 1.0);
+      st->arrived[tagged.index] = true;
+      st->values[tagged.index] = tagged.value;
+      ++st->messages;
+      if (--st->outstanding == 0) {
+        fabric.simulator().schedule_in(fold_lat,
+                                       [close]() { (*close)(false); });
+      }
+    });
+  }
+
+  st->timer = fabric.simulator().schedule_in(deadline,
+                                             [close]() { (*close)(true); });
+
+  if (st->outstanding == 0) {
+    fabric.simulator().post([close]() { (*close)(false); });
+    return;
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == leader) continue;
+    fabric.send(members[i], leader, DeadlineTagged{i, values[i]},
+                message_units);
+  }
+}
+
+}  // namespace
+
+void group_reduce_deadline(MessageFabric& fabric,
+                           std::span<const GridCoord> members,
+                           const GridCoord& leader,
+                           std::span<const double> values, ReduceOp op,
+                           double message_units, sim::Time deadline,
+                           std::function<void(const PartialResult&)> done) {
+  deadline_gather(
+      fabric, members, leader, values, message_units, deadline, "reduce",
+      [&fabric, leader, op,
+       done = std::move(done)](std::shared_ptr<DeadlineState> st, bool hit) {
+        double acc = identity_of(op);
+        for (std::size_t i = 0; i < st->expected.size(); ++i) {
+          if (st->arrived[i]) acc = fold(op, acc, st->values[i]);
+        }
+        const PartialResult r = make_partial(fabric, st, hit, acc);
+        collective_end_partial(fabric, "reduce", leader, st->flow, r);
+        done(r);
+      });
+}
+
+void group_sort_deadline(
+    MessageFabric& fabric, std::span<const GridCoord> members,
+    const GridCoord& leader, std::span<const double> values,
+    double message_units, sim::Time deadline,
+    std::function<void(std::vector<double>, PartialResult)> done) {
+  deadline_gather(
+      fabric, members, leader, values, message_units, deadline, "sort",
+      [&fabric, leader,
+       done = std::move(done)](std::shared_ptr<DeadlineState> st, bool hit) {
+        std::vector<double> present;
+        for (std::size_t i = 0; i < st->expected.size(); ++i) {
+          if (st->arrived[i]) present.push_back(st->values[i]);
+        }
+        const auto n = static_cast<double>(present.size());
+        const double ops = n <= 1 ? 1.0 : n * std::log2(n);
+        const sim::Time lat = fabric.compute(leader, ops);
+        auto sorted = std::make_shared<std::vector<double>>(std::move(present));
+        fabric.simulator().schedule_in(lat, [&fabric, leader, st, hit, sorted,
+                                             done]() {
+          std::ranges::sort(*sorted);
+          const PartialResult r = make_partial(
+              fabric, st, hit, static_cast<double>(sorted->size()));
+          collective_end_partial(fabric, "sort", leader, st->flow, r);
+          done(std::move(*sorted), r);
+        });
+      });
+}
+
+void group_rank_deadline(
+    MessageFabric& fabric, std::span<const GridCoord> members,
+    const GridCoord& leader, std::span<const double> values,
+    double message_units, sim::Time deadline,
+    std::function<void(std::vector<std::uint32_t>, PartialResult)> done) {
+  deadline_gather(
+      fabric, members, leader, values, message_units, deadline, "rank",
+      [&fabric, leader,
+       done = std::move(done)](std::shared_ptr<DeadlineState> st, bool hit) {
+        // Contributor list in member order, with their values.
+        auto present = std::make_shared<std::vector<std::size_t>>();
+        for (std::size_t i = 0; i < st->expected.size(); ++i) {
+          if (st->arrived[i]) present->push_back(i);
+        }
+        const auto n = static_cast<double>(present->size());
+        const double ops = n <= 1 ? 1.0 : n * std::log2(n);
+        const sim::Time lat = fabric.compute(leader, ops);
+        fabric.simulator().schedule_in(lat, [&fabric, leader, st, hit,
+                                             present, done]() {
+          // Stable rank among contributors by (value, member order).
+          std::vector<std::size_t> order(present->size());
+          std::iota(order.begin(), order.end(), 0);
+          std::ranges::stable_sort(order, [&](std::size_t a, std::size_t b) {
+            return st->values[(*present)[a]] < st->values[(*present)[b]];
+          });
+          std::vector<std::uint32_t> ranks(present->size(), 0);
+          for (std::size_t pos = 0; pos < order.size(); ++pos) {
+            ranks[order[pos]] = static_cast<std::uint32_t>(pos);
+          }
+          const PartialResult r = make_partial(
+              fabric, st, hit, static_cast<double>(present->size()));
+          collective_end_partial(fabric, "rank", leader, st->flow, r);
+          // Fire-and-forget scatter: a degraded round must not block on
+          // members that may already be gone.
+          for (std::size_t i = 0; i < present->size(); ++i) {
+            const GridCoord& m = st->expected[(*present)[i]];
+            if (m == leader) continue;
+            fabric.send(leader, m, static_cast<double>(ranks[i]), 1.0);
+          }
+          done(std::move(ranks), r);
         });
       });
 }

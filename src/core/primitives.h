@@ -32,6 +32,25 @@ struct CollectiveResult {
   std::uint32_t messages = 0;
 };
 
+/// Result of a deadline-bounded collective: instead of hanging on a crashed
+/// or unreachable member, the leader closes the round at the deadline with
+/// whatever contributions arrived. `contributors` ⊆ `expected` always; the
+/// leader itself contributes locally and is always present (when it is a
+/// member).
+struct PartialResult {
+  double value = 0.0;                // folded over contributors only
+  std::vector<GridCoord> contributors;  // members whose value arrived
+  std::vector<GridCoord> expected;      // the full member list
+  sim::Time finished = 0;
+  std::uint32_t messages = 0;
+  bool deadline_hit = false;         // true iff the round closed by timeout
+
+  bool complete() const { return contributors.size() == expected.size(); }
+  /// Members whose contribution never arrived — the degraded round's
+  /// suspect list (feeds liveness probing / failover).
+  std::vector<GridCoord> missing() const;
+};
+
 /// Applies `op` over one value per member, combining at `leader`.
 /// `values[i]` belongs to `members[i]`. `done` fires when the leader has
 /// received and folded every remote value.
@@ -72,5 +91,42 @@ void group_rank(MessageFabric& fabric, std::span<const GridCoord> members,
                 double message_units,
                 std::function<void(std::vector<std::uint32_t>, CollectiveResult)>
                     done);
+
+// ---- Deadline-bounded (gracefully degrading) variants -------------------
+//
+// Identical protocols, except the leader arms a timer `deadline` time units
+// after the start: if not every contribution has arrived by then, the round
+// closes with the partial fold and `done` fires with PartialResult instead
+// of hanging forever on a lossy or fault-injected fabric. Contributions
+// arriving after the close are ignored (traced as kCollective "late"
+// events). With a generous deadline and a healthy fabric the result is
+// complete() and value-identical to the plain variant.
+
+/// Deadline-bounded group_reduce (sum/max/min/count via `op`).
+void group_reduce_deadline(MessageFabric& fabric,
+                           std::span<const GridCoord> members,
+                           const GridCoord& leader,
+                           std::span<const double> values, ReduceOp op,
+                           double message_units, sim::Time deadline,
+                           std::function<void(const PartialResult&)> done);
+
+/// Deadline-bounded group_sort: `done` receives the sorted values of the
+/// contributors only (result.value = contributor count).
+void group_sort_deadline(
+    MessageFabric& fabric, std::span<const GridCoord> members,
+    const GridCoord& leader, std::span<const double> values,
+    double message_units, sim::Time deadline,
+    std::function<void(std::vector<double>, PartialResult)> done);
+
+/// Deadline-bounded group_rank: ranks are computed among contributors only
+/// and `ranks[i]` aligns with `result.contributors[i]`. The leader scatters
+/// each contributor its rank fire-and-forget (a degraded round must not
+/// block on members that may be gone); `done` fires after the leader's
+/// sort/compute, not after scatter delivery.
+void group_rank_deadline(
+    MessageFabric& fabric, std::span<const GridCoord> members,
+    const GridCoord& leader, std::span<const double> values,
+    double message_units, sim::Time deadline,
+    std::function<void(std::vector<std::uint32_t>, PartialResult)> done);
 
 }  // namespace wsn::core

@@ -6,6 +6,20 @@ void VirtualNetwork::deliver(const GridCoord& from, const GridCoord& to,
                              const std::any& payload, double size_units,
                              std::uint64_t flow) {
   const std::size_t idx = grid_.index_of(to);
+  if (down_[idx]) {
+    // The destination process crashed while the message was in flight; the
+    // radio work already happened (energy stays charged), only the handler
+    // is suppressed. The "drop" event keeps the flow explicable offline.
+    counters_.add("vnet.rx_dead");
+    if (obs::tracer().enabled(obs::Category::kVirtual)) {
+      obs::tracer().emit(
+          {sim_.now(), static_cast<std::int64_t>(idx), obs::Category::kVirtual,
+           'i', "drop", flow,
+           {{"from", static_cast<std::uint64_t>(grid_.index_of(from))},
+            {"why", std::string("dead")}}});
+    }
+    return;
+  }
   counters_.add("vnet.delivered");
   if (obs::tracer().enabled(obs::Category::kVirtual)) {
     obs::tracer().emit(
@@ -61,6 +75,11 @@ void VirtualNetwork::forward_serialized(
 
 void VirtualNetwork::send(const GridCoord& from, const GridCoord& to,
                           std::any payload, double size_units) {
+  if (down_[grid_.index_of(from)]) {
+    // A crashed process transmits nothing: no energy, no trace, no flow.
+    counters_.add("vnet.tx_dead");
+    return;
+  }
   counters_.add("vnet.send");
   const std::uint32_t hops = manhattan(from, to);
   total_hops_ += hops;

@@ -53,6 +53,7 @@ class VirtualNetwork final : public MessageFabric {
         congestion_(congestion),
         ledger_(grid.node_count()),
         receivers_(grid.node_count()),
+        down_(grid.node_count(), false),
         tx_busy_until_(grid.node_count(), 0.0) {
     cost_.validate();
   }
@@ -67,6 +68,22 @@ class VirtualNetwork final : public MessageFabric {
 
   void set_receiver(const GridCoord& c, Handler h) override {
     receivers_[grid_.index_of(c)] = std::move(h);
+  }
+
+  /// Marks a virtual node's process as crashed: its sends are suppressed
+  /// (counted as `vnet.tx_dead`) and deliveries to it are dropped at the
+  /// last instant (`vnet.rx_dead`, with a flow-correlated "drop" trace
+  /// event). The ideal relay fabric keeps forwarding — this models process
+  /// failure, the virtual-layer counterpart of LinkLayer::set_down, so
+  /// fault campaigns (sim/fault_plan.h) apply to both fabrics.
+  void set_down(const GridCoord& c, bool down) {
+    down_[grid_.index_of(c)] = down;
+  }
+  bool is_down(const GridCoord& c) const { return down_[grid_.index_of(c)]; }
+  std::size_t down_count() const {
+    std::size_t n = 0;
+    for (bool d : down_) n += d ? 1 : 0;
+    return n;
   }
 
   /// Sends `payload` from `from` to `to`. Charges the sender tx energy, each
@@ -121,6 +138,7 @@ class VirtualNetwork final : public MessageFabric {
   Congestion congestion_;
   net::EnergyLedger ledger_;
   std::vector<Handler> receivers_;
+  std::vector<bool> down_;
   sim::CounterSet counters_;
   std::vector<sim::Time> tx_busy_until_;
   std::uint64_t total_hops_ = 0;

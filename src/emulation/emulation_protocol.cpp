@@ -215,6 +215,47 @@ EmulationResult run_protocol(net::LinkLayer& link, const CellMapper& mapper,
 
 }  // namespace
 
+std::size_t purge_entries_via(std::vector<RoutingTable>& tables,
+                              net::NodeId via) {
+  std::size_t cleared = 0;
+  for (RoutingTable& t : tables) {
+    for (core::Direction d : core::kAllDirections) {
+      if (t[d] == via) {
+        t[d] = net::kNoNode;
+        ++cleared;
+      }
+    }
+  }
+  return cleared;
+}
+
+RerouteStats reroute_entries_via(
+    std::vector<RoutingTable>& tables, net::NodeId via,
+    const net::LinkLayer& link, const CellMapper& mapper,
+    const std::function<bool(net::NodeId)>& excluded) {
+  RerouteStats stats;
+  const auto& graph = link.graph();
+  for (net::NodeId i = 0; i < tables.size(); ++i) {
+    for (core::Direction d : core::kAllDirections) {
+      if (tables[i][d] != via) continue;
+      tables[i][d] = net::kNoNode;
+      // The entry pointed toward the adjacent cell in direction d; promote
+      // another neighbor already inside that cell, if any survives.
+      const core::GridCoord target =
+          core::GridTopology::step(mapper.cell_of(i), d);
+      for (net::NodeId j : graph.neighbors(i)) {
+        if (j == via || link.is_down(j) || excluded(j)) continue;
+        if (mapper.cell_of(j) == target) {
+          tables[i][d] = j;
+          break;
+        }
+      }
+      ++(tables[i][d] == net::kNoNode ? stats.unroutable : stats.rerouted);
+    }
+  }
+  return stats;
+}
+
 std::vector<net::NodeId> follow_chain(const CellMapper& mapper,
                                       const std::vector<RoutingTable>& tables,
                                       net::NodeId start, core::Direction d) {

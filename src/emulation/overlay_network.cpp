@@ -3,6 +3,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "net/reliable_link.h"
+
 namespace wsn::emulation {
 
 OverlayNetwork::OverlayNetwork(net::LinkLayer& link, const CellMapper& mapper,
@@ -15,36 +17,75 @@ OverlayNetwork::OverlayNetwork(net::LinkLayer& link, const CellMapper& mapper,
       grid_(mapper.grid_side()),
       groups_(grid_, placement),
       handlers_(grid_.node_count()) {
-  const auto& graph = link_.graph();
-  const std::size_t n = graph.node_count();
+  const std::size_t n = link_.graph().node_count();
 
   // Intra-cell BFS trees rooted at each cell's bound leader: every member
   // learns its next hop toward the leader.
   toward_leader_.assign(n, net::kNoNode);
+  suspected_.assign(n, false);
   for (const core::GridCoord& cell : grid_.all_coords()) {
-    const net::NodeId root = binding_.leader_of(cell, mapper_.grid_side());
-    if (root == net::kNoNode) continue;
-    toward_leader_[root] = root;
-    auto members = mapper_.members(cell);
-    std::vector<bool> in_cell(n, false);
-    for (net::NodeId m : members) in_cell[m] = true;
-    std::deque<net::NodeId> frontier{root};
-    while (!frontier.empty()) {
-      const net::NodeId u = frontier.front();
-      frontier.pop_front();
-      for (net::NodeId v : graph.neighbors(u)) {
-        if (in_cell[v] && toward_leader_[v] == net::kNoNode) {
-          toward_leader_[v] = u;
-          frontier.push_back(v);
-        }
-      }
-    }
+    build_cell_tree(cell);
   }
 
   for (net::NodeId i = 0; i < n; ++i) {
     link_.set_receiver(
         i, [this, i](const net::Packet& pkt) { on_receive(i, pkt); });
   }
+}
+
+void OverlayNetwork::build_cell_tree(const core::GridCoord& cell) {
+  const auto& graph = link_.graph();
+  const std::size_t n = graph.node_count();
+  auto members = mapper_.members(cell);
+  for (net::NodeId m : members) toward_leader_[m] = net::kNoNode;
+  const net::NodeId root = binding_.leader_of(cell, mapper_.grid_side());
+  if (root == net::kNoNode || link_.is_down(root) || suspected_[root]) return;
+  toward_leader_[root] = root;
+  std::vector<bool> in_cell(n, false);
+  for (net::NodeId m : members) {
+    in_cell[m] = !link_.is_down(m) && !suspected_[m];
+  }
+  std::deque<net::NodeId> frontier{root};
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop_front();
+    for (net::NodeId v : graph.neighbors(u)) {
+      if (in_cell[v] && toward_leader_[v] == net::kNoNode) {
+        toward_leader_[v] = u;
+        frontier.push_back(v);
+      }
+    }
+  }
+}
+
+void OverlayNetwork::attach_arq(net::ReliableChannel& arq) {
+  arq_ = &arq;
+  const std::size_t n = link_.graph().node_count();
+  for (net::NodeId i = 0; i < n; ++i) {
+    arq.set_receiver(
+        i, [this, i](const net::Packet& pkt) { on_receive(i, pkt); });
+  }
+}
+
+void OverlayNetwork::on_hop_give_up(net::NodeId from, net::NodeId to) {
+  (void)from;
+  if (suspected_[to]) return;
+  suspected_[to] = true;
+  const RerouteStats stats = reroute_entries_via(
+      emulation_.tables, to, link_, mapper_,
+      [this](net::NodeId n) { return suspected_[n]; });
+  rerouted_entries_ += stats.rerouted;
+  purged_entries_ += stats.unroutable;
+  build_cell_tree(mapper_.cell_of(to));
+}
+
+void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader) {
+  const std::size_t idx =
+      static_cast<std::size_t>(cell.row) * mapper_.grid_side() +
+      static_cast<std::size_t>(cell.col);
+  binding_.leaders[idx] = leader;
+  ++rebinds_;
+  build_cell_tree(cell);
 }
 
 void OverlayNetwork::send(const core::GridCoord& from, const core::GridCoord& to,
@@ -128,11 +169,24 @@ void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt) {
       deliver_local(at, pkt);
     } else {
       ++failed_;
+      // Purged tables (suspected/crashed gateway) can leave no route; the
+      // drop event keeps the flow explicable offline.
+      if (obs::tracer().enabled(obs::Category::kOverlay)) {
+        obs::tracer().emit(
+            {simulator().now(), static_cast<std::int64_t>(at),
+             obs::Category::kOverlay, 'i', "drop", pkt.flow,
+             {{"dst", static_cast<std::uint64_t>(grid_.index_of(pkt.dst))},
+              {"why", std::string("no_route")}}});
+      }
     }
     return;
   }
   ++physical_hops_;
-  link_.unicast(at, nh, pkt, pkt.size_units, pkt.flow);
+  if (arq_ != nullptr) {
+    arq_->send(at, nh, pkt, pkt.size_units, pkt.flow);
+  } else {
+    link_.unicast(at, nh, pkt, pkt.size_units, pkt.flow);
+  }
 }
 
 void OverlayNetwork::on_receive(net::NodeId at, const net::Packet& raw) {

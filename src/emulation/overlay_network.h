@@ -25,6 +25,10 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
+namespace wsn::net {
+class ReliableChannel;
+}
+
 namespace wsn::emulation {
 
 class OverlayNetwork final : public core::MessageFabric {
@@ -60,6 +64,30 @@ class OverlayNetwork final : public core::MessageFabric {
   net::LinkLayer& link() { return link_; }
   const CellMapper& mapper() const { return mapper_; }
 
+  /// Routes every subsequent physical hop through `arq` (per-hop ack +
+  /// retransmit) instead of raw unicast. The channel must wrap this
+  /// overlay's LinkLayer; calling this hands the channel's receivers to the
+  /// overlay (the channel already owns the raw link receivers). While
+  /// attached, no other component may inject raw (non-ARQ) link traffic.
+  void attach_arq(net::ReliableChannel& arq);
+
+  /// Whether a node has been marked unresponsive by on_hop_give_up.
+  bool is_suspected(net::NodeId id) const { return suspected_[id]; }
+
+  /// Liveness suspicion hook, intended for ReliableChannel::on_give_up:
+  /// marks `to` suspected, re-points every inter-cell table entry routing
+  /// via `to` at an alternate gateway where one exists (clearing the rest),
+  /// and rebuilds the intra-cell tree of `to`'s cell around it. Subsequent
+  /// sends route around the suspect; sends with no alternate route fail
+  /// fast instead of black-holing.
+  void on_hop_give_up(net::NodeId from, net::NodeId to);
+
+  /// Re-points virtual node `cell` at a new physical leader (failover after
+  /// the bound node crashed) and rebuilds the cell's intra-cell tree toward
+  /// it. Handlers installed via set_receiver are keyed by virtual coord and
+  /// survive the rebind unchanged.
+  void rebind(const core::GridCoord& cell, net::NodeId leader);
+
   /// Total physical hops taken by overlay messages.
   std::uint64_t physical_hops() const { return physical_hops_; }
   /// Total virtual (manhattan) hops the same messages would take on the
@@ -80,6 +108,19 @@ class OverlayNetwork final : public core::MessageFabric {
     });
     registry.add_gauge(prefix + ".failed_sends",
                        [this] { return static_cast<double>(failed_); });
+    registry.add_gauge(prefix + ".suspected", [this] {
+      std::size_t n = 0;
+      for (bool s : suspected_) n += s ? 1 : 0;
+      return static_cast<double>(n);
+    });
+    registry.add_gauge(prefix + ".purged_entries", [this] {
+      return static_cast<double>(purged_entries_);
+    });
+    registry.add_gauge(prefix + ".rerouted_entries", [this] {
+      return static_cast<double>(rerouted_entries_);
+    });
+    registry.add_gauge(prefix + ".rebinds",
+                       [this] { return static_cast<double>(rebinds_); });
     link_.register_metrics(registry, prefix + ".link");
   }
 
@@ -103,6 +144,10 @@ class OverlayNetwork final : public core::MessageFabric {
   /// kNoNode if routing is impossible.
   net::NodeId next_hop(net::NodeId at, const core::GridCoord& dst_cell) const;
 
+  /// (Re)builds the intra-cell BFS tree of `cell` toward its bound leader,
+  /// routing around down, depleted, and suspected nodes.
+  void build_cell_tree(const core::GridCoord& cell);
+
   net::LinkLayer& link_;
   const CellMapper& mapper_;
   EmulationResult emulation_;
@@ -113,9 +158,16 @@ class OverlayNetwork final : public core::MessageFabric {
   /// Per-node next hop toward the bound leader of its own cell (BFS tree,
   /// standing in for intra-cell routing on local neighborhood knowledge).
   std::vector<net::NodeId> toward_leader_;
+  /// Nodes an ARQ give-up has flagged unresponsive; routing avoids them
+  /// until a repair clears the flag (fresh construction starts clean).
+  std::vector<bool> suspected_;
+  net::ReliableChannel* arq_ = nullptr;
   std::uint64_t physical_hops_ = 0;
   std::uint64_t virtual_hops_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t purged_entries_ = 0;
+  std::uint64_t rerouted_entries_ = 0;
+  std::uint64_t rebinds_ = 0;
 };
 
 }  // namespace wsn::emulation

@@ -58,14 +58,32 @@ class LinkLayer {
 
   /// Per-packet loss probability applied independently per receiver.
   void set_loss_probability(double p) { loss_probability_ = p; }
+  double loss_probability() const { return loss_probability_; }
 
   /// Distance-dependent loss: `fn(d)` returns the drop probability for a
   /// receiver at Euclidean distance d from the sender (composed with the
-  /// flat loss probability). Models path-loss/shadowing-induced fringe
-  /// unreliability near the edge of the nominal disk; pass nullptr to
-  /// disable.
+  /// flat loss probability into one effective loss; see effective_loss()).
+  /// Models path-loss/shadowing-induced fringe unreliability near the edge
+  /// of the nominal disk; pass nullptr to disable.
   void set_distance_loss(std::function<double(double)> fn) {
     distance_loss_ = std::move(fn);
+  }
+  bool has_distance_loss() const { return distance_loss_ != nullptr; }
+
+  /// The exact per-packet drop probability for a transmission from `from`
+  /// heard at `to`: the flat and distance-dependent mechanisms compose as
+  /// independent loss processes, p = 1 - (1-p_flat)(1-p_dist(d)). A single
+  /// RNG draw decides the drop (historically the two mechanisms drew two
+  /// independent coins, which made the composed rate opaque to campaign
+  /// planning); attribution to `link.lost` vs `link.lost_fringe` splits the
+  /// one draw at p_flat, preserving both counters' marginal rates.
+  double effective_loss(NodeId from, NodeId to) const {
+    double p = loss_probability_;
+    if (distance_loss_) {
+      const double d = distance(graph_.position(from), graph_.position(to));
+      p = 1.0 - (1.0 - p) * (1.0 - distance_loss_(d));
+    }
+    return p;
   }
 
   /// A sigmoid fringe model: reliable up to `reliable_radius`, then the
@@ -179,16 +197,33 @@ class LinkLayer {
 
   sim::Time& tx_busy_until_(NodeId from) { return busy_[from]; }
 
+  /// Emits a flow-correlated kLink "drop" event so the analyzer can explain
+  /// transmissions that never produce a "deliver" (lost in the air, or the
+  /// receiver was dead on arrival).
+  void trace_drop(NodeId from, NodeId to, std::uint64_t flow,
+                  const char* why) {
+    if (obs::tracer().enabled(obs::Category::kLink)) {
+      obs::tracer().emit({sim_.now(), static_cast<std::int64_t>(to),
+                          obs::Category::kLink, 'i', "drop", flow,
+                          {{"from", static_cast<std::uint64_t>(from)},
+                           {"why", std::string(why)}}});
+    }
+  }
+
   void deliver_at(sim::Time at, NodeId from, NodeId to, std::any payload,
                   double size_units, std::uint64_t flow) {
-    if (loss_probability_ > 0 && sim_.rng().chance(loss_probability_)) {
-      counters_.add("link.lost");
-      return;
-    }
-    if (distance_loss_) {
-      const double d = distance(graph_.position(from), graph_.position(to));
-      if (sim_.rng().chance(distance_loss_(d))) {
-        counters_.add("link.lost_fringe");
+    // One draw against the composed loss probability (see effective_loss);
+    // the draw splits at the flat probability so `link.lost` and
+    // `link.lost_fringe` keep their exact marginal rates. When only one
+    // mechanism is active this consumes the same RNG stream as the historic
+    // two-coin implementation.
+    if (loss_probability_ > 0 || distance_loss_) {
+      const double p = effective_loss(from, to);
+      const double u = sim_.rng().uniform();
+      if (u < p) {
+        counters_.add(u < loss_probability_ ? "link.lost"
+                                            : "link.lost_fringe");
+        trace_drop(from, to, flow, "loss");
         return;
       }
     }
@@ -196,6 +231,7 @@ class LinkLayer {
                           size_units, flow]() {
       if (down_[to] || ledger_.depleted(to)) {
         counters_.add("link.rx_dead");
+        trace_drop(from, to, flow, "dead");
         return;
       }
       ledger_.charge(to, EnergyUse::kRx, radio_.rx_energy_per_unit * size_units);

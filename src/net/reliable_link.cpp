@@ -1,0 +1,144 @@
+#include "net/reliable_link.h"
+
+#include <utility>
+
+namespace wsn::net {
+
+ReliableChannel::ReliableChannel(LinkLayer& link, ReliableConfig cfg)
+    : link_(link), cfg_(cfg), receivers_(link.graph().node_count()) {
+  for (NodeId i = 0; i < link_.graph().node_count(); ++i) {
+    link_.set_receiver(i, [this, i](const Packet& pkt) { handle(i, pkt); });
+  }
+}
+
+double ReliableChannel::initial_rto(double data_size) const {
+  const double round_trip = link_.radio().tx_latency(data_size) +
+                            link_.radio().tx_latency(cfg_.ack_size_units);
+  return std::max(cfg_.min_rto, cfg_.rto_factor * round_trip);
+}
+
+void ReliableChannel::trace_rel(const char* name, const Frame& fr,
+                                std::int64_t node, std::uint32_t attempts) {
+  auto& tr = obs::tracer();
+  if (!tr.enabled(obs::Category::kReliability)) return;
+  tr.emit({link_.simulator().now(), node, obs::Category::kReliability, 'i',
+           name, fr.flow,
+           {{"src", static_cast<std::uint64_t>(fr.src)},
+            {"dst", static_cast<std::uint64_t>(fr.dst)},
+            {"seq", fr.seq},
+            {"attempts", static_cast<std::uint64_t>(attempts)}}});
+}
+
+void ReliableChannel::send(NodeId from, NodeId to, std::any payload,
+                           double size_units, std::uint64_t flow) {
+  const std::uint64_t key = pair_key(from, to);
+  const std::uint64_t seq = ++next_seq_[key];
+  Frame fr{false, from, to, seq, size_units,
+           std::make_shared<std::any>(std::move(payload)), flow};
+  counters_.add("arq.send");
+  trace_rel("rel.send", fr, static_cast<std::int64_t>(from), 0);
+  Pending& p = pending_[key][seq];
+  p.frame = std::move(fr);
+  ++in_flight_;
+  transmit(p);
+}
+
+void ReliableChannel::transmit(Pending& p) {
+  ++p.attempts;
+  // A down/depleted sender's unicast is a silent no-op at the link; the
+  // timer still runs, so the failure surfaces as a give-up (the channel
+  // object is middleware bookkeeping that outlives the node).
+  link_.unicast(p.frame.src, p.frame.dst, p.frame, p.frame.data_size,
+                p.frame.flow);
+  arm_timer(p);
+}
+
+void ReliableChannel::arm_timer(Pending& p) {
+  p.rto = p.attempts <= 1 ? initial_rto(p.frame.data_size)
+                          : p.rto * cfg_.backoff;
+  double timeout = p.rto;
+  if (cfg_.jitter > 0) {
+    timeout *= 1.0 + link_.simulator().rng().uniform(0.0, cfg_.jitter);
+  }
+  const std::uint64_t pair = pair_key(p.frame.src, p.frame.dst);
+  const std::uint64_t seq = p.frame.seq;
+  p.timer = link_.simulator().schedule_in(
+      timeout, [this, pair, seq]() { on_timeout(pair, seq); });
+}
+
+void ReliableChannel::on_timeout(std::uint64_t pair, std::uint64_t seq) {
+  const auto pit = pending_.find(pair);
+  if (pit == pending_.end()) return;
+  const auto it = pit->second.find(seq);
+  if (it == pit->second.end()) return;  // acked; timer raced cancellation
+  Pending& p = it->second;
+  const bool sender_dead =
+      link_.is_down(p.frame.src) || link_.ledger().depleted(p.frame.src);
+  if (sender_dead || p.attempts > cfg_.max_retries) {
+    give_up(pair, seq);
+    return;
+  }
+  counters_.add("arq.retransmit");
+  trace_rel("rel.retransmit", p.frame, static_cast<std::int64_t>(p.frame.src),
+            p.attempts);
+  transmit(p);
+}
+
+void ReliableChannel::give_up(std::uint64_t pair, std::uint64_t seq) {
+  auto& by_seq = pending_[pair];
+  const auto it = by_seq.find(seq);
+  const Frame frame = it->second.frame;
+  const std::uint32_t attempts = it->second.attempts;
+  by_seq.erase(it);
+  if (by_seq.empty()) pending_.erase(pair);
+  --in_flight_;
+  counters_.add("arq.give_up");
+  trace_rel("rel.give_up", frame, static_cast<std::int64_t>(frame.src),
+            attempts);
+  if (on_give_up_) on_give_up_(frame.src, frame.dst, seq, attempts);
+}
+
+void ReliableChannel::handle(NodeId at, const Packet& raw) {
+  const auto& fr = std::any_cast<const Frame&>(raw.payload);
+  const std::uint64_t key = pair_key(fr.src, fr.dst);
+
+  if (fr.ack) {
+    // Ack arrived back at the data sender (at == fr.src).
+    const auto pit = pending_.find(key);
+    if (pit == pending_.end()) {
+      counters_.add("arq.ack_stale");
+      return;
+    }
+    const auto it = pit->second.find(fr.seq);
+    if (it == pit->second.end()) {
+      counters_.add("arq.ack_stale");  // duplicate ack or post-give-up ack
+      return;
+    }
+    link_.simulator().cancel(it->second.timer);
+    counters_.add("arq.ack");
+    trace_rel("rel.ack", it->second.frame, static_cast<std::int64_t>(at),
+              it->second.attempts);
+    pit->second.erase(it);
+    if (pit->second.empty()) pending_.erase(pit);
+    --in_flight_;
+    return;
+  }
+
+  // Data frame at the receiver (at == fr.dst). Always (re-)ack: the ack of
+  // an already-delivered frame may have been lost.
+  link_.unicast(fr.dst, fr.src, Frame{true, fr.src, fr.dst, fr.seq,
+                                      fr.data_size, nullptr, 0},
+                cfg_.ack_size_units, 0);
+  auto& seen = seen_[key];
+  if (!seen.insert(fr.seq).second) {
+    counters_.add("arq.dup");
+    trace_rel("rel.dup", fr, static_cast<std::int64_t>(at), 0);
+    return;
+  }
+  counters_.add("arq.delivered");
+  if (receivers_[at]) {
+    receivers_[at](Packet{fr.src, fr.data_size, *fr.payload});
+  }
+}
+
+}  // namespace wsn::net

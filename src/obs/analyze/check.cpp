@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/analyze/energy.h"
 #include "obs/analyze/flows.h"
@@ -19,6 +20,20 @@ bool close_rel(double a, double b, double rel) {
   return std::abs(a - b) <= rel * std::max(scale, 1.0);
 }
 
+double attr_num(const TraceEvent& ev, const char* key, double fallback = 0.0) {
+  for (const Attr& a : ev.attrs) {
+    if (a.key != key) continue;
+    if (const auto* d = std::get_if<double>(&a.value)) return *d;
+    if (const auto* u = std::get_if<std::uint64_t>(&a.value)) {
+      return static_cast<double>(*u);
+    }
+    if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+      return static_cast<double>(*i);
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 CheckReport check_trace(const std::vector<TraceEvent>& events) {
@@ -32,8 +47,10 @@ CheckReport check_trace(const std::vector<TraceEvent>& events) {
       report.issues.push_back(flow_tag(f) + ": delivery without a send");
       continue;
     }
-    if (f.has_send && !f.delivered &&
+    if (f.has_send && !f.delivered && !f.gave_up && !f.dropped &&
         !(f.layer == Category::kVirtual && f.self_send)) {
+      // A give-up or recorded drop explains the missing delivery; anything
+      // else is a black hole.
       report.issues.push_back(flow_tag(f) + ": sent but never delivered");
       continue;
     }
@@ -135,6 +152,65 @@ CheckReport check_energy(const std::vector<TraceEvent>& events,
   };
   compare("vnet.energy", derived.vnet);
   compare("link.energy", derived.link);
+  return report;
+}
+
+CheckReport check_reliability(const std::vector<TraceEvent>& events,
+                              const JsonValue* metrics_snapshot) {
+  CheckReport report;
+  report.events_seen = events.size();
+
+  auto rel_key = [](const TraceEvent& ev) {
+    return std::to_string(static_cast<std::uint64_t>(attr_num(ev, "src"))) +
+           ">" +
+           std::to_string(static_cast<std::uint64_t>(attr_num(ev, "dst"))) +
+           "#" + std::to_string(static_cast<std::uint64_t>(attr_num(ev, "seq")));
+  };
+
+  // Single in-order pass: ARQ pairing state and live crash windows evolve
+  // together, exactly as they did in the simulation.
+  std::unordered_set<std::string> sent;
+  std::unordered_set<std::int64_t> crashed;
+  std::uint64_t give_ups = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.category == Category::kReliability) {
+      if (ev.name == "rel.send") {
+        sent.insert(rel_key(ev));
+      } else if (ev.name == "rel.retransmit" || ev.name == "rel.give_up" ||
+                 ev.name == "rel.ack" || ev.name == "rel.dup") {
+        if (sent.find(rel_key(ev)) == sent.end()) {
+          report.issues.push_back(std::string(ev.name) + " " + rel_key(ev) +
+                                  ": no matching rel.send");
+        }
+        if (ev.name == "rel.give_up") ++give_ups;
+      } else if (ev.name == "fault.crash" && ev.node >= 0) {
+        crashed.insert(ev.node);
+      } else if (ev.name == "fault.recover" && ev.node >= 0) {
+        crashed.erase(ev.node);
+      }
+      continue;
+    }
+    // Deliveries (either layer) must not land inside a crash window.
+    if ((ev.category == Category::kLink || ev.category == Category::kVirtual) &&
+        ev.name == "deliver" && crashed.count(ev.node) != 0) {
+      report.issues.push_back("node " + std::to_string(ev.node) +
+                              ": delivery at t=" + std::to_string(ev.time) +
+                              " inside its crash window");
+    }
+  }
+
+  if (metrics_snapshot != nullptr) {
+    if (const JsonValue* sec = metrics_snapshot->find("arq.counters")) {
+      const JsonValue* v = sec->find("arq.give_up");
+      const auto counted =
+          static_cast<std::uint64_t>(v != nullptr ? v->number() : 0.0);
+      if (counted != give_ups) {
+        report.issues.push_back(
+            "arq.give_up counter " + std::to_string(counted) +
+            " != " + std::to_string(give_ups) + " rel.give_up trace events");
+      }
+    }
+  }
   return report;
 }
 

@@ -47,4 +47,15 @@ CheckReport check_energy(const std::vector<TraceEvent>& events,
                          const JsonValue& metrics_snapshot,
                          double rel_tolerance = 1e-9);
 
+/// Reliability invariants over the kReliability event stream:
+///   * every "rel.retransmit" / "rel.give_up" / "rel.ack" pairs with a
+///     preceding "rel.send" of the same (src, dst, seq);
+///   * no link-layer delivery lands on a node inside a crash window
+///     (between its "fault.crash" and "fault.recover" events);
+///   * with a metrics snapshot, the traced give-up count equals the
+///     "arq.counters" section's "arq.give_up" (the on_give_up invocations).
+/// Pass nullptr for `metrics_snapshot` when no snapshot was captured.
+CheckReport check_reliability(const std::vector<TraceEvent>& events,
+                              const JsonValue* metrics_snapshot = nullptr);
+
 }  // namespace wsn::obs::analyze

@@ -258,10 +258,17 @@ int cmd_check(const Args& args, std::ostream& out) {
   const auto events = load_trace(args.positional[0]);
   CheckReport report = check_trace(events);
   if (const std::string* metrics = args.flag("--metrics")) {
-    const CheckReport energy =
-        check_energy(events, parse_json(read_file(*metrics)));
+    const JsonValue snapshot = parse_json(read_file(*metrics));
+    const CheckReport energy = check_energy(events, snapshot);
     report.issues.insert(report.issues.end(), energy.issues.begin(),
                          energy.issues.end());
+    const CheckReport rel = check_reliability(events, &snapshot);
+    report.issues.insert(report.issues.end(), rel.issues.begin(),
+                         rel.issues.end());
+  } else {
+    const CheckReport rel = check_reliability(events);
+    report.issues.insert(report.issues.end(), rel.issues.begin(),
+                         rel.issues.end());
   }
   out << report.events_seen << " events, " << report.flows_checked
       << " flows, " << report.collectives_checked << " collectives\n";
@@ -320,6 +327,8 @@ void usage(std::ostream& err) {
          "                                     per-node/per-level energy\n"
          "  histogram TRACE [--buckets N]      latency/size distributions\n"
          "  check TRACE [--metrics FILE]       trace invariant checker\n"
+         "                                     (incl. ARQ/fault reliability\n"
+         "                                     invariants)\n"
          "  bench-compare --baseline FILE --current FILE [--tolerance 10%]\n"
          "                                     bench regression gate\n";
 }

@@ -80,6 +80,8 @@ std::vector<Flow> reconstruct_flows(const std::vector<TraceEvent>& events) {
                             static_cast<std::int64_t>(attr_num(ev, "next", -1.0)),
                             ev.time, attr_num(ev, "depart"),
                             attr_num(ev, "wait")});
+        } else if (ev.name == "drop") {
+          f.dropped = true;
         }
         break;
       case Category::kLink:
@@ -92,7 +94,17 @@ std::vector<Flow> reconstruct_flows(const std::vector<TraceEvent>& events) {
           f.hops.push_back({ev.node, -1, ev.time,
                             attr_num(ev, "arrive", ev.time), 0.0});
         }
+        else if (ev.name == "drop") {
+          f.dropped = true;
+        }
         // "deliver" confirms a hop already recorded at its unicast; skip.
+        break;
+      case Category::kReliability:
+        if (ev.name == "rel.give_up") {
+          f.gave_up = true;
+        } else if (ev.name == "rel.retransmit") {
+          ++f.retransmits;
+        }
         break;
       default:
         break;  // protocol/bench/app events carry no flow structure

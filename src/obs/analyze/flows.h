@@ -44,6 +44,13 @@ struct Flow {
   bool has_send = false;
   bool delivered = false;
   bool self_send = false;
+  /// The ARQ exhausted its retry budget on a hop of this flow
+  /// (kReliability "rel.give_up"): non-delivery is explained, not a bug.
+  bool gave_up = false;
+  /// A layer recorded an explicit drop for this flow (loss, dead endpoint).
+  bool dropped = false;
+  /// ARQ retransmissions performed for hops of this flow.
+  std::uint32_t retransmits = 0;
   double size = 1.0;
   std::uint64_t expected_hops = 0;  // "hops" (virtual) / "vhops" (overlay)
   std::vector<Hop> hops;

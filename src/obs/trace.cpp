@@ -11,6 +11,7 @@ const char* category_name(Category c) {
     case Category::kCollective: return "collective";
     case Category::kBench: return "bench";
     case Category::kApp: return "app";
+    case Category::kReliability: return "rel";
   }
   return "app";
 }

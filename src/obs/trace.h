@@ -32,8 +32,9 @@ enum class Category : std::uint8_t {
   kCollective = 4,  // group_reduce / broadcast / barrier / sort / rank
   kBench = 5,       // bench harness phases
   kApp = 6,         // application-level events
+  kReliability = 7, // ARQ retransmits/acks/give-ups and fault injections
 };
-inline constexpr std::size_t kCategoryCount = 7;
+inline constexpr std::size_t kCategoryCount = 8;
 inline constexpr std::uint32_t kAllCategories = (1u << kCategoryCount) - 1;
 
 /// Stable short name used in exports ("vnet", "link", ...).
@@ -102,6 +103,12 @@ class Tracer {
 
   /// Allocates a fresh correlation id (monotonic, never 0).
   std::uint64_t next_flow() { return ++flow_; }
+
+  /// Rewinds the flow counter. Only for determinism harnesses that compare
+  /// two captures byte-for-byte within one process; flows allocated after a
+  /// reset collide with earlier ones, so never mix resets with a live sink
+  /// that spans the reset.
+  void reset_flows(std::uint64_t value = 0) { flow_ = value; }
 
  private:
   TraceSink* sink_ = nullptr;

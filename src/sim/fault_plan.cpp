@@ -1,0 +1,208 @@
+#include "sim/fault_plan.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/virtual_network.h"
+#include "emulation/cell_mapper.h"
+#include "net/link_layer.h"
+#include "obs/analyze/json_reader.h"
+#include "obs/trace.h"
+
+namespace wsn::sim {
+
+namespace {
+
+using obs::analyze::JsonValue;
+
+double num_field(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v == nullptr ? fallback : v->number();
+}
+
+void trace_fault(Simulator& sim, const char* name, std::int64_t node,
+                 std::vector<obs::Attr> attrs) {
+  auto& tr = obs::tracer();
+  if (!tr.enabled(obs::Category::kReliability)) return;
+  tr.emit({sim.now(), node, obs::Category::kReliability, 'i', name, 0,
+           std::move(attrs)});
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_json(const std::string& text) {
+  const JsonValue doc = obs::analyze::parse_json(text);
+  const JsonValue* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error("fault plan: missing \"events\" array");
+  }
+  FaultPlan plan;
+  for (const JsonValue& e : events->array()) {
+    const JsonValue* kind = e.find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      throw std::runtime_error("fault plan: event without a \"kind\"");
+    }
+    FaultEvent ev;
+    ev.at = num_field(e, "at", 0.0);
+    const std::string& k = kind->string();
+    if (k == "crash" || k == "recover") {
+      ev.kind = k == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
+      if (const JsonValue* cell = e.find("cell")) {
+        ev.cell = {static_cast<std::int32_t>(num_field(*cell, "row", -1.0)),
+                   static_cast<std::int32_t>(num_field(*cell, "col", -1.0))};
+        if (ev.cell.row < 0 || ev.cell.col < 0) {
+          throw std::runtime_error("fault plan: cell needs row and col >= 0");
+        }
+      } else {
+        const double node = num_field(e, "node", -1.0);
+        if (node < 0) {
+          throw std::runtime_error("fault plan: " + k +
+                                   " needs \"node\" or \"cell\"");
+        }
+        ev.node = static_cast<net::NodeId>(node);
+      }
+    } else if (k == "loss_burst") {
+      ev.kind = FaultKind::kLossBurst;
+      ev.loss = num_field(e, "loss", 0.0);
+      ev.duration = num_field(e, "duration", 0.0);
+      if (ev.loss < 0.0 || ev.loss > 1.0) {
+        throw std::runtime_error("fault plan: loss must be in [0, 1]");
+      }
+    } else if (k == "region_outage") {
+      ev.kind = FaultKind::kRegionOutage;
+      ev.duration = num_field(e, "duration", 0.0);
+      ev.row0 = static_cast<std::int32_t>(num_field(e, "row0", 0.0));
+      ev.col0 = static_cast<std::int32_t>(num_field(e, "col0", 0.0));
+      ev.row1 = static_cast<std::int32_t>(num_field(e, "row1", 0.0));
+      ev.col1 = static_cast<std::int32_t>(num_field(e, "col1", 0.0));
+      if (ev.row1 < ev.row0 || ev.col1 < ev.col0) {
+        throw std::runtime_error("fault plan: empty region rectangle");
+      }
+    } else {
+      throw std::runtime_error("fault plan: unknown kind \"" + k + "\"");
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, net::LinkLayer& link,
+                             const emulation::CellMapper* mapper)
+    : sim_(sim), link_(&link), mapper_(mapper) {}
+
+FaultInjector::FaultInjector(Simulator& sim, core::VirtualNetwork& vnet)
+    : sim_(sim), vnet_(&vnet) {}
+
+void FaultInjector::register_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+  registry.add_counters(prefix + ".counters", &counters_);
+}
+
+bool FaultInjector::is_node_down(net::NodeId node) const {
+  if (link_ != nullptr) return link_->is_down(node);
+  return vnet_->is_down(vnet_->grid().coord_of(node));
+}
+
+void FaultInjector::apply_down(net::NodeId node, bool down,
+                               const char* trace_name) {
+  if (link_ != nullptr) {
+    link_->set_down(node, down);
+  } else {
+    vnet_->set_down(vnet_->grid().coord_of(node), down);
+  }
+  counters_.add(down ? "fault.crash" : "fault.recover");
+  trace_fault(sim_, trace_name, static_cast<std::int64_t>(node), {});
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRecover: {
+      net::NodeId target = ev.node;
+      if (target == net::kNoNode) {
+        if (!leader_lookup_) {
+          throw std::runtime_error(
+              "FaultInjector: cell-targeted event without a leader lookup");
+        }
+        target = leader_lookup_(ev.cell);
+        if (target == net::kNoNode) {
+          counters_.add("fault.unresolved");
+          return;  // cell has no bound leader right now; nothing to crash
+        }
+      }
+      apply_down(target, ev.kind == FaultKind::kCrash,
+                 ev.kind == FaultKind::kCrash ? "fault.crash"
+                                              : "fault.recover");
+      return;
+    }
+    case FaultKind::kLossBurst: {
+      if (link_ == nullptr) {
+        counters_.add("fault.skipped");  // virtual layer is lossless
+        return;
+      }
+      counters_.add("fault.burst");
+      const double prev = link_->loss_probability();
+      link_->set_loss_probability(ev.loss);
+      trace_fault(sim_, "fault.burst_begin", -1,
+                  {{"loss", ev.loss}, {"duration", ev.duration}});
+      net::LinkLayer* link = link_;
+      Simulator* sim = &sim_;
+      sim_.schedule_in(ev.duration, [link, sim, prev]() {
+        link->set_loss_probability(prev);
+        trace_fault(*sim, "fault.burst_end", -1, {{"loss", prev}});
+      });
+      return;
+    }
+    case FaultKind::kRegionOutage: {
+      counters_.add("fault.outage");
+      trace_fault(sim_, "fault.outage_begin", -1,
+                  {{"row0", static_cast<std::int64_t>(ev.row0)},
+                   {"col0", static_cast<std::int64_t>(ev.col0)},
+                   {"row1", static_cast<std::int64_t>(ev.row1)},
+                   {"col1", static_cast<std::int64_t>(ev.col1)},
+                   {"duration", ev.duration}});
+      // Expand to per-node crash/recover so downstream invariants (no
+      // delivery inside a crash window) see uniform fault.crash events.
+      auto affected = std::make_shared<std::vector<net::NodeId>>();
+      auto in_region = [&](const core::GridCoord& c) {
+        return c.row >= ev.row0 && c.row <= ev.row1 && c.col >= ev.col0 &&
+               c.col <= ev.col1;
+      };
+      if (link_ != nullptr) {
+        if (mapper_ == nullptr) {
+          throw std::runtime_error(
+              "FaultInjector: region outage needs a CellMapper");
+        }
+        for (net::NodeId i = 0; i < link_->graph().node_count(); ++i) {
+          if (!link_->is_down(i) && in_region(mapper_->cell_of(i))) {
+            affected->push_back(i);
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < vnet_->grid().node_count(); ++i) {
+          const core::GridCoord c = vnet_->grid().coord_of(i);
+          if (!vnet_->is_down(c) && in_region(c)) {
+            affected->push_back(static_cast<net::NodeId>(i));
+          }
+        }
+      }
+      for (net::NodeId n : *affected) apply_down(n, true, "fault.crash");
+      sim_.schedule_in(ev.duration, [this, affected]() {
+        for (net::NodeId n : *affected) apply_down(n, false, "fault.recover");
+        trace_fault(sim_, "fault.outage_end", -1, {});
+      });
+      return;
+    }
+  }
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  // `at` is an offset from the campaign start (arm time): plans are written
+  // without knowing how much simulated time stack setup consumed.
+  for (const FaultEvent& ev : plan.events) {
+    sim_.schedule_in(std::max(ev.at, 0.0), [this, ev]() { fire(ev); });
+  }
+}
+
+}  // namespace wsn::sim

@@ -1,0 +1,132 @@
+// Deterministic fault campaigns: a replayable schedule of timed failures.
+//
+// Section 5.1 motivates periodic protocol re-execution with nodes that
+// "leave or fail"; the robustness layer needs those failures to be *the
+// same* across two runs so that recovery behaviour is testable and every
+// bench row is reproducible. A FaultPlan is a list of timed fault events —
+// node crash, node recovery, loss-burst windows, regional outage over a
+// rectangle of grid cells — loadable from a small JSON spec so tests,
+// benches, and examples replay identical campaigns. The FaultInjector
+// schedules the plan on the simulator's own event queue against either the
+// physical LinkLayer (optionally with a CellMapper to resolve cell-scoped
+// events) or the virtual-layer VirtualNetwork.
+//
+// All timing comes from the plan and all randomness from the simulator's
+// seeded RNG, so seed + plan fully determine the run (the campaign
+// determinism tests assert byte-identical traces).
+//
+// JSON shape:
+//   {"events": [
+//     {"at": 5.0, "kind": "crash",   "node": 12},
+//     {"at": 6.0, "kind": "crash",   "cell": {"row": 0, "col": 4}},
+//     {"at": 9.0, "kind": "recover", "node": 12},
+//     {"at": 3.0, "kind": "loss_burst", "loss": 0.2, "duration": 4.0},
+//     {"at": 7.0, "kind": "region_outage",
+//      "row0": 0, "col0": 0, "row1": 1, "col1": 1, "duration": 5.0}
+//   ]}
+// A "cell"-targeted crash resolves to the cell's currently bound leader at
+// fire time (see FaultInjector::set_leader_lookup), so plans stay
+// independent of the seeded deployment's node ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/grid_topology.h"
+#include "net/deployment.h"
+#include "obs/metrics_registry.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace wsn::core {
+class VirtualNetwork;
+}
+namespace wsn::net {
+class LinkLayer;
+}
+namespace wsn::emulation {
+class CellMapper;
+}
+
+namespace wsn::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,         // one node goes down (permanently, unless recovered)
+  kRecover,       // one node comes back up
+  kLossBurst,     // flat link-loss probability raised for a window
+  kRegionOutage,  // every node in a rectangle of grid cells down for a window
+};
+
+struct FaultEvent {
+  /// Offset from the campaign start (arm() time), not an absolute sim time:
+  /// plans stay portable across setups that consume different amounts of
+  /// simulated time before the campaign begins.
+  Time at = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  /// Target of crash/recover, by physical node id / virtual grid index...
+  net::NodeId node = net::kNoNode;
+  /// ...or by grid cell (crash only): resolved to the cell's bound leader
+  /// at fire time. Valid when row/col >= 0.
+  core::GridCoord cell{-1, -1};
+  /// kLossBurst: flat loss probability during the window.
+  double loss = 0.0;
+  /// kLossBurst / kRegionOutage: window length.
+  Time duration = 0.0;
+  /// kRegionOutage: inclusive rectangle of grid cells.
+  std::int32_t row0 = 0, col0 = 0, row1 = 0, col1 = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Parses the JSON spec above; throws std::runtime_error on malformed
+  /// input or unknown kinds.
+  static FaultPlan from_json(const std::string& text);
+};
+
+/// Applies a FaultPlan to a live network at simulation time. Construct
+/// against the target, arm() once before running the simulator; every fault
+/// application emits a Category::kReliability "fault.*" TraceEvent and
+/// bumps a "fault.*" counter.
+class FaultInjector {
+ public:
+  /// Physical target. `mapper` is required only for cell-scoped events
+  /// (cell-targeted crash, region outage).
+  FaultInjector(Simulator& sim, net::LinkLayer& link,
+                const emulation::CellMapper* mapper = nullptr);
+  /// Virtual target: crashes suppress the virtual node's process; loss
+  /// bursts are skipped (the virtual layer is lossless by construction).
+  FaultInjector(Simulator& sim, core::VirtualNetwork& vnet);
+
+  /// Resolves cell-targeted crashes to the cell's current bound leader at
+  /// fire time (e.g. [&overlay](c) { return overlay.bound_node(c); }).
+  void set_leader_lookup(
+      std::function<net::NodeId(const core::GridCoord&)> fn) {
+    leader_lookup_ = std::move(fn);
+  }
+
+  /// Schedules every event of `plan` on the simulator, `at` seconds from
+  /// now. Negative offsets fire immediately.
+  void arm(const FaultPlan& plan);
+
+  CounterSet& counters() { return counters_; }
+
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "fault") const;
+
+ private:
+  void fire(const FaultEvent& ev);
+  void apply_down(net::NodeId node, bool down, const char* trace_name);
+  bool is_node_down(net::NodeId node) const;
+
+  Simulator& sim_;
+  net::LinkLayer* link_ = nullptr;
+  core::VirtualNetwork* vnet_ = nullptr;
+  const emulation::CellMapper* mapper_ = nullptr;
+  std::function<net::NodeId(const core::GridCoord&)> leader_lookup_;
+  CounterSet counters_;
+};
+
+}  // namespace wsn::sim

@@ -22,6 +22,7 @@ out=${2:-BENCH_BASELINE.json}
 benches=(
   bench_dnc_vs_centralized
   bench_fanout_ablation
+  bench_fault_recovery
   bench_fig3_mapping
   bench_fig4_program
   bench_group_comm
