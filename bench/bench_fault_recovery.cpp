@@ -18,12 +18,55 @@ using namespace wsn;
 constexpr std::size_t kSide = 8;
 constexpr std::size_t kNodes = 200;
 constexpr double kRange = 1.3;
-// Seed chosen so the fault-free deployment can route every cell to the
-// leader (some seeds lack a physical crossing between adjacent cells,
-// which would cap the delivered fraction below 1 even at loss 0).
-constexpr std::uint64_t kSeed = 1;
 constexpr int kRounds = 5;
 constexpr double kDeadline = 250.0;
+
+/// The bench needs a deployment where the fault-free overlay can route
+/// every cell leader to the collector: some seeds place no node within
+/// radio range across a cell boundary, which caps the delivered fraction
+/// below 1 even at loss 0 and makes the "raw vs ARQ" comparison read as an
+/// ARQ failure. Instead of hard-coding one lucky seed, walk the overlay's
+/// own hop tables from every cell leader toward (0,0) and take the first
+/// candidate whose chains all terminate at the collector; skipped seeds
+/// are reported to stderr so a topology regression is visible, not silent.
+/// Seed 1 is first so an unchanged routing layer keeps the committed
+/// BENCH_BASELINE.json rows byte-identical.
+std::uint64_t pick_routable_seed() {
+  const core::GridCoord collector{0, 0};
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 5ULL, 8ULL}) {
+    bench::PhysicalStack stack(kSide, kNodes, kRange, seed);
+    bool routable = stack.healthy();
+    if (routable) {
+      const net::NodeId sink = stack.overlay->bound_node(collector);
+      for (const core::GridCoord& c : core::GridTopology(kSide).all_coords()) {
+        net::NodeId at = stack.overlay->bound_node(c);
+        // Leader-to-collector chains are at most a few hops per cell of
+        // Manhattan distance; 4*side*side steps means a routing loop.
+        std::size_t steps = 4 * kSide * kSide;
+        while (at != sink && at != net::kNoNode && steps-- > 0) {
+          at = stack.overlay->route_next_hop(at, collector);
+        }
+        if (at != sink) {
+          routable = false;
+          break;
+        }
+      }
+    }
+    if (routable) return seed;
+    std::fprintf(stderr,
+                 "bench_fault_recovery: seed %llu lacks a full set of "
+                 "leader->collector routes, skipping\n",
+                 static_cast<unsigned long long>(seed));
+  }
+  std::fprintf(stderr,
+               "bench_fault_recovery: no routable seed among candidates\n");
+  std::exit(1);
+}
+
+std::uint64_t routable_seed() {
+  static const std::uint64_t seed = pick_routable_seed();
+  return seed;
+}
 
 struct RunResult {
   double delivered_fraction;  // mean contributors/expected over rounds
@@ -34,10 +77,10 @@ struct RunResult {
 };
 
 RunResult run(double loss, bool arq) {
-  bench::PhysicalStack stack(kSide, kNodes, kRange, kSeed);
+  bench::PhysicalStack stack(kSide, kNodes, kRange, routable_seed());
   if (!stack.healthy()) {
     std::fprintf(stderr, "stack unhealthy at seed %llu\n",
-                 static_cast<unsigned long long>(kSeed));
+                 static_cast<unsigned long long>(routable_seed()));
     std::exit(1);
   }
   if (arq) stack.enable_arq();

@@ -14,9 +14,11 @@
 //
 // Robustness (see README "Fault tolerance"):
 //   --campaign <json>      additionally replay a fault-injection campaign
-//                          (e.g. campaigns/loss_burst.json) against a
-//                          physical deployment hardened with ARQ + leader
-//                          failover, appended after the classic output
+//                          (e.g. campaigns/loss_burst.json or
+//                          campaigns/region_outage.json) against a physical
+//                          deployment hardened with ARQ and the distributed
+//                          heartbeat/lease failure detector, appended after
+//                          the classic output
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,7 +35,7 @@
 #include "bench/bench_common.h"
 #include "core/primitives.h"
 #include "core/virtual_network.h"
-#include "emulation/leader_binding.h"
+#include "emulation/failure_detector.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/sinks.h"
@@ -50,11 +52,12 @@ std::string arg_value(int argc, char** argv, const char* flag) {
 }
 
 /// The --campaign phase: a physical 8x8 deployment with the ARQ channel and
-/// automatic failover, kept alive until the metrics dump so its instruments
-/// can be registered.
+/// the distributed failure detector (heartbeat/lease re-election — no
+/// oracle), kept alive until the metrics dump so its instruments can be
+/// registered.
 struct CampaignPhase {
   wsn::bench::PhysicalStack stack{8, 200, 1.3, 1};
-  std::unique_ptr<wsn::emulation::FailoverBinder> binder;
+  std::unique_ptr<wsn::emulation::FailureDetector> detector;
   std::unique_ptr<wsn::sim::FaultInjector> injector;
 };
 
@@ -141,20 +144,23 @@ int main(int argc, char** argv) {
     net::ReliableConfig rcfg;
     rcfg.max_retries = 3;
     c.stack.enable_arq(rcfg);
-    c.binder = std::make_unique<emulation::FailoverBinder>(*c.stack.arq,
-                                                           *c.stack.overlay);
+    c.detector = std::make_unique<emulation::FailureDetector>(*c.stack.overlay);
     c.injector = std::make_unique<sim::FaultInjector>(
         c.stack.sim, *c.stack.link, c.stack.mapper.get());
     c.injector->set_leader_lookup([&c](const core::GridCoord& cell) {
       return c.stack.overlay->bound_node(cell);
     });
     c.injector->arm(plan);
-    // Apply the campaign's t=0 faults before the first round begins.
+    c.detector->start();
+    // Apply the campaign's t=0 faults before the first round begins. While
+    // the detector runs, the simulator queue never drains, so every phase
+    // below advances with run_until instead of run.
     c.stack.sim.run_until(c.stack.sim.now() + 0.5);
 
     std::printf("\nFault campaign      : %s (%zu events)\n",
                 campaign_path.c_str(), plan.events.size());
-    std::printf("deployment          : 8x8 grid, 200 nodes, ARQ + failover\n");
+    std::printf("deployment          : 8x8 grid, 200 nodes, ARQ + "
+                "distributed failure detection\n");
 
     std::vector<core::GridCoord> members;
     std::vector<double> cvalues;
@@ -163,12 +169,13 @@ int main(int argc, char** argv) {
       cvalues.push_back(1.0);
     }
     for (int round = 1; round <= 2; ++round) {
+      const double round_start = c.stack.sim.now();
       core::PartialResult result;
       core::group_reduce_deadline(
           *c.stack.overlay, members, {0, 0}, cvalues, core::ReduceOp::kSum,
           1.0, 200.0,
           [&result](const core::PartialResult& r) { result = r; });
-      c.stack.sim.run();
+      c.stack.sim.run_until(round_start + 210.0);
       std::printf("round %d sum         : %.0f from %zu/%zu contributors "
                   "(%s)\n",
                   round, result.value, result.contributors.size(),
@@ -177,8 +184,13 @@ int main(int argc, char** argv) {
                       ? "complete"
                       : result.deadline_hit ? "deadline hit" : "partial");
     }
-    std::printf("leader failovers    : %llu\n",
-                static_cast<unsigned long long>(c.binder->failovers()));
+    // Let every outage in the plan end and the lease/election machinery
+    // settle before reporting, then stop the periodic timers so the final
+    // drain terminates.
+    c.stack.sim.run_until(c.stack.sim.now() + plan.down_horizon() + 100.0);
+    c.detector->stop();
+    c.stack.sim.run();
+    std::printf("leader elections    : %zu\n", c.detector->claims().size());
     std::printf("arq recovery        : %llu retransmits, %llu give-ups\n",
                 static_cast<unsigned long long>(
                     c.stack.arq->counters().get("arq.retransmit")),
@@ -223,7 +235,7 @@ int main(int argc, char** argv) {
     if (campaign) {
       campaign->stack.register_metrics(registry);
       campaign->injector->register_metrics(registry);
-      campaign->binder->register_metrics(registry);
+      campaign->detector->register_metrics(registry);
     }
     std::ofstream out(metrics_path);
     registry.write_json(out);

@@ -56,6 +56,17 @@ class MessageFabric {
   /// latency they take; callers schedule follow-up work after that latency.
   virtual sim::Time compute(const GridCoord& c, double ops) = 0;
 
+  /// Generation number of the binding executing virtual node `c`. Fabrics
+  /// whose virtual nodes can migrate between physical executors (leader
+  /// re-binding after a crash) bump this on every rebind; collectives stamp
+  /// contributions with it so a deposed leader's in-flight traffic is
+  /// rejected instead of double-counted. The virtual layer never rebinds,
+  /// so the default is a constant 0.
+  virtual std::uint64_t binding_epoch(const GridCoord& c) const {
+    (void)c;
+    return 0;
+  }
+
   /// Group-communication primitive: send to the level-`level` leader of the
   /// group containing `from`, addressed as a logical entity (Section 3.2).
   void send_to_leader(const GridCoord& from, std::uint32_t level,

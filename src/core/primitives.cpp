@@ -366,6 +366,7 @@ struct DeadlineState {
   std::vector<bool> arrived;
   std::size_t outstanding = 0;
   std::uint32_t messages = 0;
+  std::uint32_t stale_rejected = 0;
   bool closed = false;
   sim::EventId timer = 0;
   std::uint64_t flow = 0;
@@ -373,10 +374,13 @@ struct DeadlineState {
 
 /// Payload of a deadline-variant contribution: tagging with the member
 /// index both makes arrival order irrelevant and lets the leader attribute
-/// each arrival to a contributor.
+/// each arrival to a contributor. `epoch` is the sender's binding epoch at
+/// send time; the leader rejects contributions older than the fabric's
+/// current epoch for that member (a deposed leader's in-flight value).
 struct DeadlineTagged {
   std::size_t index;
   double value;
+  std::uint64_t epoch = 0;
 };
 
 PartialResult make_partial(MessageFabric& fabric,
@@ -391,6 +395,7 @@ PartialResult make_partial(MessageFabric& fabric,
   r.finished = fabric.simulator().now();
   r.messages = st->messages;
   r.deadline_hit = deadline_hit;
+  r.stale_rejected = st->stale_rejected;
   return r;
 }
 
@@ -467,6 +472,24 @@ void deadline_gather(
       if (st->closed) return;
       const auto tagged = std::any_cast<DeadlineTagged>(msg.payload);
       if (st->arrived[tagged.index]) return;  // duplicate contribution
+      if (tagged.epoch < fabric.binding_epoch(st->expected[tagged.index])) {
+        // A contribution stamped before this member's leadership moved:
+        // the sender was deposed mid-flight. Folding it would double-count
+        // the virtual node once the current binding contributes.
+        ++st->stale_rejected;
+        auto& tr = obs::tracer();
+        if (tr.enabled(obs::Category::kCollective)) {
+          tr.emit({fabric.simulator().now(),
+                   static_cast<std::int64_t>(fabric.grid().index_of(leader)),
+                   obs::Category::kCollective, 'i', "stale", st->flow,
+                   {{"member", static_cast<std::uint64_t>(fabric.grid().index_of(
+                                   st->expected[tagged.index]))},
+                    {"epoch", tagged.epoch},
+                    {"current",
+                     fabric.binding_epoch(st->expected[tagged.index])}}});
+        }
+        return;
+      }
       const sim::Time fold_lat = fabric.compute(leader, 1.0);
       st->arrived[tagged.index] = true;
       st->values[tagged.index] = tagged.value;
@@ -487,7 +510,8 @@ void deadline_gather(
   }
   for (std::size_t i = 0; i < members.size(); ++i) {
     if (members[i] == leader) continue;
-    fabric.send(members[i], leader, DeadlineTagged{i, values[i]},
+    fabric.send(members[i], leader,
+                DeadlineTagged{i, values[i], fabric.binding_epoch(members[i])},
                 message_units);
   }
 }

@@ -44,6 +44,11 @@ struct PartialResult {
   sim::Time finished = 0;
   std::uint32_t messages = 0;
   bool deadline_hit = false;         // true iff the round closed by timeout
+  /// Contributions rejected because their binding epoch was older than the
+  /// fabric's current epoch for that member — a deposed leader's in-flight
+  /// value that must not be folded (it would double-count once the re-bound
+  /// leader contributes for the same virtual node).
+  std::uint32_t stale_rejected = 0;
 
   bool complete() const { return contributors.size() == expected.size(); }
   /// Members whose contribution never arrived — the degraded round's

@@ -1,0 +1,612 @@
+#include "emulation/failure_detector.h"
+
+#include <algorithm>
+
+#include "net/reliable_link.h"
+#include "obs/trace.h"
+
+namespace wsn::emulation {
+
+/// Wire format of every control frame. `cell` is the subject cell (the
+/// flood's own cell, or the child cell of an uplease); `dst_cell` is only
+/// used by hop-routed upleases.
+struct FailureDetector::FdMsg {
+  enum Kind : std::uint8_t { kBeat, kElect, kClaim, kSync, kUpLease };
+  Kind kind = kBeat;
+  core::GridCoord cell{0, 0};
+  core::GridCoord dst_cell{0, 0};
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;              // beats: per-leader sequence
+  net::NodeId leader = net::kNoNode;  // beat/claim/sync/uplease: the leader
+  net::NodeId old_leader = net::kNoNode;  // claim: the deposed leader
+  double score = 0.0;                     // elect: best key's score so far
+  net::NodeId origin = net::kNoNode;      // elect: best key's node id
+};
+
+namespace {
+
+/// Lexicographic election key order: lower score wins, id breaks ties.
+bool key_less(double sa, net::NodeId ia, double sb, net::NodeId ib) {
+  if (sa != sb) return sa < sb;
+  return ia < ib;
+}
+
+}  // namespace
+
+FailureDetector::FailureDetector(OverlayNetwork& overlay,
+                                 FailureDetectorConfig cfg)
+    : overlay_(overlay), cfg_(cfg) {}
+
+double FailureDetector::score(net::NodeId i) const {
+  return binding_score(i, overlay_.mapper(), cfg_.metric,
+                       overlay_.link().ledger());
+}
+
+void FailureDetector::trace_fd(const char* name, net::NodeId node,
+                               std::vector<obs::Attr> attrs) {
+  auto& tr = obs::tracer();
+  if (!tr.enabled(obs::Category::kReliability)) return;
+  tr.emit({sim().now(), static_cast<std::int64_t>(node),
+           obs::Category::kReliability, 'i', name, 0, std::move(attrs)});
+}
+
+void FailureDetector::start() {
+  ++run_gen_;
+  running_ = true;
+  const std::size_t n = link().graph().node_count();
+  const std::size_t side = mapper().grid_side();
+  const std::size_t cells = side * side;
+  const auto& grid = overlay_.grid();
+  const auto& groups = overlay_.groups();
+  const sim::Time now = sim().now();
+
+  believed_leader_.assign(n, net::kNoNode);
+  epoch_.assign(n, 0);
+  lease_expiry_.assign(n, 0.0);
+  watchdog_armed_.assign(n, false);
+  was_down_.assign(n, false);
+  beat_seq_.assign(n, 0);
+  seen_beat_epoch_.assign(n, 0);
+  seen_beat_seq_.assign(n, 0);
+  elect_epoch_.assign(n, 0);
+  elect_best_score_.assign(n, 0.0);
+  elect_best_id_.assign(n, net::kNoNode);
+  elect_close_armed_.assign(n, false);
+  cell_neighbors_.assign(n, {});
+  for (net::NodeId i = 0; i < n; ++i) {
+    for (net::NodeId v : link().graph().neighbors(i)) {
+      if (mapper().cell_of(v) == mapper().cell_of(i)) {
+        cell_neighbors_[i].push_back(v);
+      }
+    }
+  }
+
+  cell_leader_.assign(cells, net::kNoNode);
+  parent_of_.assign(cells, -1);
+  child_expiry_.assign(cells, 0.0);
+  child_suspected_.assign(cells, false);
+  child_watchdog_armed_.assign(cells, false);
+  child_last_leader_.assign(cells, net::kNoNode);
+  has_children_.assign(cells, false);
+  claims_.clear();
+
+  // Seed every node's view from the announced result of the setup binding
+  // protocol (Section 5.2 floods the winner to all cell members), and
+  // derive the lease hierarchy from grid arithmetic — both are knowledge
+  // each node already holds locally.
+  for (const core::GridCoord& c : grid.all_coords()) {
+    const std::size_t ci = grid.index_of(c);
+    cell_leader_[ci] = overlay_.bound_node(c);
+    child_last_leader_[ci] = cell_leader_[ci];
+    for (std::uint32_t level = 1; level <= groups.max_level(); ++level) {
+      const core::GridCoord p = groups.leader_of(c, level);
+      if (!(p == c)) {
+        parent_of_[ci] = static_cast<std::int32_t>(grid.index_of(p));
+        break;
+      }
+    }
+    if (parent_of_[ci] >= 0) {
+      has_children_[static_cast<std::size_t>(parent_of_[ci])] = true;
+    }
+  }
+  for (net::NodeId i = 0; i < n; ++i) {
+    const std::size_t ci = grid.index_of(mapper().cell_of(i));
+    believed_leader_[i] = cell_leader_[ci];
+    epoch_[i] = overlay_.binding_epoch(mapper().cell_of(i));
+    // Initial grace: 1.5 leases before the first expiry can fire, covering
+    // the staggered first beats.
+    lease_expiry_[i] = now + cfg_.lease_duration * 1.5;
+    if (believed_leader_[i] != i) arm_watchdog(i);
+  }
+
+  // Leaders start beating (staggered so 64 cells do not all key up in the
+  // same microsecond) and leasing up the hierarchy.
+  for (std::size_t ci = 0; ci < cells; ++ci) {
+    const net::NodeId leader = cell_leader_[ci];
+    if (leader != net::kNoNode) {
+      const double stagger =
+          cfg_.heartbeat_period * (static_cast<double>(ci % 8) + 1.0) / 9.0;
+      const std::uint64_t gen = run_gen_;
+      sim().schedule_in(stagger, [this, leader, gen] {
+        if (gen != run_gen_ || !running_) return;
+        beat(leader);
+      });
+    }
+    if (parent_of_[ci] >= 0) {
+      child_expiry_[ci] = now + cfg_.uplease_duration * 1.5;
+      const double stagger =
+          cfg_.uplease_period * (static_cast<double>(ci % 5) + 1.0) / 6.0;
+      const std::uint64_t gen = run_gen_;
+      sim().schedule_in(stagger, [this, ci, gen] {
+        if (gen != run_gen_ || !running_) return;
+        uplease(ci);
+      });
+    }
+  }
+  for (std::size_t ci = 0; ci < cells; ++ci) {
+    if (parent_of_[ci] >= 0) arm_child_watchdog(ci);
+  }
+
+  const std::uint64_t gen = run_gen_;
+  overlay_.set_control_receiver(
+      [this, gen](net::NodeId at, const net::Packet& pkt) {
+        if (gen != run_gen_ || !running_) return;
+        on_control(at, pkt);
+      });
+  if (net::ReliableChannel* arq = overlay_.arq()) {
+    arq->set_on_give_up([this, gen](net::NodeId from, net::NodeId to,
+                                    std::uint64_t, std::uint32_t) {
+      if (gen != run_gen_ || !running_) return;
+      counters_.add("fd.hop_give_up");
+      overlay_.on_hop_give_up(from, to);
+    });
+  }
+}
+
+void FailureDetector::stop() { running_ = false; }
+
+void FailureDetector::renew_lease(net::NodeId i) {
+  lease_expiry_[i] = sim().now() + cfg_.lease_duration;
+  arm_watchdog(i);
+}
+
+void FailureDetector::arm_watchdog(net::NodeId i) {
+  if (watchdog_armed_[i]) return;
+  watchdog_armed_[i] = true;
+  const std::uint64_t gen = run_gen_;
+  sim().schedule_at(std::max(lease_expiry_[i], sim().now()), [this, i, gen] {
+    if (gen != run_gen_ || !running_) return;
+    watchdog_armed_[i] = false;
+    on_watchdog(i);
+  });
+}
+
+void FailureDetector::on_watchdog(net::NodeId i) {
+  if (link().is_down(i)) {
+    // Own radio is dead (a node always knows that much). Keep a reboot
+    // probe scheduled so the node re-engages after a recovery.
+    was_down_[i] = true;
+    lease_expiry_[i] = sim().now() + cfg_.lease_duration;
+    arm_watchdog(i);
+    return;
+  }
+  if (was_down_[i]) {
+    // Rejoin: first watchdog after a recovery. Neighbors marked this node
+    // suspected when its routes gave up, and suspected nodes are skipped by
+    // heartbeat floods — without a proof of life it would starve, expire,
+    // and call a spurious election. Flood a one-hop hello (a kSync carrying
+    // our possibly-stale view; adopt-if-newer makes it harmless): its mere
+    // delivery clears suspicion at every live neighbor, after which the
+    // current leader's beats reach us again and resync the epoch.
+    was_down_[i] = false;
+    counters_.add("fd.rejoin");
+    trace_fd("fd.rejoin", i,
+             {{"leader", static_cast<std::uint64_t>(believed_leader_[i])},
+              {"epoch", epoch_[i]}});
+    FdMsg hello;
+    hello.kind = FdMsg::kSync;
+    hello.cell = mapper().cell_of(i);
+    hello.epoch = epoch_[i];
+    hello.leader = believed_leader_[i];
+    hello.origin = i;
+    flood(i, hello);
+    lease_expiry_[i] = sim().now() + cfg_.lease_duration;
+    arm_watchdog(i);
+    return;
+  }
+  if (believed_leader_[i] == i) return;  // leaders do not lease themselves
+  if (sim().now() + 1e-12 < lease_expiry_[i]) {
+    arm_watchdog(i);  // renewed since this timer was armed
+    return;
+  }
+  if (elect_close_armed_[i]) {
+    // An election this node joined is still open; give it time instead of
+    // escalating the epoch mid-election.
+    lease_expiry_[i] = sim().now() + cfg_.lease_duration;
+    arm_watchdog(i);
+    return;
+  }
+  counters_.add("fd.lease_expire");
+  trace_fd("fd.lease_expire", i,
+           {{"leader", static_cast<std::uint64_t>(believed_leader_[i])}});
+  start_election(i);
+  lease_expiry_[i] = sim().now() + cfg_.lease_duration;
+  arm_watchdog(i);
+}
+
+void FailureDetector::start_election(net::NodeId i) {
+  const core::GridCoord cell = mapper().cell_of(i);
+  // Strictly above anything seen: a failed election (winner crashed before
+  // its claim spread) is retried at a fresh epoch, never deadlocked on
+  // stale best-key state.
+  const std::uint64_t target = std::max(epoch_[i], elect_epoch_[i]) + 1;
+  elect_epoch_[i] = target;
+  elect_best_score_[i] = score(i);
+  elect_best_id_[i] = i;
+  counters_.add("fd.elect");
+  trace_fd("fd.elect", i,
+           {{"row", static_cast<std::int64_t>(cell.row)},
+            {"col", static_cast<std::int64_t>(cell.col)},
+            {"epoch", target}});
+  FdMsg m;
+  m.kind = FdMsg::kElect;
+  m.cell = cell;
+  m.epoch = target;
+  m.score = elect_best_score_[i];
+  m.origin = i;
+  flood(i, m);
+  if (!elect_close_armed_[i]) {
+    elect_close_armed_[i] = true;
+    // Score-proportional stagger: the best key closes (and claims) first,
+    // so by the time worse keys close they have heard the claim.
+    const double s = std::max(elect_best_score_[i], 0.0);
+    const double stagger = cfg_.election_timeout * 0.25 * (s / (1.0 + s));
+    const std::uint64_t gen = run_gen_;
+    sim().schedule_in(cfg_.election_timeout + stagger, [this, i, target, gen] {
+      if (gen != run_gen_ || !running_) return;
+      elect_close_armed_[i] = false;
+      close_election(i, target);
+    });
+  }
+}
+
+void FailureDetector::close_election(net::NodeId i, std::uint64_t target) {
+  if (link().is_down(i)) return;
+  if (epoch_[i] >= target) return;        // a claim settled this epoch
+  if (elect_epoch_[i] != target) return;  // superseded by a later election
+  if (elect_best_id_[i] != i) return;     // lost; the winner's claim is due
+  win_election(i, target);
+}
+
+void FailureDetector::win_election(net::NodeId w, std::uint64_t epoch) {
+  const core::GridCoord cell = mapper().cell_of(w);
+  const std::size_t ci = overlay_.grid().index_of(cell);
+  const net::NodeId old = believed_leader_[w];
+  believed_leader_[w] = w;
+  epoch_[w] = epoch;
+  cell_leader_[ci] = w;
+  claims_.push_back({cell, epoch, w, old, sim().now()});
+  counters_.add("fd.claim");
+  trace_fd("fd.claim", w,
+           {{"row", static_cast<std::int64_t>(cell.row)},
+            {"col", static_cast<std::int64_t>(cell.col)},
+            {"epoch", epoch},
+            {"winner", static_cast<std::uint64_t>(w)},
+            {"old", static_cast<std::uint64_t>(
+                        old == net::kNoNode ? 0 : old)}});
+  // Route repair around the silent ex-leader, then re-bind the virtual
+  // node here. The winner is trivially alive; make sure no stale suspicion
+  // keeps routes away from it.
+  if (old != net::kNoNode && old != w && !overlay_.is_suspected(old)) {
+    overlay_.on_hop_give_up(w, old);
+  }
+  overlay_.clear_suspected(w);
+  overlay_.rebind(cell, w, epoch);
+  FdMsg m;
+  m.kind = FdMsg::kClaim;
+  m.cell = cell;
+  m.epoch = epoch;
+  m.leader = w;
+  m.old_leader = old;
+  flood(w, m);
+  beat_seq_[w] = 0;
+  const std::uint64_t gen = run_gen_;
+  sim().schedule_in(cfg_.heartbeat_period, [this, w, gen] {
+    if (gen != run_gen_ || !running_) return;
+    beat(w);
+  });
+  if (parent_of_[ci] >= 0) uplease_send(ci);
+}
+
+void FailureDetector::beat(net::NodeId leader) {
+  if (believed_leader_[leader] != leader) return;  // deposed: loop ends
+  if (!link().is_down(leader)) {
+    ++beat_seq_[leader];
+    const core::GridCoord cell = mapper().cell_of(leader);
+    counters_.add("fd.beat");
+    trace_fd("fd.beat", leader,
+             {{"row", static_cast<std::int64_t>(cell.row)},
+              {"col", static_cast<std::int64_t>(cell.col)},
+              {"epoch", epoch_[leader]},
+              {"seq", beat_seq_[leader]}});
+    FdMsg m;
+    m.kind = FdMsg::kBeat;
+    m.cell = cell;
+    m.epoch = epoch_[leader];
+    m.seq = beat_seq_[leader];
+    m.leader = leader;
+    flood(leader, m);
+  }
+  const std::uint64_t gen = run_gen_;
+  sim().schedule_in(cfg_.heartbeat_period, [this, leader, gen] {
+    if (gen != run_gen_ || !running_) return;
+    beat(leader);
+  });
+}
+
+void FailureDetector::uplease_send(std::size_t cell_idx) {
+  const net::NodeId actor = cell_leader_[cell_idx];
+  if (actor == net::kNoNode || link().is_down(actor)) return;
+  if (believed_leader_[actor] != actor) return;
+  const core::GridCoord cell = overlay_.grid().coord_of(cell_idx);
+  const core::GridCoord parent =
+      overlay_.grid().coord_of(static_cast<std::size_t>(parent_of_[cell_idx]));
+  counters_.add("fd.uplease");
+  FdMsg m;
+  m.kind = FdMsg::kUpLease;
+  m.cell = cell;
+  m.dst_cell = parent;
+  m.epoch = epoch_[actor];
+  m.leader = actor;
+  route_control(actor, m, /*first_hop=*/true);
+}
+
+void FailureDetector::uplease(std::size_t cell_idx) {
+  uplease_send(cell_idx);
+  const std::uint64_t gen = run_gen_;
+  sim().schedule_in(cfg_.uplease_period, [this, cell_idx, gen] {
+    if (gen != run_gen_ || !running_) return;
+    uplease(cell_idx);
+  });
+}
+
+void FailureDetector::arm_child_watchdog(std::size_t cell_idx) {
+  if (child_watchdog_armed_[cell_idx]) return;
+  child_watchdog_armed_[cell_idx] = true;
+  const std::uint64_t gen = run_gen_;
+  sim().schedule_at(
+      std::max(child_expiry_[cell_idx], sim().now()), [this, cell_idx, gen] {
+        if (gen != run_gen_ || !running_) return;
+        child_watchdog_armed_[cell_idx] = false;
+        if (sim().now() + 1e-12 < child_expiry_[cell_idx]) {
+          arm_child_watchdog(cell_idx);
+          return;
+        }
+        const std::size_t pi = static_cast<std::size_t>(parent_of_[cell_idx]);
+        const net::NodeId actor = cell_leader_[pi];
+        if (actor != net::kNoNode && !link().is_down(actor) &&
+            !child_suspected_[cell_idx]) {
+          child_suspected_[cell_idx] = true;
+          counters_.add("fd.cell_suspect");
+          const core::GridCoord cell = overlay_.grid().coord_of(cell_idx);
+          trace_fd("fd.cell_suspect", actor,
+                   {{"row", static_cast<std::int64_t>(cell.row)},
+                    {"col", static_cast<std::int64_t>(cell.col)}});
+          const net::NodeId silent = child_last_leader_[cell_idx];
+          if (silent != net::kNoNode && !overlay_.is_suspected(silent)) {
+            overlay_.on_hop_give_up(actor, silent);
+          }
+        }
+        child_expiry_[cell_idx] = sim().now() + cfg_.uplease_duration;
+        arm_child_watchdog(cell_idx);
+      });
+}
+
+void FailureDetector::flood(net::NodeId from, const FdMsg& msg) {
+  for (net::NodeId v : cell_neighbors_[from]) {
+    // Deliberately no is_suspected() filter, even for steady-state beats:
+    // suspicion can be stale (ARQ give-ups for frames sent into a node's
+    // crash window fire after it already recovered), and a suspected-but-
+    // live member that no beat ever reaches would starve, expire its lease,
+    // and call a spurious election. Probing apparently-dead neighbors every
+    // period costs a bounded ARQ retry budget and IS the failure detector's
+    // job; a delivered beat renews the lease regardless of suspicion, and
+    // its delivery is the proof of life that clears the suspicion.
+    overlay_.send_control(from, v, msg, cfg_.beat_size_units);
+  }
+}
+
+void FailureDetector::route_control(net::NodeId at, const FdMsg& msg,
+                                    bool first_hop) {
+  (void)first_hop;
+  const net::NodeId nh = overlay_.route_next_hop(at, msg.dst_cell);
+  if (nh == net::kNoNode) {
+    counters_.add("fd.unroutable");
+    return;
+  }
+  overlay_.send_control(at, nh, msg, cfg_.beat_size_units);
+}
+
+void FailureDetector::on_control(net::NodeId at, const net::Packet& pkt) {
+  const auto* msg = std::any_cast<FdMsg>(&pkt.payload);
+  if (msg == nullptr) return;
+  // Proof of life: any control frame received from a suspected node clears
+  // the suspicion (and restores routes through it).
+  if (pkt.sender != net::kNoNode && overlay_.is_suspected(pkt.sender)) {
+    counters_.add("fd.unsuspect");
+    overlay_.clear_suspected(pkt.sender);
+  }
+  handle(at, *msg);
+}
+
+void FailureDetector::adopt(net::NodeId i, net::NodeId leader,
+                            std::uint64_t epoch) {
+  if (believed_leader_[i] == i && leader != i) counters_.add("fd.demote");
+  believed_leader_[i] = leader;
+  epoch_[i] = epoch;
+  const std::size_t ci = overlay_.grid().index_of(mapper().cell_of(i));
+  cell_leader_[ci] = leader;
+  if (leader != i) renew_lease(i);
+}
+
+void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
+  switch (msg.kind) {
+    case FdMsg::kUpLease: {
+      if (mapper().cell_of(at) == msg.dst_cell && believed_leader_[at] == at) {
+        const std::size_t child = overlay_.grid().index_of(msg.cell);
+        child_expiry_[child] = sim().now() + cfg_.uplease_duration;
+        child_last_leader_[child] = msg.leader;
+        if (child_suspected_[child]) {
+          child_suspected_[child] = false;
+          counters_.add("fd.cell_resume");
+          trace_fd("fd.cell_resume", at,
+                   {{"row", static_cast<std::int64_t>(msg.cell.row)},
+                    {"col", static_cast<std::int64_t>(msg.cell.col)}});
+        }
+        if (overlay_.is_suspected(msg.leader)) {
+          overlay_.clear_suspected(msg.leader);
+        }
+        arm_child_watchdog(child);
+        return;
+      }
+      route_control(at, msg, /*first_hop=*/false);
+      return;
+    }
+    case FdMsg::kBeat: {
+      if (!(mapper().cell_of(at) == msg.cell)) return;  // cross-cell leak
+      if (msg.epoch < seen_beat_epoch_[at] ||
+          (msg.epoch == seen_beat_epoch_[at] &&
+           msg.seq <= seen_beat_seq_[at])) {
+        return;  // flood duplicate
+      }
+      seen_beat_epoch_[at] = msg.epoch;
+      seen_beat_seq_[at] = msg.seq;
+      flood(at, msg);  // forward the fresh beat through the cell
+      if (msg.epoch > epoch_[at]) {
+        adopt(at, msg.leader, msg.epoch);
+      } else if (msg.epoch == epoch_[at]) {
+        if (msg.leader == believed_leader_[at]) {
+          if (at != msg.leader) renew_lease(at);
+        } else if (msg.leader < believed_leader_[at]) {
+          // Same-epoch conflict (should not happen in a connected cell):
+          // converge deterministically toward the lower id.
+          counters_.add("fd.conflict");
+          adopt(at, msg.leader, msg.epoch);
+        }
+      } else {
+        counters_.add("fd.stale_beat");
+        if (believed_leader_[at] == at && !link().is_down(at)) {
+          // A deposed leader came back and is beating its old epoch: the
+          // current leader answers with the current binding.
+          counters_.add("fd.sync");
+          FdMsg sync;
+          sync.kind = FdMsg::kSync;
+          sync.cell = msg.cell;
+          sync.epoch = epoch_[at];
+          sync.leader = at;
+          flood(at, sync);
+        }
+      }
+      return;
+    }
+    case FdMsg::kElect: {
+      if (!(mapper().cell_of(at) == msg.cell)) return;
+      if (msg.epoch <= epoch_[at]) {
+        counters_.add("fd.stale_elect");
+        if (believed_leader_[at] == at) {
+          // Electorate is out of date (e.g. missed the claim): re-announce.
+          counters_.add("fd.sync");
+          FdMsg sync;
+          sync.kind = FdMsg::kSync;
+          sync.cell = msg.cell;
+          sync.epoch = epoch_[at];
+          sync.leader = at;
+          flood(at, sync);
+        }
+        return;
+      }
+      bool progressed = false;
+      if (msg.epoch > elect_epoch_[at]) {
+        // Join the election with our own key, so the winner is the minimum
+        // over every live member the flood reaches (the oracle's answer).
+        elect_epoch_[at] = msg.epoch;
+        elect_best_score_[at] = score(at);
+        elect_best_id_[at] = at;
+        counters_.add("fd.elect_join");
+        trace_fd("fd.elect", at,
+                 {{"row", static_cast<std::int64_t>(msg.cell.row)},
+                  {"col", static_cast<std::int64_t>(msg.cell.col)},
+                  {"epoch", msg.epoch}});
+        progressed = true;
+        if (!elect_close_armed_[at]) {
+          elect_close_armed_[at] = true;
+          const double s = std::max(elect_best_score_[at], 0.0);
+          const double stagger =
+              cfg_.election_timeout * 0.25 * (s / (1.0 + s));
+          const std::uint64_t gen = run_gen_;
+          const std::uint64_t target = msg.epoch;
+          sim().schedule_in(cfg_.election_timeout + stagger,
+                            [this, at, target, gen] {
+                              if (gen != run_gen_ || !running_) return;
+                              elect_close_armed_[at] = false;
+                              close_election(at, target);
+                            });
+        }
+      }
+      if (elect_epoch_[at] == msg.epoch &&
+          key_less(msg.score, msg.origin, elect_best_score_[at],
+                   elect_best_id_[at])) {
+        elect_best_score_[at] = msg.score;
+        elect_best_id_[at] = msg.origin;
+        progressed = true;
+      }
+      if (progressed) {
+        FdMsg fwd = msg;
+        fwd.score = elect_best_score_[at];
+        fwd.origin = elect_best_id_[at];
+        flood(at, fwd);
+      }
+      return;
+    }
+    case FdMsg::kClaim:
+    case FdMsg::kSync: {
+      if (!(mapper().cell_of(at) == msg.cell)) return;
+      const bool newer =
+          msg.epoch > epoch_[at] ||
+          (msg.epoch == epoch_[at] && msg.leader != believed_leader_[at] &&
+           msg.leader < believed_leader_[at]);
+      if (!newer) return;
+      adopt(at, msg.leader, msg.epoch);
+      flood(at, msg);
+      return;
+    }
+  }
+}
+
+std::vector<core::GridCoord> FailureDetector::split_brains() const {
+  std::vector<core::GridCoord> out;
+  net::LinkLayer& link = overlay_.link();
+  const std::size_t side = mapper().grid_side();
+  // cell index -> (epoch, live self-believed leader) pairs seen
+  std::vector<std::vector<std::pair<std::uint64_t, net::NodeId>>> seen(side *
+                                                                       side);
+  const std::size_t n = link.graph().node_count();
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (link.is_down(i)) continue;
+    if (believed_leader_[i] != i) continue;
+    const core::GridCoord c = mapper().cell_of(i);
+    const std::size_t ci = overlay_.grid().index_of(c);
+    bool dup = false;
+    for (auto& [ep, node] : seen[ci]) {
+      if (ep == epoch_[i] && node != i) dup = true;
+    }
+    if (dup) {
+      out.push_back(c);
+    } else {
+      seen[ci].push_back({epoch_[i], i});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::emulation

@@ -1,0 +1,212 @@
+// Distributed failure detection and in-protocol leader re-election.
+//
+// PR 3's FailoverBinder recovers crashed leaders by consulting an oracle
+// (LinkLayer::is_down / the EnergyLedger of other nodes) — global knowledge
+// the paper's Section 5 runtime explicitly denies the nodes. This layer
+// replaces the oracle with a protocol: liveness is only ever inferred from
+// the presence or absence of messages, every one of which crosses the real
+// LinkLayer (through the ReliableChannel when attached), costs energy, and
+// appears in traces.
+//
+// The protocol, per cell:
+//
+//   * Heartbeat/lease. The bound leader floods a kBeat into its own cell
+//     every `heartbeat_period` (unicasts to same-cell neighbors; receivers
+//     forward fresh beats on, so one beat reaches the whole connected
+//     cell). A follower holding a beat renews its lease for
+//     `lease_duration`. Leaders of cells additionally lease *up the
+//     hierarchy*: every cell's leader periodically sends a kUpLease,
+//     hop-routed over the overlay tables, to the leader of its lowest
+//     strict ancestor cell in the GroupHierarchy; the parent tracks a lease
+//     per expected child and, when one expires, marks the silent child
+//     leader suspected and repairs routes around it.
+//
+//   * Election. When a follower's lease expires it starts an election for
+//     epoch max(known, seen)+1: it floods a kElect carrying its own
+//     (score, id) key — the same key the setup election and oracle_leaders
+//     minimize — and every live member that hears the flood joins with its
+//     own key, so the eventual winner is the minimum key over all live,
+//     reachable members: exactly the oracle's answer. Candidates close
+//     their election after `election_timeout` plus a score-proportional
+//     stagger (the best key closes first); a candidate that closes still
+//     holding its own key as the minimum wins: it adopts leadership, bumps
+//     the cell's binding epoch, re-binds the overlay (which rebuilds the
+//     intra-cell tree and reroutes inter-cell entries around the deposed
+//     leader), and floods a kClaim. Losers adopt the claim. A lost claim is
+//     repaired by the next lease expiry, which elects at a strictly higher
+//     epoch, so stale election state can never deadlock a cell.
+//
+//   * Rejoin/resync. A recovered follower simply resumes renewing leases
+//     from the next beat it hears. A recovered *deposed* leader still
+//     beats with its old epoch; the current leader answers stale beats
+//     with a kSync carrying the current (leader, epoch), which demotes the
+//     returnee. Receipt of any control message from a suspected node is
+//     proof of life and clears the overlay suspicion, so false suspicions
+//     accumulated during loss bursts or outages heal within about one
+//     heartbeat period of the node coming back.
+//
+// Epochs ("generation numbers on bindings") make rejoin double-count-safe:
+// OverlayNetwork::binding_epoch bumps on every rebind, deadline collectives
+// stamp contributions with the sender's epoch, and leaders reject stale
+// epochs (core/primitives.cpp), so a deposed leader's in-flight
+// contribution can never be folded alongside its successor's.
+//
+// Determinism: all timing derives from the simulator clock and config; the
+// only RNG use is the ReliableChannel's retransmit jitter, drawn from the
+// simulator's seeded stream. Same seed + same fault plan => byte-identical
+// traces (the chaos-soak replay test asserts this).
+//
+// Observability: control messages are Category::kLink/kReliability traffic
+// with flow 0 (uncorrelated background, like ARQ acks); protocol decisions
+// emit Category::kReliability "fd.*" events and bump "fd.*" counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "emulation/leader_binding.h"
+#include "emulation/overlay_network.h"
+#include "obs/metrics_registry.h"
+#include "sim/trace.h"
+
+namespace wsn::emulation {
+
+struct FailureDetectorConfig {
+  /// Interval between a leader's intra-cell heartbeat floods.
+  double heartbeat_period = 5.0;
+  /// How long one received beat keeps a follower's lease alive. Must cover
+  /// several heartbeat periods or sporadic loss triggers spurious elections.
+  double lease_duration = 16.0;
+  /// How long an election candidate collects keys before closing. Must
+  /// cover an intra-cell flood round trip including ARQ retries.
+  double election_timeout = 8.0;
+  /// Interval between a cell leader's kUpLease renewals to its parent.
+  double uplease_period = 10.0;
+  /// Parent-side lease on each expected child cell.
+  double uplease_duration = 35.0;
+  /// Airtime/energy size of one control frame, in data units.
+  double beat_size_units = 0.25;
+  /// Election metric; must match the setup binding for the oracle
+  /// cross-check to be meaningful.
+  BindingMetric metric = BindingMetric::kDistanceToCenter;
+};
+
+/// One successful re-election, as recorded at the winner.
+struct ClaimRecord {
+  core::GridCoord cell;
+  std::uint64_t epoch = 0;
+  net::NodeId winner = net::kNoNode;
+  net::NodeId old_leader = net::kNoNode;
+  sim::Time at = 0.0;
+};
+
+class FailureDetector {
+ public:
+  /// The overlay must outlive the detector. When the overlay has an ARQ
+  /// channel attached, the detector takes over its on_give_up hook (route
+  /// repair on hop give-up); install it instead of a FailoverBinder, not in
+  /// addition to one.
+  FailureDetector(OverlayNetwork& overlay, FailureDetectorConfig cfg = {});
+
+  /// Seeds every node's view from the converged setup binding (the result
+  /// the Section 5.2 protocol announced to all members) and starts the
+  /// heartbeat/lease timers. While running, the simulator's queue never
+  /// drains — drive it with run_until(), then stop().
+  void start();
+
+  /// Stops all periodic timers; already-scheduled firings become no-ops, so
+  /// Simulator::run() terminates again.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Node `i`'s current belief of its cell's leader / binding epoch —
+  /// local per-node protocol state, exposed for tests and audits.
+  net::NodeId believed_leader(net::NodeId i) const {
+    return believed_leader_[i];
+  }
+  std::uint64_t epoch_view(net::NodeId i) const { return epoch_[i]; }
+
+  /// Every successful re-election so far, in commit order.
+  const std::vector<ClaimRecord>& claims() const { return claims_; }
+
+  /// Split-brain audit (test/assert only — consults is_down): cells where
+  /// two live nodes both believe they lead at the same epoch.
+  std::vector<core::GridCoord> split_brains() const;
+
+  sim::CounterSet& counters() { return counters_; }
+
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "fd") const {
+    registry.add_counters(prefix + ".counters", &counters_);
+    registry.add_gauge(prefix + ".elections", [this] {
+      return static_cast<double>(claims_.size());
+    });
+  }
+
+ private:
+  struct FdMsg;  // wire format of all control frames (cpp-local layout use)
+
+  sim::Simulator& sim() { return overlay_.simulator(); }
+  net::LinkLayer& link() { return overlay_.link(); }
+  const CellMapper& mapper() const { return overlay_.mapper(); }
+
+  void on_control(net::NodeId at, const net::Packet& pkt);
+  void handle(net::NodeId at, const FdMsg& msg);
+  void adopt(net::NodeId i, net::NodeId leader, std::uint64_t epoch);
+  void renew_lease(net::NodeId i);
+  void arm_watchdog(net::NodeId i);
+  void on_watchdog(net::NodeId i);
+  void start_election(net::NodeId i);
+  void close_election(net::NodeId i, std::uint64_t target);
+  void win_election(net::NodeId w, std::uint64_t epoch);
+  void beat(net::NodeId leader);
+  void uplease(std::size_t cell_idx);
+  void uplease_send(std::size_t cell_idx);
+  void arm_child_watchdog(std::size_t cell_idx);
+  void flood(net::NodeId from, const FdMsg& msg);
+  void route_control(net::NodeId at, const FdMsg& msg, bool first_hop);
+  double score(net::NodeId i) const;
+  void trace_fd(const char* name, net::NodeId node,
+                std::vector<obs::Attr> attrs);
+
+  OverlayNetwork& overlay_;
+  FailureDetectorConfig cfg_;
+  bool running_ = false;
+  /// Bumped on every start(); stale timer closures compare and bail, so a
+  /// stop()/start() cycle cannot resurrect old state.
+  std::uint64_t run_gen_ = 0;
+
+  // Per-node protocol state (all message-learned after start()'s snapshot
+  // of the announced setup binding).
+  std::vector<net::NodeId> believed_leader_;
+  std::vector<std::uint64_t> epoch_;
+  std::vector<sim::Time> lease_expiry_;
+  std::vector<bool> watchdog_armed_;
+  std::vector<bool> was_down_;  // reboot observed; next up-watchdog rejoins
+  std::vector<std::uint64_t> beat_seq_;        // own sequence, as leader
+  std::vector<std::uint64_t> seen_beat_epoch_;  // flood dedup highwater
+  std::vector<std::uint64_t> seen_beat_seq_;
+  std::vector<std::uint64_t> elect_epoch_;  // target epoch; 0 = idle
+  std::vector<double> elect_best_score_;
+  std::vector<net::NodeId> elect_best_id_;
+  std::vector<bool> elect_close_armed_;
+  /// Same-cell neighbor lists (local knowledge: radio range + own cell).
+  std::vector<std::vector<net::NodeId>> cell_neighbors_;
+
+  // Per-cell state, row-major by cell index.
+  std::vector<net::NodeId> cell_leader_;  // latest committed claimant
+  std::vector<std::int32_t> parent_of_;   // parent cell index; -1 for root
+  std::vector<sim::Time> child_expiry_;
+  std::vector<bool> child_suspected_;
+  std::vector<bool> child_watchdog_armed_;
+  std::vector<net::NodeId> child_last_leader_;
+  std::vector<bool> has_children_;
+
+  std::vector<ClaimRecord> claims_;
+  sim::CounterSet counters_;
+};
+
+}  // namespace wsn::emulation

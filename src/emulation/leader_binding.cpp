@@ -31,6 +31,13 @@ constexpr double kDeltaMsgUnits = 1.0;
 
 double score_of(net::NodeId id, const CellMapper& mapper, BindingMetric metric,
                 const net::EnergyLedger& ledger) {
+  return binding_score(id, mapper, metric, ledger);
+}
+
+}  // namespace
+
+double binding_score(net::NodeId id, const CellMapper& mapper,
+                     BindingMetric metric, const net::EnergyLedger& ledger) {
   switch (metric) {
     case BindingMetric::kDistanceToCenter:
       return mapper.distance_to_center(id);
@@ -40,6 +47,8 @@ double score_of(net::NodeId id, const CellMapper& mapper, BindingMetric metric,
   }
   return 0.0;
 }
+
+namespace {
 
 struct ElectionState {
   std::vector<Key> best;           // best key heard so far, per node

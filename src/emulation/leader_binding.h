@@ -94,7 +94,23 @@ std::vector<net::NodeId> oracle_leaders(const CellMapper& mapper,
                                         const net::EnergyLedger& ledger,
                                         const net::LinkLayer* link = nullptr);
 
-/// Automatic leader failover driven by ARQ liveness suspicion.
+/// Election score of node `id` under `metric` (lower wins, exact ties break
+/// toward the lower id). One definition shared by the setup election, the
+/// oracle failover reference, and the distributed FailureDetector election,
+/// so all three deterministically agree on the same winner.
+double binding_score(net::NodeId id, const CellMapper& mapper,
+                     BindingMetric metric, const net::EnergyLedger& ledger);
+
+/// ORACLE failover reference: leader re-binding driven by ARQ liveness
+/// suspicion plus global knowledge.
+///
+/// This is the test-only reference implementation the distributed path
+/// (emulation::FailureDetector) is cross-checked against: its decisions
+/// consult state no real node could have — LinkLayer::is_down and the
+/// EnergyLedger of *other* nodes — so it computes the correct answer
+/// instantly and for free. Production-shaped recovery is the
+/// FailureDetector's message-only heartbeat/lease/election protocol, which
+/// converges to the same winner this oracle picks (same (score, id) key).
 ///
 /// Installing a FailoverBinder takes over the channel's on_give_up hook.
 /// On each give-up it (1) routes around the unresponsive hop via

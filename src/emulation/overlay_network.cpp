@@ -23,6 +23,7 @@ OverlayNetwork::OverlayNetwork(net::LinkLayer& link, const CellMapper& mapper,
   // learns its next hop toward the leader.
   toward_leader_.assign(n, net::kNoNode);
   suspected_.assign(n, false);
+  epochs_.assign(grid_.node_count(), 0);
   for (const core::GridCoord& cell : grid_.all_coords()) {
     build_cell_tree(cell);
   }
@@ -80,12 +81,49 @@ void OverlayNetwork::on_hop_give_up(net::NodeId from, net::NodeId to) {
 }
 
 void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader) {
+  rebind(cell, leader, epochs_[grid_.index_of(cell)] + 1);
+}
+
+void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader,
+                            std::uint64_t epoch) {
   const std::size_t idx =
       static_cast<std::size_t>(cell.row) * mapper_.grid_side() +
       static_cast<std::size_t>(cell.col);
   binding_.leaders[idx] = leader;
+  epochs_[grid_.index_of(cell)] = epoch;
   ++rebinds_;
   build_cell_tree(cell);
+}
+
+void OverlayNetwork::clear_suspected(net::NodeId id) {
+  if (!suspected_[id]) return;
+  suspected_[id] = false;
+  // Restore routing through the proven-live node: fill any purged
+  // (unroutable) inter-cell entries for which it is a valid gateway again,
+  // then rebuild its cell's tree so it can relay intra-cell traffic.
+  // Entries that were successfully rerouted elsewhere keep their working
+  // alternative; only black holes are repaired.
+  const auto& graph = link_.graph();
+  const core::GridCoord cell = mapper_.cell_of(id);
+  for (net::NodeId i : graph.neighbors(id)) {
+    for (core::Direction d : core::kAllDirections) {
+      if (emulation_.tables[i][d] != net::kNoNode) continue;
+      if (core::GridTopology::step(mapper_.cell_of(i), d) == cell) {
+        emulation_.tables[i][d] = id;
+        ++restored_entries_;
+      }
+    }
+  }
+  build_cell_tree(cell);
+}
+
+void OverlayNetwork::send_control(net::NodeId from, net::NodeId to,
+                                  std::any payload, double size_units) {
+  if (arq_ != nullptr) {
+    arq_->send(from, to, std::move(payload), size_units, /*flow=*/0);
+  } else {
+    link_.unicast(from, to, std::move(payload), size_units, /*flow=*/0);
+  }
 }
 
 void OverlayNetwork::send(const core::GridCoord& from, const core::GridCoord& to,
@@ -190,12 +228,18 @@ void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt) {
 }
 
 void OverlayNetwork::on_receive(net::NodeId at, const net::Packet& raw) {
-  const auto pkt = std::any_cast<OverlayPacket>(raw.payload);
-  if (mapper_.cell_of(at) == pkt.dst && at == bound_node(pkt.dst)) {
-    deliver_local(at, pkt);
+  const auto* pkt = std::any_cast<OverlayPacket>(&raw.payload);
+  if (pkt == nullptr) {
+    // Not the overlay's wire format: control-plane traffic (failure
+    // detection leases, elections) multiplexed onto the same transport.
+    if (control_receiver_) control_receiver_(at, raw);
     return;
   }
-  forward(at, pkt);
+  if (mapper_.cell_of(at) == pkt->dst && at == bound_node(pkt->dst)) {
+    deliver_local(at, *pkt);
+    return;
+  }
+  forward(at, *pkt);
 }
 
 }  // namespace wsn::emulation

@@ -63,6 +63,8 @@ class OverlayNetwork final : public core::MessageFabric {
 
   net::LinkLayer& link() { return link_; }
   const CellMapper& mapper() const { return mapper_; }
+  /// The attached ARQ channel, or nullptr before attach_arq.
+  net::ReliableChannel* arq() { return arq_; }
 
   /// Routes every subsequent physical hop through `arq` (per-hop ack +
   /// retransmit) instead of raw unicast. The channel must wrap this
@@ -73,6 +75,44 @@ class OverlayNetwork final : public core::MessageFabric {
 
   /// Whether a node has been marked unresponsive by on_hop_give_up.
   bool is_suspected(net::NodeId id) const { return suspected_[id]; }
+
+  /// Clears a suspicion (the node proved itself alive — e.g. a heartbeat or
+  /// lease arrived from it) and restores routing through it: inter-cell
+  /// entries are rebuilt where the node is again the best gateway and its
+  /// cell's intra-cell tree is recomputed. No-op if not suspected.
+  void clear_suspected(net::NodeId id);
+
+  /// Next physical hop from `at` toward the bound leader of `dst_cell`, or
+  /// kNoNode when no route exists (also when `at` IS that leader). Exposed
+  /// so control-plane protocols (failure detection leases) can ride the
+  /// same hop-by-hop tables as data instead of consulting global state.
+  net::NodeId route_next_hop(net::NodeId at,
+                             const core::GridCoord& dst_cell) const {
+    return next_hop(at, dst_cell);
+  }
+
+  /// Control-plane escape hatch: sends `payload` one physical hop
+  /// `from` -> `to` through the same transport the overlay's data takes
+  /// (the ARQ channel when attached, the raw link otherwise), charging
+  /// energy normally. On arrival the packet is handed to the control
+  /// receiver instead of the overlay forwarding logic. Control traffic is
+  /// uncorrelated (flow 0): it serves no single logical message.
+  void send_control(net::NodeId from, net::NodeId to, std::any payload,
+                    double size_units);
+
+  /// Installs the handler for packets sent via send_control. Any payload
+  /// that is not the overlay's own wire format is dispatched here, so one
+  /// protocol at a time may own the control channel.
+  void set_control_receiver(
+      std::function<void(net::NodeId at, const net::Packet&)> handler) {
+    control_receiver_ = std::move(handler);
+  }
+
+  /// Binding generation of `cell`: starts at 0 and bumps on every rebind.
+  /// Collectives stamp contributions with it (core::MessageFabric docs).
+  std::uint64_t binding_epoch(const core::GridCoord& c) const override {
+    return epochs_[grid_.index_of(c)];
+  }
 
   /// Liveness suspicion hook, intended for ReliableChannel::on_give_up:
   /// marks `to` suspected, re-points every inter-cell table entry routing
@@ -85,8 +125,11 @@ class OverlayNetwork final : public core::MessageFabric {
   /// Re-points virtual node `cell` at a new physical leader (failover after
   /// the bound node crashed) and rebuilds the cell's intra-cell tree toward
   /// it. Handlers installed via set_receiver are keyed by virtual coord and
-  /// survive the rebind unchanged.
+  /// survive the rebind unchanged. Bumps the cell's binding epoch by one;
+  /// the overload takes the epoch the distributed election agreed on.
   void rebind(const core::GridCoord& cell, net::NodeId leader);
+  void rebind(const core::GridCoord& cell, net::NodeId leader,
+              std::uint64_t epoch);
 
   /// Total physical hops taken by overlay messages.
   std::uint64_t physical_hops() const { return physical_hops_; }
@@ -118,6 +161,9 @@ class OverlayNetwork final : public core::MessageFabric {
     });
     registry.add_gauge(prefix + ".rerouted_entries", [this] {
       return static_cast<double>(rerouted_entries_);
+    });
+    registry.add_gauge(prefix + ".restored_entries", [this] {
+      return static_cast<double>(restored_entries_);
     });
     registry.add_gauge(prefix + ".rebinds",
                        [this] { return static_cast<double>(rebinds_); });
@@ -161,12 +207,16 @@ class OverlayNetwork final : public core::MessageFabric {
   /// Nodes an ARQ give-up has flagged unresponsive; routing avoids them
   /// until a repair clears the flag (fresh construction starts clean).
   std::vector<bool> suspected_;
+  /// Binding generation per virtual cell; bumped on every rebind.
+  std::vector<std::uint64_t> epochs_;
+  std::function<void(net::NodeId, const net::Packet&)> control_receiver_;
   net::ReliableChannel* arq_ = nullptr;
   std::uint64_t physical_hops_ = 0;
   std::uint64_t virtual_hops_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t purged_entries_ = 0;
   std::uint64_t rerouted_entries_ = 0;
+  std::uint64_t restored_entries_ = 0;
   std::uint64_t rebinds_ = 0;
 };
 

@@ -214,4 +214,54 @@ CheckReport check_reliability(const std::vector<TraceEvent>& events,
   return report;
 }
 
+CheckReport check_failure_detection(const std::vector<TraceEvent>& events) {
+  CheckReport report;
+  report.events_seen = events.size();
+
+  auto cell_epoch = [](const TraceEvent& ev) {
+    const auto row = static_cast<std::int64_t>(attr_num(ev, "row", -1.0));
+    const auto col = static_cast<std::int64_t>(attr_num(ev, "col", -1.0));
+    const auto epoch = static_cast<std::uint64_t>(attr_num(ev, "epoch"));
+    return std::to_string(row) + "," + std::to_string(col) + "@" +
+           std::to_string(epoch);
+  };
+  auto cell_key = [](const TraceEvent& ev) {
+    const auto row = static_cast<std::int64_t>(attr_num(ev, "row", -1.0));
+    const auto col = static_cast<std::int64_t>(attr_num(ev, "col", -1.0));
+    return std::to_string(row) + "," + std::to_string(col);
+  };
+
+  std::unordered_set<std::string> elections;    // (cell, epoch) with fd.elect
+  std::unordered_set<std::string> claimed;      // (cell, epoch) with fd.claim
+  std::unordered_map<std::string, std::uint64_t> last_claim_epoch;
+  for (const TraceEvent& ev : events) {
+    if (ev.category != Category::kReliability) continue;
+    if (ev.name == "fd.elect") {
+      elections.insert(cell_epoch(ev));
+    } else if (ev.name == "fd.claim") {
+      ++report.collectives_checked;  // claims checked
+      const std::string key = cell_epoch(ev);
+      if (!claimed.insert(key).second) {
+        report.issues.push_back("fd.claim " + key +
+                                ": duplicate claim for this cell and epoch "
+                                "(split-brain)");
+      }
+      if (elections.find(key) == elections.end()) {
+        report.issues.push_back("fd.claim " + key +
+                                ": no preceding fd.elect for this epoch");
+      }
+      const std::string cell = cell_key(ev);
+      const auto epoch = static_cast<std::uint64_t>(attr_num(ev, "epoch"));
+      const auto it = last_claim_epoch.find(cell);
+      if (it != last_claim_epoch.end() && epoch <= it->second) {
+        report.issues.push_back(
+            "fd.claim " + key + ": epoch not above the cell's last claim (" +
+            std::to_string(it->second) + ")");
+      }
+      last_claim_epoch[cell] = epoch;
+    }
+  }
+  return report;
+}
+
 }  // namespace wsn::obs::analyze

@@ -58,4 +58,14 @@ CheckReport check_energy(const std::vector<TraceEvent>& events,
 CheckReport check_reliability(const std::vector<TraceEvent>& events,
                               const JsonValue* metrics_snapshot = nullptr);
 
+/// Failure-detection invariants over the kReliability "fd.*" event stream
+/// (emitted by emulation::FailureDetector):
+///   * leadership claims are unique per (cell, epoch) — two "fd.claim"
+///     events with the same cell and epoch mean split-brain;
+///   * per cell, claim epochs are strictly increasing in trace order;
+///   * every "fd.claim" is preceded by an "fd.elect" of the same cell and
+///     epoch (nobody claims leadership without an election round).
+/// A trace with no fd events passes vacuously.
+CheckReport check_failure_detection(const std::vector<TraceEvent>& events);
+
 }  // namespace wsn::obs::analyze

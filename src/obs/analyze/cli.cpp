@@ -270,6 +270,9 @@ int cmd_check(const Args& args, std::ostream& out) {
     report.issues.insert(report.issues.end(), rel.issues.begin(),
                          rel.issues.end());
   }
+  const CheckReport fd = check_failure_detection(events);
+  report.issues.insert(report.issues.end(), fd.issues.begin(),
+                       fd.issues.end());
   out << report.events_seen << " events, " << report.flows_checked
       << " flows, " << report.collectives_checked << " collectives\n";
   if (report.ok()) {

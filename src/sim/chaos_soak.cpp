@@ -1,0 +1,417 @@
+#include "sim/chaos_soak.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/grid_topology.h"
+#include "core/primitives.h"
+#include "emulation/cell_mapper.h"
+#include "emulation/emulation_protocol.h"
+#include "emulation/leader_binding.h"
+#include "emulation/overlay_network.h"
+#include "net/deployment.h"
+#include "net/link_layer.h"
+#include "net/network_graph.h"
+#include "net/reliable_link.h"
+#include "obs/analyze/check.h"
+#include "obs/analyze/json_reader.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "sim/fault_plan.h"
+#include "sim/rng.h"
+
+namespace wsn::sim {
+
+namespace {
+
+// The full physical stack a campaign runs against. Mirrors the benches'
+// PhysicalStack (bench_common.h is not visible from src/), but owned here
+// so campaigns can rebuild from scratch deterministically.
+struct Stack {
+  Stack(std::size_t grid_side, std::size_t nodes, double range,
+        std::uint64_t seed)
+      : sim(seed) {
+    const net::Rect terrain =
+        net::square_terrain(static_cast<double>(grid_side));
+    net::DeploymentConfig cfg;
+    cfg.kind = net::DeploymentKind::kOnePerCellPlus;
+    cfg.node_count = nodes;
+    cfg.terrain = terrain;
+    cfg.cells_per_side = grid_side;
+    auto positions = net::deploy(cfg, sim.rng());
+    graph = std::make_unique<net::NetworkGraph>(std::move(positions), range);
+    mapper =
+        std::make_unique<emulation::CellMapper>(*graph, terrain, grid_side);
+    ledger = std::make_unique<net::EnergyLedger>(graph->node_count());
+    link = std::make_unique<net::LinkLayer>(
+        sim, *graph, net::RadioModel{range, 1.0, 1.0, 1.0}, net::CpuModel{},
+        *ledger);
+    emulation_result = emulation::run_topology_emulation(*link, *mapper, 0.0);
+    binding_result = emulation::run_leader_binding(*link, *mapper);
+    overlay = std::make_unique<emulation::OverlayNetwork>(
+        *link, *mapper, emulation_result, binding_result);
+  }
+
+  bool healthy() const {
+    return mapper->all_cells_occupied() && mapper->all_cells_connected() &&
+           binding_result.unique_leaders;
+  }
+
+  Simulator sim;
+  std::unique_ptr<net::NetworkGraph> graph;
+  std::unique_ptr<emulation::CellMapper> mapper;
+  std::unique_ptr<net::EnergyLedger> ledger;
+  std::unique_ptr<net::LinkLayer> link;
+  emulation::EmulationResult emulation_result;
+  emulation::BindingResult binding_result;
+  std::unique_ptr<emulation::OverlayNetwork> overlay;
+  std::unique_ptr<net::ReliableChannel> arq;
+};
+
+/// A generated leader crash the invariant pass must account for.
+struct TrackedCrash {
+  core::GridCoord cell{-1, -1};
+  net::NodeId node = net::kNoNode;
+  Time at = 0.0;  // plan-relative
+};
+
+/// True iff the cell's member set stays BFS-connected (over physical radio
+/// edges) after `removed` is taken out — the generator's guard for the
+/// paper's all_cells_connected precondition.
+bool connected_without(const net::NetworkGraph& graph,
+                       std::span<const net::NodeId> members,
+                       net::NodeId removed) {
+  std::vector<net::NodeId> alive;
+  for (const net::NodeId m : members) {
+    if (m != removed) alive.push_back(m);
+  }
+  if (alive.empty()) return false;
+  std::vector<net::NodeId> frontier{alive.front()};
+  std::vector<bool> seen(graph.node_count(), false);
+  seen[alive.front()] = true;
+  std::size_t reached = 1;
+  auto is_alive = [&](net::NodeId v) {
+    return std::find(alive.begin(), alive.end(), v) != alive.end();
+  };
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.back();
+    frontier.pop_back();
+    for (const net::NodeId v : graph.neighbors(u)) {
+      if (seen[v] || !is_alive(v)) continue;
+      seen[v] = true;
+      ++reached;
+      frontier.push_back(v);
+    }
+  }
+  return reached == alive.size();
+}
+
+struct GeneratedPlan {
+  FaultPlan plan;
+  std::vector<TrackedCrash> leader_crashes;
+};
+
+}  // namespace
+
+Time ChaosSoak::detection_bound() const {
+  const emulation::FailureDetectorConfig& d = cfg_.detector;
+  // Worst case: the crash lands right after a lease renewal (full
+  // lease_duration until expiry, and the very first lease is granted at
+  // 1.5x), the watchdog defers once for an open election (one more lease),
+  // then the staggered election close runs to its 1.25x ceiling; the rest
+  // is flood/claim propagation slack.
+  return 1.5 * d.lease_duration + d.lease_duration +
+         1.5 * d.election_timeout + 10.0;
+}
+
+ChaosSoakSummary ChaosSoak::run() const {
+  ChaosSoakSummary summary;
+  summary.campaigns = cfg_.campaigns;
+  for (std::size_t k = 0; k < cfg_.campaigns; ++k) {
+    ChaosCampaignResult res = run_campaign(k, /*keep_trace=*/false);
+    if (!res.ok()) ++summary.failed;
+    summary.results.push_back(std::move(res));
+  }
+  return summary;
+}
+
+ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
+                                            bool keep_trace) const {
+  ChaosCampaignResult res;
+  res.index = index;
+  res.seed = cfg_.seed + index;
+
+  obs::RingBufferSink sink(cfg_.trace_capacity);
+  obs::ScopedTrace capture(sink, obs::kAllCategories);
+
+  // Deterministic seed-retry: kOnePerCellPlus deployments are almost always
+  // healthy, but a pathological draw (an unconnected cell) would void the
+  // paper's preconditions — bump the stack seed until healthy, wiping the
+  // partial capture so the surviving trace covers exactly one stack.
+  std::unique_ptr<Stack> stack;
+  for (std::uint64_t retry = 0;; ++retry) {
+    sink.clear();
+    obs::tracer().reset_flows(0);
+    stack = std::make_unique<Stack>(cfg_.grid_side, cfg_.node_count,
+                                    cfg_.range, res.seed + 1000003 * retry);
+    if (stack->healthy()) break;
+    if (retry > 16) {
+      res.findings.push_back("no healthy deployment after 16 seed retries");
+      return res;
+    }
+  }
+
+  stack->arq = std::make_unique<net::ReliableChannel>(*stack->link,
+                                                      net::ReliableConfig{});
+  stack->overlay->attach_arq(*stack->arq);
+  emulation::FailureDetector detector(*stack->overlay, cfg_.detector);
+
+  obs::MetricsRegistry registry;
+  stack->link->register_metrics(registry);
+  stack->overlay->register_metrics(registry);
+  emulation::register_metrics(registry, stack->emulation_result);
+  emulation::register_metrics(registry, stack->binding_result);
+  stack->arq->register_metrics(registry);
+  detector.register_metrics(registry);
+
+  // ---- Plan generation (campaign RNG, independent of the stack's) -------
+  Rng rng(res.seed * 0x9e3779b97f4a7c15ULL + 0x1234567);
+  const core::GridTopology& grid = stack->overlay->grid();
+  const Time horizon =
+      static_cast<double>(cfg_.rounds) * (cfg_.deadline + 10.0);
+  GeneratedPlan gen;
+  std::vector<bool> hit(grid.node_count(), false);
+  hit[grid.index_of({0, 0})] = true;  // never target the collector cell
+  double budget = cfg_.severity_budget;
+  for (int attempt = 0; attempt < 64 && budget > 0.0 &&
+                        gen.plan.events.size() < cfg_.max_plan_events;
+       ++attempt) {
+    const double draw = rng.uniform();
+    if (draw < 0.45) {
+      // Crash a cell's bound leader (resolved now, so the plan is
+      // node-targeted and replayable without a live binding).
+      const std::size_t ci = rng.below(grid.node_count());
+      const core::GridCoord cell = grid.coord_of(ci);
+      if (hit[ci]) continue;
+      const net::NodeId leader = stack->overlay->bound_node(cell);
+      const auto members = stack->mapper->members(cell);
+      if (leader == net::kNoNode || members.size() < 2) continue;
+      if (!connected_without(*stack->graph, members, leader)) continue;
+      hit[ci] = true;
+      FaultEvent crash;
+      crash.at = 5.0 + rng.uniform() * horizon * 0.4;
+      crash.kind = FaultKind::kCrash;
+      crash.node = leader;
+      gen.plan.events.push_back(crash);
+      gen.leader_crashes.push_back({cell, leader, crash.at});
+      if (rng.chance(0.5)) {
+        // Recover well past the detection bound so the claim invariant is
+        // unconditional, then let the rejoin/demote path run too.
+        FaultEvent rec;
+        rec.at = crash.at + detection_bound() + 10.0 + rng.uniform() * 20.0;
+        rec.kind = FaultKind::kRecover;
+        rec.node = leader;
+        gen.plan.events.push_back(rec);
+      }
+      budget -= 1.5;
+    } else if (draw < 0.65) {
+      // Crash a non-leader member: churn that must NOT depose a leader.
+      const std::size_t ci = rng.below(grid.node_count());
+      const core::GridCoord cell = grid.coord_of(ci);
+      if (hit[ci]) continue;
+      const net::NodeId leader = stack->overlay->bound_node(cell);
+      const auto members = stack->mapper->members(cell);
+      if (members.size() < 3) continue;
+      const net::NodeId victim =
+          members[static_cast<std::size_t>(rng.below(members.size()))];
+      if (victim == leader) continue;
+      if (!connected_without(*stack->graph, members, victim)) continue;
+      hit[ci] = true;
+      FaultEvent crash;
+      crash.at = 5.0 + rng.uniform() * horizon * 0.4;
+      crash.kind = FaultKind::kCrash;
+      crash.node = victim;
+      gen.plan.events.push_back(crash);
+      if (rng.chance(0.6)) {
+        FaultEvent rec;
+        rec.at = crash.at + 20.0 + rng.uniform() * 40.0;
+        rec.kind = FaultKind::kRecover;
+        rec.node = victim;
+        gen.plan.events.push_back(rec);
+      }
+      budget -= 0.75;
+    } else if (draw < 0.85) {
+      FaultEvent burst;
+      burst.at = rng.uniform() * horizon * 0.5;
+      burst.kind = FaultKind::kLossBurst;
+      burst.loss = 0.03 + rng.uniform() * 0.09;
+      burst.duration = 20.0 + rng.uniform() * 40.0;
+      gen.plan.events.push_back(burst);
+      budget -= burst.loss * burst.duration / 5.0;
+    } else {
+      // Region outage: whole cells go dark atomically. An empty cell
+      // elects nobody (no split-brain risk); the hierarchy suspects and
+      // later resumes it. Keep it clear of the collector and of cells
+      // already targeted.
+      if (budget < 2.0 || grid.side() < 3) continue;
+      const auto side = static_cast<std::int32_t>(grid.side());
+      const std::int32_t r0 = 1 + static_cast<std::int32_t>(rng.below(
+                                      static_cast<std::uint64_t>(side - 1)));
+      const std::int32_t c0 = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(side)));
+      const std::int32_t r1 = std::min<std::int32_t>(r0 + 1, side - 1);
+      const std::int32_t c1 = std::min<std::int32_t>(c0 + 1, side - 1);
+      bool clear = true;
+      for (std::int32_t r = r0; r <= r1 && clear; ++r) {
+        for (std::int32_t c = c0; c <= c1 && clear; ++c) {
+          clear = !hit[grid.index_of({r, c})];
+        }
+      }
+      if (!clear) continue;
+      std::size_t cells = 0;
+      for (std::int32_t r = r0; r <= r1; ++r) {
+        for (std::int32_t c = c0; c <= c1; ++c) {
+          hit[grid.index_of({r, c})] = true;
+          ++cells;
+        }
+      }
+      FaultEvent outage;
+      outage.at = rng.uniform() * horizon * 0.3;
+      outage.kind = FaultKind::kRegionOutage;
+      outage.row0 = r0;
+      outage.col0 = c0;
+      outage.row1 = r1;
+      outage.col1 = c1;
+      outage.duration = 30.0 + rng.uniform() * 30.0;
+      gen.plan.events.push_back(outage);
+      budget -= static_cast<double>(cells) * 0.75;
+    }
+  }
+  res.plan_json = gen.plan.to_json();
+  res.leader_crashes = gen.leader_crashes.size();
+
+  // ---- Run: arm faults, start the detector, push rounds through ---------
+  FaultInjector injector(stack->sim, *stack->link, stack->mapper.get());
+  injector.set_leader_lookup(
+      [&overlay = *stack->overlay](const core::GridCoord& c) {
+        return overlay.bound_node(c);
+      });
+  injector.register_metrics(registry);
+  const Time arm_time = stack->sim.now();
+  injector.arm(gen.plan);
+  detector.start();
+
+  const std::vector<core::GridCoord> all_cells = grid.all_coords();
+  const std::vector<double> values(all_cells.size(), 1.0);
+  auto partials = std::make_shared<std::vector<core::PartialResult>>();
+  for (std::size_t r = 0; r < cfg_.rounds; ++r) {
+    const Time round_start = stack->sim.now();
+    core::group_reduce_deadline(
+        *stack->overlay, all_cells, {0, 0}, values, core::ReduceOp::kSum, 1.0,
+        cfg_.deadline,
+        [partials](const core::PartialResult& p) { partials->push_back(p); });
+    stack->sim.run_until(round_start + cfg_.deadline + 5.0);
+  }
+
+  // Let the detector settle past the last outage (down_horizon), plus the
+  // detection bound and one uplease so suspected cells resume, then stop
+  // and drain everything still in flight so the capture is not truncated.
+  const Time settle =
+      std::max(stack->sim.now(), arm_time + gen.plan.down_horizon()) +
+      detection_bound() + cfg_.detector.uplease_duration;
+  stack->sim.run_until(settle);
+  const std::vector<core::GridCoord> split = detector.split_brains();
+  const std::vector<emulation::ClaimRecord> claims = detector.claims();
+  detector.stop();
+  stack->sim.run();
+
+  // ---- Invariants --------------------------------------------------------
+  auto finding = [&res](std::string msg) {
+    res.findings.push_back(std::move(msg));
+  };
+  if (sink.overwritten() != 0) {
+    finding("trace capture overflow: " + std::to_string(sink.overwritten()) +
+            " events lost");
+  }
+  const std::vector<obs::TraceEvent> events = sink.events();
+  res.events = events.size();
+
+  std::ostringstream snap;
+  registry.write_json(snap);
+  const obs::analyze::JsonValue snapshot =
+      obs::analyze::parse_json(snap.str());
+  const auto merge = [&](const char* what,
+                         const obs::analyze::CheckReport& report) {
+    for (const std::string& issue : report.issues) {
+      finding(std::string(what) + ": " + issue);
+    }
+  };
+  merge("check_trace", obs::analyze::check_trace(events));
+  merge("check_energy", obs::analyze::check_energy(events, snapshot));
+  merge("check_reliability",
+        obs::analyze::check_reliability(events, &snapshot));
+  merge("check_failure_detection",
+        obs::analyze::check_failure_detection(events));
+
+  res.split_brains = split.size();
+  for (const core::GridCoord& c : split) {
+    finding("split-brain in cell (" + std::to_string(c.row) + "," +
+            std::to_string(c.col) +
+            "): two live self-believed leaders at one epoch");
+  }
+
+  res.claims = claims.size();
+  const Time bound = detection_bound();
+  for (const TrackedCrash& tc : gen.leader_crashes) {
+    const Time crash_abs = arm_time + tc.at;
+    std::size_t count = 0;
+    Time first = 0.0;
+    for (const emulation::ClaimRecord& cl : claims) {
+      if (cl.cell.row != tc.cell.row || cl.cell.col != tc.cell.col) continue;
+      if (count == 0) first = cl.at;
+      ++count;
+    }
+    const std::string tag =
+        "leader crash in cell (" + std::to_string(tc.cell.row) + "," +
+        std::to_string(tc.cell.col) + ") at t=" + std::to_string(crash_abs);
+    if (count == 0) {
+      finding(tag + ": no leadership claim followed");
+      continue;
+    }
+    if (count > 1) {
+      finding(tag + ": " + std::to_string(count) +
+              " claims for the cell (expected exactly one election)");
+    }
+    const Time latency = first - crash_abs;
+    if (latency < 0.0) {
+      finding(tag + ": claim precedes the crash (spurious election)");
+    } else if (latency > bound) {
+      finding(tag + ": detection latency " + std::to_string(latency) +
+              " exceeds bound " + std::to_string(bound));
+    }
+    res.max_detection_latency = std::max(res.max_detection_latency, latency);
+  }
+
+  if (partials->size() != cfg_.rounds) {
+    finding("only " + std::to_string(partials->size()) + " of " +
+            std::to_string(cfg_.rounds) + " reduce rounds closed");
+  }
+  for (const core::PartialResult& p : *partials) {
+    res.stale_rejected += p.stale_rejected;
+  }
+
+  if (keep_trace || !res.findings.empty()) {
+    std::ostringstream out;
+    obs::write_jsonl(events, out);
+    res.trace_jsonl = out.str();
+  }
+  return res;
+}
+
+}  // namespace wsn::sim

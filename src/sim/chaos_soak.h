@@ -1,0 +1,111 @@
+// Chaos-soak harness: randomized-but-replayable fault campaigns over the
+// full physical stack, each checked against the trace oracle and the
+// failure-detection invariants.
+//
+// Each campaign builds a fresh PhysicalStack-equivalent (seeded deployment,
+// emulation, leader binding, overlay, ARQ, distributed FailureDetector),
+// generates a FaultPlan from the campaign's own seeded RNG under a severity
+// budget, runs deadline-bounded reduce rounds through the faults, lets the
+// detector settle, and then asserts:
+//   * every analyzer check over the captured trace (check_trace,
+//     check_energy vs. a metrics snapshot, check_reliability,
+//     check_failure_detection) is clean;
+//   * no split-brain: at campaign end no two live nodes of one cell both
+//     believe they lead it at the same epoch;
+//   * every unrecovered leader crash with surviving members produced
+//     exactly one leadership claim for that cell, within the detection
+//     bound (lease + election + slack);
+//   * the trace capture did not overflow (a truncated capture would make
+//     the other checks vacuous).
+//
+// The plan generator is constrained to keep the paper's preconditions
+// intact — it never removes a node whose loss would disconnect or empty its
+// cell's member set (all_cells_occupied / all_cells_connected), except via
+// region outages which take entire cells down atomically (an empty cell
+// elects nobody; its parent suspects it and resumes it on recovery).
+//
+// Determinism: campaign k is fully determined by (config, base seed, k) —
+// running it twice yields byte-identical JSONL traces (the replay test
+// asserts this), and a failing campaign's plan JSON is enough to reproduce
+// it offline with wsn-chaos / wsn-inspect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emulation/failure_detector.h"
+#include "sim/simulator.h"
+
+namespace wsn::sim {
+
+struct ChaosSoakConfig {
+  // Stack shape (small enough that 25 campaigns stay cheap under ASan).
+  std::size_t grid_side = 4;
+  std::size_t node_count = 60;
+  double range = 1.3;
+  /// Base seed; campaign k derives everything from `seed + k`.
+  std::uint64_t seed = 20260805;
+  std::size_t campaigns = 25;
+  /// Deadline-bounded reduce rounds run while faults fire.
+  std::size_t rounds = 2;
+  Time deadline = 120.0;
+  /// Plan-generator spending cap: leader crash 1.5, member crash 0.75,
+  /// loss burst ~ loss*duration/5, region outage 0.75/cell.
+  double severity_budget = 4.0;
+  std::size_t max_plan_events = 10;
+  /// Ring capacity for the per-campaign capture; overflow is a finding.
+  std::size_t trace_capacity = 1u << 19;
+  emulation::FailureDetectorConfig detector;
+};
+
+struct ChaosCampaignResult {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::string plan_json;              // FaultPlan::to_json of the campaign
+  std::vector<std::string> findings;  // empty == campaign passed
+  std::string trace_jsonl;  // captured events; filled only when requested
+  // Stats for reporting / the detection-latency bench.
+  std::size_t events = 0;
+  std::size_t claims = 0;
+  std::size_t leader_crashes = 0;
+  std::size_t split_brains = 0;
+  std::uint64_t stale_rejected = 0;
+  double max_detection_latency = 0.0;  // over tracked leader crashes; 0 if none
+
+  bool ok() const { return findings.empty(); }
+};
+
+struct ChaosSoakSummary {
+  std::size_t campaigns = 0;
+  std::size_t failed = 0;
+  std::vector<ChaosCampaignResult> results;  // one per campaign, in order
+
+  bool ok() const { return failed == 0; }
+};
+
+class ChaosSoak {
+ public:
+  explicit ChaosSoak(ChaosSoakConfig cfg = {}) : cfg_(cfg) {}
+
+  const ChaosSoakConfig& config() const { return cfg_; }
+
+  /// Upper bound on crash -> fd.claim latency asserted per campaign:
+  /// worst-case remaining lease, the electing-grace re-arm, the staggered
+  /// election close, plus propagation slack.
+  Time detection_bound() const;
+
+  /// Runs campaign `index` from scratch (fresh stack, fresh capture).
+  /// `keep_trace` fills ChaosCampaignResult::trace_jsonl even on success
+  /// (the replay determinism test diffs two runs byte-for-byte).
+  ChaosCampaignResult run_campaign(std::size_t index,
+                                   bool keep_trace = false) const;
+
+  /// Runs every campaign; traces are retained only for failing campaigns.
+  ChaosSoakSummary run() const;
+
+ private:
+  ChaosSoakConfig cfg_;
+};
+
+}  // namespace wsn::sim

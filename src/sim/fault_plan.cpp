@@ -1,6 +1,12 @@
 #include "sim/fault_plan.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -21,6 +27,107 @@ double num_field(const JsonValue& obj, const char* key, double fallback) {
   return v == nullptr ? fallback : v->number();
 }
 
+// The parsed JsonValue tree carries no source positions, so error messages
+// recover them with a second, purely lexical pass: walk the raw text
+// tracking line number, string/escape state, and brace depth, and record the
+// line on which each object element of the top-level "events" array opens.
+// Returns one line per '{' element, in order; callers index by event number
+// and fall back to "line unknown" on any mismatch.
+std::vector<std::size_t> event_start_lines(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t line = 1;
+  bool in_string = false;
+  bool escape = false;
+  std::string current;      // content of the string literal being scanned
+  std::string last_string;  // most recently completed string literal
+  int depth = 0;
+  int events_depth = -1;  // depth of elements inside the events array
+  bool events_key_pending = false;  // saw `"events"` `:`, awaiting '['
+  bool expecting_element = false;
+  for (const char ch : text) {
+    if (ch == '\n') ++line;
+    if (in_string) {
+      if (escape) {
+        escape = false;
+      } else if (ch == '\\') {
+        escape = true;
+      } else if (ch == '"') {
+        in_string = false;
+        last_string = current;
+      } else {
+        current.push_back(ch);
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_string = true;
+        current.clear();
+        events_key_pending = false;
+        break;
+      case ':':
+        if (depth == 1 && last_string == "events" && events_depth < 0) {
+          events_key_pending = true;
+        }
+        break;
+      case '[':
+        if (events_key_pending) {
+          events_depth = depth + 1;
+          expecting_element = true;
+          events_key_pending = false;
+        }
+        ++depth;
+        break;
+      case '{':
+        if (depth == events_depth && expecting_element) {
+          out.push_back(line);
+          expecting_element = false;
+        }
+        events_key_pending = false;
+        ++depth;
+        break;
+      case ']':
+        --depth;
+        if (events_depth >= 0 && depth < events_depth) {
+          events_depth = -1;  // left the events array; don't re-enter
+        }
+        break;
+      case '}':
+        --depth;
+        break;
+      case ',':
+        if (depth == events_depth) expecting_element = true;
+        break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+          events_key_pending = false;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void fail_event(std::size_t line, std::size_t index,
+                             const std::string& msg) {
+  std::string where = "fault plan";
+  if (line > 0) where += " line " + std::to_string(line);
+  // 1-based for humans: "event #1" is the first element of "events".
+  where += ", event #" + std::to_string(index + 1);
+  throw std::runtime_error(where + ": " + msg);
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
 void trace_fault(Simulator& sim, const char* name, std::int64_t node,
                  std::vector<obs::Attr> attrs) {
   auto& tr = obs::tracer();
@@ -37,14 +144,23 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
   if (events == nullptr || !events->is_array()) {
     throw std::runtime_error("fault plan: missing \"events\" array");
   }
+  const std::vector<std::size_t> lines = event_start_lines(text);
+  const auto line_of = [&](std::size_t i) {
+    return i < lines.size() ? lines[i] : std::size_t{0};
+  };
   FaultPlan plan;
-  for (const JsonValue& e : events->array()) {
+  for (std::size_t i = 0; i < events->array().size(); ++i) {
+    const JsonValue& e = events->array()[i];
+    const std::size_t line = line_of(i);
     const JsonValue* kind = e.find("kind");
     if (kind == nullptr || !kind->is_string()) {
-      throw std::runtime_error("fault plan: event without a \"kind\"");
+      fail_event(line, i, "event without a \"kind\"");
     }
     FaultEvent ev;
     ev.at = num_field(e, "at", 0.0);
+    if (ev.at < 0.0) {
+      fail_event(line, i, "negative time " + std::to_string(ev.at));
+    }
     const std::string& k = kind->string();
     if (k == "crash" || k == "recover") {
       ev.kind = k == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
@@ -52,13 +168,12 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
         ev.cell = {static_cast<std::int32_t>(num_field(*cell, "row", -1.0)),
                    static_cast<std::int32_t>(num_field(*cell, "col", -1.0))};
         if (ev.cell.row < 0 || ev.cell.col < 0) {
-          throw std::runtime_error("fault plan: cell needs row and col >= 0");
+          fail_event(line, i, "cell needs row and col >= 0");
         }
       } else {
         const double node = num_field(e, "node", -1.0);
         if (node < 0) {
-          throw std::runtime_error("fault plan: " + k +
-                                   " needs \"node\" or \"cell\"");
+          fail_event(line, i, k + " needs \"node\" or \"cell\"");
         }
         ev.node = static_cast<net::NodeId>(node);
       }
@@ -67,7 +182,11 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
       ev.loss = num_field(e, "loss", 0.0);
       ev.duration = num_field(e, "duration", 0.0);
       if (ev.loss < 0.0 || ev.loss > 1.0) {
-        throw std::runtime_error("fault plan: loss must be in [0, 1]");
+        fail_event(line, i, "loss must be in [0, 1]");
+      }
+      if (ev.duration < 0.0) {
+        fail_event(line, i,
+                   "negative duration " + std::to_string(ev.duration));
       }
     } else if (k == "region_outage") {
       ev.kind = FaultKind::kRegionOutage;
@@ -77,14 +196,104 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
       ev.row1 = static_cast<std::int32_t>(num_field(e, "row1", 0.0));
       ev.col1 = static_cast<std::int32_t>(num_field(e, "col1", 0.0));
       if (ev.row1 < ev.row0 || ev.col1 < ev.col0) {
-        throw std::runtime_error("fault plan: empty region rectangle");
+        fail_event(line, i, "empty region rectangle");
+      }
+      if (ev.duration < 0.0) {
+        fail_event(line, i,
+                   "negative duration " + std::to_string(ev.duration));
       }
     } else {
-      throw std::runtime_error("fault plan: unknown kind \"" + k + "\"");
+      fail_event(line, i, "unknown kind \"" + k + "\"");
     }
     plan.events.push_back(ev);
   }
+  // Reject a node-targeted crash scheduled while that node is already down
+  // from an earlier crash with no recover in between: the second crash would
+  // silently no-op at runtime, which always means the plan author got the
+  // overlap wrong. Cell-targeted and region events resolve their node sets
+  // at fire time, so they can't be checked statically and are skipped here.
+  std::vector<std::size_t> order(plan.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return plan.events[a].at < plan.events[b].at;
+  });
+  std::map<net::NodeId, bool> down;
+  for (const std::size_t i : order) {
+    const FaultEvent& ev = plan.events[i];
+    if (ev.node == net::kNoNode) continue;
+    if (ev.kind == FaultKind::kCrash) {
+      if (down[ev.node]) {
+        fail_event(line_of(i), i,
+                   "crash of node " + std::to_string(ev.node) + " at t=" +
+                       std::to_string(ev.at) +
+                       " overlaps an earlier crash with no recover between");
+      }
+      down[ev.node] = true;
+    } else if (ev.kind == FaultKind::kRecover) {
+      down[ev.node] = false;
+    }
+  }
   return plan;
+}
+
+std::string FaultPlan::to_json() const {
+  std::string out = "{\"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"at\": ";
+    append_number(out, ev.at);
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        out += ev.kind == FaultKind::kCrash ? ", \"kind\": \"crash\""
+                                            : ", \"kind\": \"recover\"";
+        if (ev.node != net::kNoNode) {
+          out += ", \"node\": " + std::to_string(ev.node);
+        } else {
+          out += ", \"cell\": {\"row\": " + std::to_string(ev.cell.row) +
+                 ", \"col\": " + std::to_string(ev.cell.col) + "}";
+        }
+        break;
+      case FaultKind::kLossBurst:
+        out += ", \"kind\": \"loss_burst\", \"loss\": ";
+        append_number(out, ev.loss);
+        out += ", \"duration\": ";
+        append_number(out, ev.duration);
+        break;
+      case FaultKind::kRegionOutage:
+        out += ", \"kind\": \"region_outage\"";
+        out += ", \"row0\": " + std::to_string(ev.row0);
+        out += ", \"col0\": " + std::to_string(ev.col0);
+        out += ", \"row1\": " + std::to_string(ev.row1);
+        out += ", \"col1\": " + std::to_string(ev.col1);
+        out += ", \"duration\": ";
+        append_number(out, ev.duration);
+        break;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Time FaultPlan::down_horizon() const {
+  Time horizon = 0.0;
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        horizon = std::max(horizon, ev.at);
+        break;
+      case FaultKind::kRegionOutage:
+        horizon = std::max(horizon, ev.at + ev.duration);
+        break;
+      case FaultKind::kLossBurst:
+        break;  // links stay up; no outage to wait out
+    }
+  }
+  return horizon;
 }
 
 FaultInjector::FaultInjector(Simulator& sim, net::LinkLayer& link,

@@ -82,8 +82,24 @@ struct FaultPlan {
   std::vector<FaultEvent> events;
 
   /// Parses the JSON spec above; throws std::runtime_error on malformed
-  /// input or unknown kinds.
+  /// input. Error messages name the source line and event index of the
+  /// offending entry ("fault plan line 7, event #2: ..."). Rejected beyond
+  /// shape errors: unknown kinds, negative times or durations, out-of-range
+  /// loss, empty region rectangles, and a node-targeted crash scheduled
+  /// while the same node is already down (crash-without-recover overlap).
   static FaultPlan from_json(const std::string& text);
+
+  /// Serializes back to the JSON spec (round-trips through from_json);
+  /// chaos campaigns persist failing plans with this for replay.
+  std::string to_json() const;
+
+  /// Latest time (campaign-relative) at which any plan-driven outage ends:
+  /// recover events and region-outage windows contribute their end, a crash
+  /// with no later recover contributes its own time (it never ends, but the
+  /// protocol's detection starts there). Loss bursts are excluded — links
+  /// stay up during them. Harness code uses this to place the
+  /// post-recovery round of a campaign.
+  Time down_horizon() const;
 };
 
 /// Applies a FaultPlan to a live network at simulation time. Construct

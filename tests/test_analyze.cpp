@@ -542,7 +542,8 @@ class InspectCli : public ::testing::Test {
 
   /// Writes a capture of the 8x8 all-to-origin run to a temp file.
   std::string write_trace() {
-    const std::string path = testing::TempDir() + "analyze_cli.trace.jsonl";
+    const std::string path =
+        unique_path("analyze_cli.trace.jsonl");
     const auto events =
         capture_all_to_origin(8, core::Congestion::kNodeSerialized);
     std::ofstream out(path);
@@ -551,9 +552,17 @@ class InspectCli : public ::testing::Test {
   }
 
   std::string write_file(const std::string& name, const std::string& text) {
-    const std::string path = testing::TempDir() + name;
+    const std::string path = unique_path(name);
     std::ofstream(path) << text;
     return path;
+  }
+
+  /// Temp path namespaced by the running test: ctest launches each gtest
+  /// case as its own parallel process, so a fixed file name races.
+  static std::string unique_path(const std::string& name) {
+    return testing::TempDir() +
+           testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "." + name;
   }
 
   std::ostringstream out_;

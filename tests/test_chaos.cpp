@@ -1,0 +1,78 @@
+// Chaos-soak harness (sim/chaos_soak.h): the full fixed-seed soak must come
+// back with zero findings and zero split-brains, a single campaign must
+// replay byte-identically (trace JSONL and plan JSON both), and every
+// generated FaultPlan must round-trip through the JSON loader it claims to
+// be replayable with.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/chaos_soak.h"
+#include "sim/fault_plan.h"
+
+namespace wsn {
+namespace {
+
+TEST(ChaosSoak, FullSoakZeroFindings) {
+  sim::ChaosSoakConfig cfg;  // 25 campaigns, fixed seed 20260805
+  ASSERT_GE(cfg.campaigns, 25u);
+  const sim::ChaosSoak soak(cfg);
+  const sim::ChaosSoakSummary summary = soak.run();
+  EXPECT_EQ(summary.campaigns, cfg.campaigns);
+  for (const sim::ChaosCampaignResult& res : summary.results) {
+    EXPECT_EQ(res.split_brains, 0u)
+        << "campaign " << res.index << " (seed " << res.seed << ")";
+    for (const std::string& f : res.findings) {
+      ADD_FAILURE() << "campaign " << res.index << " (seed " << res.seed
+                    << "): " << f << "\nplan: " << res.plan_json;
+    }
+  }
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_TRUE(summary.ok());
+}
+
+TEST(ChaosSoak, SingleCampaignReplaysByteIdentically) {
+  const sim::ChaosSoak soak{sim::ChaosSoakConfig{}};
+  const auto first = soak.run_campaign(3, /*keep_trace=*/true);
+  const auto second = soak.run_campaign(3, /*keep_trace=*/true);
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.seed, second.seed);
+  EXPECT_EQ(first.plan_json, second.plan_json);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl)
+      << "same seed + same plan must produce a byte-identical trace";
+}
+
+TEST(ChaosSoak, GeneratedPlansRoundTripThroughJson) {
+  const sim::ChaosSoak soak{sim::ChaosSoakConfig{}};
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+    ASSERT_FALSE(res.plan_json.empty());
+    sim::FaultPlan parsed;
+    ASSERT_NO_THROW(parsed = sim::FaultPlan::from_json(res.plan_json))
+        << "campaign " << k << " plan: " << res.plan_json;
+    // Re-serializing the parsed plan reproduces the artifact exactly, so a
+    // saved campaign_<k>.plan.json replays the run bit-for-bit.
+    EXPECT_EQ(parsed.to_json(), res.plan_json);
+  }
+}
+
+TEST(ChaosSoak, DetectionLatencyWithinBound) {
+  const sim::ChaosSoak soak{sim::ChaosSoakConfig{}};
+  const double bound = soak.detection_bound();
+  std::size_t crashes = 0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+    crashes += res.leader_crashes;
+    if (res.leader_crashes > 0) {
+      EXPECT_GE(res.max_detection_latency, 0.0);
+      EXPECT_LE(res.max_detection_latency, bound)
+          << "campaign " << k << " (seed " << res.seed << ")";
+    }
+  }
+  EXPECT_GT(crashes, 0u)
+      << "the first 8 campaigns should include at least one leader crash";
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,299 @@
+// Distributed failure detection and in-protocol re-election
+// (emulation/failure_detector.h): heartbeat/lease expiry detects a crashed
+// leader from messages alone, the surviving cell members elect the same
+// winner the centralized oracle would pick, recovered nodes rejoin without
+// spurious elections, and epoch-stale contributions are rejected by the
+// deadline collectives. The cross-check test runs the identical fault
+// campaign through the distributed detector and the oracle FailoverBinder
+// and demands the same final bindings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/primitives.h"
+#include "emulation/failure_detector.h"
+#include "emulation/leader_binding.h"
+#include "net/reliable_link.h"
+#include "sim/fault_plan.h"
+
+namespace wsn {
+namespace {
+
+using core::GridCoord;
+
+constexpr std::size_t kSide = 4;
+constexpr std::size_t kNodes = 60;
+constexpr double kRange = 1.3;
+constexpr std::uint64_t kSeed = 7;
+
+/// Worst-case crash -> claim latency for the default detector config
+/// (mirrors ChaosSoak::detection_bound).
+double detection_bound(const emulation::FailureDetectorConfig& d) {
+  return 1.5 * d.lease_duration + d.lease_duration +
+         1.5 * d.election_timeout + 10.0;
+}
+
+class FailureDetectorTest : public ::testing::Test {
+ protected:
+  FailureDetectorTest() : stack_(kSide, kNodes, kRange, kSeed) {
+    EXPECT_TRUE(stack_.healthy());
+    stack_.enable_arq();
+    detector_ = std::make_unique<emulation::FailureDetector>(*stack_.overlay);
+  }
+
+  ~FailureDetectorTest() override {
+    // Drain pending timers so no callback outlives the stack.
+    detector_->stop();
+    stack_.sim.run();
+  }
+
+  bench::PhysicalStack stack_;
+  std::unique_ptr<emulation::FailureDetector> detector_;
+};
+
+TEST_F(FailureDetectorTest, SteadyStateElectsNobody) {
+  detector_->start();
+  stack_.sim.run_until(stack_.sim.now() + 120.0);
+  EXPECT_TRUE(detector_->claims().empty());
+  EXPECT_EQ(detector_->counters().get("fd.lease_expire"), 0u);
+  EXPECT_GT(detector_->counters().get("fd.beat"), 0u);
+  EXPECT_TRUE(detector_->split_brains().empty());
+  // Every node still believes the setup binding.
+  for (const GridCoord& c : stack_.overlay->grid().all_coords()) {
+    const net::NodeId leader = stack_.overlay->bound_node(c);
+    for (const net::NodeId m : stack_.mapper->members(c)) {
+      EXPECT_EQ(detector_->believed_leader(m), leader);
+    }
+  }
+}
+
+TEST_F(FailureDetectorTest, DetectsLeaderCrashAndReElectsOracleWinner) {
+  const GridCoord cell{1, 1};
+  const net::NodeId old_leader = stack_.overlay->bound_node(cell);
+  ASSERT_NE(old_leader, net::kNoNode);
+  ASSERT_GE(stack_.mapper->members(cell).size(), 2u);
+
+  detector_->start();
+  stack_.sim.run_until(stack_.sim.now() + 40.0);
+  ASSERT_TRUE(detector_->claims().empty());
+
+  const double t0 = stack_.sim.now();
+  stack_.link->set_down(old_leader, true);
+  const double bound = detection_bound(emulation::FailureDetectorConfig{});
+  stack_.sim.run_until(t0 + bound);
+
+  ASSERT_EQ(detector_->claims().size(), 1u);
+  const emulation::ClaimRecord& claim = detector_->claims().front();
+  EXPECT_EQ(claim.cell.row, cell.row);
+  EXPECT_EQ(claim.cell.col, cell.col);
+  EXPECT_NE(claim.winner, old_leader);
+  EXPECT_GE(claim.at, t0);
+  EXPECT_LE(claim.at - t0, bound);
+  EXPECT_GE(claim.epoch, 1u);
+
+  // The winner is the oracle's pick: minimum (score, id) over live members.
+  const auto oracle = emulation::oracle_leaders(
+      *stack_.mapper, emulation::BindingMetric::kDistanceToCenter,
+      *stack_.ledger, stack_.link.get());
+  EXPECT_EQ(claim.winner,
+            oracle[static_cast<std::size_t>(cell.row) * kSide +
+                   static_cast<std::size_t>(cell.col)]);
+
+  // Leadership actually re-bound in the overlay, with a bumped epoch, and
+  // every surviving member converged on the new leader.
+  EXPECT_EQ(stack_.overlay->bound_node(cell), claim.winner);
+  EXPECT_EQ(stack_.overlay->binding_epoch(cell), claim.epoch);
+  EXPECT_EQ(detector_->epoch_view(claim.winner), claim.epoch);
+  for (const net::NodeId m : stack_.mapper->members(cell)) {
+    if (m == old_leader) continue;
+    EXPECT_EQ(detector_->believed_leader(m), claim.winner);
+  }
+  EXPECT_TRUE(detector_->split_brains().empty());
+}
+
+TEST_F(FailureDetectorTest, MemberCrashDoesNotDeposeLeader) {
+  const GridCoord cell{2, 1};
+  const net::NodeId leader = stack_.overlay->bound_node(cell);
+  net::NodeId victim = net::kNoNode;
+  for (const net::NodeId m : stack_.mapper->members(cell)) {
+    if (m != leader) victim = m;
+  }
+  ASSERT_NE(victim, net::kNoNode);
+
+  detector_->start();
+  stack_.sim.run_until(stack_.sim.now() + 20.0);
+  stack_.link->set_down(victim, true);
+  stack_.sim.run_until(stack_.sim.now() +
+                       detection_bound(emulation::FailureDetectorConfig{}));
+
+  EXPECT_TRUE(detector_->claims().empty());
+  EXPECT_EQ(stack_.overlay->bound_node(cell), leader);
+}
+
+TEST_F(FailureDetectorTest, RecoveredLeaderRejoinsAsFollower) {
+  const GridCoord cell{3, 1};
+  ASSERT_GE(stack_.mapper->members(cell).size(), 2u);
+  const net::NodeId old_leader = stack_.overlay->bound_node(cell);
+  const emulation::FailureDetectorConfig cfg{};
+  const double bound = detection_bound(cfg);
+
+  detector_->start();
+  stack_.sim.run_until(stack_.sim.now() + 20.0);
+  const double t0 = stack_.sim.now();
+  stack_.link->set_down(old_leader, true);
+  stack_.sim.run_until(t0 + bound);
+  ASSERT_EQ(detector_->claims().size(), 1u);
+  const net::NodeId winner = detector_->claims().front().winner;
+
+  stack_.link->set_down(old_leader, false);
+  // Give the rejoin hello, the new leader's beats, and the stale-beat
+  // demote path time to converge (several lease intervals).
+  stack_.sim.run_until(stack_.sim.now() + 6.0 * cfg.lease_duration);
+
+  EXPECT_EQ(detector_->claims().size(), 1u)
+      << "rejoin must not trigger another election";
+  EXPECT_EQ(detector_->believed_leader(old_leader), winner);
+  EXPECT_GT(detector_->counters().get("fd.rejoin") +
+                detector_->counters().get("fd.demote"),
+            0u);
+  EXPECT_TRUE(detector_->split_brains().empty());
+  EXPECT_EQ(stack_.overlay->bound_node(cell), winner);
+}
+
+TEST_F(FailureDetectorTest, CellOutageSuspectedThenResumed) {
+  const GridCoord cell{3, 3};
+  std::vector<net::NodeId> members(stack_.mapper->members(cell).begin(),
+                                   stack_.mapper->members(cell).end());
+  ASSERT_FALSE(members.empty());
+  const emulation::FailureDetectorConfig cfg{};
+
+  detector_->start();
+  stack_.sim.run_until(stack_.sim.now() + 2.0 * cfg.uplease_period);
+  for (const net::NodeId m : members) stack_.link->set_down(m, true);
+  stack_.sim.run_until(stack_.sim.now() + 2.5 * cfg.uplease_duration);
+  EXPECT_GE(detector_->counters().get("fd.cell_suspect"), 1u)
+      << "the hierarchy should suspect a fully dark cell";
+
+  for (const net::NodeId m : members) stack_.link->set_down(m, false);
+  stack_.sim.run_until(stack_.sim.now() + 3.0 * cfg.uplease_period +
+                       2.0 * cfg.lease_duration);
+  EXPECT_GE(detector_->counters().get("fd.cell_resume"), 1u)
+      << "upleases after recovery should clear the suspicion";
+}
+
+TEST_F(FailureDetectorTest, HeartbeatsCostRealEnergy) {
+  detector_->start();
+  const double e0 = stack_.ledger->total();
+  stack_.sim.run_until(stack_.sim.now() + 60.0);
+  EXPECT_GT(stack_.ledger->total(), e0)
+      << "heartbeat traffic must be charged to the energy ledger";
+  EXPECT_GT(detector_->counters().get("fd.beat"), 0u);
+  EXPECT_GT(detector_->counters().get("fd.uplease"), 0u);
+}
+
+// ---- Oracle cross-check: distributed detector vs FailoverBinder ---------
+
+TEST(FailureDetectorOracle, SameCampaignSameFinalBindings) {
+  // Identical seed => identical deployment, identical initial binding, and
+  // the same two leader node-ids to crash in both universes.
+  bench::PhysicalStack oracle_stack(kSide, kNodes, kRange, kSeed);
+  bench::PhysicalStack dist_stack(kSide, kNodes, kRange, kSeed);
+  ASSERT_TRUE(oracle_stack.healthy());
+  ASSERT_TRUE(dist_stack.healthy());
+  oracle_stack.enable_arq();
+  dist_stack.enable_arq();
+
+  const GridCoord victims[] = {{1, 1}, {2, 3}};
+  sim::FaultPlan plan;
+  for (const GridCoord& c : victims) {
+    sim::FaultEvent ev;
+    ev.at = 10.0;
+    ev.kind = sim::FaultKind::kCrash;
+    ev.node = oracle_stack.overlay->bound_node(c);
+    ASSERT_EQ(ev.node, dist_stack.overlay->bound_node(c));
+    plan.events.push_back(ev);
+  }
+
+  emulation::FailoverBinder binder(*oracle_stack.arq, *oracle_stack.overlay);
+  emulation::FailureDetector detector(*dist_stack.overlay);
+  detector.start();
+
+  const std::vector<GridCoord> cells =
+      oracle_stack.overlay->grid().all_coords();
+  const std::vector<double> values(cells.size(), 1.0);
+  auto run_campaign = [&](bench::PhysicalStack& stack) {
+    sim::FaultInjector injector(stack.sim, *stack.link, stack.mapper.get());
+    injector.arm(plan);
+    // Two deadline rounds: the first crosses the crashes (its give-ups are
+    // what drives the oracle binder), the second runs on repaired routes.
+    for (int round = 0; round < 2; ++round) {
+      const double t0 = stack.sim.now();
+      core::group_reduce_deadline(
+          *stack.overlay, cells, {0, 0}, values, core::ReduceOp::kSum, 1.0,
+          100.0, [](const core::PartialResult&) {});
+      stack.sim.run_until(t0 + 110.0);
+    }
+    stack.sim.run_until(stack.sim.now() + 120.0);
+  };
+  run_campaign(oracle_stack);
+  run_campaign(dist_stack);
+  detector.stop();
+  dist_stack.sim.run();
+  oracle_stack.sim.run();
+
+  EXPECT_EQ(binder.failovers(), 2u);
+  EXPECT_EQ(detector.claims().size(), 2u);
+  for (const GridCoord& c : cells) {
+    EXPECT_EQ(oracle_stack.overlay->bound_node(c),
+              dist_stack.overlay->bound_node(c))
+        << "cell (" << c.row << "," << c.col
+        << "): oracle and distributed failover disagree";
+  }
+}
+
+// ---- Epoch-stale contributions rejected by deadline collectives ---------
+
+TEST(BindingEpochs, StaleContributionRejected) {
+  bench::PhysicalStack stack(kSide, kNodes, kRange, kSeed);
+  ASSERT_TRUE(stack.healthy());
+  stack.enable_arq();
+
+  const std::vector<GridCoord> cells = stack.overlay->grid().all_coords();
+  const std::vector<double> values(cells.size(), 1.0);
+  const GridCoord shifted{2, 2};
+
+  std::vector<core::PartialResult> results;
+  const double t0 = stack.sim.now();
+  core::group_reduce_deadline(
+      *stack.overlay, cells, {0, 0}, values, core::ReduceOp::kSum, 1.0, 80.0,
+      [&results](const core::PartialResult& p) { results.push_back(p); });
+  // Bump the member's binding epoch while its contribution is in flight:
+  // the value was stamped with the old epoch, so the leader must reject it
+  // (a deposed leader's value would double-count after a re-bind).
+  stack.sim.schedule_in(0.5, [&stack, shifted] {
+    stack.overlay->rebind(shifted, stack.overlay->bound_node(shifted),
+                          stack.overlay->binding_epoch(shifted) + 1);
+  });
+  stack.sim.run_until(t0 + 90.0);
+  stack.sim.run();
+
+  ASSERT_EQ(results.size(), 1u);
+  const core::PartialResult& r = results.front();
+  EXPECT_GE(r.stale_rejected, 1u);
+  EXPECT_TRUE(r.deadline_hit);
+  bool shifted_contributed = false;
+  for (const GridCoord& c : r.contributors) {
+    if (c.row == shifted.row && c.col == shifted.col) {
+      shifted_contributed = true;
+    }
+  }
+  EXPECT_FALSE(shifted_contributed)
+      << "the stale-epoch contribution must not be folded";
+  EXPECT_DOUBLE_EQ(r.value, static_cast<double>(r.contributors.size()));
+}
+
+}  // namespace
+}  // namespace wsn

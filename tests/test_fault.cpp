@@ -202,6 +202,97 @@ TEST(FaultPlanJson, RejectsMalformedInput) {
                std::runtime_error);
 }
 
+// Every rejection names the line and event index of the offender, so a
+// hand-edited campaign file points back at the broken line, not just "bad
+// plan". (No gmock in this repo — match with std::string::find.)
+std::string rejection_message(const std::string& text) {
+  try {
+    (void)sim::FaultPlan::from_json(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(FaultPlanJson, UnknownKindErrorNamesLineAndEvent) {
+  const std::string msg = rejection_message(
+      "{\"events\": [\n"
+      "  {\"at\": 1.0, \"kind\": \"crash\", \"node\": 3},\n"
+      "  {\"at\": 2.0, \"kind\": \"meteor\"}\n"
+      "]}");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("event #2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("meteor"), std::string::npos) << msg;
+}
+
+TEST(FaultPlanJson, RejectsNegativeTimesAndDurations) {
+  const std::string neg_at = rejection_message(
+      R"({"events": [{"at": -1.0, "kind": "crash", "node": 3}]})");
+  EXPECT_NE(neg_at.find("negative time"), std::string::npos) << neg_at;
+  EXPECT_NE(neg_at.find("event #1"), std::string::npos) << neg_at;
+
+  const std::string neg_dur = rejection_message(
+      R"({"events": [
+        {"at": 1.0, "kind": "loss_burst", "loss": 0.2, "duration": -4.0}
+      ]})");
+  EXPECT_NE(neg_dur.find("negative duration"), std::string::npos) << neg_dur;
+}
+
+TEST(FaultPlanJson, RejectsCrashWithoutRecoverOverlap) {
+  // Node 12 crashes at 5 and again at 8 with no recover between: the second
+  // crash can never fire against a live node, so the plan is a typo.
+  const std::string msg = rejection_message(
+      "{\"events\": [\n"
+      "  {\"at\": 5.0, \"kind\": \"crash\", \"node\": 12},\n"
+      "  {\"at\": 8.0, \"kind\": \"crash\", \"node\": 12}\n"
+      "]}");
+  EXPECT_NE(msg.find("overlaps an earlier crash"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("node 12"), std::string::npos) << msg;
+
+  // With a recover between the crashes, the same pair is legal.
+  EXPECT_NO_THROW(sim::FaultPlan::from_json(R"({"events": [
+    {"at": 5.0, "kind": "crash",   "node": 12},
+    {"at": 6.0, "kind": "recover", "node": 12},
+    {"at": 8.0, "kind": "crash",   "node": 12}
+  ]})"));
+}
+
+TEST(FaultPlanJson, ToJsonRoundTrips) {
+  const std::string text = R"({"events": [
+    {"at": 5.0, "kind": "crash",   "node": 12},
+    {"at": 6.0, "kind": "crash",   "cell": {"row": 0, "col": 4}},
+    {"at": 9.0, "kind": "recover", "node": 12},
+    {"at": 3.0, "kind": "loss_burst", "loss": 0.2, "duration": 4.0},
+    {"at": 7.0, "kind": "region_outage",
+     "row0": 1, "col0": 1, "row1": 2, "col1": 3,
+     "duration": 5.0}
+  ]})";
+  const auto plan = sim::FaultPlan::from_json(text);
+  const std::string serialized = plan.to_json();
+  const auto reparsed = sim::FaultPlan::from_json(serialized);
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  EXPECT_EQ(reparsed.to_json(), serialized);
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind) << i;
+    EXPECT_EQ(reparsed.events[i].at, plan.events[i].at) << i;
+    EXPECT_EQ(reparsed.events[i].duration, plan.events[i].duration) << i;
+  }
+}
+
+TEST(FaultPlanJson, DownHorizonCoversOutagesNotLossBursts) {
+  const auto plan = sim::FaultPlan::from_json(R"({"events": [
+    {"at": 5.0,  "kind": "crash",   "node": 12},
+    {"at": 9.0,  "kind": "recover", "node": 12},
+    {"at": 2.0,  "kind": "region_outage",
+     "row0": 0, "col0": 0, "row1": 0, "col1": 0, "duration": 30.0},
+    {"at": 40.0, "kind": "loss_burst", "loss": 0.5, "duration": 100.0}
+  ]})");
+  // Latest time an outage ends: region at 2+30=32 beats the recover at 9;
+  // the loss burst degrades but does not down anything, so 140 is ignored.
+  EXPECT_DOUBLE_EQ(plan.down_horizon(), 32.0);
+  EXPECT_DOUBLE_EQ(sim::FaultPlan{}.down_horizon(), 0.0);
+}
+
 // ---- Deadline-bounded collectives on the virtual layer ------------------
 
 std::vector<GridCoord> all_coords(std::size_t side) {

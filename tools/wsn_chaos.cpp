@@ -1,0 +1,126 @@
+// wsn-chaos: command-line driver for the chaos-soak harness (sim/chaos_soak.h).
+//
+// Runs N randomized-but-replayable fault campaigns against the full physical
+// stack with the distributed failure detector, checking every campaign
+// against the trace oracle and the failure-detection invariants. Exit 0 when
+// every campaign passes, 1 otherwise. With --out DIR, each failing
+// campaign's FaultPlan JSON and JSONL trace are written there so the run is
+// reproducible offline (`wsn-inspect check <trace>`); CI uploads them as
+// artifacts.
+//
+// Usage:
+//   wsn-chaos [--campaigns N] [--seed S] [--grid N] [--nodes N]
+//             [--rounds N] [--budget X] [--out DIR] [--only K] [--verbose]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/chaos_soak.h"
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "wsn-chaos: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << content;
+}
+
+void report(const wsn::sim::ChaosCampaignResult& res, bool verbose,
+            const std::string& out_dir) {
+  std::printf(
+      "campaign %2zu  seed=%llu  events=%zu  claims=%zu  leader_crashes=%zu  "
+      "max_latency=%.2f  %s\n",
+      res.index, static_cast<unsigned long long>(res.seed), res.events,
+      res.claims, res.leader_crashes, res.max_detection_latency,
+      res.ok() ? "PASS" : "FAIL");
+  if (verbose || !res.ok()) {
+    for (const std::string& f : res.findings) {
+      std::printf("  FINDING: %s\n", f.c_str());
+    }
+  }
+  if (!res.ok() && !out_dir.empty()) {
+    const std::string stem =
+        out_dir + "/campaign_" + std::to_string(res.index);
+    write_file(stem + ".plan.json", res.plan_json);
+    write_file(stem + ".trace.jsonl", res.trace_jsonl);
+    std::printf("  artifacts: %s.{plan.json,trace.jsonl}\n", stem.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsn::sim::ChaosSoakConfig cfg;
+  std::string out_dir;
+  long only = -1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wsn-chaos: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--campaigns") {
+      cfg.campaigns = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--grid") {
+      cfg.grid_side = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--nodes") {
+      cfg.node_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--rounds") {
+      cfg.rounds = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--budget") {
+      cfg.severity_budget = std::strtod(next(), nullptr);
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--only") {
+      only = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "wsn-chaos: unknown argument %s\n"
+                   "usage: wsn-chaos [--campaigns N] [--seed S] [--grid N] "
+                   "[--nodes N] [--rounds N] [--budget X] [--out DIR] "
+                   "[--only K] [--verbose]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  const wsn::sim::ChaosSoak soak(cfg);
+  std::printf("chaos soak: grid %zux%zu, %zu nodes, %zu campaigns, seed %llu, "
+              "detection bound %.1f\n",
+              cfg.grid_side, cfg.grid_side, cfg.node_count, cfg.campaigns,
+              static_cast<unsigned long long>(cfg.seed),
+              soak.detection_bound());
+
+  std::size_t failed = 0;
+  if (only >= 0) {
+    const auto res =
+        soak.run_campaign(static_cast<std::size_t>(only), /*keep_trace=*/true);
+    report(res, verbose, out_dir);
+    if (!res.ok()) ++failed;
+  } else {
+    for (std::size_t k = 0; k < cfg.campaigns; ++k) {
+      const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+      report(res, verbose, out_dir);
+      if (!res.ok()) ++failed;
+    }
+  }
+  if (failed != 0) {
+    std::printf("%zu campaign(s) FAILED\n", failed);
+    return 1;
+  }
+  std::printf("all campaigns passed\n");
+  return 0;
+}
