@@ -40,6 +40,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
+#include "sim/depletion_monitor.h"
 #include "sim/fault_plan.h"
 
 namespace {
@@ -59,6 +60,7 @@ struct CampaignPhase {
   wsn::bench::PhysicalStack stack{8, 200, 1.3, 1};
   std::unique_ptr<wsn::emulation::FailureDetector> detector;
   std::unique_ptr<wsn::sim::FaultInjector> injector;
+  std::unique_ptr<wsn::sim::DepletionMonitor> monitor;
 };
 
 }  // namespace
@@ -144,7 +146,16 @@ int main(int argc, char** argv) {
     net::ReliableConfig rcfg;
     rcfg.max_retries = 3;
     c.stack.enable_arq(rcfg);
-    c.detector = std::make_unique<emulation::FailureDetector>(*c.stack.overlay);
+    // Batteries are infinite unless the plan carries set_budget events, so
+    // the monitor and the proactive-handoff mark are inert for the classic
+    // campaigns and their output stays byte-identical.
+    c.monitor = std::make_unique<sim::DepletionMonitor>(c.stack.sim,
+                                                        *c.stack.link);
+    c.monitor->arm();
+    emulation::FailureDetectorConfig fd_cfg;
+    fd_cfg.handoff_low_water = 48.0;  // 60% of depletion.json's 80 headroom
+    c.detector =
+        std::make_unique<emulation::FailureDetector>(*c.stack.overlay, fd_cfg);
     c.injector = std::make_unique<sim::FaultInjector>(
         c.stack.sim, *c.stack.link, c.stack.mapper.get());
     c.injector->set_leader_lookup([&c](const core::GridCoord& cell) {
@@ -191,6 +202,8 @@ int main(int argc, char** argv) {
     c.detector->stop();
     c.stack.sim.run();
     std::printf("leader elections    : %zu\n", c.detector->claims().size());
+    std::printf("battery deaths      : %zu (planned handoffs %zu)\n",
+                c.monitor->deaths().size(), c.detector->planned_handoffs());
     std::printf("arq recovery        : %llu retransmits, %llu give-ups\n",
                 static_cast<unsigned long long>(
                     c.stack.arq->counters().get("arq.retransmit")),
@@ -236,6 +249,7 @@ int main(int argc, char** argv) {
       campaign->stack.register_metrics(registry);
       campaign->injector->register_metrics(registry);
       campaign->detector->register_metrics(registry);
+      campaign->monitor->register_metrics(registry);
     }
     std::ofstream out(metrics_path);
     registry.write_json(out);

@@ -256,6 +256,30 @@ RerouteStats reroute_entries_via(
   return stats;
 }
 
+std::size_t evacuate_entries_via(
+    std::vector<RoutingTable>& tables, net::NodeId via,
+    const net::LinkLayer& link, const CellMapper& mapper,
+    const std::function<bool(net::NodeId)>& excluded) {
+  std::size_t moved = 0;
+  const auto& graph = link.graph();
+  for (net::NodeId i = 0; i < tables.size(); ++i) {
+    for (core::Direction d : core::kAllDirections) {
+      if (tables[i][d] != via) continue;
+      const core::GridCoord target =
+          core::GridTopology::step(mapper.cell_of(i), d);
+      for (net::NodeId j : graph.neighbors(i)) {
+        if (j == via || link.is_down(j) || excluded(j)) continue;
+        if (mapper.cell_of(j) == target) {
+          tables[i][d] = j;  // alternative found; otherwise keep `via`
+          ++moved;
+          break;
+        }
+      }
+    }
+  }
+  return moved;
+}
+
 std::vector<net::NodeId> follow_chain(const CellMapper& mapper,
                                       const std::vector<RoutingTable>& tables,
                                       net::NodeId start, core::Direction d) {

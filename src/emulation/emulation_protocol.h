@@ -124,6 +124,17 @@ RerouteStats reroute_entries_via(
     const net::LinkLayer& link, const CellMapper& mapper,
     const std::function<bool(net::NodeId)>& excluded);
 
+/// Relay-load shedding for a node that is still ALIVE but should stop
+/// carrying inter-cell traffic (an energy-drained leader that just handed
+/// off): entries with a live alternate gateway in the same target cell move
+/// to it; entries with no alternative KEEP `via` — unlike the crash-path
+/// reroute above, the node can still carry them, so no black hole is
+/// created. Returns the number of entries moved.
+std::size_t evacuate_entries_via(
+    std::vector<RoutingTable>& tables, net::NodeId via,
+    const net::LinkLayer& link, const CellMapper& mapper,
+    const std::function<bool(net::NodeId)>& excluded);
+
 /// Direction from cell `from` toward adjacent cell `to`, if they are
 /// 4-adjacent on the grid.
 std::optional<core::Direction> adjacent_direction(const core::GridCoord& from,

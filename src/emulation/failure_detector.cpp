@@ -1,6 +1,8 @@
 #include "emulation/failure_detector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "net/reliable_link.h"
 #include "obs/trace.h"
@@ -21,12 +23,19 @@ struct FailureDetector::FdMsg {
   net::NodeId old_leader = net::kNoNode;  // claim: the deposed leader
   double score = 0.0;                     // elect: best key's score so far
   net::NodeId origin = net::kNoNode;      // elect: best key's node id
+  double residual = 0.0;                  // elect: best key's residual energy
+  bool handoff = false;                   // elect: solicited by the leader
 };
 
 namespace {
 
-/// Lexicographic election key order: lower score wins, id breaks ties.
-bool key_less(double sa, net::NodeId ia, double sb, net::NodeId ib) {
+/// Lexicographic election key order: more residual energy wins first (so
+/// recovery rotates leadership toward the best-supplied member; on
+/// unbudgeted stacks every residual is +inf and the term ties out), then
+/// lower binding score, then lower id.
+bool key_less(double ra, double sa, net::NodeId ia, double rb, double sb,
+              net::NodeId ib) {
+  if (ra != rb) return ra > rb;
   if (sa != sb) return sa < sb;
   return ia < ib;
 }
@@ -40,6 +49,10 @@ FailureDetector::FailureDetector(OverlayNetwork& overlay,
 double FailureDetector::score(net::NodeId i) const {
   return binding_score(i, overlay_.mapper(), cfg_.metric,
                        overlay_.link().ledger());
+}
+
+double FailureDetector::residual(net::NodeId i) const {
+  return overlay_.link().ledger().remaining(i);
 }
 
 void FailureDetector::trace_fd(const char* name, net::NodeId node,
@@ -70,8 +83,11 @@ void FailureDetector::start() {
   seen_beat_seq_.assign(n, 0);
   elect_epoch_.assign(n, 0);
   elect_best_score_.assign(n, 0.0);
+  elect_best_residual_.assign(n, 0.0);
   elect_best_id_.assign(n, net::kNoNode);
   elect_close_armed_.assign(n, false);
+  elect_handoff_.assign(n, false);
+  next_handoff_ok_.assign(n, 0.0);
   cell_neighbors_.assign(n, {});
   for (net::NodeId i = 0; i < n; ++i) {
     for (net::NodeId v : link().graph().neighbors(i)) {
@@ -242,7 +258,9 @@ void FailureDetector::start_election(net::NodeId i) {
   const std::uint64_t target = std::max(epoch_[i], elect_epoch_[i]) + 1;
   elect_epoch_[i] = target;
   elect_best_score_[i] = score(i);
+  elect_best_residual_[i] = residual(i);
   elect_best_id_[i] = i;
+  elect_handoff_[i] = false;
   counters_.add("fd.elect");
   trace_fd("fd.elect", i,
            {{"row", static_cast<std::int64_t>(cell.row)},
@@ -254,6 +272,7 @@ void FailureDetector::start_election(net::NodeId i) {
   m.epoch = target;
   m.score = elect_best_score_[i];
   m.origin = i;
+  m.residual = elect_best_residual_[i];
   flood(i, m);
   if (!elect_close_armed_[i]) {
     elect_close_armed_[i] = true;
@@ -282,23 +301,37 @@ void FailureDetector::win_election(net::NodeId w, std::uint64_t epoch) {
   const core::GridCoord cell = mapper().cell_of(w);
   const std::size_t ci = overlay_.grid().index_of(cell);
   const net::NodeId old = believed_leader_[w];
+  const bool planned = elect_handoff_[w];
   believed_leader_[w] = w;
   epoch_[w] = epoch;
   cell_leader_[ci] = w;
-  claims_.push_back({cell, epoch, w, old, sim().now()});
+  claims_.push_back({cell, epoch, w, old, sim().now(), planned});
   counters_.add("fd.claim");
+  if (planned) counters_.add("fd.handoff_claim");
   trace_fd("fd.claim", w,
            {{"row", static_cast<std::int64_t>(cell.row)},
             {"col", static_cast<std::int64_t>(cell.col)},
             {"epoch", epoch},
             {"winner", static_cast<std::uint64_t>(w)},
             {"old", static_cast<std::uint64_t>(
-                        old == net::kNoNode ? 0 : old)}});
+                        old == net::kNoNode ? 0 : old)},
+            {"planned", static_cast<std::uint64_t>(planned ? 1 : 0)}});
   // Route repair around the silent ex-leader, then re-bind the virtual
   // node here. The winner is trivially alive; make sure no stale suspicion
-  // keeps routes away from it.
-  if (old != net::kNoNode && old != w && !overlay_.is_suspected(old)) {
+  // keeps routes away from it. A *planned* handoff retires the role, not
+  // the node: the ex-leader is alive (merely low on battery) and usually
+  // still the cell's inter-cell gateway, so purging routes through it
+  // would black-hole traffic for no failure. Its eventual battery death is
+  // repaired organically by the ARQ give-up path like any relay loss.
+  if (!planned && old != net::kNoNode && old != w &&
+      !overlay_.is_suspected(old)) {
     overlay_.on_hop_give_up(w, old);
+  }
+  if (planned && old != net::kNoNode && old != w) {
+    // Shed relay load off the retiree too: move inter-cell entries to an
+    // alternate gateway where one exists (keeping it where none does), so
+    // when its battery finally dies almost nothing routes through it.
+    overlay_.evacuate_relay(old);
   }
   overlay_.clear_suspected(w);
   overlay_.rebind(cell, w, epoch);
@@ -316,6 +349,70 @@ void FailureDetector::win_election(net::NodeId w, std::uint64_t epoch) {
     beat(w);
   });
   if (parent_of_[ci] >= 0) uplease_send(ci);
+}
+
+void FailureDetector::maybe_handoff(net::NodeId leader) {
+  if (cfg_.handoff_low_water <= 0.0) return;
+  // Residual is +inf on an unbudgeted stack, so the crossing never fires
+  // there and the knob costs nothing.
+  if (residual(leader) >= cfg_.handoff_low_water) return;
+  if (sim().now() < next_handoff_ok_[leader]) return;
+  if (cell_neighbors_[leader].empty()) return;  // nobody to hand off to
+  // A lost succession (every candidate crashed, claim never spread) is
+  // retried one lease later, not every beat: the cooldown keeps a dying
+  // leader from spending its last joules flooding probes.
+  next_handoff_ok_[leader] = sim().now() + cfg_.lease_duration;
+  start_handoff(leader);
+}
+
+void FailureDetector::start_handoff(net::NodeId i) {
+  const core::GridCoord cell = mapper().cell_of(i);
+  const std::uint64_t target = std::max(epoch_[i], elect_epoch_[i]) + 1;
+  elect_epoch_[i] = target;
+  elect_handoff_[i] = true;
+  // Sentinel-worst key: the retiring leader opens the succession but can
+  // never win it — any member's real key beats (-1 residual, +inf score,
+  // kNoNode), and close_election's best_id == self check keeps the
+  // initiator from claiming even if nobody answers the probe.
+  elect_best_residual_[i] = -1.0;
+  elect_best_score_[i] = std::numeric_limits<double>::infinity();
+  elect_best_id_[i] = net::kNoNode;
+  const double res = residual(i);
+  counters_.add("fd.handoff");
+  trace_fd("fd.handoff", i,
+           {{"row", static_cast<std::int64_t>(cell.row)},
+            {"col", static_cast<std::int64_t>(cell.col)},
+            {"epoch", target},
+            {"residual", std::isfinite(res) ? res : -1.0}});
+  FdMsg m;
+  m.kind = FdMsg::kElect;
+  m.cell = cell;
+  m.epoch = target;
+  m.score = elect_best_score_[i];
+  m.origin = elect_best_id_[i];
+  m.residual = elect_best_residual_[i];
+  m.handoff = true;
+  flood(i, m);
+}
+
+bool FailureDetector::request_handoff(const core::GridCoord& cell) {
+  if (!running_) return false;
+  const std::size_t ci = overlay_.grid().index_of(cell);
+  const net::NodeId leader = cell_leader_[ci];
+  if (leader == net::kNoNode) return false;
+  if (believed_leader_[leader] != leader) return false;
+  if (link().is_down(leader)) return false;
+  if (cell_neighbors_[leader].empty()) return false;
+  start_handoff(leader);
+  return true;
+}
+
+std::size_t FailureDetector::planned_handoffs() const {
+  std::size_t n = 0;
+  for (const ClaimRecord& c : claims_) {
+    if (c.planned) ++n;
+  }
+  return n;
 }
 
 void FailureDetector::beat(net::NodeId leader) {
@@ -336,6 +433,7 @@ void FailureDetector::beat(net::NodeId leader) {
     m.seq = beat_seq_[leader];
     m.leader = leader;
     flood(leader, m);
+    maybe_handoff(leader);
   }
   const std::uint64_t gen = run_gen_;
   sim().schedule_in(cfg_.heartbeat_period, [this, leader, gen] {
@@ -529,16 +627,36 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
       if (msg.epoch > elect_epoch_[at]) {
         // Join the election with our own key, so the winner is the minimum
         // over every live member the flood reaches (the oracle's answer).
+        // Exception: a *handoff* election only wants successors that are
+        // themselves above the low-water mark — accepting the crown while
+        // nearly as drained as the retiree just cascades successions, and
+        // every election storm burns the whole cell. A member below the
+        // mark still forwards the flood (carrying the best key seen) but
+        // keeps its own key out; if nobody qualifies, nobody claims, and
+        // the incumbent carries on under its retry cooldown. Crash
+        // elections take anyone: a poor leader beats no leader.
+        const bool candidate =
+            !msg.handoff || cfg_.handoff_low_water <= 0.0 ||
+            residual(at) >= cfg_.handoff_low_water;
         elect_epoch_[at] = msg.epoch;
-        elect_best_score_[at] = score(at);
-        elect_best_id_[at] = at;
+        if (candidate) {
+          elect_best_score_[at] = score(at);
+          elect_best_residual_[at] = residual(at);
+          elect_best_id_[at] = at;
+        } else {
+          elect_best_score_[at] = msg.score;
+          elect_best_residual_[at] = msg.residual;
+          elect_best_id_[at] = msg.origin;
+          counters_.add("fd.handoff_decline");
+        }
+        elect_handoff_[at] = msg.handoff;
         counters_.add("fd.elect_join");
         trace_fd("fd.elect", at,
                  {{"row", static_cast<std::int64_t>(msg.cell.row)},
                   {"col", static_cast<std::int64_t>(msg.cell.col)},
                   {"epoch", msg.epoch}});
         progressed = true;
-        if (!elect_close_armed_[at]) {
+        if (candidate && !elect_close_armed_[at]) {
           elect_close_armed_[at] = true;
           const double s = std::max(elect_best_score_[at], 0.0);
           const double stagger =
@@ -554,8 +672,10 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
         }
       }
       if (elect_epoch_[at] == msg.epoch &&
-          key_less(msg.score, msg.origin, elect_best_score_[at],
+          key_less(msg.residual, msg.score, msg.origin,
+                   elect_best_residual_[at], elect_best_score_[at],
                    elect_best_id_[at])) {
+        elect_best_residual_[at] = msg.residual;
         elect_best_score_[at] = msg.score;
         elect_best_id_[at] = msg.origin;
         progressed = true;
@@ -564,6 +684,7 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
         FdMsg fwd = msg;
         fwd.score = elect_best_score_[at];
         fwd.origin = elect_best_id_[at];
+        fwd.residual = elect_best_residual_[at];
         flood(at, fwd);
       }
       return;

@@ -36,6 +36,21 @@
 //     repaired by the next lease expiry, which elects at a strictly higher
 //     epoch, so stale election state can never deadlock a cell.
 //
+//   * Proactive handoff. A leader watches its own residual energy (local
+//     knowledge: its battery) every beat; when it falls under
+//     `handoff_low_water` the leader *solicits a successor* instead of
+//     dying in office: it floods a handoff probe — an election for
+//     epoch+1 seeded with a sentinel-worst key, so the retiring leader
+//     cannot win its own succession — and every live member joins with
+//     its (residual energy, binding score, id) key exactly as in a crash
+//     election. The best-supplied member claims, re-binds, and the
+//     retiring leader gracefully demotes on the claim it itself keeps
+//     serving until: a planned transfer costing a handful of frames and
+//     zero leaderless time, versus lease-expiry + election after the
+//     battery dies mid-round. Elections (planned or not) order candidates
+//     by residual energy first, so crash recovery also rotates leadership
+//     toward the healthiest member.
+//
 //   * Rejoin/resync. A recovered follower simply resumes renewing leases
 //     from the next beat it hears. A recovered *deposed* leader still
 //     beats with its old epoch; the current leader answers stale beats
@@ -88,6 +103,11 @@ struct FailureDetectorConfig {
   double uplease_duration = 35.0;
   /// Airtime/energy size of one control frame, in data units.
   double beat_size_units = 0.25;
+  /// Residual-energy threshold (in energy units) below which a leader
+  /// solicits a planned handoff instead of leading until its battery dies.
+  /// 0 disables; with infinite budgets residual is +inf and never crosses,
+  /// so enabling the knob is free on unbudgeted stacks.
+  double handoff_low_water = 0.0;
   /// Election metric; must match the setup binding for the oracle
   /// cross-check to be meaningful.
   BindingMetric metric = BindingMetric::kDistanceToCenter;
@@ -100,6 +120,9 @@ struct ClaimRecord {
   net::NodeId winner = net::kNoNode;
   net::NodeId old_leader = net::kNoNode;
   sim::Time at = 0.0;
+  /// True when the old leader solicited this succession (proactive
+  /// handoff) rather than being voted out after a lease expiry.
+  bool planned = false;
 };
 
 class FailureDetector {
@@ -132,6 +155,15 @@ class FailureDetector {
   /// Every successful re-election so far, in commit order.
   const std::vector<ClaimRecord>& claims() const { return claims_; }
 
+  /// Planned successions committed so far (claims with planned == true).
+  std::size_t planned_handoffs() const;
+
+  /// Makes `cell`'s current leader solicit a handoff now, regardless of its
+  /// residual energy — the operator/test entry point for planned
+  /// maintenance. Returns false when the cell has no live, self-believing
+  /// leader to retire (nothing was sent).
+  bool request_handoff(const core::GridCoord& cell);
+
   /// Split-brain audit (test/assert only — consults is_down): cells where
   /// two live nodes both believe they lead at the same epoch.
   std::vector<core::GridCoord> split_brains() const;
@@ -162,6 +194,8 @@ class FailureDetector {
   void start_election(net::NodeId i);
   void close_election(net::NodeId i, std::uint64_t target);
   void win_election(net::NodeId w, std::uint64_t epoch);
+  void maybe_handoff(net::NodeId leader);
+  void start_handoff(net::NodeId leader);
   void beat(net::NodeId leader);
   void uplease(std::size_t cell_idx);
   void uplease_send(std::size_t cell_idx);
@@ -169,6 +203,7 @@ class FailureDetector {
   void flood(net::NodeId from, const FdMsg& msg);
   void route_control(net::NodeId at, const FdMsg& msg, bool first_hop);
   double score(net::NodeId i) const;
+  double residual(net::NodeId i) const;
   void trace_fd(const char* name, net::NodeId node,
                 std::vector<obs::Attr> attrs);
 
@@ -191,8 +226,11 @@ class FailureDetector {
   std::vector<std::uint64_t> seen_beat_seq_;
   std::vector<std::uint64_t> elect_epoch_;  // target epoch; 0 = idle
   std::vector<double> elect_best_score_;
+  std::vector<double> elect_best_residual_;
   std::vector<net::NodeId> elect_best_id_;
   std::vector<bool> elect_close_armed_;
+  std::vector<bool> elect_handoff_;  // current election is a planned handoff
+  std::vector<sim::Time> next_handoff_ok_;  // retry cooldown, per leader
   /// Same-cell neighbor lists (local knowledge: radio range + own cell).
   std::vector<std::vector<net::NodeId>> cell_neighbors_;
 

@@ -80,6 +80,12 @@ void OverlayNetwork::on_hop_give_up(net::NodeId from, net::NodeId to) {
   build_cell_tree(mapper_.cell_of(to));
 }
 
+void OverlayNetwork::evacuate_relay(net::NodeId id) {
+  evacuated_entries_ += evacuate_entries_via(
+      emulation_.tables, id, link_, mapper_,
+      [this](net::NodeId n) { return suspected_[n]; });
+}
+
 void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader) {
   rebind(cell, leader, epochs_[grid_.index_of(cell)] + 1);
 }

@@ -122,6 +122,14 @@ class OverlayNetwork final : public core::MessageFabric {
   /// fast instead of black-holing.
   void on_hop_give_up(net::NodeId from, net::NodeId to);
 
+  /// Relay-load shedding for a node that is still alive but running out of
+  /// battery (a leader that just handed off): inter-cell entries routing
+  /// via `id` move to an alternate gateway where one exists, but entries
+  /// with no alternative keep `id` — it can still carry them, so nothing
+  /// black-holes. When the node's battery finally dies, only the
+  /// unavoidable entries break and the ARQ give-up path repairs those.
+  void evacuate_relay(net::NodeId id);
+
   /// Re-points virtual node `cell` at a new physical leader (failover after
   /// the bound node crashed) and rebuilds the cell's intra-cell tree toward
   /// it. Handlers installed via set_receiver are keyed by virtual coord and
@@ -164,6 +172,9 @@ class OverlayNetwork final : public core::MessageFabric {
     });
     registry.add_gauge(prefix + ".restored_entries", [this] {
       return static_cast<double>(restored_entries_);
+    });
+    registry.add_gauge(prefix + ".evacuated_entries", [this] {
+      return static_cast<double>(evacuated_entries_);
     });
     registry.add_gauge(prefix + ".rebinds",
                        [this] { return static_cast<double>(rebinds_); });
@@ -217,6 +228,7 @@ class OverlayNetwork final : public core::MessageFabric {
   std::uint64_t purged_entries_ = 0;
   std::uint64_t rerouted_entries_ = 0;
   std::uint64_t restored_entries_ = 0;
+  std::uint64_t evacuated_entries_ = 0;
   std::uint64_t rebinds_ = 0;
 };
 

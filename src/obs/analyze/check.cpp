@@ -236,7 +236,7 @@ CheckReport check_failure_detection(const std::vector<TraceEvent>& events) {
   std::unordered_map<std::string, std::uint64_t> last_claim_epoch;
   for (const TraceEvent& ev : events) {
     if (ev.category != Category::kReliability) continue;
-    if (ev.name == "fd.elect") {
+    if (ev.name == "fd.elect" || ev.name == "fd.handoff") {
       elections.insert(cell_epoch(ev));
     } else if (ev.name == "fd.claim") {
       ++report.collectives_checked;  // claims checked
@@ -259,6 +259,51 @@ CheckReport check_failure_detection(const std::vector<TraceEvent>& events) {
             std::to_string(it->second) + ")");
       }
       last_claim_epoch[cell] = epoch;
+    }
+  }
+  return report;
+}
+
+CheckReport check_depletion(const std::vector<TraceEvent>& events) {
+  CheckReport report;
+  report.events_seen = events.size();
+
+  // node -> time of its (first) energy.depleted event. A single in-order
+  // pass mirrors the simulation: once a node is in the map, later-stamped
+  // link activity at it is a dead node talking.
+  std::unordered_map<std::int64_t, double> depleted_at;
+  for (const TraceEvent& ev : events) {
+    if (ev.category == Category::kReliability &&
+        ev.name == "energy.depleted") {
+      const double budget = attr_num(ev, "budget", -1.0);
+      const double spent = attr_num(ev, "spent", -1.0);
+      if (!depleted_at.emplace(ev.node, ev.time).second) {
+        report.issues.push_back("node " + std::to_string(ev.node) +
+                                ": duplicate energy.depleted at t=" +
+                                std::to_string(ev.time));
+      } else {
+        ++report.flows_checked;  // depletions checked
+      }
+      if (spent + 1e-9 < budget) {
+        report.issues.push_back(
+            "node " + std::to_string(ev.node) + ": energy.depleted with spent " +
+            std::to_string(spent) + " below budget " + std::to_string(budget));
+      }
+      continue;
+    }
+    if (ev.category != Category::kLink) continue;
+    const auto it = depleted_at.find(ev.node);
+    if (it == depleted_at.end() || ev.time <= it->second) continue;
+    if (ev.name == "broadcast" || ev.name == "unicast") {
+      report.issues.push_back(
+          "node " + std::to_string(ev.node) + ": link transmission at t=" +
+          std::to_string(ev.time) + " after depletion at t=" +
+          std::to_string(it->second));
+    } else if (ev.name == "deliver") {
+      report.issues.push_back(
+          "node " + std::to_string(ev.node) + ": delivery at t=" +
+          std::to_string(ev.time) + " after depletion at t=" +
+          std::to_string(it->second));
     }
   }
   return report;

@@ -68,4 +68,16 @@ CheckReport check_reliability(const std::vector<TraceEvent>& events,
 /// A trace with no fd events passes vacuously.
 CheckReport check_failure_detection(const std::vector<TraceEvent>& events);
 
+/// Depletion invariants over the trace (emitted by sim::DepletionMonitor):
+///   * "energy.depleted" fires exactly once per node — a duplicate means the
+///     exactly-once crossing latch broke;
+///   * each depletion records spent >= budget (the crossing really crossed);
+///   * after a node's depletion no link-layer transmission or delivery at
+///     that node carries a strictly later timestamp. Equal timestamps are
+///     legal: the LinkLayer charges the dying frame *before* emitting its tx
+///     event, so the budget-crossing frame's own trace lands at the same
+///     tick as (and after, in stream order) the depletion event.
+/// A trace with no depletion events passes vacuously.
+CheckReport check_depletion(const std::vector<TraceEvent>& events);
+
 }  // namespace wsn::obs::analyze

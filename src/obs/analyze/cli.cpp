@@ -204,6 +204,35 @@ int cmd_energy_map(const Args& args, std::ostream& out) {
   if (map.vnet.empty() && map.link.empty()) {
     out << "no radio events in trace\n";
   }
+
+  // Residual view: against a uniform battery budget, who is closest to
+  // dying? Lists the `top` lowest-residual link-layer nodes and the count
+  // already at or below zero.
+  if (const std::string* v = args.flag("--budget")) {
+    const double budget = std::stod(*v);
+    if (map.link.empty()) {
+      out << "residual: no link-layer events in trace\n";
+      return kOk;
+    }
+    std::vector<std::size_t> idx(map.link.nodes.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return map.link.nodes[a].total() > map.link.nodes[b].total();
+    });
+    std::size_t depleted = 0;
+    for (const NodeEnergy& n : map.link.nodes) {
+      if (n.total() >= budget) ++depleted;
+    }
+    Table t({"node", "spent", "residual"});
+    for (std::size_t i = 0; i < idx.size() && i < top; ++i) {
+      const NodeEnergy& n = map.link.nodes[idx[i]];
+      t.row({Table::num(idx[i]), Table::num(n.total(), 3),
+             Table::num(std::max(budget - n.total(), 0.0), 3)});
+    }
+    out << "residual vs budget " << Table::num(budget, 3) << ": " << depleted
+        << " of " << map.link.nodes.size() << " nodes depleted\n";
+    out << t.str();
+  }
   return kOk;
 }
 
@@ -273,6 +302,9 @@ int cmd_check(const Args& args, std::ostream& out) {
   const CheckReport fd = check_failure_detection(events);
   report.issues.insert(report.issues.end(), fd.issues.begin(),
                        fd.issues.end());
+  const CheckReport dep = check_depletion(events);
+  report.issues.insert(report.issues.end(), dep.issues.begin(),
+                       dep.issues.end());
   out << report.events_seen << " events, " << report.flows_checked
       << " flows, " << report.collectives_checked << " collectives\n";
   if (report.ok()) {
@@ -326,12 +358,13 @@ void usage(std::ostream& err) {
   err << "usage: wsn-inspect <command> [args]\n"
          "  flows TRACE [--limit N]            reconstructed message flows\n"
          "  critical-path TRACE                slowest dependency chain\n"
-         "  energy-map TRACE [--side N] [--top N]\n"
-         "                                     per-node/per-level energy\n"
+         "  energy-map TRACE [--side N] [--top N] [--budget B]\n"
+         "                                     per-node/per-level energy;\n"
+         "                                     --budget adds a residual view\n"
          "  histogram TRACE [--buckets N]      latency/size distributions\n"
          "  check TRACE [--metrics FILE]       trace invariant checker\n"
-         "                                     (incl. ARQ/fault reliability\n"
-         "                                     invariants)\n"
+         "                                     (incl. ARQ/fault reliability,\n"
+         "                                     fd, and depletion invariants)\n"
          "  bench-compare --baseline FILE --current FILE [--tolerance 10%]\n"
          "                                     bench regression gate\n";
 }
@@ -353,7 +386,8 @@ int run_inspect(const std::vector<std::string>& args, std::ostream& out,
       return cmd_critical_path(scan_args(args, 1, {}), out);
     }
     if (cmd == "energy-map") {
-      return cmd_energy_map(scan_args(args, 1, {"--side", "--top"}), out);
+      return cmd_energy_map(
+          scan_args(args, 1, {"--side", "--top", "--budget"}), out);
     }
     if (cmd == "histogram") {
       return cmd_histogram(scan_args(args, 1, {"--buckets"}), out);

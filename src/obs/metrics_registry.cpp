@@ -32,9 +32,24 @@ void MetricsRegistry::add_histogram(std::string name,
   histograms_.push_back({std::move(name), histogram});
 }
 
+void MetricsRegistry::add_histogram(std::string name,
+                                    std::function<Histogram()> fn) {
+  histogram_fns_.push_back({std::move(name), std::move(fn)});
+}
+
 const Histogram& MetricsRegistry::histogram(const std::string& name) const {
   for (const HistogramEntry& e : histograms_) {
     if (e.name == name) return *e.histogram;
+  }
+  throw std::out_of_range("MetricsRegistry: unknown histogram " + name);
+}
+
+Histogram MetricsRegistry::histogram_snapshot(const std::string& name) const {
+  for (const HistogramEntry& e : histograms_) {
+    if (e.name == name) return *e.histogram;
+  }
+  for (const HistogramFnEntry& e : histogram_fns_) {
+    if (e.name == name) return e.fn();
   }
   throw std::out_of_range("MetricsRegistry: unknown histogram " + name);
 }
@@ -78,6 +93,39 @@ void append_ledger_json(std::string& out, const LedgerSnapshot& s) {
   out += ",\"compute\":";
   json_append_double(out, s.compute);
   out += '}';
+}
+
+void append_histogram_json(std::string& out, const Histogram& h) {
+  out += "{\"count\":";
+  out += std::to_string(h.count());
+  out += ",\"lo\":";
+  json_append_double(out, h.lo());
+  out += ",\"hi\":";
+  json_append_double(out, h.hi());
+  out += ",\"min\":";
+  json_append_double(out, h.min());
+  out += ",\"max\":";
+  json_append_double(out, h.max());
+  out += ",\"mean\":";
+  json_append_double(out, h.mean());
+  out += ",\"p50\":";
+  json_append_double(out, h.p50());
+  out += ",\"p95\":";
+  json_append_double(out, h.p95());
+  out += ",\"p99\":";
+  json_append_double(out, h.p99());
+  out += ",\"underflow\":";
+  out += std::to_string(h.underflow());
+  out += ",\"overflow\":";
+  out += std::to_string(h.overflow());
+  out += ",\"buckets\":[";
+  bool first_bucket = true;
+  for (std::uint64_t b : h.buckets()) {
+    if (!first_bucket) out += ',';
+    first_bucket = false;
+    out += std::to_string(b);
+  }
+  out += "]}";
 }
 
 }  // namespace
@@ -156,37 +204,14 @@ std::string MetricsRegistry::to_json() const {
   for (const HistogramEntry& e : histograms_) {
     sep();
     json_append_string(out, e.name);
-    const Histogram& h = *e.histogram;
-    out += ":{\"count\":";
-    out += std::to_string(h.count());
-    out += ",\"lo\":";
-    json_append_double(out, h.lo());
-    out += ",\"hi\":";
-    json_append_double(out, h.hi());
-    out += ",\"min\":";
-    json_append_double(out, h.min());
-    out += ",\"max\":";
-    json_append_double(out, h.max());
-    out += ",\"mean\":";
-    json_append_double(out, h.mean());
-    out += ",\"p50\":";
-    json_append_double(out, h.p50());
-    out += ",\"p95\":";
-    json_append_double(out, h.p95());
-    out += ",\"p99\":";
-    json_append_double(out, h.p99());
-    out += ",\"underflow\":";
-    out += std::to_string(h.underflow());
-    out += ",\"overflow\":";
-    out += std::to_string(h.overflow());
-    out += ",\"buckets\":[";
-    bool first_bucket = true;
-    for (std::uint64_t b : h.buckets()) {
-      if (!first_bucket) out += ',';
-      first_bucket = false;
-      out += std::to_string(b);
-    }
-    out += "]}";
+    out += ':';
+    append_histogram_json(out, *e.histogram);
+  }
+  for (const HistogramFnEntry& e : histogram_fns_) {
+    sep();
+    json_append_string(out, e.name);
+    out += ':';
+    append_histogram_json(out, e.fn());
   }
   out += '}';
   return out;

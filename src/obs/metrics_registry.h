@@ -59,8 +59,18 @@ class MetricsRegistry {
   ///  buckets:[...]}. Borrowed like every other instrument.
   void add_histogram(std::string name, const Histogram* histogram);
 
-  /// Polls the named histogram now. Throws std::out_of_range if unknown.
+  /// Registers a histogram rebuilt from live state at snapshot time (e.g.
+  /// the residual-energy distribution, which has no long-lived instrument
+  /// to borrow). Exported in the same JSON shape as add_histogram.
+  void add_histogram(std::string name, std::function<Histogram()> fn);
+
+  /// Polls the named borrowed histogram now. Throws std::out_of_range if
+  /// unknown; polled (function-backed) histograms use histogram_snapshot.
   const Histogram& histogram(const std::string& name) const;
+
+  /// Materializes the named histogram (borrowed or function-backed) now.
+  /// Throws std::out_of_range if unknown.
+  Histogram histogram_snapshot(const std::string& name) const;
 
   /// Polls the named ledger now. Throws std::out_of_range if unknown.
   LedgerSnapshot ledger_snapshot(const std::string& name) const;
@@ -84,12 +94,14 @@ class MetricsRegistry {
   struct GaugeEntry { std::string name; std::function<double()> fn; };
   struct SummaryEntry { std::string name; std::function<sim::Summary()> fn; };
   struct HistogramEntry { std::string name; const Histogram* histogram; };
+  struct HistogramFnEntry { std::string name; std::function<Histogram()> fn; };
 
   std::vector<CounterEntry> counters_;
   std::vector<LedgerEntry> ledgers_;
   std::vector<GaugeEntry> gauges_;
   std::vector<SummaryEntry> summaries_;
   std::vector<HistogramEntry> histograms_;
+  std::vector<HistogramFnEntry> histogram_fns_;
 };
 
 }  // namespace wsn::obs

@@ -23,6 +23,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
+#include "sim/depletion_monitor.h"
 #include "sim/fault_plan.h"
 #include "sim/rng.h"
 
@@ -115,6 +116,9 @@ bool connected_without(const net::NetworkGraph& graph,
 struct GeneratedPlan {
   FaultPlan plan;
   std::vector<TrackedCrash> leader_crashes;
+  /// Leaders given a finite battery (depletion mode); `at` is the
+  /// set_budget time, the death lands wherever the drain takes it.
+  std::vector<TrackedCrash> depletions;
 };
 
 }  // namespace
@@ -170,7 +174,17 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   stack->arq = std::make_unique<net::ReliableChannel>(*stack->link,
                                                       net::ReliableConfig{});
   stack->overlay->attach_arq(*stack->arq);
-  emulation::FailureDetector detector(*stack->overlay, cfg_.detector);
+  emulation::FailureDetectorConfig dcfg = cfg_.detector;
+  if (cfg_.depletion && dcfg.handoff_low_water <= 0.0) {
+    // Retire with 60% of the headroom still in the tank. The reserve must
+    // cover the succession itself, not just time: the kElect flood storm
+    // costs the initiator ~20 units, the residual check only runs once per
+    // heartbeat, and a busy leader burns 1.5-2.5 units/s until the claim
+    // commits — so handoff-precedes-death needs most of the headroom left
+    // when the probe goes out.
+    dcfg.handoff_low_water = cfg_.depletion_headroom * 0.6;
+  }
+  emulation::FailureDetector detector(*stack->overlay, dcfg);
 
   obs::MetricsRegistry registry;
   stack->link->register_metrics(registry);
@@ -293,6 +307,32 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
       budget -= static_cast<double>(cells) * 0.75;
     }
   }
+  if (cfg_.depletion) {
+    // Give a few untouched cells' leaders a finite battery. Resolved to
+    // node ids now (like crashes) so the plan replays without a live
+    // binding; "headroom" still resolves against fire-time spend, so the
+    // leader has exactly depletion_headroom energy left when the event
+    // lands regardless of setup traffic.
+    for (int attempt = 0;
+         attempt < 64 && gen.depletions.size() < cfg_.depletion_targets;
+         ++attempt) {
+      const std::size_t ci = rng.below(grid.node_count());
+      const core::GridCoord cell = grid.coord_of(ci);
+      if (hit[ci]) continue;
+      const net::NodeId leader = stack->overlay->bound_node(cell);
+      const auto members = stack->mapper->members(cell);
+      if (leader == net::kNoNode || members.size() < 2) continue;
+      if (!connected_without(*stack->graph, members, leader)) continue;
+      hit[ci] = true;
+      FaultEvent ev;
+      ev.at = 2.0 + rng.uniform() * 6.0;
+      ev.kind = FaultKind::kSetBudget;
+      ev.node = leader;
+      ev.headroom = cfg_.depletion_headroom;
+      gen.plan.events.push_back(ev);
+      gen.depletions.push_back({cell, leader, ev.at});
+    }
+  }
   res.plan_json = gen.plan.to_json();
   res.leader_crashes = gen.leader_crashes.size();
 
@@ -303,6 +343,11 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
         return overlay.bound_node(c);
       });
   injector.register_metrics(registry);
+  DepletionMonitor monitor(stack->sim, *stack->link);
+  if (cfg_.depletion) {
+    monitor.arm();
+    monitor.register_metrics(registry);
+  }
   const Time arm_time = stack->sim.now();
   injector.arm(gen.plan);
   detector.start();
@@ -324,7 +369,8 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   // and drain everything still in flight so the capture is not truncated.
   const Time settle =
       std::max(stack->sim.now(), arm_time + gen.plan.down_horizon()) +
-      detection_bound() + cfg_.detector.uplease_duration;
+      detection_bound() + cfg_.detector.uplease_duration +
+      (cfg_.depletion ? cfg_.depletion_grace : 0.0);
   stack->sim.run_until(settle);
   const std::vector<core::GridCoord> split = detector.split_brains();
   const std::vector<emulation::ClaimRecord> claims = detector.claims();
@@ -358,6 +404,7 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
         obs::analyze::check_reliability(events, &snapshot));
   merge("check_failure_detection",
         obs::analyze::check_failure_detection(events));
+  merge("check_depletion", obs::analyze::check_depletion(events));
 
   res.split_brains = split.size();
   for (const core::GridCoord& c : split) {
@@ -396,6 +443,40 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
               " exceeds bound " + std::to_string(bound));
     }
     res.max_detection_latency = std::max(res.max_detection_latency, latency);
+  }
+
+  res.depletions = monitor.deaths().size();
+  for (const emulation::ClaimRecord& cl : claims) {
+    if (cl.planned) ++res.planned_handoffs;
+  }
+  for (const TrackedCrash& td : gen.depletions) {
+    const std::string tag = "budgeted leader " + std::to_string(td.node) +
+                            " in cell (" + std::to_string(td.cell.row) + "," +
+                            std::to_string(td.cell.col) + ")";
+    const DepletionRecord* death = nullptr;
+    for (const DepletionRecord& d : monitor.deaths()) {
+      if (d.node == td.node) death = &d;
+    }
+    if (death == nullptr) {
+      finding(tag + ": battery never ran out (campaign proves nothing; "
+                    "raise depletion_grace or cut depletion_headroom)");
+      continue;
+    }
+    // The tentpole invariant: with half the headroom reserved below the
+    // low-water mark, the succession must commit while the retiring leader
+    // is still alive — a planned claim deposing it strictly before its
+    // depletion tick.
+    bool planned_before_death = false;
+    for (const emulation::ClaimRecord& cl : claims) {
+      if (cl.cell.row != td.cell.row || cl.cell.col != td.cell.col) continue;
+      if (cl.planned && cl.old_leader == td.node && cl.at < death->at) {
+        planned_before_death = true;
+      }
+    }
+    if (!planned_before_death) {
+      finding(tag + ": no planned handoff preceded its depletion at t=" +
+              std::to_string(death->at));
+    }
   }
 
   if (partials->size() != cfg_.rounds) {

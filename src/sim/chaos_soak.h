@@ -57,6 +57,24 @@ struct ChaosSoakConfig {
   /// Ring capacity for the per-campaign capture; overflow is a finding.
   std::size_t trace_capacity = 1u << 19;
   emulation::FailureDetectorConfig detector;
+
+  /// Depletion mode: the generator additionally gives a few cells' bound
+  /// leaders finite batteries (kSetBudget with `depletion_headroom` energy
+  /// left), a DepletionMonitor turns the crossings into deaths, and the
+  /// detector runs with proactive handoff at 60% of the headroom. The
+  /// invariant pass then also asserts check_depletion, that every budgeted
+  /// leader hands off (planned claim, old_leader == it) strictly before its
+  /// battery dies, and that its cell never split-brains.
+  bool depletion = false;
+  std::size_t depletion_targets = 2;
+  /// Energy left at the set_budget tick. A busy leader burns 1.5-2.5
+  /// units/s (beats, flood forwards, ARQ acks, routed reduce traffic) and
+  /// the handoff's own kElect flood storm costs it ~20 units more, so the
+  /// reserve below the low-water mark must absorb both; see the low-water
+  /// derivation in chaos_soak.cpp.
+  double depletion_headroom = 80.0;
+  /// Extra settle time so budgeted leaders actually drain to zero.
+  Time depletion_grace = 400.0;
 };
 
 struct ChaosCampaignResult {
@@ -70,6 +88,8 @@ struct ChaosCampaignResult {
   std::size_t claims = 0;
   std::size_t leader_crashes = 0;
   std::size_t split_brains = 0;
+  std::size_t depletions = 0;        // nodes whose battery ran out
+  std::size_t planned_handoffs = 0;  // claims committed via proactive handoff
   std::uint64_t stale_rejected = 0;
   double max_detection_latency = 0.0;  // over tracked leader crashes; 0 if none
 

@@ -202,6 +202,41 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
         fail_event(line, i,
                    "negative duration " + std::to_string(ev.duration));
       }
+    } else if (k == "set_budget") {
+      ev.kind = FaultKind::kSetBudget;
+      if (const JsonValue* cell = e.find("cell")) {
+        ev.cell = {static_cast<std::int32_t>(num_field(*cell, "row", -1.0)),
+                   static_cast<std::int32_t>(num_field(*cell, "col", -1.0))};
+        if (ev.cell.row < 0 || ev.cell.col < 0) {
+          fail_event(line, i, "cell needs row and col >= 0");
+        }
+      } else {
+        const double node = num_field(e, "node", -1.0);
+        if (node < 0) {
+          fail_event(line, i, "set_budget needs \"node\" or \"cell\"");
+        }
+        ev.node = static_cast<net::NodeId>(node);
+      }
+      const bool has_budget = e.find("budget") != nullptr;
+      const bool has_headroom = e.find("headroom") != nullptr;
+      if (has_budget == has_headroom) {
+        fail_event(line, i,
+                   "set_budget needs exactly one of \"budget\" or "
+                   "\"headroom\"");
+      }
+      if (has_budget) {
+        ev.budget = num_field(e, "budget", -1.0);
+        if (ev.budget < 0.0) {
+          fail_event(line, i,
+                     "negative budget " + std::to_string(ev.budget));
+        }
+      } else {
+        ev.headroom = num_field(e, "headroom", -1.0);
+        if (ev.headroom < 0.0) {
+          fail_event(line, i,
+                     "negative headroom " + std::to_string(ev.headroom));
+        }
+      }
     } else {
       fail_event(line, i, "unknown kind \"" + k + "\"");
     }
@@ -271,6 +306,22 @@ std::string FaultPlan::to_json() const {
         out += ", \"duration\": ";
         append_number(out, ev.duration);
         break;
+      case FaultKind::kSetBudget:
+        out += ", \"kind\": \"set_budget\"";
+        if (ev.node != net::kNoNode) {
+          out += ", \"node\": " + std::to_string(ev.node);
+        } else {
+          out += ", \"cell\": {\"row\": " + std::to_string(ev.cell.row) +
+                 ", \"col\": " + std::to_string(ev.cell.col) + "}";
+        }
+        if (ev.budget >= 0.0) {
+          out += ", \"budget\": ";
+          append_number(out, ev.budget);
+        } else {
+          out += ", \"headroom\": ";
+          append_number(out, ev.headroom);
+        }
+        break;
     }
     out += "}";
   }
@@ -284,6 +335,7 @@ Time FaultPlan::down_horizon() const {
     switch (ev.kind) {
       case FaultKind::kCrash:
       case FaultKind::kRecover:
+      case FaultKind::kSetBudget:
         horizon = std::max(horizon, ev.at);
         break;
       case FaultKind::kRegionOutage:
@@ -343,6 +395,34 @@ void FaultInjector::fire(const FaultEvent& ev) {
       apply_down(target, ev.kind == FaultKind::kCrash,
                  ev.kind == FaultKind::kCrash ? "fault.crash"
                                               : "fault.recover");
+      return;
+    }
+    case FaultKind::kSetBudget: {
+      net::NodeId target = ev.node;
+      if (target == net::kNoNode) {
+        if (!leader_lookup_) {
+          throw std::runtime_error(
+              "FaultInjector: cell-targeted event without a leader lookup");
+        }
+        target = leader_lookup_(ev.cell);
+        if (target == net::kNoNode) {
+          counters_.add("fault.unresolved");
+          return;  // cell has no bound leader right now; nothing to budget
+        }
+      }
+      net::EnergyLedger& ledger =
+          link_ != nullptr ? link_->ledger() : vnet_->ledger();
+      // "headroom" resolves against the target's spend at this very tick:
+      // the node gets exactly that much energy left, however much setup
+      // and protocol traffic it already paid for.
+      const double budget = ev.budget >= 0.0
+                                ? ev.budget
+                                : ledger.spent(target) + ev.headroom;
+      counters_.add("fault.set_budget");
+      trace_fault(sim_, "fault.set_budget",
+                  static_cast<std::int64_t>(target),
+                  {{"budget", budget}, {"spent", ledger.spent(target)}});
+      ledger.set_budget(target, budget);
       return;
     }
     case FaultKind::kLossBurst: {

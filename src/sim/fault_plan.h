@@ -22,11 +22,20 @@
 //     {"at": 9.0, "kind": "recover", "node": 12},
 //     {"at": 3.0, "kind": "loss_burst", "loss": 0.2, "duration": 4.0},
 //     {"at": 7.0, "kind": "region_outage",
-//      "row0": 0, "col0": 0, "row1": 1, "col1": 1, "duration": 5.0}
+//      "row0": 0, "col0": 0, "row1": 1, "col1": 1, "duration": 5.0},
+//     {"at": 2.0, "kind": "set_budget", "node": 7, "budget": 40.0},
+//     {"at": 2.0, "kind": "set_budget", "cell": {"row": 1, "col": 2},
+//      "headroom": 25.0}
 //   ]}
-// A "cell"-targeted crash resolves to the cell's currently bound leader at
-// fire time (see FaultInjector::set_leader_lookup), so plans stay
-// independent of the seeded deployment's node ids.
+// A "cell"-targeted crash or set_budget resolves to the cell's currently
+// bound leader at fire time (see FaultInjector::set_leader_lookup), so
+// plans stay independent of the seeded deployment's node ids.
+//
+// set_budget gives the target a finite battery (EnergyLedger::set_budget):
+// "budget" is absolute; "headroom" resolves at fire time to the node's
+// cumulative spend + headroom, guaranteeing the node has exactly that much
+// energy left no matter how much setup traffic preceded the campaign —
+// which is what makes depletion campaigns portable across stack seeds.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +66,7 @@ enum class FaultKind : std::uint8_t {
   kRecover,       // one node comes back up
   kLossBurst,     // flat link-loss probability raised for a window
   kRegionOutage,  // every node in a rectangle of grid cells down for a window
+  kSetBudget,     // one node's battery becomes finite (depletion fault)
 };
 
 struct FaultEvent {
@@ -65,10 +75,11 @@ struct FaultEvent {
   /// simulated time before the campaign begins.
   Time at = 0.0;
   FaultKind kind = FaultKind::kCrash;
-  /// Target of crash/recover, by physical node id / virtual grid index...
+  /// Target of crash/recover/set_budget, by physical node id / virtual
+  /// grid index...
   net::NodeId node = net::kNoNode;
-  /// ...or by grid cell (crash only): resolved to the cell's bound leader
-  /// at fire time. Valid when row/col >= 0.
+  /// ...or by grid cell: resolved to the cell's bound leader at fire time.
+  /// Valid when row/col >= 0.
   core::GridCoord cell{-1, -1};
   /// kLossBurst: flat loss probability during the window.
   double loss = 0.0;
@@ -76,6 +87,10 @@ struct FaultEvent {
   Time duration = 0.0;
   /// kRegionOutage: inclusive rectangle of grid cells.
   std::int32_t row0 = 0, col0 = 0, row1 = 0, col1 = 0;
+  /// kSetBudget: exactly one of these is >= 0. `budget` is an absolute
+  /// battery; `headroom` resolves to spend-at-fire-time + headroom.
+  double budget = -1.0;
+  double headroom = -1.0;
 };
 
 struct FaultPlan {
@@ -96,9 +111,10 @@ struct FaultPlan {
   /// Latest time (campaign-relative) at which any plan-driven outage ends:
   /// recover events and region-outage windows contribute their end, a crash
   /// with no later recover contributes its own time (it never ends, but the
-  /// protocol's detection starts there). Loss bursts are excluded — links
-  /// stay up during them. Harness code uses this to place the
-  /// post-recovery round of a campaign.
+  /// protocol's detection starts there), and a set_budget contributes its
+  /// own time (the depletion death lands at some later, drain-dependent
+  /// tick). Loss bursts are excluded — links stay up during them. Harness
+  /// code uses this to place the post-recovery round of a campaign.
   Time down_horizon() const;
 };
 

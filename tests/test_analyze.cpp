@@ -438,6 +438,68 @@ constexpr const char* kBaseline =
     "{\"bench\":\"a\",\"side\":8,\"latency\":20.0,\"setup_ms\":9.9}\n"
     "{\"bench\":\"b\",\"algo\":\"tree\",\"energy\":100.0}\n";
 
+// ---- Depletion invariants ------------------------------------------------
+
+obs::TraceEvent depletion_event(double t, std::int64_t node, double budget,
+                                double spent) {
+  return {t,
+          node,
+          obs::Category::kReliability,
+          'i',
+          "energy.depleted",
+          0,
+          {{"budget", budget}, {"spent", spent}}};
+}
+
+obs::TraceEvent link_event(double t, std::int64_t node, const char* name) {
+  return {t, node, obs::Category::kLink, 'i', name, 1, {}};
+}
+
+TEST(CheckDepletion, CleanLifecyclePasses) {
+  // Dying frame at the same timestamp as the crossing is legal (the link
+  // layer charges tx before tracing it), later silence is mandatory.
+  const std::vector<obs::TraceEvent> events = {
+      link_event(1.0, 7, "broadcast"),
+      depletion_event(2.0, 7, 50.0, 50.0),
+      link_event(2.0, 7, "unicast"),  // the budget-crossing frame itself
+      link_event(3.0, 8, "unicast"),  // other nodes keep talking
+  };
+  const CheckReport report = check_depletion(events);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_EQ(report.flows_checked, 1u);  // one depletion checked
+}
+
+TEST(CheckDepletion, FlagsDuplicateDepletion) {
+  const std::vector<obs::TraceEvent> events = {
+      depletion_event(2.0, 7, 50.0, 50.0),
+      depletion_event(5.0, 7, 50.0, 55.0),
+  };
+  const CheckReport report = check_depletion(events);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].find("duplicate energy.depleted"),
+            std::string::npos);
+}
+
+TEST(CheckDepletion, FlagsCrossingBelowBudget) {
+  const CheckReport report =
+      check_depletion({depletion_event(2.0, 7, 50.0, 30.0)});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].find("below budget"), std::string::npos);
+}
+
+TEST(CheckDepletion, FlagsPostDepletionTransmissionAndDelivery) {
+  const std::vector<obs::TraceEvent> events = {
+      depletion_event(2.0, 7, 50.0, 50.0),
+      link_event(3.0, 7, "broadcast"),
+      link_event(4.0, 7, "deliver"),
+  };
+  const CheckReport report = check_depletion(events);
+  ASSERT_EQ(report.issues.size(), 2u);
+  EXPECT_NE(report.issues[0].find("transmission at t="), std::string::npos);
+  EXPECT_NE(report.issues[0].find("after depletion"), std::string::npos);
+  EXPECT_NE(report.issues[1].find("delivery at t="), std::string::npos);
+}
+
 TEST(BenchCompare, IdenticalCapturesPass) {
   const CompareReport r = compare_bench(kBaseline, kBaseline, 0.0);
   EXPECT_TRUE(r.ok());

@@ -57,6 +57,49 @@ TEST(ChaosSoak, GeneratedPlansRoundTripThroughJson) {
   }
 }
 
+TEST(ChaosSoak, DepletionSoakZeroFindings) {
+  // Energy-exhaustion mode: each campaign gives a few bound leaders finite
+  // batteries on top of the generated fault plan. The oracle additionally
+  // demands a clean check_depletion pass, a planned handoff strictly before
+  // every budgeted leader's battery death, and zero split-brains.
+  sim::ChaosSoakConfig cfg;
+  cfg.depletion = true;
+  cfg.campaigns = 12;  // acceptance floor is >= 10 depletion campaigns
+  const sim::ChaosSoak soak(cfg);
+  const sim::ChaosSoakSummary summary = soak.run();
+  EXPECT_EQ(summary.campaigns, cfg.campaigns);
+  std::size_t depletions = 0;
+  std::size_t planned = 0;
+  for (const sim::ChaosCampaignResult& res : summary.results) {
+    depletions += res.depletions;
+    planned += res.planned_handoffs;
+    EXPECT_EQ(res.split_brains, 0u)
+        << "campaign " << res.index << " (seed " << res.seed << ")";
+    for (const std::string& f : res.findings) {
+      ADD_FAILURE() << "campaign " << res.index << " (seed " << res.seed
+                    << "): " << f << "\nplan: " << res.plan_json;
+    }
+  }
+  EXPECT_EQ(summary.failed, 0u);
+  // The mode must actually exercise the fault model: batteries ran out and
+  // the retiring leaders handed off first.
+  EXPECT_GT(depletions, 0u);
+  EXPECT_GT(planned, 0u);
+}
+
+TEST(ChaosSoak, DepletionCampaignReplaysByteIdentically) {
+  sim::ChaosSoakConfig cfg;
+  cfg.depletion = true;
+  const sim::ChaosSoak soak(cfg);
+  const auto first = soak.run_campaign(1, /*keep_trace=*/true);
+  const auto second = soak.run_campaign(1, /*keep_trace=*/true);
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.plan_json, second.plan_json);
+  EXPECT_EQ(first.depletions, second.depletions);
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl)
+      << "battery exhaustion must stay inside the deterministic event loop";
+}
+
 TEST(ChaosSoak, DetectionLatencyWithinBound) {
   const sim::ChaosSoak soak{sim::ChaosSoakConfig{}};
   const double bound = soak.detection_bound();

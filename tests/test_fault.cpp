@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <any>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -255,6 +256,115 @@ TEST(FaultPlanJson, RejectsCrashWithoutRecoverOverlap) {
     {"at": 6.0, "kind": "recover", "node": 12},
     {"at": 8.0, "kind": "crash",   "node": 12}
   ]})"));
+}
+
+TEST(FaultPlanJson, ParsesSetBudgetForms) {
+  const auto plan = sim::FaultPlan::from_json(R"({"events": [
+    {"at": 2.0, "kind": "set_budget", "node": 7, "budget": 40.0},
+    {"at": 3.0, "kind": "set_budget", "cell": {"row": 1, "col": 2},
+     "headroom": 25.0}
+  ]})");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, sim::FaultKind::kSetBudget);
+  EXPECT_EQ(plan.events[0].node, 7u);
+  EXPECT_DOUBLE_EQ(plan.events[0].budget, 40.0);
+  EXPECT_LT(plan.events[0].headroom, 0.0);  // unset
+  EXPECT_EQ(plan.events[1].kind, sim::FaultKind::kSetBudget);
+  EXPECT_EQ(plan.events[1].cell.row, 1);
+  EXPECT_EQ(plan.events[1].cell.col, 2);
+  EXPECT_DOUBLE_EQ(plan.events[1].headroom, 25.0);
+  EXPECT_LT(plan.events[1].budget, 0.0);  // unset
+}
+
+TEST(FaultPlanJson, SetBudgetRejectionsNameLineAndEvent) {
+  // Neither budget nor headroom.
+  std::string msg = rejection_message(
+      "{\"events\": [\n"
+      "  {\"at\": 1.0, \"kind\": \"set_budget\", \"node\": 3}\n"
+      "]}");
+  EXPECT_NE(msg.find("exactly one of"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("event #1"), std::string::npos) << msg;
+
+  // Both budget and headroom.
+  msg = rejection_message(
+      R"({"events": [{"at": 1.0, "kind": "set_budget", "node": 3,
+                      "budget": 5.0, "headroom": 5.0}]})");
+  EXPECT_NE(msg.find("exactly one of"), std::string::npos) << msg;
+
+  // No target at all.
+  msg = rejection_message(
+      R"({"events": [{"at": 1.0, "kind": "set_budget", "budget": 5.0}]})");
+  EXPECT_NE(msg.find("\"node\" or \"cell\""), std::string::npos) << msg;
+
+  // Negative values.
+  msg = rejection_message(
+      R"({"events": [{"at": 1.0, "kind": "set_budget", "node": 3,
+                      "budget": -5.0}]})");
+  EXPECT_NE(msg.find("negative budget"), std::string::npos) << msg;
+  msg = rejection_message(
+      "{\"events\": [\n"
+      "  {\"at\": 1.0, \"kind\": \"crash\", \"node\": 2},\n"
+      "  {\"at\": 1.0, \"kind\": \"set_budget\", \"node\": 3,\n"
+      "   \"headroom\": -2.0}\n"
+      "]}");
+  EXPECT_NE(msg.find("negative headroom"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("event #2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(FaultPlanJson, SetBudgetRoundTripsAndExtendsDownHorizon) {
+  const auto plan = sim::FaultPlan::from_json(R"({"events": [
+    {"at": 2.0, "kind": "set_budget", "node": 7, "budget": 40.0},
+    {"at": 50.0, "kind": "set_budget", "cell": {"row": 0, "col": 0},
+     "headroom": 25.0}
+  ]})");
+  const std::string serialized = plan.to_json();
+  const auto reparsed = sim::FaultPlan::from_json(serialized);
+  ASSERT_EQ(reparsed.events.size(), 2u);
+  EXPECT_EQ(reparsed.to_json(), serialized);
+  EXPECT_DOUBLE_EQ(reparsed.events[0].budget, 40.0);
+  EXPECT_DOUBLE_EQ(reparsed.events[1].headroom, 25.0);
+  // A set_budget starts a (delayed) death, so the settle horizon must cover
+  // its firing time — the drain to zero is the campaign's job to wait out.
+  EXPECT_GE(plan.down_horizon(), 50.0);
+}
+
+TEST(FaultPlanFire, SetBudgetHeadroomResolvesAtFireTime) {
+  sim::Simulator sim(1);
+  core::VirtualNetwork vnet(sim, core::GridTopology(4), core::CostModel{});
+  // Pre-spend some energy so "headroom" has something to resolve against.
+  vnet.ledger().charge(5, net::EnergyUse::kCompute, 12.0);
+  sim::FaultInjector injector(sim, vnet);
+  injector.arm(sim::FaultPlan::from_json(R"({"events": [
+    {"at": 1.0, "kind": "set_budget", "node": 5, "headroom": 25.0},
+    {"at": 1.0, "kind": "set_budget", "node": 6, "budget": 40.0}
+  ]})"));
+  sim.run();
+  // headroom => budget == spend-at-fire-time + 25; absolute stays absolute.
+  EXPECT_DOUBLE_EQ(vnet.ledger().budget(5), 37.0);
+  EXPECT_DOUBLE_EQ(vnet.ledger().remaining(5), 25.0);
+  EXPECT_DOUBLE_EQ(vnet.ledger().budget(6), 40.0);
+  EXPECT_EQ(injector.counters().get("fault.set_budget"), 2u);
+}
+
+TEST(FaultPlanFire, CellTargetedSetBudgetUsesLeaderLookupAtFireTime) {
+  bench::PhysicalStack stack(4, 60, 1.3, 7);
+  ASSERT_TRUE(stack.healthy());
+  sim::FaultInjector injector(stack.sim, *stack.link, stack.mapper.get());
+  injector.set_leader_lookup(
+      [&](const GridCoord& c) { return stack.overlay->bound_node(c); });
+  const net::NodeId leader = stack.overlay->bound_node({1, 1});
+  ASSERT_NE(leader, net::kNoNode);
+  injector.arm(sim::FaultPlan::from_json(R"({"events": [
+    {"at": 2.0, "kind": "set_budget", "cell": {"row": 1, "col": 1},
+     "headroom": 30.0}
+  ]})"));
+  stack.sim.run();
+  EXPECT_TRUE(std::isfinite(stack.ledger->budget(leader)));
+  EXPECT_GE(stack.ledger->budget(leader), 30.0);
+  // Other nodes keep infinite batteries.
+  const net::NodeId other = stack.overlay->bound_node({0, 0});
+  EXPECT_FALSE(std::isfinite(stack.ledger->budget(other)));
 }
 
 TEST(FaultPlanJson, ToJsonRoundTrips) {

@@ -192,6 +192,84 @@ TEST(EnergyLedger, BudgetAndDepletion) {
   EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
 }
 
+TEST(EnergyLedger, RemainingClampsAtZero) {
+  EnergyLedger ledger(1, 5.0);
+  ledger.charge(0, EnergyUse::kTx, 7.5);  // overshoot by one in-flight frame
+  EXPECT_TRUE(ledger.depleted(0));
+  EXPECT_DOUBLE_EQ(ledger.remaining(0), 0.0);  // never a negative battery
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 7.5);      // the overshoot is still paid
+}
+
+TEST(EnergyLedger, DepletionCallbackFiresExactlyOnce) {
+  EnergyLedger ledger(2, 3.0);
+  std::vector<NodeId> fired;
+  ledger.set_on_depleted([&](NodeId n) { fired.push_back(n); });
+  ledger.charge(0, EnergyUse::kTx, 2.0);
+  EXPECT_TRUE(fired.empty());
+  ledger.charge(0, EnergyUse::kTx, 1.0);  // crossing: spent == budget
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+  // Charges keep accumulating after depletion without re-firing the hook.
+  ledger.charge(0, EnergyUse::kRx, 4.0);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 7.0);
+  EXPECT_EQ(ledger.depleted_count(), 1u);
+}
+
+TEST(EnergyLedger, SetBudgetBelowSpendFiresImmediately) {
+  EnergyLedger ledger(2);  // infinite default budget
+  ledger.charge(1, EnergyUse::kCompute, 10.0);
+  std::vector<NodeId> fired;
+  ledger.set_on_depleted([&](NodeId n) { fired.push_back(n); });
+  ledger.set_budget(1, 4.0);  // already past it: fires from this call
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_TRUE(ledger.depleted(1));
+  EXPECT_FALSE(ledger.depleted(0));  // other node keeps the infinite default
+  EXPECT_DOUBLE_EQ(ledger.remaining(0),
+                   std::numeric_limits<double>::infinity());
+}
+
+TEST(EnergyLedger, BudgetRaiseDoesNotResurrect) {
+  EnergyLedger ledger(1, 2.0);
+  int fired = 0;
+  ledger.set_on_depleted([&](NodeId) { ++fired; });
+  ledger.charge(0, EnergyUse::kTx, 2.0);
+  EXPECT_EQ(fired, 1);
+  ledger.set_budget(0, 100.0);  // latched: dead nodes stay dead
+  EXPECT_EQ(ledger.depleted_count(), 1u);
+  ledger.charge(0, EnergyUse::kTx, 1.0);
+  EXPECT_EQ(fired, 1);  // and the crossing never re-fires
+}
+
+TEST(EnergyLedger, PerNodeBudgetsAreIndependent) {
+  EnergyLedger ledger(3);
+  ledger.set_budget(0, 1.0);
+  ledger.set_budget(2, 10.0);
+  ledger.charge(0, EnergyUse::kTx, 5.0);
+  ledger.charge(1, EnergyUse::kTx, 5.0);
+  ledger.charge(2, EnergyUse::kTx, 5.0);
+  EXPECT_TRUE(ledger.depleted(0));
+  EXPECT_FALSE(ledger.depleted(1));  // untouched node stays infinite
+  EXPECT_FALSE(ledger.depleted(2));
+  EXPECT_DOUBLE_EQ(ledger.budget(0), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.budget(2), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining(2), 5.0);
+  EXPECT_THROW(ledger.set_budget(1, -1.0), std::invalid_argument);
+}
+
+TEST(EnergyLedger, ResetClearsCrossings) {
+  EnergyLedger ledger(1, 2.0);
+  int fired = 0;
+  ledger.set_on_depleted([&](NodeId) { ++fired; });
+  ledger.charge(0, EnergyUse::kTx, 3.0);
+  EXPECT_EQ(fired, 1);
+  ledger.reset();
+  EXPECT_EQ(ledger.depleted_count(), 0u);
+  ledger.charge(0, EnergyUse::kTx, 3.0);  // a fresh run may cross again
+  EXPECT_EQ(fired, 2);
+}
+
 class LinkLayerTest : public ::testing::Test {
  protected:
   LinkLayerTest()

@@ -10,7 +10,13 @@
 //
 // Usage:
 //   wsn-chaos [--campaigns N] [--seed S] [--grid N] [--nodes N]
-//             [--rounds N] [--budget X] [--out DIR] [--only K] [--verbose]
+//             [--rounds N] [--budget X] [--depletion] [--out DIR] [--only K]
+//             [--verbose]
+//
+// --depletion switches the generator into energy-exhaustion mode: a few
+// cells' leaders get finite batteries, the detector runs with proactive
+// handoff, and campaigns additionally assert the depletion invariants
+// (exactly-once deaths, no post-mortem frames, handoff before death).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,10 +40,10 @@ void report(const wsn::sim::ChaosCampaignResult& res, bool verbose,
             const std::string& out_dir) {
   std::printf(
       "campaign %2zu  seed=%llu  events=%zu  claims=%zu  leader_crashes=%zu  "
-      "max_latency=%.2f  %s\n",
+      "depletions=%zu  handoffs=%zu  max_latency=%.2f  %s\n",
       res.index, static_cast<unsigned long long>(res.seed), res.events,
-      res.claims, res.leader_crashes, res.max_detection_latency,
-      res.ok() ? "PASS" : "FAIL");
+      res.claims, res.leader_crashes, res.depletions, res.planned_handoffs,
+      res.max_detection_latency, res.ok() ? "PASS" : "FAIL");
   if (verbose || !res.ok()) {
     for (const std::string& f : res.findings) {
       std::printf("  FINDING: %s\n", f.c_str());
@@ -80,6 +86,9 @@ int main(int argc, char** argv) {
       cfg.rounds = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--budget") {
       cfg.severity_budget = std::strtod(next(), nullptr);
+    } else if (arg == "--depletion") {
+      cfg.depletion = true;
+      cfg.trace_capacity = 1u << 20;  // longer campaigns, bigger capture
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--only") {
@@ -90,8 +99,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "wsn-chaos: unknown argument %s\n"
                    "usage: wsn-chaos [--campaigns N] [--seed S] [--grid N] "
-                   "[--nodes N] [--rounds N] [--budget X] [--out DIR] "
-                   "[--only K] [--verbose]\n",
+                   "[--nodes N] [--rounds N] [--budget X] [--depletion] "
+                   "[--out DIR] [--only K] [--verbose]\n",
                    arg.c_str());
       return 2;
     }
