@@ -1,0 +1,212 @@
+// Kernel events/sec microbench — the perf gate for the EventQueue.
+//
+// The ROADMAP's kernel-overhaul item (calendar queue, then PDES) needs a
+// number to beat. This bench produces it: raw dispatch throughput of the
+// std::priority_queue kernel under three workloads —
+//
+//   * churn:      steady-state at a fixed queue depth; every dispatched
+//                 event schedules one successor, so the heap stays at depth
+//                 D while the sift cost is exercised at several D.
+//   * cancel:     schedule/cancel mix; half the scheduled events are
+//                 cancelled before firing, exercising the tombstone set and
+//                 the lazy-skip path in pop().
+//   * quickstart: the full simulation stack (PhysicalStack + overlay
+//                 traffic), so the synthetic rows stay anchored to what a
+//                 real workload sees per event.
+//
+// Deterministic fields (depth, ops, events, cancelled, skips, final queue
+// state) are gated tightly by BENCH_BASELINE.json in the observability CI
+// job. Host-time fields end in "_ns" / "_per_sec" and are gated only by
+// the perf-smoke job, one-sided at a generous tolerance (see
+// obs/analyze/bench_compare.h).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench/bench_common.h"
+#include "core/primitives.h"
+#include "obs/histogram.h"
+#include "obs/profiler.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace wsn;
+using Clock = std::chrono::steady_clock;
+
+double ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+struct RunStats {
+  std::uint64_t events = 0;
+  double host_ns = 0.0;
+  obs::Histogram per_event{0.0, 20000.0, 64};  // ns per dispatched event
+
+  double events_per_sec() const {
+    return host_ns > 0 ? static_cast<double>(events) * 1e9 / host_ns : 0.0;
+  }
+  double mean_ns() const {
+    return events > 0 ? host_ns / static_cast<double>(events) : 0.0;
+  }
+};
+
+/// Times `ops` single-event steps, one clock pair per event so the
+/// percentile fields reflect the per-dispatch distribution, not a batch
+/// average.
+RunStats timed_steps(sim::Simulator& sim, std::uint64_t ops) {
+  RunStats stats;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto t0 = Clock::now();
+    if (!sim.step()) break;
+    const auto t1 = Clock::now();
+    const double ns = ns_between(t0, t1);
+    stats.host_ns += ns;
+    stats.per_event.add(ns);
+    ++stats.events;
+  }
+  return stats;
+}
+
+/// Steady-state churn at depth D: the queue is pre-filled with D events
+/// spread over future time; each dispatched event re-schedules itself a
+/// pseudo-random delay ahead, keeping the depth constant.
+void churn_row(analysis::Table& table, bench::JsonWriter& json,
+               std::size_t depth, std::uint64_t ops) {
+  sim::Simulator sim(7);
+  struct Reschedule {
+    sim::Simulator& sim;
+    void operator()() const {
+      // Delay pattern decorrelated from the heap layout; derived from the
+      // sim RNG so the event sequence is seed-deterministic.
+      sim.schedule_in(0.5 + sim.rng().uniform(), Reschedule{sim});
+    }
+  };
+  for (std::size_t i = 0; i < depth; ++i) {
+    sim.schedule_in(sim.rng().uniform(), Reschedule{sim});
+  }
+  const RunStats stats = timed_steps(sim, ops);
+  table.row({"churn", analysis::Table::num(depth),
+             analysis::Table::num(stats.events),
+             analysis::Table::num(sim.pending()),
+             analysis::Table::num(stats.events_per_sec(), 0),
+             analysis::Table::num(stats.mean_ns(), 0),
+             analysis::Table::num(stats.per_event.p99(), 0)});
+  json.row("kernel",
+           {{"workload", std::string("churn")},
+            {"depth", static_cast<std::uint64_t>(depth)},
+            {"events", stats.events},
+            {"final_depth", static_cast<std::uint64_t>(sim.pending())},
+            {"peak_depth",
+             static_cast<std::uint64_t>(sim.queue().peak_size())},
+            {"events_per_sec", stats.events_per_sec()},
+            {"mean_event_ns", stats.mean_ns()},
+            {"p50_ns", stats.per_event.p50()},
+            {"p90_ns", stats.per_event.p90()},
+            {"p99_ns", stats.per_event.p99()}});
+}
+
+/// Schedule/cancel mix at a fixed base depth: per dispatched event, two new
+/// events are scheduled and one of them immediately cancelled, so half the
+/// schedule volume dies as tombstones and pop() exercises its lazy skips.
+void cancel_row(analysis::Table& table, bench::JsonWriter& json,
+                std::size_t depth, std::uint64_t ops) {
+  sim::Simulator sim(11);
+  struct Mix {
+    sim::Simulator& sim;
+    void operator()() const {
+      sim.schedule_in(0.5 + sim.rng().uniform(), Mix{sim});
+      const sim::EventId doomed =
+          sim.schedule_in(1.0 + sim.rng().uniform(), [] {});
+      sim.cancel(doomed);
+    }
+  };
+  for (std::size_t i = 0; i < depth; ++i) {
+    sim.schedule_in(sim.rng().uniform(), Mix{sim});
+  }
+  const RunStats stats = timed_steps(sim, ops);
+  table.row({"cancel", analysis::Table::num(depth),
+             analysis::Table::num(stats.events),
+             analysis::Table::num(sim.queue().cancelled_skips()),
+             analysis::Table::num(stats.events_per_sec(), 0),
+             analysis::Table::num(stats.mean_ns(), 0),
+             analysis::Table::num(stats.per_event.p99(), 0)});
+  json.row("kernel",
+           {{"workload", std::string("cancel")},
+            {"depth", static_cast<std::uint64_t>(depth)},
+            {"events", stats.events},
+            {"final_depth", static_cast<std::uint64_t>(sim.pending())},
+            {"skips", sim.queue().cancelled_skips()},
+            {"tombstones",
+             static_cast<std::uint64_t>(sim.queue().tombstones())},
+            {"events_per_sec", stats.events_per_sec()},
+            {"mean_event_ns", stats.mean_ns()},
+            {"p50_ns", stats.per_event.p50()},
+            {"p90_ns", stats.per_event.p90()},
+            {"p99_ns", stats.per_event.p99()}});
+}
+
+/// The anchor row: a real workload (overlay all-cells-to-collector rounds
+/// on a converged PhysicalStack), profiled with the SimProfiler itself so
+/// the row dogfoods the instrumentation it gates.
+void quickstart_row(analysis::Table& table, bench::JsonWriter& json) {
+  constexpr std::size_t kSide = 8;
+  constexpr std::size_t kNodes = 200;
+  constexpr double kRange = 1.3;
+  constexpr int kRounds = 3;
+  bench::PhysicalStack stack(kSide, kNodes, kRange, 1);
+  const std::uint64_t setup_events = stack.sim.events_processed();
+
+  obs::SimProfiler& prof = obs::profiler();
+  prof.arm();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const core::GridCoord& c : core::GridTopology(kSide).all_coords()) {
+      if (c.row == 0 && c.col == 0) continue;
+      stack.overlay->send(c, {0, 0}, int{1}, 1.0);
+    }
+    stack.sim.run();
+  }
+  prof.disarm();
+  const std::uint64_t events = stack.sim.events_processed() - setup_events;
+  prof.note_sim(stack.sim.now(), events);
+
+  const double host_ns = static_cast<double>(prof.elapsed_ns());
+  const obs::ProfBucket& dispatch = prof.bucket(obs::ProfCat::kDispatch);
+  table.row({"quickstart", "-", analysis::Table::num(events), "-",
+             analysis::Table::num(prof.events_per_sec(), 0),
+             analysis::Table::num(
+                 events > 0 ? host_ns / static_cast<double>(events) : 0.0, 0),
+             "-"});
+  json.row("kernel",
+           {{"workload", std::string("quickstart")},
+            {"events", events},
+            {"dispatch_count", dispatch.count},
+            {"events_per_sec", prof.events_per_sec()},
+            {"mean_event_ns",
+             events > 0 ? host_ns / static_cast<double>(events) : 0.0},
+            {"dispatch_self_ns", static_cast<double>(dispatch.self_ns)}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonWriter json(bench::json_path_from_args(argc, argv));
+  bench::print_header(
+      "kernel", "EventQueue dispatch throughput",
+      "events/sec of the priority-queue kernel under churn, cancellation, "
+      "and a full-stack workload; the baseline the kernel overhaul must "
+      "beat");
+
+  analysis::Table table({"workload", "depth", "events", "aux", "events/sec",
+                         "mean ns", "p99 ns"});
+  constexpr std::uint64_t kOps = 200'000;
+  for (std::size_t depth : {256u, 4096u, 65536u}) {
+    churn_row(table, json, depth, kOps);
+  }
+  cancel_row(table, json, 4096, kOps);
+  quickstart_row(table, json);
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "core/virtual_network.h"
 #include "bench/bench_common.h"
 #include "core/grid_topology.h"
+#include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
 
@@ -130,6 +131,45 @@ void BM_VirtualSendNullSink(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VirtualSendNullSink);
+
+// Profiler-overhead proof (same shape as the tracing canary above): with
+// the profiler disarmed, the dispatch hot path pays one call + one branch
+// per ProfSpan, and the canary asserts nothing was recorded. Compare against
+// BM_DispatchProfilerArmed for the armed cost (two clock reads + bucket
+// arithmetic per span).
+void dispatch_kernel(benchmark::State& state) {
+  sim::Simulator sim(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_in(static_cast<double>(i % 7), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+
+void BM_DispatchProfilerOff(benchmark::State& state) {
+  obs::SimProfiler& prof = obs::profiler();
+  prof.arm();
+  prof.disarm();  // leave it provably disarmed with clean buckets
+  dispatch_kernel(state);
+  if (prof.bucket(obs::ProfCat::kDispatch).count != 0) {
+    state.SkipWithError("disarmed profiler recorded spans on the hot path");
+  }
+}
+BENCHMARK(BM_DispatchProfilerOff);
+
+void BM_DispatchProfilerArmed(benchmark::State& state) {
+  obs::SimProfiler& prof = obs::profiler();
+  prof.arm();
+  dispatch_kernel(state);
+  const bool empty = prof.bucket(obs::ProfCat::kDispatch).count == 0;
+  prof.disarm();
+  if (empty) {
+    state.SkipWithError("armed profiler recorded nothing; guard is broken");
+  }
+}
+BENCHMARK(BM_DispatchProfilerArmed);
 
 }  // namespace
 

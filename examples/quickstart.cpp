@@ -11,6 +11,12 @@
 //   --trace <path>         dump the full JSONL event trace
 //   --chrome-trace <path>  dump a Chrome trace_event file (about://tracing)
 //   --metrics <path>       dump the unified metrics snapshot as JSON
+//   --profile <path>       arm the host-side SimProfiler for the whole run
+//                          and dump its perf snapshot as JSON (read it with
+//                          `wsn-inspect perf`); also adds prof.*/kernel.*
+//                          gauges to --metrics and a host-time track to
+//                          --chrome-trace. Simulated output and traces are
+//                          byte-identical with or without this flag.
 //
 // Robustness (see README "Fault tolerance"):
 //   --campaign <json>      additionally replay a fault-injection campaign
@@ -19,6 +25,7 @@
 //                          deployment hardened with ARQ and the distributed
 //                          heartbeat/lease failure detector, appended after
 //                          the classic output
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,6 +45,7 @@
 #include "emulation/failure_detector.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
 #include "sim/depletion_monitor.h"
@@ -71,6 +79,16 @@ int main(int argc, char** argv) {
   const std::string trace_path = arg_value(argc, argv, "--trace");
   const std::string chrome_path = arg_value(argc, argv, "--chrome-trace");
   const std::string metrics_path = arg_value(argc, argv, "--metrics");
+  const std::string profile_path = arg_value(argc, argv, "--profile");
+
+  // Host-side self-profiling: reads only the host clock, so everything the
+  // simulation computes or traces is byte-identical with or without it.
+  const bool profiling = !profile_path.empty();
+  if (profiling) {
+    obs::profiler().set_span_log_capacity(1 << 16);
+    obs::profiler().arm();
+    obs::profiler().begin_phase("classic");
+  }
 
   // Capture everything the run emits when any dump was requested; with no
   // sink installed, tracing stays disabled and costs one branch per site.
@@ -137,6 +155,7 @@ int main(int argc, char** argv) {
     buf << in.rdbuf();
     const sim::FaultPlan plan = sim::FaultPlan::from_json(buf.str());
 
+    if (profiling) obs::profiler().begin_phase("campaign");
     campaign = std::make_unique<CampaignPhase>();
     CampaignPhase& c = *campaign;
     if (!c.stack.healthy()) {
@@ -211,6 +230,19 @@ int main(int argc, char** argv) {
                     c.stack.arq->counters().get("arq.give_up")));
   }
 
+  // Freeze the profiling window before the dumps so the perf snapshot
+  // covers the simulation, not the file I/O.
+  if (profiling) {
+    obs::profiler().disarm();
+    std::uint64_t sim_events = sim.events_processed();
+    double sim_time = sim.now();
+    if (campaign) {
+      sim_events += campaign->stack.sim.events_processed();
+      sim_time = std::max(sim_time, campaign->stack.sim.now());
+    }
+    obs::profiler().note_sim(sim_time, sim_events);
+  }
+
   // Observability dumps.
   if (tracing) {
     obs::tracer().set_sink(nullptr);
@@ -231,7 +263,8 @@ int main(int argc, char** argv) {
     }
     if (!chrome_path.empty()) {
       std::ofstream out(chrome_path);
-      obs::write_chrome_trace(events, out);
+      obs::write_chrome_trace(events, out,
+                              profiling ? &obs::profiler() : nullptr);
       if (out) {
         std::printf("chrome trace        : %s (load in about://tracing)\n",
                     chrome_path.c_str());
@@ -245,6 +278,14 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     obs::MetricsRegistry registry;
     vnet.register_metrics(registry);
+    if (tracing) sink.register_metrics(registry);
+    if (profiling) {
+      obs::profiler().register_metrics(registry);
+      sim.register_metrics(registry);
+      if (campaign) {
+        campaign->stack.sim.register_metrics(registry, "kernel.campaign");
+      }
+    }
     if (campaign) {
       campaign->stack.register_metrics(registry);
       campaign->injector->register_metrics(registry);
@@ -260,6 +301,18 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "error: cannot write metrics to %s\n",
                    metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (profiling) {
+    std::ofstream out(profile_path);
+    out << obs::profiler().to_json() << "\n";
+    if (out) {
+      std::printf("perf profile        : %s (read with wsn-inspect perf)\n",
+                  profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write profile to %s\n",
+                   profile_path.c_str());
       return 1;
     }
   }

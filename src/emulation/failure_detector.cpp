@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "net/reliable_link.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace wsn::emulation {
@@ -198,6 +199,7 @@ void FailureDetector::arm_watchdog(net::NodeId i) {
 }
 
 void FailureDetector::on_watchdog(net::NodeId i) {
+  obs::ProfSpan prof(obs::ProfCat::kDetector);
   if (link().is_down(i)) {
     // Own radio is dead (a node always knows that much). Keep a reboot
     // probe scheduled so the node re-engages after a recovery.
@@ -416,6 +418,7 @@ std::size_t FailureDetector::planned_handoffs() const {
 }
 
 void FailureDetector::beat(net::NodeId leader) {
+  obs::ProfSpan prof(obs::ProfCat::kDetector);
   if (believed_leader_[leader] != leader) return;  // deposed: loop ends
   if (!link().is_down(leader)) {
     ++beat_seq_[leader];
@@ -526,6 +529,7 @@ void FailureDetector::route_control(net::NodeId at, const FdMsg& msg,
 }
 
 void FailureDetector::on_control(net::NodeId at, const net::Packet& pkt) {
+  obs::ProfSpan prof(obs::ProfCat::kDetector);
   const auto* msg = std::any_cast<FdMsg>(&pkt.payload);
   if (msg == nullptr) return;
   // Proof of life: any control frame received from a suspected node clears

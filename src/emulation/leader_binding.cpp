@@ -5,6 +5,7 @@
 
 #include "emulation/overlay_network.h"
 #include "net/reliable_link.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace wsn::emulation {
@@ -152,6 +153,7 @@ BindingResult run_election(net::LinkLayer& link, const CellMapper& mapper,
 
 BindingResult run_leader_binding(net::LinkLayer& link, const CellMapper& mapper,
                                  BindingMetric metric, double jitter) {
+  obs::ProfSpan prof(obs::ProfCat::kBinding);
   std::vector<bool> everyone(link.graph().node_count(), true);
   return run_election(link, mapper, metric, jitter, everyone);
 }

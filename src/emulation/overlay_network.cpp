@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/reliable_link.h"
+#include "obs/profiler.h"
 
 namespace wsn::emulation {
 
@@ -92,6 +93,7 @@ void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader) {
 
 void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader,
                             std::uint64_t epoch) {
+  obs::ProfSpan prof(obs::ProfCat::kBinding);
   const std::size_t idx =
       static_cast<std::size_t>(cell.row) * mapper_.grid_side() +
       static_cast<std::size_t>(cell.col);

@@ -18,6 +18,7 @@
 #include "net/network_graph.h"
 #include "net/radio.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -122,6 +123,7 @@ class LinkLayer {
   /// logical send. Pass 0 for uncorrelated traffic.
   void broadcast(NodeId from, std::any payload, double size_units = 1.0,
                  std::uint64_t flow = 0) {
+    obs::ProfSpan prof(obs::ProfCat::kLinkTx);
     if (down_[from] || ledger_.depleted(from)) {
       counters_.add("link.tx_dead");
       return;
@@ -147,6 +149,7 @@ class LinkLayer {
   /// builds on).
   void unicast(NodeId from, NodeId to, std::any payload,
                double size_units = 1.0, std::uint64_t flow = 0) {
+    obs::ProfSpan prof(obs::ProfCat::kLinkTx);
     if (down_[from] || ledger_.depleted(from)) {
       counters_.add("link.tx_dead");
       return;
@@ -229,6 +232,7 @@ class LinkLayer {
     }
     sim_.schedule_at(at, [this, from, to, payload = std::move(payload),
                           size_units, flow]() {
+      obs::ProfSpan prof(obs::ProfCat::kLinkRx);
       if (down_[to] || ledger_.depleted(to)) {
         counters_.add("link.rx_dead");
         trace_drop(from, to, flow, "dead");

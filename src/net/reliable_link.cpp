@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/profiler.h"
+
 namespace wsn::net {
 
 ReliableChannel::ReliableChannel(LinkLayer& link, ReliableConfig cfg)
@@ -31,6 +33,7 @@ void ReliableChannel::trace_rel(const char* name, const Frame& fr,
 
 void ReliableChannel::send(NodeId from, NodeId to, std::any payload,
                            double size_units, std::uint64_t flow) {
+  obs::ProfSpan prof(obs::ProfCat::kArq);
   const std::uint64_t key = pair_key(from, to);
   const std::uint64_t seq = ++next_seq_[key];
   Frame fr{false, from, to, seq, size_units,
@@ -99,6 +102,7 @@ void ReliableChannel::give_up(std::uint64_t pair, std::uint64_t seq) {
 }
 
 void ReliableChannel::handle(NodeId at, const Packet& raw) {
+  obs::ProfSpan prof(obs::ProfCat::kArq);
   const auto& fr = std::any_cast<const Frame&>(raw.payload);
   const std::uint64_t key = pair_key(fr.src, fr.dst);
 

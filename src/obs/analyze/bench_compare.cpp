@@ -44,8 +44,21 @@ RowGroups parse_rows(const std::string& jsonl, const char* which) {
   return groups;
 }
 
+bool ends_with(const std::string& name, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return name.size() >= n &&
+         name.compare(name.size() - n, n, suffix) == 0;
+}
+
+/// Host-time measurements and rates derived from them; see header.
 bool wall_clock_field(const std::string& name) {
-  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ms") == 0;
+  return ends_with(name, "_ms") || ends_with(name, "_ns") ||
+         ends_with(name, "_per_sec");
+}
+
+/// For wall-clock fields: which drift direction means "slower"?
+bool higher_is_better(const std::string& name) {
+  return ends_with(name, "_per_sec");
 }
 
 const JsonValue* find_in(const JsonObject& row, const std::string& key) {
@@ -63,12 +76,15 @@ double FieldDelta::rel_change() const {
 
 CompareReport compare_bench(const std::string& baseline_jsonl,
                             const std::string& current_jsonl,
-                            double tolerance) {
+                            const CompareOptions& options) {
   const RowGroups base = parse_rows(baseline_jsonl, "baseline");
   const RowGroups cur = parse_rows(current_jsonl, "current");
   CompareReport report;
 
   for (const std::string& bench : base.order) {
+    if (!options.bench_filter.empty() && bench != options.bench_filter) {
+      continue;
+    }
     const auto& base_rows = base.by_bench.at(bench);
     const auto cur_it = cur.by_bench.find(bench);
     if (cur_it == cur.by_bench.end()) {
@@ -105,7 +121,8 @@ CompareReport compare_bench(const std::string& baseline_jsonl,
           continue;
         }
         if (!base_val.is_number()) continue;
-        if (wall_clock_field(key)) continue;  // wall clock: never compared
+        const bool wall = wall_clock_field(key);
+        if (wall && options.wallclock_tolerance < 0) continue;  // skipped
         if (!cur_val->is_number()) {
           report.mismatches.push_back("bench '" + bench + "' row " +
                                       std::to_string(i) + ": field '" + key +
@@ -114,9 +131,13 @@ CompareReport compare_bench(const std::string& baseline_jsonl,
         }
         ++report.fields_compared;
         FieldDelta delta{bench, i, key, base_val.number(), cur_val->number()};
-        if (std::abs(delta.rel_change()) > tolerance) {
-          report.regressions.push_back(std::move(delta));
-        }
+        const double rc = delta.rel_change();
+        const bool worse =
+            wall ? (higher_is_better(key)
+                        ? rc < -options.wallclock_tolerance
+                        : rc > options.wallclock_tolerance)
+                 : std::abs(rc) > options.tolerance;
+        if (worse) report.regressions.push_back(std::move(delta));
       }
       for (const auto& [key, val] : cur_rows[i]) {
         (void)val;
@@ -129,12 +150,29 @@ CompareReport compare_bench(const std::string& baseline_jsonl,
     }
   }
   for (const std::string& bench : cur.order) {
+    if (!options.bench_filter.empty() && bench != options.bench_filter) {
+      continue;
+    }
     if (base.by_bench.find(bench) == base.by_bench.end()) {
       report.notes.push_back("bench '" + bench +
                              "' is new (not in baseline)");
     }
   }
+  if (!options.bench_filter.empty() &&
+      base.by_bench.find(options.bench_filter) == base.by_bench.end() &&
+      cur.by_bench.find(options.bench_filter) == cur.by_bench.end()) {
+    report.mismatches.push_back("bench '" + options.bench_filter +
+                                "' (--bench filter) found on neither side");
+  }
   return report;
+}
+
+CompareReport compare_bench(const std::string& baseline_jsonl,
+                            const std::string& current_jsonl,
+                            double tolerance) {
+  CompareOptions options;
+  options.tolerance = tolerance;
+  return compare_bench(baseline_jsonl, current_jsonl, options);
 }
 
 }  // namespace wsn::obs::analyze

@@ -6,8 +6,13 @@
 // are deterministic functions of the cost model, so a committed baseline can
 // be compared tightly: any drift beyond tolerance is either an intended
 // behavior change (refresh the baseline, explain in the PR) or a regression.
-// Wall-clock fields are the exception; by repo convention they end in "_ms"
-// and are skipped.
+// Wall-clock fields are the exception; by repo convention they end in
+// "_ms", "_ns", or "_per_sec" (host-time measurements and rates derived
+// from them). They are skipped by default, but a caller can opt into a
+// one-sided comparison at a separate, generous tolerance: only the *slower*
+// direction regresses (time fields growing, rate fields shrinking), so a
+// machine that happens to be fast never fails the gate. The CI perf-smoke
+// job uses this to gate bench_kernel's events/sec rows.
 #pragma once
 
 #include <cstddef>
@@ -40,9 +45,25 @@ struct CompareReport {
   bool ok() const { return regressions.empty() && mismatches.empty(); }
 };
 
-/// Compares two bench JSONL captures. `tolerance` is the allowed relative
-/// change per numeric field (0.10 = 10%). Throws std::runtime_error on
-/// malformed input.
+struct CompareOptions {
+  /// Allowed relative change per deterministic numeric field (0.10 = 10%).
+  double tolerance = 0.10;
+  /// Tolerance for wall-clock-class fields (suffix "_ms"/"_ns"/"_per_sec").
+  /// Negative (the default) skips them entirely; >= 0 compares them
+  /// one-sided — only the slower direction counts as a regression.
+  double wallclock_tolerance = -1.0;
+  /// When non-empty, only rows whose "bench" id equals this are compared;
+  /// benches present on one side only are ignored rather than mismatched.
+  std::string bench_filter;
+};
+
+/// Compares two bench JSONL captures under `options`. Throws
+/// std::runtime_error on malformed input.
+CompareReport compare_bench(const std::string& baseline_jsonl,
+                            const std::string& current_jsonl,
+                            const CompareOptions& options);
+
+/// Convenience overload: deterministic tolerance only, wall clock skipped.
 CompareReport compare_bench(const std::string& baseline_jsonl,
                             const std::string& current_jsonl,
                             double tolerance);

@@ -80,4 +80,13 @@ CheckReport check_failure_detection(const std::vector<TraceEvent>& events);
 /// A trace with no depletion events passes vacuously.
 CheckReport check_depletion(const std::vector<TraceEvent>& events);
 
+/// Capture-health check over a metrics snapshot: a nonzero "trace.dropped"
+/// gauge (RingBufferSink::register_metrics) means the companion trace file
+/// is a *suffix* of the run — the sink overwrote its oldest events — so
+/// flow reconstruction and energy replay over it are unsound. Flagging it
+/// here turns a silently-partial capture into an explicit finding. Passes
+/// vacuously when the snapshot has no "trace.dropped" gauge (no ring sink
+/// was registered).
+CheckReport check_capture(const JsonValue& metrics_snapshot);
+
 }  // namespace wsn::obs::analyze

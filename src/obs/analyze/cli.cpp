@@ -13,6 +13,7 @@
 #include "obs/analyze/json_reader.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
+#include "obs/json.h"
 
 namespace wsn::obs::analyze {
 
@@ -267,9 +268,9 @@ int cmd_histogram(const Args& args, std::ostream& out) {
     }
     out << what << ": n " << h.count() << ", mean "
         << Table::num(h.mean(), 3) << ", p50 " << Table::num(h.p50(), 3)
-        << ", p95 " << Table::num(h.p95(), 3) << ", p99 "
-        << Table::num(h.p99(), 3) << ", max " << Table::num(h.max(), 3)
-        << "\n";
+        << ", p90 " << Table::num(h.p90(), 3) << ", p95 "
+        << Table::num(h.p95(), 3) << ", p99 " << Table::num(h.p99(), 3)
+        << ", max " << Table::num(h.max(), 3) << "\n";
   };
   summarize(
       "latency", [](const Flow& f) { return f.latency(); },
@@ -294,6 +295,9 @@ int cmd_check(const Args& args, std::ostream& out) {
     const CheckReport rel = check_reliability(events, &snapshot);
     report.issues.insert(report.issues.end(), rel.issues.begin(),
                          rel.issues.end());
+    const CheckReport cap = check_capture(snapshot);
+    report.issues.insert(report.issues.end(), cap.issues.begin(),
+                         cap.issues.end());
   } else {
     const CheckReport rel = check_reliability(events);
     report.issues.insert(report.issues.end(), rel.issues.begin(),
@@ -323,15 +327,29 @@ int cmd_bench_compare(const Args& args, std::ostream& out) {
     throw std::runtime_error(
         "bench-compare: needs --baseline FILE and --current FILE");
   }
-  double tolerance = 0.10;
+  CompareOptions options;
   if (const std::string* v = args.flag("--tolerance")) {
-    tolerance = parse_tolerance(*v);
+    options.tolerance = parse_tolerance(*v);
+  }
+  if (const std::string* v = args.flag("--wallclock-tolerance")) {
+    options.wallclock_tolerance = parse_tolerance(*v);
+  }
+  if (const std::string* v = args.flag("--bench")) {
+    options.bench_filter = *v;
   }
   const CompareReport report =
-      compare_bench(read_file(*baseline), read_file(*current), tolerance);
+      compare_bench(read_file(*baseline), read_file(*current), options);
   out << report.rows_compared << " rows, " << report.fields_compared
       << " fields compared (tolerance "
-      << Table::num(tolerance * 100.0, 1) << "%)\n";
+      << Table::num(options.tolerance * 100.0, 1) << "%";
+  if (options.wallclock_tolerance >= 0) {
+    out << ", wall clock one-sided "
+        << Table::num(options.wallclock_tolerance * 100.0, 1) << "%";
+  }
+  if (!options.bench_filter.empty()) {
+    out << ", bench '" << options.bench_filter << "' only";
+  }
+  out << ")\n";
   for (const std::string& note : report.notes) out << "note: " << note << "\n";
   for (const std::string& m : report.mismatches) {
     out << "MISMATCH " << m << "\n";
@@ -354,9 +372,164 @@ int cmd_bench_compare(const Args& args, std::ostream& out) {
   return kFindings;
 }
 
+int cmd_perf(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("perf: expected exactly one perf JSON file");
+  }
+  std::size_t top = 10;
+  if (const std::string* v = args.flag("--top")) {
+    top = static_cast<std::size_t>(std::stoull(*v));
+  }
+  const JsonValue doc = parse_json(read_file(args.positional[0]));
+  const JsonValue* prof = doc.find("prof");
+  if (prof == nullptr || !prof->is_object()) {
+    throw std::runtime_error("perf: no \"prof\" object in " +
+                             args.positional[0]);
+  }
+  auto num = [&](const char* key) {
+    const JsonValue* v = prof->find(key);
+    return v != nullptr && v->is_number() ? v->number() : 0.0;
+  };
+  const double host_ns = num("host_ns");
+  const double host_ms = host_ns / 1e6;
+  const double sim_time = num("sim_time");
+  const double sim_events = num("sim_events");
+  const double events_per_sec = num("events_per_sec");
+
+  out << "host time     " << Table::num(host_ms, 3) << " ms\n";
+  out << "sim time      " << Table::num(sim_time, 3) << " units\n";
+  out << "sim events    " << Table::num(sim_events, 0) << "\n";
+  out << "events/sec    " << Table::num(events_per_sec, 0) << "\n";
+  if (sim_time > 0.0) {
+    // The Chrome export maps 1 cost-model unit to 1 ms, so this ratio reads
+    // as "host milliseconds burned per simulated millisecond".
+    out << "host/sim      " << Table::num(host_ms / sim_time, 4)
+        << " host ms per sim unit\n";
+  }
+
+  // Top-N self time. self_ns never double-counts nested spans, so the
+  // column sums to at most host_ns and ranks layers honestly.
+  struct CatRow {
+    std::string name;
+    double count, total_ns, self_ns, min_ns, max_ns;
+  };
+  std::vector<CatRow> cats;
+  if (const JsonValue* spans = prof->find("spans");
+      spans != nullptr && spans->is_object()) {
+    for (const auto& [name, b] : spans->object()) {
+      if (!b.is_object()) continue;
+      auto f = [&](const char* key) {
+        const JsonValue* v = b.find(key);
+        return v != nullptr && v->is_number() ? v->number() : 0.0;
+      };
+      cats.push_back({name, f("count"), f("total_ns"), f("self_ns"),
+                      f("min_ns"), f("max_ns")});
+    }
+  }
+  std::sort(cats.begin(), cats.end(), [](const CatRow& a, const CatRow& b) {
+    return a.self_ns > b.self_ns;
+  });
+  double accounted_ns = 0.0;
+  for (const CatRow& c : cats) accounted_ns += c.self_ns;
+  if (!cats.empty()) {
+    Table t({"category", "count", "self_ms", "total_ms", "self_%", "mean_ns",
+             "max_ns"});
+    for (std::size_t i = 0; i < cats.size() && i < top; ++i) {
+      const CatRow& c = cats[i];
+      t.row({c.name, Table::num(c.count, 0), Table::num(c.self_ns / 1e6, 3),
+             Table::num(c.total_ns / 1e6, 3),
+             Table::num(host_ns > 0 ? c.self_ns / host_ns * 100.0 : 0.0, 1),
+             Table::num(c.count > 0 ? c.total_ns / c.count : 0.0, 0),
+             Table::num(c.max_ns, 0)});
+    }
+    out << t.str();
+    out << "spans account for "
+        << Table::num(host_ns > 0 ? accounted_ns / host_ns * 100.0 : 0.0, 1)
+        << "% of host time (rest is uninstrumented)\n";
+  } else {
+    out << "no span samples (profiler never armed?)\n";
+  }
+
+  // Allocation hotspots: totals, then phases ranked by bytes.
+  const double alloc_count =
+      prof->find("alloc") != nullptr && prof->find("alloc")->is_object()
+          ? (prof->find("alloc")->find("count") != nullptr
+                 ? prof->find("alloc")->find("count")->number()
+                 : 0.0)
+          : 0.0;
+  const double alloc_bytes =
+      prof->find("alloc") != nullptr && prof->find("alloc")->is_object()
+          ? (prof->find("alloc")->find("bytes") != nullptr
+                 ? prof->find("alloc")->find("bytes")->number()
+                 : 0.0)
+          : 0.0;
+  out << "allocations   " << Table::num(alloc_count, 0) << " ("
+      << Table::num(alloc_bytes, 0) << " bytes)\n";
+  if (const JsonValue* phases = prof->find("phases");
+      phases != nullptr && phases->is_array() && !phases->array().empty()) {
+    struct PhaseRow {
+      std::string name;
+      double ms, alloc_count, alloc_bytes;
+    };
+    std::vector<PhaseRow> rows;
+    for (const JsonValue& ph : phases->array()) {
+      if (!ph.is_object()) continue;
+      auto f = [&](const char* key) {
+        const JsonValue* v = ph.find(key);
+        return v != nullptr && v->is_number() ? v->number() : 0.0;
+      };
+      const JsonValue* name = ph.find("name");
+      rows.push_back({name != nullptr && name->is_string() ? name->string()
+                                                           : "(unnamed)",
+                      (f("end_ns") - f("start_ns")) / 1e6, f("alloc_count"),
+                      f("alloc_bytes")});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const PhaseRow& a, const PhaseRow& b) {
+                return a.alloc_bytes > b.alloc_bytes;
+              });
+    Table t({"phase", "ms", "allocs", "bytes"});
+    for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+      t.row({rows[i].name, Table::num(rows[i].ms, 3),
+             Table::num(rows[i].alloc_count, 0),
+             Table::num(rows[i].alloc_bytes, 0)});
+    }
+    out << t.str();
+  }
+
+  if (const std::string* path = args.flag("--json")) {
+    std::ofstream o(*path, std::ios::binary);
+    if (!o) throw std::runtime_error("cannot write " + *path);
+    std::string line = "{\"bench\":\"perf\",\"host_ms\":";
+    json_append_double(line, host_ms);
+    line += ",\"events_per_sec\":";
+    json_append_double(line, events_per_sec);
+    line += ",\"sim_time\":";
+    json_append_double(line, sim_time);
+    line += ",\"sim_events\":";
+    json_append_double(line, sim_events);
+    line += ",\"alloc_count\":";
+    json_append_double(line, alloc_count);
+    line += ",\"alloc_bytes\":";
+    json_append_double(line, alloc_bytes);
+    for (const CatRow& c : cats) {
+      line += ',';
+      json_append_string(line, c.name + "_self_ns");
+      line += ':';
+      json_append_double(line, c.self_ns);
+    }
+    line += "}\n";
+    o << line;
+  }
+  return kOk;
+}
+
 void usage(std::ostream& err) {
   err << "usage: wsn-inspect <command> [args]\n"
          "  flows TRACE [--limit N]            reconstructed message flows\n"
+         "  perf FILE [--top N] [--json PATH]  profiler snapshot: top self-\n"
+         "                                     time, events/sec, host/sim\n"
+         "                                     ratio, allocation hotspots\n"
          "  critical-path TRACE                slowest dependency chain\n"
          "  energy-map TRACE [--side N] [--top N] [--budget B]\n"
          "                                     per-node/per-level energy;\n"
@@ -366,7 +539,11 @@ void usage(std::ostream& err) {
          "                                     (incl. ARQ/fault reliability,\n"
          "                                     fd, and depletion invariants)\n"
          "  bench-compare --baseline FILE --current FILE [--tolerance 10%]\n"
-         "                                     bench regression gate\n";
+         "                [--wallclock-tolerance P] [--bench ID]\n"
+         "                                     bench regression gate; wall-\n"
+         "                                     clock fields (_ms/_ns/_per_sec)\n"
+         "                                     skipped unless P given (then\n"
+         "                                     one-sided: slower only)\n";
 }
 
 }  // namespace
@@ -397,8 +574,13 @@ int run_inspect(const std::vector<std::string>& args, std::ostream& out,
     }
     if (cmd == "bench-compare") {
       return cmd_bench_compare(
-          scan_args(args, 1, {"--baseline", "--current", "--tolerance"}),
+          scan_args(args, 1,
+                    {"--baseline", "--current", "--tolerance",
+                     "--wallclock-tolerance", "--bench"}),
           out);
+    }
+    if (cmd == "perf") {
+      return cmd_perf(scan_args(args, 1, {"--top", "--json"}), out);
     }
     err << "unknown command: " << cmd << "\n";
     usage(err);

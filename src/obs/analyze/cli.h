@@ -5,11 +5,13 @@
 // thin main() over run_inspect().
 //
 //   wsn-inspect flows TRACE [--limit N]
+//   wsn-inspect perf FILE [--top N] [--json PATH]
 //   wsn-inspect critical-path TRACE
 //   wsn-inspect energy-map TRACE [--side N] [--top N]
 //   wsn-inspect histogram TRACE [--buckets N]
 //   wsn-inspect check TRACE [--metrics FILE]
 //   wsn-inspect bench-compare --baseline FILE --current FILE [--tolerance 10%]
+//                [--wallclock-tolerance P] [--bench ID]
 //
 // Exit codes: 0 ok, 1 findings (failed check / regression), 2 usage or I/O
 // error.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "obs/profiler.h"
 
 namespace wsn::obs {
 
@@ -225,6 +226,11 @@ std::vector<TraceEvent> parse_jsonl(std::istream& in) {
 
 void write_chrome_trace(const std::vector<TraceEvent>& events,
                         std::ostream& out) {
+  write_chrome_trace(events, out, nullptr);
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out, const SimProfiler* profiler) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   // Thread-name metadata ('M' phase) for every node that appears, so the
@@ -275,6 +281,28 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
     }
     line += "}}";
     out << line;
+  }
+  // Host-time track (pid 1): the profiler's span log as 'X' complete
+  // events. Host ns map to trace-event microseconds directly; spans nest by
+  // construction (RAII stack), so a single tid renders as a flame graph.
+  if (profiler != nullptr && !profiler->span_log().empty()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"host (profiler)\"}}";
+    for (const HostSpan& span : profiler->span_log()) {
+      std::string line = ",\n{\"name\":";
+      json_append_string(line, span.label.empty() ? prof_cat_name(span.cat)
+                                                  : span.label);
+      line += ",\"cat\":\"prof\",\"ph\":\"X\",\"ts\":";
+      json_append_double(line, static_cast<double>(span.start_ns) / 1000.0);
+      line += ",\"dur\":";
+      json_append_double(line, static_cast<double>(span.dur_ns) / 1000.0);
+      line += ",\"pid\":1,\"tid\":0,\"args\":{\"depth\":";
+      line += std::to_string(span.depth);
+      line += "}}";
+      out << line;
+    }
   }
   out << "\n]}\n";
 }

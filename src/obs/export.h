@@ -19,6 +19,8 @@
 
 namespace wsn::obs {
 
+class SimProfiler;
+
 /// One event as a single-line JSON object (no trailing newline).
 std::string to_jsonl(const TraceEvent& ev);
 
@@ -32,5 +34,14 @@ std::vector<TraceEvent> parse_jsonl(std::istream& in);
 /// Writes a Chrome trace_event file ({"traceEvents":[...]}).
 void write_chrome_trace(const std::vector<TraceEvent>& events,
                         std::ostream& out);
+
+/// Same, plus a host-time track: when `profiler` is non-null and carries a
+/// span log (SimProfiler::set_span_log_capacity), its spans are appended as
+/// 'X' complete events on pid 1 ("host (profiler)"), ts/dur in host
+/// microseconds since arm(). The two tracks share one file, so Perfetto
+/// shows simulated time (pid 0, 1 cost unit = 1 ms) and where the host
+/// actually spent its wall clock (pid 1) side by side.
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out, const SimProfiler* profiler);
 
 }  // namespace wsn::obs

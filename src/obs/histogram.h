@@ -1,7 +1,7 @@
 // Fixed-bucket histogram instrument.
 //
 // One implementation serves both live code (registered in MetricsRegistry,
-// snapshotted as JSON with p50/p95/p99) and offline trace analysis
+// snapshotted as JSON with p50/p90/p95/p99) and offline trace analysis
 // (obs/analyze builds latency/size distributions from parsed traces), so a
 // percentile printed by `wsn-inspect hist` means exactly what the same
 // percentile means in a metrics snapshot.
@@ -81,6 +81,7 @@ class Histogram {
   }
 
   double p50() const { return percentile(0.50); }
+  double p90() const { return percentile(0.90); }
   double p95() const { return percentile(0.95); }
   double p99() const { return percentile(0.99); }
 

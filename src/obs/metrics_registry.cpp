@@ -110,6 +110,8 @@ void append_histogram_json(std::string& out, const Histogram& h) {
   json_append_double(out, h.mean());
   out += ",\"p50\":";
   json_append_double(out, h.p50());
+  out += ",\"p90\":";
+  json_append_double(out, h.p90());
   out += ",\"p95\":";
   json_append_double(out, h.p95());
   out += ",\"p99\":";

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace wsn::obs {
@@ -28,15 +30,19 @@ class NullSink final : public TraceSink {
 };
 
 /// Bounded ring buffer: keeps the most recent `capacity` events, counting
-/// (not keeping) older ones it had to overwrite.
+/// (not keeping) older ones it had to drop. A nonzero dropped() means the
+/// capture is a suffix of the run, not the whole run — register_metrics
+/// exposes the count so `wsn-inspect check --metrics` can flag truncated
+/// captures instead of silently analyzing a partial trace.
 class RingBufferSink final : public TraceSink {
  public:
   explicit RingBufferSink(std::size_t capacity = 1 << 16)
       : capacity_(capacity) {}
 
   void accept(TraceEvent ev) override {
+    ProfSpan span(ProfCat::kSink);
     if (capacity_ == 0) {
-      ++overwritten_;
+      ++dropped_;
       return;
     }
     if (events_.size() < capacity_) {
@@ -44,13 +50,30 @@ class RingBufferSink final : public TraceSink {
     } else {
       events_[head_] = std::move(ev);
       head_ = (head_ + 1) % capacity_;
-      ++overwritten_;
+      ++dropped_;
     }
   }
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return events_.size(); }
-  std::uint64_t overwritten() const { return overwritten_; }
+  /// Events discarded because the buffer was full (the oldest go first).
+  std::uint64_t dropped() const { return dropped_; }
+  /// Historic name for dropped(); kept for callers that predate the
+  /// `dropped` terminology.
+  std::uint64_t overwritten() const { return dropped_; }
+
+  /// Exposes capture health — "<prefix>.captured" (events currently held)
+  /// and "<prefix>.dropped" — in the unified registry, so a metrics
+  /// snapshot records whether its companion trace file is complete.
+  void register_metrics(MetricsRegistry& registry,
+                        const std::string& prefix = "trace") const {
+    registry.add_gauge(prefix + ".captured", [this] {
+      return static_cast<double>(events_.size());
+    });
+    registry.add_gauge(prefix + ".dropped", [this] {
+      return static_cast<double>(dropped_);
+    });
+  }
 
   /// Events in emission order (oldest surviving first).
   std::vector<TraceEvent> events() const {
@@ -65,13 +88,13 @@ class RingBufferSink final : public TraceSink {
   void clear() {
     events_.clear();
     head_ = 0;
-    overwritten_ = 0;
+    dropped_ = 0;
   }
 
  private:
   std::size_t capacity_;
   std::size_t head_ = 0;  // oldest element once full
-  std::uint64_t overwritten_ = 0;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 

@@ -21,6 +21,8 @@
 #include <variant>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace wsn::obs {
 
 /// Event categories, maskable individually on the Tracer. One bit each.
@@ -92,7 +94,10 @@ class Tracer {
   /// Forwards `ev` to the sink. Callers must pre-check enabled(category);
   /// emitting with no sink is a silent no-op.
   void emit(TraceEvent ev) {
-    if (sink_ != nullptr) sink_->accept(std::move(ev));
+    if (sink_ != nullptr) {
+      ProfSpan span(ProfCat::kTraceEmit);
+      sink_->accept(std::move(ev));
+    }
   }
 
   void set_sink(TraceSink* sink) { sink_ = sink; }

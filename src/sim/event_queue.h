@@ -23,6 +23,11 @@ using EventId = std::uint64_t;
 /// Ties are broken by insertion order so that simulations are deterministic:
 /// two events scheduled for the same instant fire in the order they were
 /// scheduled.
+///
+/// Introspection accessors (live(), tombstones(), total_scheduled(),
+/// peak_size(), cancelled_skips(), fired_clears()) exist for the kernel
+/// telemetry gauges (obs/profiler, Simulator::register_metrics) and cost
+/// nothing on the scheduling hot path beyond one max() per schedule.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -32,6 +37,7 @@ class EventQueue {
     const EventId id = next_id_++;
     heap_.push(Entry{at, id, std::move(fn)});
     ++live_;
+    if (heap_.size() > peak_size_) peak_size_ = heap_.size();
     return id;
   }
 
@@ -48,6 +54,30 @@ class EventQueue {
 
   bool empty() const { return live_ == 0; }
   std::size_t size() const { return live_; }
+
+  /// Live (scheduled, not yet fired or cancelled) events — size() under its
+  /// telemetry name.
+  std::size_t live() const { return live_; }
+
+  /// Cancelled entries still physically in the heap, awaiting a lazy skip.
+  /// Heap memory is live() + tombstones() entries; a high tombstone count
+  /// means cancel-heavy traffic (ARQ timers) is bloating the kernel.
+  std::size_t tombstones() const { return cancelled_.size(); }
+
+  /// Events ever scheduled (== the next EventId to be issued).
+  std::uint64_t total_scheduled() const { return next_id_; }
+
+  /// High-water mark of the physical heap (live + tombstoned entries).
+  std::size_t peak_size() const { return peak_size_; }
+
+  /// Tombstoned entries lazily dropped while popping/peeking — the hidden
+  /// per-pop overhead a calendar-queue rewrite must also beat.
+  std::uint64_t cancelled_skips() const { return cancelled_skips_; }
+
+  /// Times the fired-id set hit its bound and was cleared (see
+  /// remember_fired). Nonzero means cancel(id) of a long-fired id may have
+  /// returned true again.
+  std::uint64_t fired_clears() const { return fired_clears_; }
 
   /// Time of the next live event. Requires !empty().
   Time next_time() {
@@ -79,22 +109,40 @@ class EventQueue {
   void drop_cancelled() {
     while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
       cancelled_.erase(heap_.top().id);
+      ++cancelled_skips_;
       heap_.pop();
     }
   }
 
+  // The fired set exists only to make double-cancel well defined: cancel()
+  // must return false for an id that already fired, and the only record
+  // that it fired is this set. Long simulations would grow it without
+  // bound, so it is cleared once it passes 2^20 ids. The trade-off is a
+  // rare visible edge: after a clear, cancelling an id that fired *before*
+  // the clear no longer hits the fired check, and — because live_ is
+  // decremented and a tombstone inserted for an id that is not in the heap
+  // — the queue under-counts until that tombstone is garbage-collected by
+  // a later pop at the same heap position (in practice: never). The
+  // fired_clears() counter makes the heuristic observable instead of
+  // mysterious; callers that cancel very stale ids can check it.
   void remember_fired(EventId id) {
-    // The fired set exists only to make double-cancel well defined; keep it
-    // from growing without bound in long simulations.
-    if (fired_.size() > 1u << 20) fired_.clear();
+    if (fired_.size() > kFiredClearThreshold) {
+      fired_.clear();
+      ++fired_clears_;
+    }
     fired_.insert(id);
   }
+
+  static constexpr std::size_t kFiredClearThreshold = 1u << 20;
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<EventId> cancelled_;
   std::unordered_set<EventId> fired_;
   EventId next_id_ = 0;
   std::size_t live_ = 0;
+  std::size_t peak_size_ = 0;
+  std::uint64_t cancelled_skips_ = 0;
+  std::uint64_t fired_clears_ = 0;
 };
 
 }  // namespace wsn::sim

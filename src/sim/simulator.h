@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -55,9 +57,18 @@ class Simulator {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Read-only kernel introspection (depth, tombstones, peak, skip counts)
+  /// for the telemetry gauges.
+  const EventQueue& queue() const { return queue_; }
+
   /// Runs one event. Returns false if the queue was empty.
   bool step() {
     if (queue_.empty()) return false;
+    // The profiler span covers the whole dispatch — pop (heap sift +
+    // tombstone skips) plus the callback — which is exactly the unit the
+    // events/sec gate and the kernel-overhaul ROADMAP item measure. One
+    // branch when the profiler is disarmed; see obs/profiler.h.
+    obs::ProfSpan span(obs::ProfCat::kDispatch);
     auto [at, fn] = queue_.pop();
     now_ = at;
     ++processed_;
@@ -86,6 +97,37 @@ class Simulator {
       }
     }
     if (until > now_) now_ = until;
+  }
+
+  /// Registers the kernel telemetry gauges — queue depth, tombstones,
+  /// lifetime scheduled count, peak heap size, lazy-skip and fired-clear
+  /// counts, events processed — under `prefix` in the unified registry.
+  /// The obs::SimProfiler adds the host-time side (prof.events_per_sec);
+  /// these gauges are pure simulated-kernel state and poll at snapshot
+  /// time.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "kernel") const {
+    registry.add_gauge(prefix + ".queue_depth", [this] {
+      return static_cast<double>(queue_.live());
+    });
+    registry.add_gauge(prefix + ".tombstones", [this] {
+      return static_cast<double>(queue_.tombstones());
+    });
+    registry.add_gauge(prefix + ".total_scheduled", [this] {
+      return static_cast<double>(queue_.total_scheduled());
+    });
+    registry.add_gauge(prefix + ".peak_depth", [this] {
+      return static_cast<double>(queue_.peak_size());
+    });
+    registry.add_gauge(prefix + ".cancelled_skips", [this] {
+      return static_cast<double>(queue_.cancelled_skips());
+    });
+    registry.add_gauge(prefix + ".fired_clears", [this] {
+      return static_cast<double>(queue_.fired_clears());
+    });
+    registry.add_gauge(prefix + ".events_processed", [this] {
+      return static_cast<double>(processed_);
+    });
   }
 
   static constexpr std::uint64_t kDefaultEventBudget = 500'000'000;

@@ -11,7 +11,11 @@
 // Usage:
 //   wsn-chaos [--campaigns N] [--seed S] [--grid N] [--nodes N]
 //             [--rounds N] [--budget X] [--depletion] [--out DIR] [--only K]
-//             [--verbose]
+//             [--profile PATH] [--verbose]
+//
+// --profile arms the host-side SimProfiler across the whole soak and writes
+// its perf snapshot (wsn-inspect perf) to PATH on exit. Profiling reads only
+// the host clock, so campaign traces and verdicts are unchanged by it.
 //
 // --depletion switches the generator into energy-exhaustion mode: a few
 // cells' leaders get finite batteries, the detector runs with proactive
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "sim/chaos_soak.h"
 
 namespace {
@@ -63,6 +68,7 @@ void report(const wsn::sim::ChaosCampaignResult& res, bool verbose,
 int main(int argc, char** argv) {
   wsn::sim::ChaosSoakConfig cfg;
   std::string out_dir;
+  std::string profile_path;
   long only = -1;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +95,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--depletion") {
       cfg.depletion = true;
       cfg.trace_capacity = 1u << 20;  // longer campaigns, bigger capture
+    } else if (arg == "--profile") {
+      profile_path = next();
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--only") {
@@ -100,10 +108,14 @@ int main(int argc, char** argv) {
                    "wsn-chaos: unknown argument %s\n"
                    "usage: wsn-chaos [--campaigns N] [--seed S] [--grid N] "
                    "[--nodes N] [--rounds N] [--budget X] [--depletion] "
-                   "[--out DIR] [--only K] [--verbose]\n",
+                   "[--out DIR] [--only K] [--profile PATH] [--verbose]\n",
                    arg.c_str());
       return 2;
     }
+  }
+
+  if (!profile_path.empty()) {
+    wsn::obs::profiler().arm();
   }
 
   const wsn::sim::ChaosSoak soak(cfg);
@@ -125,6 +137,12 @@ int main(int argc, char** argv) {
       report(res, verbose, out_dir);
       if (!res.ok()) ++failed;
     }
+  }
+  if (!profile_path.empty()) {
+    wsn::obs::profiler().disarm();
+    write_file(profile_path, wsn::obs::profiler().to_json() + "\n");
+    std::printf("perf profile: %s (read with wsn-inspect perf)\n",
+                profile_path.c_str());
   }
   if (failed != 0) {
     std::printf("%zu campaign(s) FAILED\n", failed);
