@@ -13,6 +13,7 @@
 #include "core/virtual_network.h"
 #include "bench/bench_common.h"
 #include "core/grid_topology.h"
+#include "obs/export.h"
 #include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
@@ -116,7 +117,7 @@ void BM_VirtualSendTracingOff(benchmark::State& state) {
   obs::RingBufferSink canary(16);
   obs::ScopedTrace guard(canary, /*mask=*/0);
   send_kernel(state);
-  if (canary.size() != 0 || canary.overwritten() != 0) {
+  if (canary.size() != 0 || canary.dropped() != 0) {
     state.SkipWithError("disabled tracing emitted events on the hot path");
   }
 }
@@ -170,6 +171,41 @@ void BM_DispatchProfilerArmed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DispatchProfilerArmed);
+
+// Export-allocation canary for the streaming capture path: append_jsonl
+// into a warmed buffer must not allocate — that is what makes
+// StreamingFileSink's per-event cost flat (bench_trace E23 measures the
+// end-to-end pipeline; this pins the serializer alone).
+void BM_AppendJsonlReuse(benchmark::State& state) {
+  obs::TraceEvent ev;
+  ev.time = 1234.5;
+  ev.node = 42;
+  ev.category = obs::Category::kVirtual;
+  ev.name = "send";
+  ev.flow = 7;
+  ev.attrs = {{"dst", std::int64_t{99}},
+              {"size", 1.0},
+              {"hops", std::uint64_t{3}}};
+  std::string line;
+  obs::append_jsonl(ev, line);  // warm the buffer past its final size
+  std::uint64_t events = 0;
+  const obs::AllocStats alloc0 = obs::global_alloc_stats();
+  for (auto _ : state) {
+    line.clear();
+    obs::append_jsonl(ev, line);
+    benchmark::DoNotOptimize(line.data());
+    ++events;
+  }
+  const obs::AllocStats alloc1 = obs::global_alloc_stats();
+  // The benchmark harness itself may allocate O(1) around the loop; a
+  // serializer leak shows up as O(iterations).
+  if (alloc1.count - alloc0.count >= events) {
+    state.SkipWithError("append_jsonl allocated on the reuse path");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetBytesProcessed(static_cast<std::int64_t>(events * line.size()));
+}
+BENCHMARK(BM_AppendJsonlReuse);
 
 }  // namespace
 

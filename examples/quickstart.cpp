@@ -9,6 +9,12 @@
 //
 // Observability (see README "Observability"):
 //   --trace <path>         dump the full JSONL event trace
+//   --trace-out <dir>      stream the trace to rotating segment files as it
+//                          is emitted (bounded memory; see README "Capturing
+//                          traces at scale"). Byte-identical to the
+//                          in-memory capture modulo encoding.
+//   --trace-format <fmt>   segment encoding for --trace-out: "wtr" (compact
+//                          binary, default) or "jsonl"
 //   --chrome-trace <path>  dump a Chrome trace_event file (about://tracing)
 //   --metrics <path>       dump the unified metrics snapshot as JSON
 //   --profile <path>       arm the host-side SimProfiler for the whole run
@@ -47,6 +53,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/sinks.h"
+#include "obs/stream_sink.h"
 #include "obs/trace.h"
 #include "sim/depletion_monitor.h"
 #include "sim/fault_plan.h"
@@ -77,9 +84,19 @@ int main(int argc, char** argv) {
   using namespace wsn;
 
   const std::string trace_path = arg_value(argc, argv, "--trace");
+  const std::string trace_out = arg_value(argc, argv, "--trace-out");
+  const std::string trace_format = arg_value(argc, argv, "--trace-format");
   const std::string chrome_path = arg_value(argc, argv, "--chrome-trace");
   const std::string metrics_path = arg_value(argc, argv, "--metrics");
   const std::string profile_path = arg_value(argc, argv, "--profile");
+
+  if (!trace_format.empty() && trace_format != "wtr" &&
+      trace_format != "jsonl") {
+    std::fprintf(stderr,
+                 "error: unknown --trace-format %s (expected wtr or jsonl)\n",
+                 trace_format.c_str());
+    return 1;
+  }
 
   // Host-side self-profiling: reads only the host clock, so everything the
   // simulation computes or traces is byte-identical with or without it.
@@ -92,10 +109,32 @@ int main(int argc, char** argv) {
 
   // Capture everything the run emits when any dump was requested; with no
   // sink installed, tracing stays disabled and costs one branch per site.
+  // --trace/--chrome-trace buffer in memory (they need the whole capture);
+  // --trace-out streams to segment files as events arrive, and a TeeSink
+  // feeds both when the two are combined.
   obs::RingBufferSink sink(1 << 20);
-  const bool tracing = !trace_path.empty() || !chrome_path.empty();
+  const bool ring_wanted = !trace_path.empty() || !chrome_path.empty();
+  const bool tracing = ring_wanted || !trace_out.empty();
+  std::unique_ptr<obs::StreamingFileSink> stream;
+  std::unique_ptr<obs::TeeSink> tee;
+  if (!trace_out.empty()) {
+    obs::StreamSinkConfig scfg;
+    scfg.directory = trace_out;
+    scfg.format = trace_format == "jsonl" ? obs::TraceFormat::kJsonl
+                                          : obs::TraceFormat::kWtr;
+    stream = std::make_unique<obs::StreamingFileSink>(scfg);
+  }
   if (tracing) {
-    obs::tracer().set_sink(&sink);
+    obs::TraceSink* install = &sink;
+    if (stream) {
+      if (ring_wanted) {
+        tee = std::make_unique<obs::TeeSink>(sink, *stream);
+        install = tee.get();
+      } else {
+        install = stream.get();
+      }
+    }
+    obs::tracer().set_sink(install);
     obs::tracer().set_mask(obs::kAllCategories);
   }
 
@@ -247,6 +286,22 @@ int main(int argc, char** argv) {
   if (tracing) {
     obs::tracer().set_sink(nullptr);
     obs::tracer().set_mask(0);
+  }
+  if (stream) {
+    if (!stream->close()) {
+      std::fprintf(stderr, "error: streaming trace to %s failed: %s\n",
+                   trace_out.c_str(), stream->error().c_str());
+      return 1;
+    }
+    std::printf("streamed trace      : %llu events, %llu segments, %llu "
+                "bytes -> %s (%s)\n",
+                static_cast<unsigned long long>(stream->events()),
+                static_cast<unsigned long long>(stream->segments()),
+                static_cast<unsigned long long>(stream->bytes_written()),
+                trace_out.c_str(),
+                trace_format == "jsonl" ? "jsonl" : "wtr");
+  }
+  if (ring_wanted) {
     const auto events = sink.events();
     if (!trace_path.empty()) {
       std::ofstream out(trace_path);
@@ -254,7 +309,7 @@ int main(int argc, char** argv) {
       if (out) {
         std::printf("trace               : %zu events -> %s (JSONL%s)\n",
                     events.size(), trace_path.c_str(),
-                    sink.overwritten() > 0 ? ", oldest dropped" : "");
+                    sink.dropped() > 0 ? ", oldest dropped" : "");
       } else {
         std::fprintf(stderr, "error: cannot write trace to %s\n",
                      trace_path.c_str());
@@ -278,7 +333,8 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     obs::MetricsRegistry registry;
     vnet.register_metrics(registry);
-    if (tracing) sink.register_metrics(registry);
+    if (ring_wanted) sink.register_metrics(registry);
+    if (stream) stream->register_metrics(registry);
     if (profiling) {
       obs::profiler().register_metrics(registry);
       sim.register_metrics(registry);

@@ -36,6 +36,51 @@ double attr_num(const TraceEvent& ev, const char* key, double fallback = 0.0) {
 
 }  // namespace
 
+void append_flow_issues(const Flow& f, std::vector<std::string>& issues) {
+  if (f.delivered && !f.has_send) {
+    issues.push_back(flow_tag(f) + ": delivery without a send");
+    return;
+  }
+  if (f.has_send && !f.delivered && !f.gave_up && !f.dropped &&
+      !(f.layer == Category::kVirtual && f.self_send)) {
+    // A give-up or recorded drop explains the missing delivery; anything
+    // else is a black hole.
+    issues.push_back(flow_tag(f) + ": sent but never delivered");
+    return;
+  }
+  if (!f.has_send) {
+    // Hop/tx records with neither send nor deliver: truncated capture.
+    issues.push_back(flow_tag(f) + ": fragments without send");
+    return;
+  }
+  if (f.delivered && f.deliver_time < f.send_time) {
+    issues.push_back(flow_tag(f) + ": delivered before sent");
+  }
+  for (const Hop& h : f.hops) {
+    if (h.wait < 0.0 || h.transmit() < 0.0 || h.depart < h.start) {
+      issues.push_back(flow_tag(f) + ": acausal hop at node " +
+                       std::to_string(h.node));
+      break;
+    }
+  }
+  if (f.layer == Category::kVirtual && !f.self_send) {
+    if (f.hops.size() != f.expected_hops) {
+      issues.push_back(flow_tag(f) + ": announced " +
+                       std::to_string(f.expected_hops) + " hops, traced " +
+                       std::to_string(f.hops.size()));
+    } else if (f.delivered) {
+      // Exact decomposition: end-to-end latency == sum of hop spans, in
+      // both congestion modes (serialized hops chain depart -> start).
+      double span_sum = 0.0;
+      for (const Hop& h : f.hops) span_sum += h.depart - h.start;
+      if (!close_rel(f.latency(), span_sum, 1e-9)) {
+        issues.push_back(flow_tag(f) +
+                         ": latency does not decompose into hops");
+      }
+    }
+  }
+}
+
 CheckReport check_trace(const std::vector<TraceEvent>& events) {
   CheckReport report;
   report.events_seen = events.size();
@@ -43,48 +88,7 @@ CheckReport check_trace(const std::vector<TraceEvent>& events) {
   const std::vector<Flow> flows = reconstruct_flows(events);
   for (const Flow& f : flows) {
     ++report.flows_checked;
-    if (f.delivered && !f.has_send) {
-      report.issues.push_back(flow_tag(f) + ": delivery without a send");
-      continue;
-    }
-    if (f.has_send && !f.delivered && !f.gave_up && !f.dropped &&
-        !(f.layer == Category::kVirtual && f.self_send)) {
-      // A give-up or recorded drop explains the missing delivery; anything
-      // else is a black hole.
-      report.issues.push_back(flow_tag(f) + ": sent but never delivered");
-      continue;
-    }
-    if (!f.has_send) {
-      // Hop/tx records with neither send nor deliver: truncated capture.
-      report.issues.push_back(flow_tag(f) + ": fragments without send");
-      continue;
-    }
-    if (f.delivered && f.deliver_time < f.send_time) {
-      report.issues.push_back(flow_tag(f) + ": delivered before sent");
-    }
-    for (const Hop& h : f.hops) {
-      if (h.wait < 0.0 || h.transmit() < 0.0 || h.depart < h.start) {
-        report.issues.push_back(flow_tag(f) + ": acausal hop at node " +
-                                std::to_string(h.node));
-        break;
-      }
-    }
-    if (f.layer == Category::kVirtual && !f.self_send) {
-      if (f.hops.size() != f.expected_hops) {
-        report.issues.push_back(
-            flow_tag(f) + ": announced " + std::to_string(f.expected_hops) +
-            " hops, traced " + std::to_string(f.hops.size()));
-      } else if (f.delivered) {
-        // Exact decomposition: end-to-end latency == sum of hop spans, in
-        // both congestion modes (serialized hops chain depart -> start).
-        double span_sum = 0.0;
-        for (const Hop& h : f.hops) span_sum += h.depart - h.start;
-        if (!close_rel(f.latency(), span_sum, 1e-9)) {
-          report.issues.push_back(flow_tag(f) +
-                                  ": latency does not decompose into hops");
-        }
-      }
-    }
+    append_flow_issues(f, report.issues);
   }
 
   // Physical-layer receive/transmit pairing for correlated flows. (Flow 0

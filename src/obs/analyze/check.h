@@ -39,6 +39,13 @@ struct CheckReport {
 /// Structural invariants over a captured event stream.
 CheckReport check_trace(const std::vector<TraceEvent>& events);
 
+/// The per-flow slice of check_trace: appends every invariant violation of
+/// one reconstructed flow to `issues`, exact same wording. Shared by the
+/// batch checker and the streaming checker (incremental.h) so the two can
+/// never drift apart.
+void append_flow_issues(const struct Flow& flow,
+                        std::vector<std::string>& issues);
+
 /// Conservation check: trace-derived radio energy vs. a MetricsRegistry
 /// snapshot (the JSON written by `--metrics`). Only sections present in the
 /// snapshot are compared ("vnet.energy", "link.energy"); `rel_tolerance`

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,10 +11,13 @@
 #include "obs/analyze/check.h"
 #include "obs/analyze/energy.h"
 #include "obs/analyze/flows.h"
+#include "obs/analyze/incremental.h"
 #include "obs/analyze/json_reader.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
+#include "obs/stream_sink.h"
+#include "obs/trace_reader.h"
 
 namespace wsn::obs::analyze {
 
@@ -33,11 +37,28 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-std::vector<TraceEvent> load_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  return parse_jsonl(in);
+/// Materializes a capture (JSONL file, wtr file, or segment directory)
+/// for the analyses that genuinely need all events at once. Truncation
+/// findings land in `findings` when given.
+std::vector<TraceEvent> load_events(const std::string& path,
+                                    std::vector<std::string>* findings) {
+  TraceReader reader(path);
+  std::vector<TraceEvent> events;
+  TraceEvent ev;
+  while (reader.next(ev)) events.push_back(std::move(ev));
+  if (findings != nullptr) *findings = reader.findings();
+  return events;
 }
+
+void print_warnings(const std::vector<std::string>& findings,
+                    std::ostream& out) {
+  for (const std::string& f : findings) out << "warning: " << f << "\n";
+}
+
+/// Default idle window (trace time units) after which streaming analyses
+/// retire a flow. Large enough that every protocol exchange in the suite
+/// completes well inside it; bounded so memory tracks live flows.
+constexpr double kDefaultRetireLag = 1024.0;
 
 /// "10%" => 0.10, "0.1" => 0.1. Throws on junk or negatives.
 double parse_tolerance(const std::string& s) {
@@ -87,6 +108,11 @@ Args scan_args(const std::vector<std::string>& argv, std::size_t start,
   return out;
 }
 
+double flag_double(const Args& args, const char* name, double fallback) {
+  const std::string* v = args.flag(name);
+  return v != nullptr ? std::stod(*v) : fallback;
+}
+
 const char* layer_name(Category c) {
   return c == Category::kOverlay ? "overlay" : "virtual";
 }
@@ -95,26 +121,36 @@ int cmd_flows(const Args& args, std::ostream& out) {
   if (args.positional.size() != 1) {
     throw std::runtime_error("flows: expected exactly one trace file");
   }
-  const auto flows = reconstruct_flows(load_trace(args.positional[0]));
-  std::size_t limit = flows.size();
+  std::size_t limit = static_cast<std::size_t>(-1);
   if (const std::string* v = args.flag("--limit")) {
     limit = static_cast<std::size_t>(std::stoull(*v));
   }
+  // Single streaming pass: flows retire in creation order, so the first
+  // `limit` retired flows are exactly the first `limit` rows the batch
+  // path printed. Peak memory is live flows + the shown rows.
+  TraceReader reader(args.positional[0]);
   Table t({"flow", "layer", "src", "dst", "hops", "send", "deliver",
            "latency", "wait", "transmit"});
   std::size_t shown = 0;
-  for (const Flow& f : flows) {
-    if (shown >= limit) break;
-    ++shown;
-    t.row({Table::num(f.id), layer_name(f.layer), Table::num(f.src_node),
-           Table::num(f.dst_node), Table::num(f.hops.size()),
-           Table::num(f.send_time, 3),
-           f.delivered ? Table::num(f.deliver_time, 3) : "-",
-           f.delivered ? Table::num(f.latency(), 3) : "-",
-           Table::num(f.total_wait(), 3), Table::num(f.total_transmit(), 3)});
-  }
+  FlowCollector collector(
+      [&](Flow& f) {
+        if (shown >= limit) return;
+        ++shown;
+        t.row({Table::num(f.id), layer_name(f.layer), Table::num(f.src_node),
+               Table::num(f.dst_node), Table::num(f.hops.size()),
+               Table::num(f.send_time, 3),
+               f.delivered ? Table::num(f.deliver_time, 3) : "-",
+               f.delivered ? Table::num(f.latency(), 3) : "-",
+               Table::num(f.total_wait(), 3),
+               Table::num(f.total_transmit(), 3)});
+      },
+      {flag_double(args, "--retire-lag", kDefaultRetireLag)});
+  TraceEvent ev;
+  while (reader.next(ev)) collector.feed(ev);
+  collector.finish();
   out << t.str();
-  out << shown << " of " << flows.size() << " flows\n";
+  out << shown << " of " << collector.flows_seen() << " flows\n";
+  print_warnings(reader.findings(), out);
   return kOk;
 }
 
@@ -122,7 +158,20 @@ int cmd_critical_path(const Args& args, std::ostream& out) {
   if (args.positional.size() != 1) {
     throw std::runtime_error("critical-path: expected exactly one trace file");
   }
-  const auto flows = reconstruct_flows(load_trace(args.positional[0]));
+  // The backward walk needs random access over all flows (though not over
+  // all events): stream events through the collector, keep only the flows.
+  std::vector<Flow> flows;
+  std::vector<std::string> warnings;
+  {
+    TraceReader reader(args.positional[0]);
+    FlowCollector collector(
+        [&flows](Flow& f) { flows.push_back(std::move(f)); });
+    TraceEvent ev;
+    while (reader.next(ev)) collector.feed(ev);
+    collector.finish();
+    warnings = reader.findings();
+  }
+  print_warnings(warnings, out);
   const CriticalPathReport report = critical_path(flows);
   if (report.chain.empty()) {
     out << "no delivered flows in trace\n";
@@ -152,7 +201,15 @@ int cmd_energy_map(const Args& args, std::ostream& out) {
   if (args.positional.size() != 1) {
     throw std::runtime_error("energy-map: expected exactly one trace file");
   }
-  const EnergyMap map = attribute_energy(load_trace(args.positional[0]));
+  // Incremental accumulation: memory is one NodeEnergy slot per node, flat
+  // in the trace length.
+  EnergyMap map;
+  {
+    TraceReader reader(args.positional[0]);
+    TraceEvent ev;
+    while (reader.next(ev)) accumulate_energy(map, ev);
+    print_warnings(reader.findings(), out);
+  }
   std::size_t side = 0;
   if (const std::string* v = args.flag("--side")) {
     side = static_cast<std::size_t>(std::stoull(*v));
@@ -245,39 +302,84 @@ int cmd_histogram(const Args& args, std::ostream& out) {
   if (const std::string* v = args.flag("--buckets")) {
     buckets = static_cast<std::size_t>(std::stoull(*v));
   }
-  const auto flows = reconstruct_flows(load_trace(args.positional[0]));
+  const std::string& path = args.positional[0];
+  const double lag = flag_double(args, "--retire-lag", kDefaultRetireLag);
 
-  auto summarize = [&](const char* what, auto value_of, auto include) {
+  // Two streaming passes instead of one materialized flow list: pass 1
+  // finds each metric's extent (histogram bounds), pass 2 fills the
+  // buckets. Memory stays at live-flows + buckets either way.
+  auto latency_of = [](const Flow& f) { return f.latency(); };
+  auto latency_in = [](const Flow& f) { return f.delivered && !f.self_send; };
+  auto size_of = [](const Flow& f) { return f.size; };
+  auto size_in = [](const Flow& f) { return f.has_send; };
+
+  struct Extent {
     double lo = 0.0, hi = 0.0;
     std::size_t n = 0;
-    for (const Flow& f : flows) {
-      if (!include(f)) continue;
-      const double v = value_of(f);
+    void add(double v) {
       if (n == 0) lo = hi = v;
       lo = std::min(lo, v);
       hi = std::max(hi, v);
       ++n;
     }
-    if (n == 0) {
+  };
+  Extent latency_ext, size_ext;
+  std::vector<std::string> warnings;
+  {
+    TraceReader reader(path);
+    FlowCollector collector(
+        [&](Flow& f) {
+          if (latency_in(f)) latency_ext.add(latency_of(f));
+          if (size_in(f)) size_ext.add(size_of(f));
+        },
+        {lag});
+    TraceEvent ev;
+    while (reader.next(ev)) collector.feed(ev);
+    collector.finish();
+    warnings = reader.findings();
+  }
+
+  std::optional<Histogram> latency_h, size_h;
+  if (latency_ext.n > 0) {
+    latency_h.emplace(latency_ext.lo,
+                      latency_ext.hi > latency_ext.lo ? latency_ext.hi
+                                                      : latency_ext.lo + 1.0,
+                      buckets);
+  }
+  if (size_ext.n > 0) {
+    size_h.emplace(size_ext.lo,
+                   size_ext.hi > size_ext.lo ? size_ext.hi : size_ext.lo + 1.0,
+                   buckets);
+  }
+  if (latency_h.has_value() || size_h.has_value()) {
+    TraceReader reader(path);
+    FlowCollector collector(
+        [&](Flow& f) {
+          if (latency_h.has_value() && latency_in(f)) {
+            latency_h->add(latency_of(f));
+          }
+          if (size_h.has_value() && size_in(f)) size_h->add(size_of(f));
+        },
+        {lag});
+    TraceEvent ev;
+    while (reader.next(ev)) collector.feed(ev);
+    collector.finish();
+  }
+
+  auto summarize = [&](const char* what, const std::optional<Histogram>& h) {
+    if (!h.has_value()) {
       out << what << ": no samples\n";
       return;
     }
-    Histogram h(lo, hi > lo ? hi : lo + 1.0, buckets);
-    for (const Flow& f : flows) {
-      if (include(f)) h.add(value_of(f));
-    }
-    out << what << ": n " << h.count() << ", mean "
-        << Table::num(h.mean(), 3) << ", p50 " << Table::num(h.p50(), 3)
-        << ", p90 " << Table::num(h.p90(), 3) << ", p95 "
-        << Table::num(h.p95(), 3) << ", p99 " << Table::num(h.p99(), 3)
-        << ", max " << Table::num(h.max(), 3) << "\n";
+    out << what << ": n " << h->count() << ", mean "
+        << Table::num(h->mean(), 3) << ", p50 " << Table::num(h->p50(), 3)
+        << ", p90 " << Table::num(h->p90(), 3) << ", p95 "
+        << Table::num(h->p95(), 3) << ", p99 " << Table::num(h->p99(), 3)
+        << ", max " << Table::num(h->max(), 3) << "\n";
   };
-  summarize(
-      "latency", [](const Flow& f) { return f.latency(); },
-      [](const Flow& f) { return f.delivered && !f.self_send; });
-  summarize(
-      "size", [](const Flow& f) { return f.size; },
-      [](const Flow& f) { return f.has_send; });
+  summarize("latency", latency_h);
+  summarize("size", size_h);
+  print_warnings(warnings, out);
   return kOk;
 }
 
@@ -285,30 +387,26 @@ int cmd_check(const Args& args, std::ostream& out) {
   if (args.positional.size() != 1) {
     throw std::runtime_error("check: expected exactly one trace file");
   }
-  const auto events = load_trace(args.positional[0]);
-  CheckReport report = check_trace(events);
+  // Single-pass streaming check: every invariant family (structural,
+  // energy, reliability, fd, depletion) folds in as events arrive, and a
+  // flow's state is dropped once it retires — peak RSS tracks live flows,
+  // not capture size.
+  std::optional<JsonValue> snapshot;
   if (const std::string* metrics = args.flag("--metrics")) {
-    const JsonValue snapshot = parse_json(read_file(*metrics));
-    const CheckReport energy = check_energy(events, snapshot);
-    report.issues.insert(report.issues.end(), energy.issues.begin(),
-                         energy.issues.end());
-    const CheckReport rel = check_reliability(events, &snapshot);
-    report.issues.insert(report.issues.end(), rel.issues.begin(),
-                         rel.issues.end());
-    const CheckReport cap = check_capture(snapshot);
-    report.issues.insert(report.issues.end(), cap.issues.begin(),
-                         cap.issues.end());
-  } else {
-    const CheckReport rel = check_reliability(events);
-    report.issues.insert(report.issues.end(), rel.issues.begin(),
-                         rel.issues.end());
+    snapshot = parse_json(read_file(*metrics));
   }
-  const CheckReport fd = check_failure_detection(events);
-  report.issues.insert(report.issues.end(), fd.issues.begin(),
-                       fd.issues.end());
-  const CheckReport dep = check_depletion(events);
-  report.issues.insert(report.issues.end(), dep.issues.begin(),
-                       dep.issues.end());
+  StreamCheckOptions options;
+  options.retire_lag = flag_double(args, "--retire-lag", kDefaultRetireLag);
+  StreamingChecker checker(options);
+  TraceReader reader(args.positional[0]);
+  TraceEvent ev;
+  while (reader.next(ev)) checker.feed(ev);
+  CheckReport report =
+      checker.finish(snapshot.has_value() ? &*snapshot : nullptr);
+  // A truncated capture explains most downstream violations; surface the
+  // reader's findings first.
+  report.issues.insert(report.issues.begin(), reader.findings().begin(),
+                       reader.findings().end());
   out << report.events_seen << " events, " << report.flows_checked
       << " flows, " << report.collectives_checked << " collectives\n";
   if (report.ok()) {
@@ -318,6 +416,88 @@ int cmd_check(const Args& args, std::ostream& out) {
   for (const std::string& issue : report.issues) out << "FAIL " << issue << "\n";
   out << report.issues.size() << " invariant violation(s)\n";
   return kFindings;
+}
+
+int cmd_convert(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("convert: expected exactly one trace input");
+  }
+  const std::string* out_path = args.flag("--out");
+  if (out_path == nullptr) {
+    throw std::runtime_error("convert: needs --out PATH");
+  }
+  std::string format = "jsonl";
+  if (const std::string* v = args.flag("--format")) format = *v;
+
+  TraceReader reader(args.positional[0]);
+  if (format == "jsonl") {
+    // Streaming re-encode through one reused buffer; the bytes are
+    // identical to a direct write_jsonl export of the same events.
+    std::ofstream o(*out_path, std::ios::binary);
+    if (!o) throw std::runtime_error("cannot write " + *out_path);
+    std::string line;
+    TraceEvent ev;
+    while (reader.next(ev)) {
+      line.clear();
+      append_jsonl(ev, line);
+      line += '\n';
+      o.write(line.data(), static_cast<std::streamsize>(line.size()));
+    }
+    if (!o) throw std::runtime_error("cannot write " + *out_path);
+  } else if (format == "wtr") {
+    StreamSinkConfig config;
+    config.directory = *out_path;
+    config.format = TraceFormat::kWtr;
+    if (const std::string* v = args.flag("--segment-bytes")) {
+      config.segment_bytes = std::stoull(*v);
+    }
+    StreamingFileSink sink(config);
+    TraceEvent ev;
+    while (reader.next(ev)) sink.accept(ev);
+    if (!sink.close()) {
+      throw std::runtime_error("convert: " + sink.error());
+    }
+  } else {
+    throw std::runtime_error("convert: unknown --format " + format +
+                             " (jsonl or wtr)");
+  }
+  out << reader.events_read() << " events (" << reader.format() << " -> "
+      << format << ") -> " << *out_path << "\n";
+  print_warnings(reader.findings(), out);
+  return reader.findings().empty() ? kOk : kFindings;
+}
+
+int cmd_info(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    throw std::runtime_error("info: expected exactly one trace input");
+  }
+  TraceReader reader(args.positional[0]);
+  TraceEvent ev;
+  bool any = false;
+  double t_lo = 0.0, t_hi = 0.0;
+  while (reader.next(ev)) {
+    if (!any) t_lo = t_hi = ev.time;
+    t_lo = std::min(t_lo, ev.time);
+    t_hi = std::max(t_hi, ev.time);
+    any = true;
+  }
+  out << "format    : " << reader.format() << "\n";
+  out << "segments  : " << reader.segments().size() << "\n";
+  out << "events    : " << reader.events_read() << "\n";
+  if (any) {
+    out << "time range: [" << Table::num(t_lo, 3) << ", "
+        << Table::num(t_hi, 3) << "]\n";
+  } else {
+    out << "time range: (empty)\n";
+  }
+  Table t({"segment", "events", "bytes", "complete"});
+  for (const TraceReader::SegmentSummary& s : reader.segments()) {
+    t.row({s.path, Table::num(s.events), Table::num(s.bytes),
+           s.complete ? "yes" : "NO"});
+  }
+  out << t.str();
+  print_warnings(reader.findings(), out);
+  return reader.findings().empty() ? kOk : kFindings;
 }
 
 int cmd_bench_compare(const Args& args, std::ostream& out) {
@@ -526,7 +706,11 @@ int cmd_perf(const Args& args, std::ostream& out) {
 
 void usage(std::ostream& err) {
   err << "usage: wsn-inspect <command> [args]\n"
-         "  flows TRACE [--limit N]            reconstructed message flows\n"
+         "  (TRACE is a JSONL file, a wtr file, or a streamed segment dir;\n"
+         "   analyses run single-pass with memory bounded by live flows —\n"
+         "   --retire-lag T tunes the idle window, default 1024)\n"
+         "  flows TRACE [--limit N] [--retire-lag T]\n"
+         "                                     reconstructed message flows\n"
          "  perf FILE [--top N] [--json PATH]  profiler snapshot: top self-\n"
          "                                     time, events/sec, host/sim\n"
          "                                     ratio, allocation hotspots\n"
@@ -534,10 +718,16 @@ void usage(std::ostream& err) {
          "  energy-map TRACE [--side N] [--top N] [--budget B]\n"
          "                                     per-node/per-level energy;\n"
          "                                     --budget adds a residual view\n"
-         "  histogram TRACE [--buckets N]      latency/size distributions\n"
-         "  check TRACE [--metrics FILE]       trace invariant checker\n"
+         "  histogram TRACE [--buckets N] [--retire-lag T]\n"
+         "                                     latency/size distributions\n"
+         "  check TRACE [--metrics FILE] [--retire-lag T]\n"
+         "                                     trace invariant checker\n"
          "                                     (incl. ARQ/fault reliability,\n"
          "                                     fd, and depletion invariants)\n"
+         "  convert TRACE --out PATH [--format jsonl|wtr] [--segment-bytes N]\n"
+         "                                     re-encode a capture (jsonl\n"
+         "                                     round-trips byte-identically)\n"
+         "  info TRACE                         header/segment/count summary\n"
          "  bench-compare --baseline FILE --current FILE [--tolerance 10%]\n"
          "                [--wallclock-tolerance P] [--bench ID]\n"
          "                                     bench regression gate; wall-\n"
@@ -557,7 +747,7 @@ int run_inspect(const std::vector<std::string>& args, std::ostream& out,
   const std::string& cmd = args[0];
   try {
     if (cmd == "flows") {
-      return cmd_flows(scan_args(args, 1, {"--limit"}), out);
+      return cmd_flows(scan_args(args, 1, {"--limit", "--retire-lag"}), out);
     }
     if (cmd == "critical-path") {
       return cmd_critical_path(scan_args(args, 1, {}), out);
@@ -567,10 +757,18 @@ int run_inspect(const std::vector<std::string>& args, std::ostream& out,
           scan_args(args, 1, {"--side", "--top", "--budget"}), out);
     }
     if (cmd == "histogram") {
-      return cmd_histogram(scan_args(args, 1, {"--buckets"}), out);
+      return cmd_histogram(scan_args(args, 1, {"--buckets", "--retire-lag"}),
+                           out);
     }
     if (cmd == "check") {
-      return cmd_check(scan_args(args, 1, {"--metrics"}), out);
+      return cmd_check(scan_args(args, 1, {"--metrics", "--retire-lag"}), out);
+    }
+    if (cmd == "convert") {
+      return cmd_convert(
+          scan_args(args, 1, {"--out", "--format", "--segment-bytes"}), out);
+    }
+    if (cmd == "info") {
+      return cmd_info(scan_args(args, 1, {}), out);
     }
     if (cmd == "bench-compare") {
       return cmd_bench_compare(

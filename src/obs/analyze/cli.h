@@ -10,6 +10,12 @@
 //   wsn-inspect energy-map TRACE [--side N] [--top N]
 //   wsn-inspect histogram TRACE [--buckets N]
 //   wsn-inspect check TRACE [--metrics FILE]
+//   wsn-inspect convert TRACE --out PATH [--format jsonl|wtr]
+//   wsn-inspect info TRACE
+//
+// TRACE is a JSONL file, a wtr file, or a streamed segment directory
+// (obs/stream_sink.h); the flow-based analyses accept --retire-lag T to
+// bound live-flow memory (default 1024 time units).
 //   wsn-inspect bench-compare --baseline FILE --current FILE [--tolerance 10%]
 //                [--wallclock-tolerance P] [--bench ID]
 //

@@ -32,50 +32,53 @@ NodeEnergy& LayerEnergy::at(std::int64_t node) {
   return nodes[slot];
 }
 
+void accumulate_energy(EnergyMap& map, const TraceEvent& ev,
+                       const EnergyRates& rates) {
+  const double size = num_attr(ev, "size", 1.0);
+  switch (ev.category) {
+    case Category::kVirtual:
+      if (ev.name == "send") {
+        const double e = rates.vnet_tx * size;
+        map.vnet.at(ev.node).tx += e;
+        map.vnet.tx += e;
+      } else if (ev.name == "hop") {
+        // Hop 0 is the sender (already charged at the send); every later
+        // hop is a relay paying both sides of the crossing.
+        if (num_attr(ev, "hop", 0.0) >= 1.0) {
+          const double rx = rates.vnet_rx * size;
+          const double tx = rates.vnet_tx * size;
+          NodeEnergy& n = map.vnet.at(ev.node);
+          n.rx += rx;
+          n.tx += tx;
+          map.vnet.rx += rx;
+          map.vnet.tx += tx;
+        }
+      } else if (ev.name == "deliver") {
+        const double e = rates.vnet_rx * size;
+        map.vnet.at(ev.node).rx += e;
+        map.vnet.rx += e;
+      }
+      break;
+    case Category::kLink:
+      if (ev.name == "broadcast" || ev.name == "unicast") {
+        const double e = rates.link_tx * size;
+        map.link.at(ev.node).tx += e;
+        map.link.tx += e;
+      } else if (ev.name == "deliver") {
+        const double e = rates.link_rx * size;
+        map.link.at(ev.node).rx += e;
+        map.link.rx += e;
+      }
+      break;
+    default:
+      break;  // overlay sends ride on link transmissions; no double count
+  }
+}
+
 EnergyMap attribute_energy(const std::vector<TraceEvent>& events,
                            const EnergyRates& rates) {
   EnergyMap map;
-  for (const TraceEvent& ev : events) {
-    const double size = num_attr(ev, "size", 1.0);
-    switch (ev.category) {
-      case Category::kVirtual:
-        if (ev.name == "send") {
-          const double e = rates.vnet_tx * size;
-          map.vnet.at(ev.node).tx += e;
-          map.vnet.tx += e;
-        } else if (ev.name == "hop") {
-          // Hop 0 is the sender (already charged at the send); every later
-          // hop is a relay paying both sides of the crossing.
-          if (num_attr(ev, "hop", 0.0) >= 1.0) {
-            const double rx = rates.vnet_rx * size;
-            const double tx = rates.vnet_tx * size;
-            NodeEnergy& n = map.vnet.at(ev.node);
-            n.rx += rx;
-            n.tx += tx;
-            map.vnet.rx += rx;
-            map.vnet.tx += tx;
-          }
-        } else if (ev.name == "deliver") {
-          const double e = rates.vnet_rx * size;
-          map.vnet.at(ev.node).rx += e;
-          map.vnet.rx += e;
-        }
-        break;
-      case Category::kLink:
-        if (ev.name == "broadcast" || ev.name == "unicast") {
-          const double e = rates.link_tx * size;
-          map.link.at(ev.node).tx += e;
-          map.link.tx += e;
-        } else if (ev.name == "deliver") {
-          const double e = rates.link_rx * size;
-          map.link.at(ev.node).rx += e;
-          map.link.rx += e;
-        }
-        break;
-      default:
-        break;  // overlay sends ride on link transmissions; no double count
-    }
-  }
+  for (const TraceEvent& ev : events) accumulate_energy(map, ev, rates);
   // The virtual-layer hop chain misses no relay: hop events are emitted in
   // both congestion modes at send time, so the map is complete per flow.
   return map;

@@ -68,6 +68,12 @@ struct EnergyMap {
 EnergyMap attribute_energy(const std::vector<TraceEvent>& events,
                            const EnergyRates& rates = {});
 
+/// Streaming form: folds one event's radio charges into `map`.
+/// attribute_energy is exactly a loop over this, and wsn-inspect energy-map
+/// uses it to process captures larger than memory one event at a time.
+void accumulate_energy(EnergyMap& map, const TraceEvent& ev,
+                       const EnergyRates& rates = {});
+
 /// Mean radio energy of level-k leaders vs. everyone else.
 struct LevelEnergy {
   std::uint32_t level = 0;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/analyze/incremental.h"
+
 namespace wsn::obs::analyze {
 
 namespace {
@@ -41,75 +43,13 @@ double Flow::total_transmit() const {
 }
 
 std::vector<Flow> reconstruct_flows(const std::vector<TraceEvent>& events) {
+  // The batch path is the streaming collector with retirement disabled:
+  // finish() drains in creation order, which is exactly the order the old
+  // materialize-everything loop produced.
   std::vector<Flow> flows;
-  std::unordered_map<std::uint64_t, std::size_t> index;
-  auto flow_of = [&](std::uint64_t id) -> Flow& {
-    auto [it, fresh] = index.try_emplace(id, flows.size());
-    if (fresh) {
-      flows.emplace_back();
-      flows.back().id = id;
-    }
-    return flows[it->second];
-  };
-
-  for (const TraceEvent& ev : events) {
-    if (ev.flow == 0 || ev.category == Category::kCollective) continue;
-    Flow& f = flow_of(ev.flow);
-    switch (ev.category) {
-      case Category::kVirtual:
-      case Category::kOverlay:
-        if (ev.name == "send" || ev.name == "self_send") {
-          f.has_send = true;
-          f.layer = ev.category;
-          f.src_node = ev.node;
-          f.send_time = ev.time;
-          f.self_send = ev.name == "self_send";
-          f.size = attr_num(ev, "size", 1.0);
-          f.expected_hops = static_cast<std::uint64_t>(
-              attr_num(ev, ev.category == Category::kOverlay ? "vhops" : "hops"));
-          f.dst_index = static_cast<std::int64_t>(attr_num(ev, "dst", -1.0));
-        } else if (ev.name == "deliver") {
-          f.delivered = true;
-          f.dst_node = ev.node;
-          f.deliver_time = ev.time;
-          if (f.layer == Category::kVirtual && ev.category == Category::kOverlay) {
-            f.layer = Category::kOverlay;  // deliver seen before its send
-          }
-        } else if (ev.name == "hop") {
-          f.hops.push_back({ev.node,
-                            static_cast<std::int64_t>(attr_num(ev, "next", -1.0)),
-                            ev.time, attr_num(ev, "depart"),
-                            attr_num(ev, "wait")});
-        } else if (ev.name == "drop") {
-          f.dropped = true;
-        }
-        break;
-      case Category::kLink:
-        // Physical transmissions serving an overlay send become its hops.
-        if (ev.name == "unicast") {
-          f.hops.push_back({ev.node,
-                            static_cast<std::int64_t>(attr_num(ev, "to", -1.0)),
-                            ev.time, attr_num(ev, "arrive", ev.time), 0.0});
-        } else if (ev.name == "broadcast") {
-          f.hops.push_back({ev.node, -1, ev.time,
-                            attr_num(ev, "arrive", ev.time), 0.0});
-        }
-        else if (ev.name == "drop") {
-          f.dropped = true;
-        }
-        // "deliver" confirms a hop already recorded at its unicast; skip.
-        break;
-      case Category::kReliability:
-        if (ev.name == "rel.give_up") {
-          f.gave_up = true;
-        } else if (ev.name == "rel.retransmit") {
-          ++f.retransmits;
-        }
-        break;
-      default:
-        break;  // protocol/bench/app events carry no flow structure
-    }
-  }
+  FlowCollector collector([&flows](Flow& f) { flows.push_back(std::move(f)); });
+  for (const TraceEvent& ev : events) collector.feed(ev);
+  collector.finish();
   return flows;
 }
 

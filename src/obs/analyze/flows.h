@@ -30,6 +30,8 @@ struct Hop {
   double wait = 0.0;        // queueing delay behind the transmitter
 
   double transmit() const { return depart - start - wait; }
+
+  bool operator==(const Hop&) const = default;
 };
 
 /// One logical message reassembled from its events.
@@ -53,11 +55,18 @@ struct Flow {
   std::uint32_t retransmits = 0;
   double size = 1.0;
   std::uint64_t expected_hops = 0;  // "hops" (virtual) / "vhops" (overlay)
+  /// Physical-layer transmissions / deliveries correlated to this flow
+  /// (counted so the streaming checker can pair rx with tx per flow
+  /// without a whole-trace side table).
+  std::uint32_t link_tx = 0;
+  std::uint32_t link_rx = 0;
   std::vector<Hop> hops;
 
   double latency() const { return delivered ? deliver_time - send_time : 0.0; }
   double total_wait() const;
   double total_transmit() const;
+
+  bool operator==(const Flow&) const = default;
 };
 
 /// Groups events by flow id and folds each group into a Flow. Collective

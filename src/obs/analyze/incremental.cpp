@@ -1,0 +1,377 @@
+#include "obs/analyze/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace wsn::obs::analyze {
+
+namespace {
+
+const AttrValue* find_attr(const TraceEvent& ev, const char* key) {
+  for (const Attr& a : ev.attrs) {
+    if (a.key == key) return &a.value;
+  }
+  return nullptr;
+}
+
+double attr_num(const TraceEvent& ev, const char* key, double fallback = 0.0) {
+  const AttrValue* v = find_attr(ev, key);
+  if (v == nullptr) return fallback;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* u = std::get_if<std::uint64_t>(v)) {
+    return static_cast<double>(*u);
+  }
+  if (const auto* i = std::get_if<std::int64_t>(v)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+bool close_rel(double a, double b, double rel) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel * std::max(scale, 1.0);
+}
+
+/// The event-into-flow fold — the one place that knows how raw events map
+/// onto Flow fields. reconstruct_flows (flows.cpp) and the streaming path
+/// both run through here.
+void fold_event(Flow& f, const TraceEvent& ev) {
+  switch (ev.category) {
+    case Category::kVirtual:
+    case Category::kOverlay:
+      if (ev.name == "send" || ev.name == "self_send") {
+        f.has_send = true;
+        f.layer = ev.category;
+        f.src_node = ev.node;
+        f.send_time = ev.time;
+        f.self_send = ev.name == "self_send";
+        f.size = attr_num(ev, "size", 1.0);
+        f.expected_hops = static_cast<std::uint64_t>(attr_num(
+            ev, ev.category == Category::kOverlay ? "vhops" : "hops"));
+        f.dst_index = static_cast<std::int64_t>(attr_num(ev, "dst", -1.0));
+      } else if (ev.name == "deliver") {
+        f.delivered = true;
+        f.dst_node = ev.node;
+        f.deliver_time = ev.time;
+        if (f.layer == Category::kVirtual &&
+            ev.category == Category::kOverlay) {
+          f.layer = Category::kOverlay;  // deliver seen before its send
+        }
+      } else if (ev.name == "hop") {
+        f.hops.push_back({ev.node,
+                          static_cast<std::int64_t>(attr_num(ev, "next", -1.0)),
+                          ev.time, attr_num(ev, "depart"),
+                          attr_num(ev, "wait")});
+      } else if (ev.name == "drop") {
+        f.dropped = true;
+      }
+      break;
+    case Category::kLink:
+      // Physical transmissions serving an overlay send become its hops.
+      if (ev.name == "unicast") {
+        ++f.link_tx;
+        f.hops.push_back({ev.node,
+                          static_cast<std::int64_t>(attr_num(ev, "to", -1.0)),
+                          ev.time, attr_num(ev, "arrive", ev.time), 0.0});
+      } else if (ev.name == "broadcast") {
+        ++f.link_tx;
+        f.hops.push_back({ev.node, -1, ev.time,
+                          attr_num(ev, "arrive", ev.time), 0.0});
+      } else if (ev.name == "deliver") {
+        // The hop was recorded at its unicast; only count the receive so
+        // rx/tx pairing can be checked per flow.
+        ++f.link_rx;
+      } else if (ev.name == "drop") {
+        f.dropped = true;
+      }
+      break;
+    case Category::kReliability:
+      if (ev.name == "rel.give_up") {
+        f.gave_up = true;
+      } else if (ev.name == "rel.retransmit") {
+        ++f.retransmits;
+      }
+      break;
+    default:
+      break;  // protocol/bench/app events carry no flow structure
+  }
+}
+
+}  // namespace
+
+void FlowCollector::feed(const TraceEvent& ev) {
+  if (ev.flow != 0 && ev.category != Category::kCollective) {
+    LiveFlow* lf;
+    const auto it = index_.find(ev.flow);
+    if (it == index_.end()) {
+      queue_.emplace_back();
+      lf = &queue_.back();
+      lf->flow.id = ev.flow;
+      index_.emplace(ev.flow, lf);
+      ++flows_seen_;
+    } else {
+      lf = it->second;
+    }
+    fold_event(lf->flow, ev);
+    lf->last_touch = ev.time;
+  }
+  // Only the front of the creation queue retires, so retirement order ==
+  // creation order regardless of how flows interleave. A long-lived front
+  // flow delays those behind it — that trades a little memory for output
+  // that is byte-identical to the batch path.
+  if (options_.retire_lag >= 0.0) {
+    while (!queue_.empty() &&
+           queue_.front().last_touch + options_.retire_lag < ev.time) {
+      LiveFlow& front = queue_.front();
+      index_.erase(front.flow.id);
+      on_retire_(front.flow);
+      queue_.pop_front();
+    }
+  }
+}
+
+void FlowCollector::finish() {
+  while (!queue_.empty()) {
+    LiveFlow& front = queue_.front();
+    index_.erase(front.flow.id);
+    on_retire_(front.flow);
+    queue_.pop_front();
+  }
+}
+
+StreamingChecker::StreamingChecker(StreamCheckOptions options)
+    : options_(options),
+      flows_([this](Flow& f) { retire(f); },
+             FlowCollector::Options{options.retire_lag}) {}
+
+void StreamingChecker::retire(Flow& f) {
+  ++report_.flows_checked;
+  append_flow_issues(f, report_.issues);
+  if (f.link_rx > 0 && f.link_tx == 0) {
+    report_.issues.push_back("flow " + std::to_string(f.id) +
+                             ": link receive without any transmission");
+  }
+}
+
+void StreamingChecker::feed(const TraceEvent& ev) {
+  ++report_.events_seen;
+  accumulate_energy(energy_, ev, options_.rates);
+  flows_.feed(ev);
+  switch (ev.category) {
+    case Category::kCollective:
+      feed_collective(ev);
+      break;
+    case Category::kReliability:
+      feed_reliability(ev);
+      expire_rel_state(ev.time);
+      break;
+    case Category::kLink:
+    case Category::kVirtual:
+      feed_depletion_link(ev);
+      expire_rel_state(ev.time);
+      break;
+    default:
+      break;
+  }
+}
+
+void StreamingChecker::feed_collective(const TraceEvent& ev) {
+  if (ev.flow == 0) return;
+  if (ev.phase == 'B') {
+    ++report_.collectives_checked;
+    began_.insert(ev.flow);
+    const auto [it, fresh] = open_collectives_.try_emplace(ev.flow);
+    if (!fresh) {
+      // A reused id buries the earlier span unclosed, exactly as the batch
+      // reconstruction reports it.
+      report_.issues.push_back("collective " + std::to_string(ev.flow) +
+                               " (" + it->second.name + "): never completed");
+    }
+    it->second = {ev.name, ev.time};
+  } else if (ev.phase == 'E') {
+    const auto it = open_collectives_.find(ev.flow);
+    if (it == open_collectives_.end()) {
+      if (began_.count(ev.flow) == 0) {
+        report_.issues.push_back("collective " + std::to_string(ev.flow) +
+                                 ": completion without a start");
+      }
+      return;
+    }
+    if (ev.time < it->second.begin) {
+      report_.issues.push_back("collective " + std::to_string(ev.flow) +
+                               " (" + it->second.name +
+                               "): ends before it begins");
+    }
+    open_collectives_.erase(it);
+  }
+}
+
+void StreamingChecker::feed_reliability(const TraceEvent& ev) {
+  auto rel_key = [](const TraceEvent& e) {
+    return std::to_string(static_cast<std::uint64_t>(attr_num(e, "src"))) +
+           ">" +
+           std::to_string(static_cast<std::uint64_t>(attr_num(e, "dst"))) +
+           "#" + std::to_string(static_cast<std::uint64_t>(attr_num(e, "seq")));
+  };
+  auto cell_epoch = [](const TraceEvent& e) {
+    const auto row = static_cast<std::int64_t>(attr_num(e, "row", -1.0));
+    const auto col = static_cast<std::int64_t>(attr_num(e, "col", -1.0));
+    const auto epoch = static_cast<std::uint64_t>(attr_num(e, "epoch"));
+    return std::to_string(row) + "," + std::to_string(col) + "@" +
+           std::to_string(epoch);
+  };
+
+  if (ev.name == "rel.send") {
+    sent_[rel_key(ev)] = ev.time;
+    sent_queue_.emplace_back(rel_key(ev), ev.time);
+  } else if (ev.name == "rel.retransmit" || ev.name == "rel.give_up" ||
+             ev.name == "rel.ack" || ev.name == "rel.dup") {
+    const std::string key = rel_key(ev);
+    const auto it = sent_.find(key);
+    if (it == sent_.end()) {
+      report_.issues.push_back(std::string(ev.name) + " " + key +
+                               ": no matching rel.send");
+    } else {
+      // Keep the exchange alive while the ARQ is still talking about it.
+      it->second = ev.time;
+      sent_queue_.emplace_back(key, ev.time);
+    }
+    if (ev.name == "rel.give_up") ++give_ups_;
+  } else if (ev.name == "fault.crash" && ev.node >= 0) {
+    crashed_.insert(ev.node);
+  } else if (ev.name == "fault.recover" && ev.node >= 0) {
+    crashed_.erase(ev.node);
+  } else if (ev.name == "fd.elect" || ev.name == "fd.handoff") {
+    elections_.insert(cell_epoch(ev));
+  } else if (ev.name == "fd.claim") {
+    const std::string key = cell_epoch(ev);
+    if (!claimed_.insert(key).second) {
+      report_.issues.push_back("fd.claim " + key +
+                               ": duplicate claim for this cell and epoch "
+                               "(split-brain)");
+    }
+    if (elections_.find(key) == elections_.end()) {
+      report_.issues.push_back("fd.claim " + key +
+                               ": no preceding fd.elect for this epoch");
+    }
+    const auto row = static_cast<std::int64_t>(attr_num(ev, "row", -1.0));
+    const auto col = static_cast<std::int64_t>(attr_num(ev, "col", -1.0));
+    const std::string cell =
+        std::to_string(row) + "," + std::to_string(col);
+    const auto epoch = static_cast<std::uint64_t>(attr_num(ev, "epoch"));
+    const auto it = last_claim_epoch_.find(cell);
+    if (it != last_claim_epoch_.end() && epoch <= it->second) {
+      report_.issues.push_back(
+          "fd.claim " + key + ": epoch not above the cell's last claim (" +
+          std::to_string(it->second) + ")");
+    }
+    last_claim_epoch_[cell] = epoch;
+  } else if (ev.name == "energy.depleted") {
+    const double budget = attr_num(ev, "budget", -1.0);
+    const double spent = attr_num(ev, "spent", -1.0);
+    if (!depleted_at_.emplace(ev.node, ev.time).second) {
+      report_.issues.push_back("node " + std::to_string(ev.node) +
+                               ": duplicate energy.depleted at t=" +
+                               std::to_string(ev.time));
+    }
+    if (spent + 1e-9 < budget) {
+      report_.issues.push_back(
+          "node " + std::to_string(ev.node) + ": energy.depleted with spent " +
+          std::to_string(spent) + " below budget " + std::to_string(budget));
+    }
+  }
+}
+
+void StreamingChecker::feed_depletion_link(const TraceEvent& ev) {
+  if (ev.name == "deliver" && crashed_.count(ev.node) != 0) {
+    report_.issues.push_back("node " + std::to_string(ev.node) +
+                             ": delivery at t=" + std::to_string(ev.time) +
+                             " inside its crash window");
+  }
+  if (ev.category != Category::kLink) return;
+  const auto it = depleted_at_.find(ev.node);
+  if (it == depleted_at_.end() || ev.time <= it->second) return;
+  if (ev.name == "broadcast" || ev.name == "unicast") {
+    report_.issues.push_back(
+        "node " + std::to_string(ev.node) + ": link transmission at t=" +
+        std::to_string(ev.time) + " after depletion at t=" +
+        std::to_string(it->second));
+  } else if (ev.name == "deliver") {
+    report_.issues.push_back(
+        "node " + std::to_string(ev.node) + ": delivery at t=" +
+        std::to_string(ev.time) + " after depletion at t=" +
+        std::to_string(it->second));
+  }
+}
+
+void StreamingChecker::expire_rel_state(double watermark) {
+  while (!sent_queue_.empty() &&
+         sent_queue_.front().second + options_.retire_lag < watermark) {
+    const auto& [key, touch] = sent_queue_.front();
+    const auto it = sent_.find(key);
+    // Erase only if no later touch re-enqueued the key.
+    if (it != sent_.end() && it->second <= touch) sent_.erase(it);
+    sent_queue_.pop_front();
+  }
+}
+
+CheckReport StreamingChecker::finish(const JsonValue* metrics_snapshot) {
+  flows_.finish();
+
+  // Deterministic order for the still-open collectives: begin time, id.
+  std::vector<std::pair<std::uint64_t, const OpenCollective*>> open;
+  open.reserve(open_collectives_.size());
+  for (const auto& [id, oc] : open_collectives_) open.emplace_back(id, &oc);
+  std::sort(open.begin(), open.end(), [](const auto& a, const auto& b) {
+    return a.second->begin != b.second->begin
+               ? a.second->begin < b.second->begin
+               : a.first < b.first;
+  });
+  for (const auto& [id, oc] : open) {
+    report_.issues.push_back("collective " + std::to_string(id) + " (" +
+                             oc->name + "): never completed");
+  }
+
+  if (metrics_snapshot != nullptr) {
+    // Energy conservation against the ledger snapshot (check_energy's
+    // comparison over the incrementally accumulated map).
+    auto compare = [&](const char* section, const LayerEnergy& layer) {
+      const JsonValue* sec = metrics_snapshot->find(section);
+      if (sec == nullptr) return;
+      for (const char* field : {"tx", "rx"}) {
+        const JsonValue* v = sec->find(field);
+        if (v == nullptr) continue;
+        const double live = v->number();
+        const double traced =
+            std::string(field) == "tx" ? layer.tx : layer.rx;
+        if (!close_rel(live, traced, 1e-9)) {
+          report_.issues.push_back(
+              std::string(section) + "." + field + ": ledger " +
+              std::to_string(live) + " != trace-derived " +
+              std::to_string(traced));
+        }
+      }
+    };
+    compare("vnet.energy", energy_.vnet);
+    compare("link.energy", energy_.link);
+
+    if (const JsonValue* sec = metrics_snapshot->find("arq.counters")) {
+      const JsonValue* v = sec->find("arq.give_up");
+      const auto counted =
+          static_cast<std::uint64_t>(v != nullptr ? v->number() : 0.0);
+      if (counted != give_ups_) {
+        report_.issues.push_back(
+            "arq.give_up counter " + std::to_string(counted) + " != " +
+            std::to_string(give_ups_) + " rel.give_up trace events");
+      }
+    }
+
+    const CheckReport cap = check_capture(*metrics_snapshot);
+    report_.issues.insert(report_.issues.end(), cap.issues.begin(),
+                          cap.issues.end());
+  }
+  return report_;
+}
+
+}  // namespace wsn::obs::analyze

@@ -1,0 +1,138 @@
+// Incremental (single-pass, bounded-memory) trace analysis.
+//
+// The batch analyzers (flows.h, check.h) materialize the whole trace and
+// every reconstructed flow at once — fine for ring-buffer captures, fatal
+// for the multi-GB streamed captures the StreamingFileSink produces.
+// FlowCollector folds events into live Flow records and *retires* each
+// flow to a callback once it has been idle for `retire_lag` time units, so
+// peak memory tracks the number of concurrently-live flows instead of the
+// trace length. StreamingChecker runs every check.h invariant on top of
+// that collector the same way. Both assume events arrive in emission order
+// with nondecreasing timestamps — which is how every sink writes them.
+//
+// Retirement is strictly in flow-creation order (only the front of the
+// creation queue retires), so downstream output — wsn-inspect flows rows,
+// issue lists — is byte-identical to the batch path's.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/analyze/check.h"
+#include "obs/analyze/energy.h"
+#include "obs/analyze/flows.h"
+#include "obs/analyze/json_reader.h"
+#include "obs/trace.h"
+
+namespace wsn::obs::analyze {
+
+struct FlowCollectorOptions {
+  /// A flow retires once untouched for this many time units behind the
+  /// stream's watermark. Negative: never retire early — finish() then
+  /// yields exactly reconstruct_flows(), in the same order.
+  double retire_lag = -1.0;
+};
+
+class FlowCollector {
+ public:
+  using RetireFn = std::function<void(Flow&)>;
+  // Namespace-scope (not nested): GCC rejects a `= {}` default argument
+  // naming a nested aggregate whose NSDMIs aren't parsed yet.
+  using Options = FlowCollectorOptions;
+
+  explicit FlowCollector(RetireFn on_retire, Options options = {})
+      : on_retire_(std::move(on_retire)), options_(options) {}
+
+  /// Folds one event into its flow (collective and flow-0 events are
+  /// ignored, as in reconstruct_flows) and retires flows that fell behind
+  /// the watermark.
+  void feed(const TraceEvent& ev);
+
+  /// Retires every still-live flow, in creation order.
+  void finish();
+
+  std::uint64_t flows_seen() const { return flows_seen_; }
+  std::size_t live() const { return queue_.size(); }
+
+ private:
+  struct LiveFlow {
+    Flow flow;
+    double last_touch = 0.0;
+  };
+
+  RetireFn on_retire_;
+  Options options_;
+  // deque gives stable element addresses under push_back/pop_front, so the
+  // id index can hold plain pointers into it.
+  std::deque<LiveFlow> queue_;
+  std::unordered_map<std::uint64_t, LiveFlow*> index_;
+  std::uint64_t flows_seen_ = 0;
+};
+
+struct StreamCheckOptions {
+  /// Flow/ARQ state older than this (in trace time units) is retired; a
+  /// larger lag tolerates more interleaving between long-lived flows at
+  /// the cost of more live state.
+  double retire_lag = 1024.0;
+  EnergyRates rates;
+};
+
+/// All check.h invariants as one single-pass consumer. feed() every event
+/// in order, then finish() — with the run's metrics snapshot, if captured,
+/// for the energy-conservation / ARQ-counter / capture-health checks —
+/// to obtain the combined CheckReport. Peak memory is bounded by live
+/// flows + nodes + collectives, never by trace length.
+class StreamingChecker {
+ public:
+  explicit StreamingChecker(StreamCheckOptions options = {});
+
+  void feed(const TraceEvent& ev);
+  CheckReport finish(const JsonValue* metrics_snapshot = nullptr);
+
+  /// Trace-derived energy accumulated so far (finalized after finish()).
+  const EnergyMap& energy() const { return energy_; }
+
+ private:
+  void retire(Flow& f);
+  void feed_collective(const TraceEvent& ev);
+  void feed_reliability(const TraceEvent& ev);
+  void feed_depletion_link(const TraceEvent& ev);
+  void expire_rel_state(double watermark);
+
+  StreamCheckOptions options_;
+  CheckReport report_;
+  FlowCollector flows_;
+  EnergyMap energy_;
+
+  // Collectives. Open spans are keyed by id; `began_` mirrors the batch
+  // checker's orphan-'E' detection (collective ids are handed out per
+  // operation, not per event, so this stays small).
+  struct OpenCollective {
+    std::string name;
+    double begin = 0.0;
+  };
+  std::unordered_map<std::uint64_t, OpenCollective> open_collectives_;
+  std::unordered_set<std::uint64_t> began_;
+
+  // Reliability (ARQ pairing + crash windows). `sent_` maps the
+  // (src,dst,seq) key to its last-touch time and is expired lazily through
+  // `sent_queue_` so per-hop ARQ traffic doesn't accumulate forever.
+  std::unordered_map<std::string, double> sent_;
+  std::deque<std::pair<std::string, double>> sent_queue_;
+  std::unordered_set<std::int64_t> crashed_;
+  std::uint64_t give_ups_ = 0;
+
+  // Failure detection (bounded by cells x epochs actually contested).
+  std::unordered_set<std::string> elections_;
+  std::unordered_set<std::string> claimed_;
+  std::unordered_map<std::string, std::uint64_t> last_claim_epoch_;
+
+  // Depletion (bounded by node count).
+  std::unordered_map<std::int64_t, double> depleted_at_;
+};
+
+}  // namespace wsn::obs::analyze

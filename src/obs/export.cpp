@@ -12,20 +12,20 @@
 
 namespace wsn::obs {
 
-std::string to_jsonl(const TraceEvent& ev) {
-  std::string out;
+void append_jsonl(const TraceEvent& ev, std::string& out) {
   out += "{\"t\":";
   json_append_double(out, ev.time);
   out += ",\"node\":";
-  out += std::to_string(ev.node);
+  json_append_int(out, ev.node);
   out += ",\"cat\":";
   json_append_string(out, category_name(ev.category));
-  out += ",\"ph\":";
-  json_append_string(out, std::string(1, ev.phase));
-  out += ",\"name\":";
+  out += ",\"ph\":\"";
+  // Phases are single ASCII chars ('i'/'B'/'E') and never need escaping.
+  out += ev.phase;
+  out += "\",\"name\":";
   json_append_string(out, ev.name);
   out += ",\"flow\":";
-  out += std::to_string(ev.flow);
+  json_append_uint(out, ev.flow);
   out += ",\"args\":{";
   bool first = true;
   for (const Attr& a : ev.attrs) {
@@ -36,11 +36,22 @@ std::string to_jsonl(const TraceEvent& ev) {
     json_append_value(out, a.value);
   }
   out += "}}";
+}
+
+std::string to_jsonl(const TraceEvent& ev) {
+  std::string out;
+  append_jsonl(ev, out);
   return out;
 }
 
 void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
-  for (const TraceEvent& ev : events) out << to_jsonl(ev) << '\n';
+  std::string line;
+  for (const TraceEvent& ev : events) {
+    line.clear();
+    append_jsonl(ev, line);
+    line += '\n';
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
 }
 
 namespace {
@@ -207,6 +218,10 @@ class JsonlParser {
 
 }  // namespace
 
+TraceEvent parse_jsonl_line(const std::string& line) {
+  return JsonlParser(line).parse();
+}
+
 std::vector<TraceEvent> parse_jsonl(std::istream& in) {
   std::vector<TraceEvent> out;
   std::string line;
@@ -215,7 +230,7 @@ std::vector<TraceEvent> parse_jsonl(std::istream& in) {
     ++lineno;
     if (line.empty()) continue;
     try {
-      out.push_back(JsonlParser(line).parse());
+      out.push_back(parse_jsonl_line(line));
     } catch (const std::runtime_error& e) {
       throw std::runtime_error("line " + std::to_string(lineno) + ": " +
                                e.what());
@@ -250,26 +265,31 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
                      : "node " + std::to_string(node))
         << "\"}}";
   }
+  // One reused line buffer for the whole export: the hot loop below runs
+  // once per event and must not allocate per event.
+  std::string line;
   for (const TraceEvent& ev : events) {
-    std::string line;
+    line.clear();
     if (!first) line += ",\n";
     first = false;
     line += "{\"name\":";
     json_append_string(line, ev.name);
     line += ",\"cat\":";
     json_append_string(line, category_name(ev.category));
-    line += ",\"ph\":";
-    json_append_string(line, std::string(1, ev.phase));
+    line += ",\"ph\":\"";
+    line += ev.phase;
+    line += '"';
     if (ev.phase == 'i') line += ",\"s\":\"t\"";
     // 1 cost-model time unit = 1 ms; ts is in microseconds.
     line += ",\"ts\":";
     json_append_double(line, ev.time * 1000.0);
     line += ",\"pid\":0,\"tid\":";
-    line += std::to_string(ev.node);
+    json_append_int(line, ev.node);
     line += ",\"args\":{";
     bool first_attr = true;
     if (ev.flow != 0) {
-      line += "\"flow\":" + std::to_string(ev.flow);
+      line += "\"flow\":";
+      json_append_uint(line, ev.flow);
       first_attr = false;
     }
     for (const Attr& a : ev.attrs) {
@@ -291,7 +311,7 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
     out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
            "\"args\":{\"name\":\"host (profiler)\"}}";
     for (const HostSpan& span : profiler->span_log()) {
-      std::string line = ",\n{\"name\":";
+      line = ",\n{\"name\":";
       json_append_string(line, span.label.empty() ? prof_cat_name(span.cat)
                                                   : span.label);
       line += ",\"cat\":\"prof\",\"ph\":\"X\",\"ts\":";
@@ -299,7 +319,7 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
       line += ",\"dur\":";
       json_append_double(line, static_cast<double>(span.dur_ns) / 1000.0);
       line += ",\"pid\":1,\"tid\":0,\"args\":{\"depth\":";
-      line += std::to_string(span.depth);
+      json_append_int(line, span.depth);
       line += "}}";
       out << line;
     }

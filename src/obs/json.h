@@ -37,27 +37,48 @@ inline void json_append_string(std::string& out, const std::string& s) {
 
 /// Appends `v` so that it parses back to the same double: %.17g, forced to
 /// contain '.' or an exponent so readers can distinguish it from integers.
+/// Works on the stack buffer directly — no temporary std::string — so the
+/// reuse path (append_jsonl into a retained buffer) stays allocation-free.
 inline void json_append_double(std::string& out, double v) {
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  std::string s(buf);
-  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
-      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
-    s += ".0";
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  bool integral_form = true;
+  bool special = false;  // inf/nan
+  for (int i = 0; i < n; ++i) {
+    if (buf[i] == '.' || buf[i] == 'e') integral_form = false;
+    if (buf[i] == 'i' || buf[i] == 'n') special = true;
   }
   // JSON has no inf/nan literals; clamp to null (exporters never emit these
   // in practice, but a metric could be inf e.g. an empty Summary's min).
-  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos) {
-    s = "null";
+  if (special) {
+    out += "null";
+    return;
   }
-  out += s;
+  out.append(buf, static_cast<std::size_t>(n));
+  if (integral_form) out += ".0";
+}
+
+/// Decimal integer appenders mirroring std::to_string's output, minus its
+/// temporary allocation.
+inline void json_append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  const int n =
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+inline void json_append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n =
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
 }
 
 inline void json_append_value(std::string& out, const AttrValue& v) {
   if (const auto* i = std::get_if<std::int64_t>(&v)) {
-    out += std::to_string(*i);
+    json_append_int(out, *i);
   } else if (const auto* u = std::get_if<std::uint64_t>(&v)) {
-    out += std::to_string(*u);
+    json_append_uint(out, *u);
   } else if (const auto* d = std::get_if<double>(&v)) {
     json_append_double(out, *d);
   } else {

@@ -58,9 +58,6 @@ class RingBufferSink final : public TraceSink {
   std::size_t size() const { return events_.size(); }
   /// Events discarded because the buffer was full (the oldest go first).
   std::uint64_t dropped() const { return dropped_; }
-  /// Historic name for dropped(); kept for callers that predate the
-  /// `dropped` terminology.
-  std::uint64_t overwritten() const { return dropped_; }
 
   /// Exposes capture health — "<prefix>.captured" (events currently held)
   /// and "<prefix>.dropped" — in the unified registry, so a metrics
@@ -96,6 +93,23 @@ class RingBufferSink final : public TraceSink {
   std::size_t head_ = 0;  // oldest element once full
   std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
+};
+
+/// Fans one emission out to two sinks — e.g. a RingBufferSink for the
+/// in-memory tail alongside a StreamingFileSink for the full capture.
+/// Neither sink is owned; both must outlive the tee.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink& a, TraceSink& b) : a_(&a), b_(&b) {}
+
+  void accept(TraceEvent ev) override {
+    a_->accept(ev);  // copy: the second sink may consume the event
+    b_->accept(std::move(ev));
+  }
+
+ private:
+  TraceSink* a_;
+  TraceSink* b_;
 };
 
 }  // namespace wsn::obs

@@ -1,6 +1,7 @@
 #include "sim/chaos_soak.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/sinks.h"
+#include "obs/stream_sink.h"
 #include "obs/trace.h"
 #include "sim/depletion_monitor.h"
 #include "sim/fault_plan.h"
@@ -152,7 +154,29 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   res.seed = cfg_.seed + index;
 
   obs::RingBufferSink sink(cfg_.trace_capacity);
+  std::unique_ptr<obs::StreamingFileSink> stream;
+  std::unique_ptr<obs::TeeSink> tee;
+  // Destructor order matters: `capture` restores the outer tracer before
+  // the tee/stream it may point at are torn down.
   obs::ScopedTrace capture(sink, obs::kAllCategories);
+  // A streaming sink cannot clear() like the ring, so the seed-retry loop
+  // recreates it (wiping the directory) whenever a stack draw is discarded.
+  const std::string campaign_dir =
+      cfg_.trace_out_dir.empty()
+          ? std::string()
+          : cfg_.trace_out_dir + "/campaign_" + std::to_string(index);
+  const auto install_capture = [&] {
+    if (campaign_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(campaign_dir, ec);
+    obs::StreamSinkConfig scfg;
+    scfg.directory = campaign_dir;
+    scfg.format = obs::TraceFormat::kWtr;
+    tee.reset();
+    stream = std::make_unique<obs::StreamingFileSink>(scfg);
+    tee = std::make_unique<obs::TeeSink>(sink, *stream);
+    obs::tracer().set_sink(tee.get());
+  };
 
   // Deterministic seed-retry: kOnePerCellPlus deployments are almost always
   // healthy, but a pathological draw (an unconnected cell) would void the
@@ -161,6 +185,7 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   std::unique_ptr<Stack> stack;
   for (std::uint64_t retry = 0;; ++retry) {
     sink.clear();
+    install_capture();
     obs::tracer().reset_flows(0);
     stack = std::make_unique<Stack>(cfg_.grid_side, cfg_.node_count,
                                     cfg_.range, res.seed + 1000003 * retry);
@@ -381,9 +406,18 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   auto finding = [&res](std::string msg) {
     res.findings.push_back(std::move(msg));
   };
-  if (sink.overwritten() != 0) {
-    finding("trace capture overflow: " + std::to_string(sink.overwritten()) +
+  if (sink.dropped() != 0) {
+    finding("trace capture overflow: " + std::to_string(sink.dropped()) +
             " events lost");
+  }
+  if (stream) {
+    if (!stream->close()) {
+      finding("streaming trace capture failed: " + stream->error());
+    } else if (stream->events() != sink.size() + sink.dropped()) {
+      finding("streaming capture saw " + std::to_string(stream->events()) +
+              " events, ring saw " +
+              std::to_string(sink.size() + sink.dropped()));
+    }
   }
   const std::vector<obs::TraceEvent> events = sink.events();
   res.events = events.size();

@@ -56,6 +56,11 @@ struct ChaosSoakConfig {
   std::size_t max_plan_events = 10;
   /// Ring capacity for the per-campaign capture; overflow is a finding.
   std::size_t trace_capacity = 1u << 19;
+  /// When non-empty, each campaign additionally streams its capture to
+  /// `<trace_out_dir>/campaign_<index>` as wtr segments (obs/stream_sink.h)
+  /// through a TeeSink — the scale-capture path exercised under chaos. A
+  /// sink failure is a campaign finding.
+  std::string trace_out_dir;
   emulation::FailureDetectorConfig detector;
 
   /// Depletion mode: the generator additionally gives a few cells' bound

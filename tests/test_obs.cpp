@@ -58,7 +58,7 @@ TEST(RingBufferSink, KeepsMostRecentAcrossWraparound) {
                  {}});
   }
   EXPECT_EQ(sink.size(), 4u);
-  EXPECT_EQ(sink.overwritten(), 6u);
+  EXPECT_EQ(sink.dropped(), 6u);
   const auto events = sink.events();
   ASSERT_EQ(events.size(), 4u);
   // Oldest surviving first: 6, 7, 8, 9.
@@ -67,14 +67,14 @@ TEST(RingBufferSink, KeepsMostRecentAcrossWraparound) {
   }
   sink.clear();
   EXPECT_EQ(sink.size(), 0u);
-  EXPECT_EQ(sink.overwritten(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
 }
 
 TEST(RingBufferSink, ZeroCapacityDropsEverything) {
   obs::RingBufferSink sink(0);
   sink.accept({0.0, 0, obs::Category::kApp, 'i', "e", 0, {}});
   EXPECT_EQ(sink.size(), 0u);
-  EXPECT_EQ(sink.overwritten(), 1u);
+  EXPECT_EQ(sink.dropped(), 1u);
 }
 
 TEST(Tracer, DisabledCategoriesEmitNothing) {

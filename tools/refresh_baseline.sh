@@ -36,6 +36,7 @@ benches=(
   bench_message_size
   bench_step_complexity
   bench_stored_queries
+  bench_trace
   bench_tree_topology
 )
 

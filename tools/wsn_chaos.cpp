@@ -11,7 +11,11 @@
 // Usage:
 //   wsn-chaos [--campaigns N] [--seed S] [--grid N] [--nodes N]
 //             [--rounds N] [--budget X] [--depletion] [--out DIR] [--only K]
-//             [--profile PATH] [--verbose]
+//             [--trace-out DIR] [--profile PATH] [--verbose]
+//
+// --trace-out streams every campaign's capture to DIR/campaign_<k>/ as wtr
+// segments while it runs (obs/stream_sink.h) — bounded memory regardless of
+// campaign length, readable with `wsn-inspect check DIR/campaign_<k>`.
 //
 // --profile arms the host-side SimProfiler across the whole soak and writes
 // its perf snapshot (wsn-inspect perf) to PATH on exit. Profiling reads only
@@ -99,6 +103,8 @@ int main(int argc, char** argv) {
       profile_path = next();
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--trace-out") {
+      cfg.trace_out_dir = next();
     } else if (arg == "--only") {
       only = std::strtol(next(), nullptr, 10);
     } else if (arg == "--verbose") {
@@ -108,7 +114,8 @@ int main(int argc, char** argv) {
                    "wsn-chaos: unknown argument %s\n"
                    "usage: wsn-chaos [--campaigns N] [--seed S] [--grid N] "
                    "[--nodes N] [--rounds N] [--budget X] [--depletion] "
-                   "[--out DIR] [--only K] [--profile PATH] [--verbose]\n",
+                   "[--out DIR] [--only K] [--trace-out DIR] "
+                   "[--profile PATH] [--verbose]\n",
                    arg.c_str());
       return 2;
     }
