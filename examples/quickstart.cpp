@@ -30,7 +30,12 @@
 //                          campaigns/region_outage.json) against a physical
 //                          deployment hardened with ARQ and the distributed
 //                          heartbeat/lease failure detector, appended after
-//                          the classic output
+//                          the classic output. Plans carrying
+//                          state_corruption events (campaigns/corruption.json)
+//                          additionally switch on the detector's
+//                          self-stabilization audit rounds and report the
+//                          corruption strikes, audit activity, and
+//                          re-convergence at the end of the campaign.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -193,6 +198,10 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const sim::FaultPlan plan = sim::FaultPlan::from_json(buf.str());
+    bool has_corruption = false;
+    for (const sim::FaultEvent& ev : plan.events) {
+      if (ev.kind == sim::FaultKind::kStateCorruption) has_corruption = true;
+    }
 
     if (profiling) obs::profiler().begin_phase("campaign");
     campaign = std::make_unique<CampaignPhase>();
@@ -212,6 +221,10 @@ int main(int argc, char** argv) {
     c.monitor->arm();
     emulation::FailureDetectorConfig fd_cfg;
     fd_cfg.handoff_low_water = 48.0;  // 60% of depletion.json's 80 headroom
+    // Self-stabilization audits cost periodic floods, so they come on only
+    // when the plan actually corrupts state; the classic campaigns keep the
+    // audit-free (byte-identical) detector schedule.
+    if (has_corruption) fd_cfg.audit_period = 15.0;
     c.detector =
         std::make_unique<emulation::FailureDetector>(*c.stack.overlay, fd_cfg);
     c.injector = std::make_unique<sim::FaultInjector>(
@@ -219,6 +232,10 @@ int main(int argc, char** argv) {
     c.injector->set_leader_lookup([&c](const core::GridCoord& cell) {
       return c.stack.overlay->bound_node(cell);
     });
+    c.injector->set_corruption_applier(
+        [&c](net::NodeId node, sim::CorruptionTarget target) {
+          return c.detector->inject_corruption(node, target);
+        });
     c.injector->arm(plan);
     c.detector->start();
     // Apply the campaign's t=0 faults before the first round begins. While
@@ -255,8 +272,15 @@ int main(int argc, char** argv) {
     }
     // Let every outage in the plan end and the lease/election machinery
     // settle before reporting, then stop the periodic timers so the final
-    // drain terminates.
-    c.stack.sim.run_until(c.stack.sim.now() + plan.down_horizon() + 100.0);
+    // drain terminates. Corruption plans settle for the full analytic
+    // stabilization bound so the audit rounds have provably had time to
+    // re-converge every cell.
+    const double settle =
+        plan.down_horizon() + 100.0 +
+        (has_corruption ? c.detector->stabilization_bound() : 0.0);
+    c.stack.sim.run_until(c.stack.sim.now() + settle);
+    const std::size_t unconverged =
+        has_corruption ? c.detector->unconverged_cells().size() : 0;
     c.detector->stop();
     c.stack.sim.run();
     std::printf("leader elections    : %zu\n", c.detector->claims().size());
@@ -267,6 +291,27 @@ int main(int argc, char** argv) {
                     c.stack.arq->counters().get("arq.retransmit")),
                 static_cast<unsigned long long>(
                     c.stack.arq->counters().get("arq.give_up")));
+    if (has_corruption) {
+      std::printf("corruption strikes  : %llu applied, %llu skipped (victim "
+                  "down)\n",
+                  static_cast<unsigned long long>(
+                      c.injector->counters().get("fault.corrupt")),
+                  static_cast<unsigned long long>(
+                      c.injector->counters().get("fault.corrupt_down")));
+      std::printf("audit rounds        : %llu floods, %llu route repairs, "
+                  "%llu heals, %llu conflicts\n",
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.audit")),
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.route_repair")),
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.audit_heal")),
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.audit_conflict")));
+      std::printf("re-convergence      : %zu cells unconverged after the "
+                  "%.0fs stabilization bound\n",
+                  unconverged, c.detector->stabilization_bound());
+    }
   }
 
   // Freeze the profiling window before the dumps so the perf snapshot

@@ -14,7 +14,7 @@ namespace wsn::emulation {
 /// flood's own cell, or the child cell of an uplease); `dst_cell` is only
 /// used by hop-routed upleases.
 struct FailureDetector::FdMsg {
-  enum Kind : std::uint8_t { kBeat, kElect, kClaim, kSync, kUpLease };
+  enum Kind : std::uint8_t { kBeat, kElect, kClaim, kSync, kUpLease, kAudit };
   Kind kind = kBeat;
   core::GridCoord cell{0, 0};
   core::GridCoord dst_cell{0, 0};
@@ -82,6 +82,10 @@ void FailureDetector::start() {
   beat_seq_.assign(n, 0);
   seen_beat_epoch_.assign(n, 0);
   seen_beat_seq_.assign(n, 0);
+  audit_seq_.assign(n, 0);
+  seen_audit_epoch_.assign(n, 0);
+  seen_audit_seq_.assign(n, 0);
+  regress_mute_until_.assign(n, 0.0);
   elect_epoch_.assign(n, 0);
   elect_best_score_.assign(n, 0.0);
   elect_best_residual_.assign(n, 0.0);
@@ -148,6 +152,16 @@ void FailureDetector::start() {
         if (gen != run_gen_ || !running_) return;
         beat(leader);
       });
+      if (cfg_.audit_period > 0.0) {
+        // Audits stagger on a different residue than beats so the two
+        // periodic floods of one cell don't land on the same tick.
+        const double audit_stagger =
+            cfg_.audit_period * (static_cast<double>(ci % 7) + 1.5) / 9.0;
+        sim().schedule_in(audit_stagger, [this, leader, gen] {
+          if (gen != run_gen_ || !running_) return;
+          audit(leader);
+        });
+      }
     }
     if (parent_of_[ci] >= 0) {
       child_expiry_[ci] = now + cfg_.uplease_duration * 1.5;
@@ -350,6 +364,13 @@ void FailureDetector::win_election(net::NodeId w, std::uint64_t epoch) {
     if (gen != run_gen_ || !running_) return;
     beat(w);
   });
+  if (cfg_.audit_period > 0.0) {
+    audit_seq_[w] = 0;
+    sim().schedule_in(cfg_.audit_period, [this, w, gen] {
+      if (gen != run_gen_ || !running_) return;
+      audit(w);
+    });
+  }
   if (parent_of_[ci] >= 0) uplease_send(ci);
 }
 
@@ -442,6 +463,43 @@ void FailureDetector::beat(net::NodeId leader) {
   sim().schedule_in(cfg_.heartbeat_period, [this, leader, gen] {
     if (gen != run_gen_ || !running_) return;
     beat(leader);
+  });
+}
+
+void FailureDetector::audit(net::NodeId leader) {
+  obs::ProfSpan prof(obs::ProfCat::kDetector);
+  if (believed_leader_[leader] != leader) return;  // deposed: loop ends
+  if (!link().is_down(leader)) {
+    ++audit_seq_[leader];
+    const core::GridCoord cell = mapper().cell_of(leader);
+    counters_.add("fd.audit");
+    trace_fd("fd.audit", leader,
+             {{"row", static_cast<std::int64_t>(cell.row)},
+              {"col", static_cast<std::int64_t>(cell.col)},
+              {"epoch", epoch_[leader]},
+              {"seq", audit_seq_[leader]}});
+    FdMsg m;
+    m.kind = FdMsg::kAudit;
+    m.cell = cell;
+    m.epoch = epoch_[leader];
+    m.seq = audit_seq_[leader];
+    m.leader = leader;
+    m.score = score(leader);
+    m.origin = leader;
+    m.residual = residual(leader);
+    flood(leader, m);
+    // The auditor scrubs its own tables; members scrub theirs on receipt.
+    const std::size_t fixed = overlay_.repair_routes(leader);
+    if (fixed > 0) {
+      counters_.add("fd.route_repair", fixed);
+      trace_fd("fd.route_repair", leader,
+               {{"entries", static_cast<std::uint64_t>(fixed)}});
+    }
+  }
+  const std::uint64_t gen = run_gen_;
+  sim().schedule_in(cfg_.audit_period, [this, leader, gen] {
+    if (gen != run_gen_ || !running_) return;
+    audit(leader);
   });
 }
 
@@ -576,6 +634,34 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
     }
     case FdMsg::kBeat: {
       if (!(mapper().cell_of(at) == msg.cell)) return;  // cross-cell leak
+      // Epoch-regression detection, deliberately BEFORE flood dedup: when
+      // the very node we believe leads is beating an epoch *behind* our
+      // view, either its epoch regressed (state corruption) or ours jumped
+      // — both are corrupted states dedup would silently swallow, because
+      // the highwater already sits at the newer epoch. Direct neighbors of
+      // the leader answer with a kSync carrying the newer view; adopt-if-
+      // newer at the leader restores the epoch without an election. Muted
+      // per responder between floods to bound the sync traffic.
+      if (msg.epoch < epoch_[at] && msg.leader == believed_leader_[at] &&
+          msg.leader != at && !link().is_down(at) &&
+          sim().now() >= regress_mute_until_[at] &&
+          std::find(cell_neighbors_[at].begin(), cell_neighbors_[at].end(),
+                    msg.leader) != cell_neighbors_[at].end()) {
+        regress_mute_until_[at] = sim().now() + cfg_.heartbeat_period * 0.5;
+        counters_.add("fd.epoch_regress");
+        trace_fd("fd.epoch_regress", at,
+                 {{"leader", static_cast<std::uint64_t>(msg.leader)},
+                  {"beat_epoch", msg.epoch},
+                  {"view_epoch", epoch_[at]}});
+        counters_.add("fd.sync");
+        FdMsg sync;
+        sync.kind = FdMsg::kSync;
+        sync.cell = msg.cell;
+        sync.epoch = epoch_[at];
+        sync.leader = believed_leader_[at];
+        sync.origin = at;
+        flood(at, sync);
+      }
       if (msg.epoch < seen_beat_epoch_[at] ||
           (msg.epoch == seen_beat_epoch_[at] &&
            msg.seq <= seen_beat_seq_[at])) {
@@ -705,7 +791,171 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
       flood(at, msg);
       return;
     }
+    case FdMsg::kAudit: {
+      if (!(mapper().cell_of(at) == msg.cell)) return;
+      if (msg.epoch < seen_audit_epoch_[at] ||
+          (msg.epoch == seen_audit_epoch_[at] &&
+           msg.seq <= seen_audit_seq_[at])) {
+        return;  // flood duplicate
+      }
+      seen_audit_epoch_[at] = msg.epoch;
+      seen_audit_seq_[at] = msg.seq;
+      flood(at, msg);  // forward the audit through the cell
+      // Route scrub rides the audit round: each member validates its own
+      // table entries against local knowledge (no-op when uncorrupted).
+      const std::size_t fixed = overlay_.repair_routes(at);
+      if (fixed > 0) {
+        counters_.add("fd.route_repair", fixed);
+        trace_fd("fd.route_repair", at,
+                 {{"entries", static_cast<std::uint64_t>(fixed)}});
+      }
+      if (msg.epoch > epoch_[at]) {
+        // Our view fell behind (missed claim, regressed epoch): heal.
+        counters_.add("fd.audit_heal");
+        adopt(at, msg.leader, msg.epoch);
+        return;
+      }
+      if (msg.epoch < epoch_[at]) {
+        counters_.add("fd.audit_stale");
+        if (believed_leader_[at] == at && !link().is_down(at)) {
+          counters_.add("fd.sync");
+          FdMsg sync;
+          sync.kind = FdMsg::kSync;
+          sync.cell = msg.cell;
+          sync.epoch = epoch_[at];
+          sync.leader = at;
+          flood(at, sync);
+        }
+        return;
+      }
+      // Same epoch: PraSLE-style lexicographic reconciliation of views.
+      if (msg.leader == believed_leader_[at]) {
+        if (at != msg.leader) renew_lease(at);  // the audit doubles as a beat
+        return;
+      }
+      if (believed_leader_[at] == at) {
+        // Two live self-believed leaders at one epoch — the corrupted
+        // split-brain no beat can break (neither ever expires). Order the
+        // contenders by the election key: the better key asserts itself at
+        // a strictly higher epoch, the worse one defers to the auditor.
+        counters_.add("fd.audit_conflict");
+        trace_fd("fd.audit_conflict", at,
+                 {{"peer", static_cast<std::uint64_t>(msg.leader)},
+                  {"epoch", msg.epoch}});
+        if (key_less(residual(at), score(at), at, msg.residual, msg.score,
+                     msg.leader)) {
+          start_election(at);
+        } else {
+          adopt(at, msg.leader, msg.epoch);
+        }
+        return;
+      }
+      // Follower pointing at a third party: the auditor is live and
+      // serving, so its view wins the reconciliation.
+      counters_.add("fd.audit_heal");
+      trace_fd("fd.audit_heal", at,
+               {{"leader", static_cast<std::uint64_t>(msg.leader)},
+                {"was", static_cast<std::uint64_t>(believed_leader_[at])},
+                {"epoch", msg.epoch}});
+      adopt(at, msg.leader, msg.epoch);
+      return;
+    }
   }
+}
+
+std::vector<core::GridCoord> FailureDetector::unconverged_cells() const {
+  std::vector<core::GridCoord> out;
+  net::LinkLayer& link = overlay_.link();
+  const std::size_t n = link.graph().node_count();
+  for (const core::GridCoord& c : overlay_.grid().all_coords()) {
+    net::NodeId leader = net::kNoNode;
+    std::uint64_t epoch = 0;
+    bool any = false;
+    bool agreed = true;
+    for (net::NodeId i = 0; i < n; ++i) {
+      if (link.is_down(i) || !(mapper().cell_of(i) == c)) continue;
+      if (!any) {
+        any = true;
+        leader = believed_leader_[i];
+        epoch = epoch_[i];
+      } else if (believed_leader_[i] != leader || epoch_[i] != epoch) {
+        agreed = false;
+        break;
+      }
+    }
+    if (!any) continue;  // no live members: nothing to agree on
+    if (!agreed || leader == net::kNoNode || link.is_down(leader) ||
+        believed_leader_[leader] != leader) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool FailureDetector::inject_corruption(net::NodeId node,
+                                        sim::CorruptionTarget target) {
+  if (!running_) return false;
+  if (link().is_down(node)) return false;  // down nodes hold no soft state
+  sim::Rng& rng = sim().rng();
+  const core::GridCoord cell = mapper().cell_of(node);
+  counters_.add("fd.corrupt");
+  trace_fd("fd.corrupt", node,
+           {{"target", std::string(sim::to_string(target))},
+            {"row", static_cast<std::int64_t>(cell.row)},
+            {"col", static_cast<std::int64_t>(cell.col)},
+            {"bound", stabilization_bound()}});
+  switch (target) {
+    case sim::CorruptionTarget::kEpoch: {
+      // Half the draws regress the epoch below everything the node has
+      // seen, half jump it ahead of the cell. Both directions drag the
+      // flood-dedup highwaters along so the node's filter is consistent
+      // with its (wrong) view — the adversary controls the whole word.
+      const std::uint64_t e = epoch_[node];
+      if (e > 0 && rng.uniform() < 0.5) {
+        epoch_[node] = rng.below(e);  // regress into [0, e)
+      } else {
+        epoch_[node] = e + 1 + rng.below(4);  // jump ahead by 1..4
+      }
+      seen_beat_epoch_[node] = epoch_[node];
+      seen_beat_seq_[node] = 0;
+      seen_audit_epoch_[node] = epoch_[node];
+      seen_audit_seq_[node] = 0;
+      return true;
+    }
+    case sim::CorruptionTarget::kLeader: {
+      // Re-point the node's leader belief — at itself (a usurper that
+      // beats, audits, and never expires its own lease) or at a random
+      // cell neighbor (a phantom leader that never renews the lease).
+      const auto& nbrs = cell_neighbors_[node];
+      net::NodeId pick = node;
+      if (!nbrs.empty() && rng.uniform() >= 0.35) {
+        pick = nbrs[rng.below(nbrs.size())];
+      }
+      believed_leader_[node] = pick;
+      return true;
+    }
+    case sim::CorruptionTarget::kRoutes: {
+      overlay_.scramble_routes(node, rng);
+      return true;
+    }
+    case sim::CorruptionTarget::kLeases: {
+      // Scramble the lease clock (anywhere inside two lease windows) and
+      // plant one false suspicion, so routing wrongly avoids a live
+      // neighbor until its next control frame proves it alive.
+      lease_expiry_[node] = sim().now() + rng.uniform(0.0, 2.0 * cfg_.lease_duration);
+      arm_watchdog(node);
+      const auto& nbrs = cell_neighbors_[node];
+      if (!nbrs.empty()) {
+        const net::NodeId v = nbrs[rng.below(nbrs.size())];
+        if (!overlay_.is_suspected(v)) {
+          counters_.add("fd.false_suspect");
+          overlay_.on_hop_give_up(node, v);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<core::GridCoord> FailureDetector::split_brains() const {

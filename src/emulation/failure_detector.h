@@ -84,6 +84,7 @@
 #include "emulation/leader_binding.h"
 #include "emulation/overlay_network.h"
 #include "obs/metrics_registry.h"
+#include "sim/fault_plan.h"
 #include "sim/trace.h"
 
 namespace wsn::emulation {
@@ -108,6 +109,16 @@ struct FailureDetectorConfig {
   /// 0 disables; with infinite budgets residual is +inf and never crosses,
   /// so enabling the knob is free on unbudgeted stacks.
   double handoff_low_water = 0.0;
+  /// Interval between a leader's self-stabilization audit floods (kAudit):
+  /// each round every member lexicographically reconciles its (leader,
+  /// epoch) view against the auditor's PraSLE-style and validates/repairs
+  /// its own route-table entries, so *any* reachable state corruption —
+  /// repointed leader beliefs, self-crowned impostors, scrambled routes —
+  /// converges back to one correct leader per cell within an audit period
+  /// plus an election. 0 disables (the default: audits add periodic
+  /// traffic, and byte-identical replay of pre-existing seeded runs
+  /// requires opting in).
+  double audit_period = 0.0;
   /// Election metric; must match the setup binding for the oracle
   /// cross-check to be meaningful.
   BindingMetric metric = BindingMetric::kDistanceToCenter;
@@ -168,6 +179,32 @@ class FailureDetector {
   /// two live nodes both believe they lead at the same epoch.
   std::vector<core::GridCoord> split_brains() const;
 
+  /// End-state convergence audit (test/assert only — consults is_down):
+  /// cells whose live members do not all agree on one (leader, epoch), or
+  /// whose agreed leader is not itself live and self-believing. Empty once
+  /// self-stabilization has completed; the corruption soak asserts exactly
+  /// that after the stabilization bound. Cells with no live members are
+  /// skipped (an empty cell has no view to agree on).
+  std::vector<core::GridCoord> unconverged_cells() const;
+
+  /// Deterministically scrambles `node`'s soft protocol state (the
+  /// FaultInjector's state_corruption applier): the concrete wrong values
+  /// are drawn from the simulator's seeded RNG, so seed + plan reproduce
+  /// the exact corrupted state. Returns false (and does nothing) when the
+  /// detector is stopped or the node is down. Emits an "fd.corrupt" trace
+  /// event carrying the target name and the analytic stabilization bound,
+  /// which the check_stabilization invariant keys off.
+  bool inject_corruption(net::NodeId node, sim::CorruptionTarget target);
+
+  /// Analytic re-convergence bound after one inject_corruption: worst case
+  /// is a lease poisoned up to two lease durations ahead, plus a full
+  /// election close (timeout + maximum stagger), plus one audit round for
+  /// the views only reconciliation can repair, plus flood/ARQ slack.
+  double stabilization_bound() const {
+    return 2.5 * cfg_.lease_duration + 1.5 * cfg_.election_timeout +
+           cfg_.audit_period + 10.0;
+  }
+
   sim::CounterSet& counters() { return counters_; }
 
   void register_metrics(obs::MetricsRegistry& registry,
@@ -197,6 +234,7 @@ class FailureDetector {
   void maybe_handoff(net::NodeId leader);
   void start_handoff(net::NodeId leader);
   void beat(net::NodeId leader);
+  void audit(net::NodeId leader);
   void uplease(std::size_t cell_idx);
   void uplease_send(std::size_t cell_idx);
   void arm_child_watchdog(std::size_t cell_idx);
@@ -224,6 +262,12 @@ class FailureDetector {
   std::vector<std::uint64_t> beat_seq_;        // own sequence, as leader
   std::vector<std::uint64_t> seen_beat_epoch_;  // flood dedup highwater
   std::vector<std::uint64_t> seen_beat_seq_;
+  std::vector<std::uint64_t> audit_seq_;         // own sequence, as auditor
+  std::vector<std::uint64_t> seen_audit_epoch_;  // audit dedup highwater
+  std::vector<std::uint64_t> seen_audit_seq_;
+  /// Epoch-regression responses are muted per node between floods so one
+  /// regressed leader's beat burst doesn't trigger O(degree^2) syncs.
+  std::vector<sim::Time> regress_mute_until_;
   std::vector<std::uint64_t> elect_epoch_;  // target epoch; 0 = idle
   std::vector<double> elect_best_score_;
   std::vector<double> elect_best_residual_;

@@ -87,6 +87,70 @@ void OverlayNetwork::evacuate_relay(net::NodeId id) {
       [this](net::NodeId n) { return suspected_[n]; });
 }
 
+std::size_t OverlayNetwork::scramble_routes(net::NodeId id, sim::Rng& rng) {
+  const auto& nbrs = link_.graph().neighbors(id);
+  if (nbrs.empty()) return 0;
+  std::size_t scrambled = 0;
+  for (core::Direction d : core::kAllDirections) {
+    emulation_.tables[id][d] = nbrs[rng.below(nbrs.size())];
+    ++scrambled;
+  }
+  corrupted_entries_ += scrambled;
+  return scrambled;
+}
+
+std::size_t OverlayNetwork::repair_routes(net::NodeId id) {
+  const auto& graph = link_.graph();
+  const core::GridCoord here = mapper_.cell_of(id);
+  std::size_t repaired = 0;
+  for (core::Direction d : core::kAllDirections) {
+    const net::NodeId cur = emulation_.tables[id][d];
+    if (cur == net::kNoNode) continue;  // cleared entries stay cleared
+    const core::GridCoord target = core::GridTopology::step(here, d);
+    if (grid_.contains(target)) {
+      // Legitimate entries are radio neighbors that are either direct
+      // gateways into the target cell or same-cell chain hops whose table
+      // chain still leaves the cell (exactly what the emulation protocol
+      // writes and follow_chain verifies). Liveness is deliberately not
+      // checked: entries at down/suspected nodes belong to the give-up
+      // machinery, so on uncorrupted tables this loop changes nothing.
+      bool neighbor = false;
+      for (net::NodeId v : graph.neighbors(id)) {
+        if (v == cur) {
+          neighbor = true;
+          break;
+        }
+      }
+      if (neighbor) {
+        const core::GridCoord cur_cell = mapper_.cell_of(cur);
+        if (cur_cell == target) continue;
+        if (cur_cell == here &&
+            !follow_chain(mapper_, emulation_.tables, id, d).empty()) {
+          continue;
+        }
+      }
+      // Corrupt entry: re-point at a live gateway when one exists (no
+      // same-cell chaining, mirroring reroute_entries_via), else clear.
+      net::NodeId fresh = net::kNoNode;
+      for (net::NodeId v : graph.neighbors(id)) {
+        if (mapper_.cell_of(v) == target && !link_.is_down(v) &&
+            !suspected_[v]) {
+          fresh = v;
+          break;
+        }
+      }
+      emulation_.tables[id][d] = fresh;
+    } else {
+      // No cell in this direction: no protocol execution ever writes an
+      // entry here, so any value is corruption.
+      emulation_.tables[id][d] = net::kNoNode;
+    }
+    ++repaired;
+  }
+  repaired_entries_ += repaired;
+  return repaired;
+}
+
 void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader) {
   rebind(cell, leader, epochs_[grid_.index_of(cell)] + 1);
 }
@@ -101,6 +165,10 @@ void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader,
   epochs_[grid_.index_of(cell)] = epoch;
   ++rebinds_;
   build_cell_tree(cell);
+  // Route-table repair on rebind: a rebind is the moment the cell's members
+  // re-learn who anchors their routing, so scrub any corrupted inter-cell
+  // entries they hold. No-op unless state corruption actually struck.
+  for (net::NodeId m : mapper_.members(cell)) repair_routes(m);
 }
 
 void OverlayNetwork::clear_suspected(net::NodeId id) {

@@ -24,6 +24,7 @@
 #include "net/link_layer.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "sim/rng.h"
 
 namespace wsn::net {
 class ReliableChannel;
@@ -130,6 +131,27 @@ class OverlayNetwork final : public core::MessageFabric {
   /// unavoidable entries break and the ARQ give-up path repairs those.
   void evacuate_relay(net::NodeId id);
 
+  /// State-corruption hook (fault kind state_corruption, target "routes"):
+  /// re-points every routing-table entry of `id` at a random radio neighbor
+  /// drawn from `rng`, regardless of direction — the entries stay physical
+  /// links (frames still transmit), but traffic through `id` misroutes
+  /// until repair_routes undoes the damage. Returns entries scrambled.
+  std::size_t scramble_routes(net::NodeId id, sim::Rng& rng);
+
+  /// Local route-table validation for node `id`, the self-stabilization
+  /// counterpart of scramble_routes: an entry is legitimate only if it
+  /// points at a radio neighbor that is either a gateway in the direction's
+  /// adjacent cell or a same-cell chain hop whose table chain still reaches
+  /// that cell (what the Section 5.1 protocol builds). Anything else — a
+  /// non-neighbor, a wrong-cell hop, a looping chain, an entry for an
+  /// off-grid direction — is replaced with a live gateway neighbor when one
+  /// exists and cleared otherwise. Entries merely pointing at down or
+  /// suspected nodes are left alone (the give-up/suspicion machinery owns
+  /// those), so this is a no-op on every uncorrupted table. Runs on every
+  /// rebind for the rebinding cell's members and on every audit round.
+  /// Returns the number of entries repaired.
+  std::size_t repair_routes(net::NodeId id);
+
   /// Re-points virtual node `cell` at a new physical leader (failover after
   /// the bound node crashed) and rebuilds the cell's intra-cell tree toward
   /// it. Handlers installed via set_receiver are keyed by virtual coord and
@@ -175,6 +197,12 @@ class OverlayNetwork final : public core::MessageFabric {
     });
     registry.add_gauge(prefix + ".evacuated_entries", [this] {
       return static_cast<double>(evacuated_entries_);
+    });
+    registry.add_gauge(prefix + ".corrupted_entries", [this] {
+      return static_cast<double>(corrupted_entries_);
+    });
+    registry.add_gauge(prefix + ".repaired_entries", [this] {
+      return static_cast<double>(repaired_entries_);
     });
     registry.add_gauge(prefix + ".rebinds",
                        [this] { return static_cast<double>(rebinds_); });
@@ -229,6 +257,8 @@ class OverlayNetwork final : public core::MessageFabric {
   std::uint64_t rerouted_entries_ = 0;
   std::uint64_t restored_entries_ = 0;
   std::uint64_t evacuated_entries_ = 0;
+  std::uint64_t corrupted_entries_ = 0;
+  std::uint64_t repaired_entries_ = 0;
   std::uint64_t rebinds_ = 0;
 };
 

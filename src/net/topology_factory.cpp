@@ -1,0 +1,147 @@
+#include "net/topology_factory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsn::net {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Point clamp_into(const Rect& r, Point p) {
+  // Strictly inside the half-open rectangle, as deployment.cpp does, so
+  // cell_of always lands in range.
+  const double eps_x = r.width() * 1e-9;
+  const double eps_y = r.height() * 1e-9;
+  p.x = std::clamp(p.x, r.x0, r.x1 - eps_x);
+  p.y = std::clamp(p.y, r.y0, r.y1 - eps_y);
+  return p;
+}
+
+/// Number of nodes assigned to row-major cell index `ci`: one-per-cell
+/// guaranteed, extras round-robin from cell 0.
+std::size_t cell_quota(std::size_t ci, std::size_t cells, std::size_t n) {
+  const std::size_t base = n / cells;
+  const std::size_t extra = n % cells;
+  return base + (ci < extra ? 1 : 0);
+}
+
+/// Position of node j of k within the unit square [0,1)^2, per shape.
+/// Jitter is added by the caller (fixed two RNG draws per node, so RNG
+/// consumption is independent of shape).
+Point shape_point(TopologyKind kind, std::size_t j, std::size_t k) {
+  const double t = static_cast<double>(j);
+  const double n = static_cast<double>(std::max<std::size_t>(k, 1));
+  switch (kind) {
+    case TopologyKind::kRing: {
+      const double angle = 2.0 * kPi * t / n;
+      return Point{0.5 + 0.38 * std::cos(angle), 0.5 + 0.38 * std::sin(angle)};
+    }
+    case TopologyKind::kLine: {
+      const double frac = (k <= 1) ? 0.5 : t / (n - 1.0);
+      return Point{0.15 + 0.7 * frac, 0.15 + 0.7 * frac};
+    }
+    case TopologyKind::kMesh: {
+      std::size_t side = 1;
+      while (side * side < k) ++side;
+      const double step = 0.7 / static_cast<double>(side);
+      const double col = static_cast<double>(j % side);
+      const double row = static_cast<double>(j / side);
+      return Point{0.15 + (col + 0.5) * step, 0.15 + (row + 0.5) * step};
+    }
+    case TopologyKind::kClique: {
+      // Tight disc: evenly spaced on a small circle so intra-cell distances
+      // stay well under any practical radio range.
+      const double angle = 2.0 * kPi * t / n;
+      return Point{0.5 + 0.1 * std::cos(angle), 0.5 + 0.1 * std::sin(angle)};
+    }
+    case TopologyKind::kGrid:
+      break;  // handled by net::deploy
+  }
+  return Point{0.5, 0.5};
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kGrid:
+      return "grid";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kLine:
+      return "line";
+    case TopologyKind::kMesh:
+      return "mesh";
+    case TopologyKind::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+bool parse_topology(const std::string& name, TopologyKind& out) {
+  if (name == "grid") {
+    out = TopologyKind::kGrid;
+  } else if (name == "ring") {
+    out = TopologyKind::kRing;
+  } else if (name == "line") {
+    out = TopologyKind::kLine;
+  } else if (name == "mesh") {
+    out = TopologyKind::kMesh;
+  } else if (name == "clique") {
+    out = TopologyKind::kClique;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Point> deploy_topology(TopologyKind kind,
+                                   std::size_t cells_per_side,
+                                   std::size_t node_count, const Rect& terrain,
+                                   sim::Rng& rng) {
+  if (kind == TopologyKind::kGrid) {
+    // Byte-for-byte the default deployment: same generator, same RNG draws.
+    DeploymentConfig cfg;
+    cfg.kind = DeploymentKind::kOnePerCellPlus;
+    cfg.node_count = node_count;
+    cfg.terrain = terrain;
+    cfg.cells_per_side = cells_per_side;
+    return deploy(cfg, rng);
+  }
+  const std::size_t m = cells_per_side;
+  const std::size_t cells = m * m;
+  if (node_count < cells) {
+    throw std::invalid_argument(
+        "deploy_topology: node_count must be >= cells^2");
+  }
+  if (terrain.width() <= 0 || terrain.height() <= 0) {
+    throw std::invalid_argument(
+        "deploy_topology: terrain must have positive area");
+  }
+  const double cw = terrain.width() / static_cast<double>(m);
+  const double ch = terrain.height() / static_cast<double>(m);
+  const double jitter = 0.03;  // fraction of the cell side
+  std::vector<Point> out;
+  out.reserve(node_count);
+  for (std::size_t row = 0; row < m; ++row) {
+    for (std::size_t col = 0; col < m; ++col) {
+      const std::size_t ci = row * m + col;
+      const std::size_t k = cell_quota(ci, cells, node_count);
+      const Rect cell{terrain.x0 + static_cast<double>(col) * cw,
+                      terrain.y0 + static_cast<double>(row) * ch,
+                      terrain.x0 + static_cast<double>(col + 1) * cw,
+                      terrain.y0 + static_cast<double>(row + 1) * ch};
+      for (std::size_t j = 0; j < k; ++j) {
+        const Point u = shape_point(kind, j, k);
+        const Point p{cell.x0 + (u.x + rng.uniform(-jitter, jitter)) * cw,
+                      cell.y0 + (u.y + rng.uniform(-jitter, jitter)) * ch};
+        out.push_back(clamp_into(cell, p));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::net

@@ -1,0 +1,54 @@
+// Topology diversification for the robustness harness: deployments whose
+// unit-disk connectivity graph takes the classic shapes PraSLE's
+// stabilization tables are stated over (ring / line / mesh / clique), in
+// addition to the default one-node-per-cell grid deployment.
+//
+// Each non-grid topology keeps the paper's feasibility precondition (at
+// least one node per virtual-grid cell) but arranges the nodes *within*
+// each cell into a characteristic geometric pattern, so the induced
+// unit-disk graph has the intended local structure: a clique packs the
+// cell's nodes into a tight disc (fully connected), a ring spreads them on
+// a circle, a line strings them along the cell diagonal, and a mesh lays
+// them on a jittered sub-grid. kGrid delegates verbatim to
+// net::deploy(kOnePerCellPlus) — same RNG consumption, same positions — so
+// existing seeded runs replay byte-identically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/deployment.h"
+#include "net/geometry.h"
+#include "sim/rng.h"
+
+namespace wsn::net {
+
+enum class TopologyKind : std::uint8_t {
+  kGrid,    // one guaranteed node per cell + uniform extras (the default)
+  kRing,    // per-cell nodes evenly spaced on a circle
+  kLine,    // per-cell nodes strung along the cell diagonal
+  kMesh,    // per-cell nodes on a jittered sub-grid
+  kClique,  // per-cell nodes packed into a tight disc around the center
+};
+
+/// Stable lowercase name ("grid", "ring", "line", "mesh", "clique") used by
+/// CLI flags, campaign summaries, and bench rows.
+const char* to_string(TopologyKind kind);
+
+/// Parses a topology name; returns false (leaving `out` untouched) on an
+/// unknown name.
+bool parse_topology(const std::string& name, TopologyKind& out);
+
+/// Generates `node_count` positions over `terrain` partitioned into
+/// `cells_per_side`^2 cells, shaped per `kind`. Every cell receives at
+/// least one node (node_count must be >= cells^2, as for kOnePerCellPlus);
+/// extras are spread round-robin across cells in row-major order. All
+/// positions lie strictly inside their cell, so cell occupancy is exact by
+/// construction. Deterministic for a given (kind, rng state).
+std::vector<Point> deploy_topology(TopologyKind kind,
+                                   std::size_t cells_per_side,
+                                   std::size_t node_count, const Rect& terrain,
+                                   sim::Rng& rng);
+
+}  // namespace wsn::net

@@ -313,6 +313,53 @@ CheckReport check_depletion(const std::vector<TraceEvent>& events) {
   return report;
 }
 
+CheckReport check_stabilization(const std::vector<TraceEvent>& events) {
+  CheckReport report;
+  report.events_seen = events.size();
+
+  // Pass 1: the corruption strikes set the bound; the latest disturbance of
+  // any kind (each can legitimately cause churn of its own) anchors the
+  // quiescence deadline.
+  double bound = 0.0;
+  std::size_t corruptions = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.category == Category::kReliability && ev.name == "fd.corrupt") {
+      bound = std::max(bound, attr_num(ev, "bound"));
+      ++corruptions;
+    }
+  }
+  if (corruptions == 0) return report;  // vacuous without corruption faults
+  report.flows_checked = corruptions;
+  double deadline = 0.0;
+  for (const TraceEvent& ev : events) {
+    if (ev.category != Category::kReliability) continue;
+    if (ev.name == "fd.corrupt" || ev.name == "fault.crash" ||
+        ev.name == "fault.recover" || ev.name == "fault.outage_end" ||
+        ev.name == "fault.burst_end" || ev.name == "energy.depleted") {
+      deadline = std::max(deadline, ev.time + bound);
+    }
+  }
+
+  // Pass 2: any leadership churn after the deadline is a failure to
+  // self-stabilize. Planned handoff claims are energy-driven succession,
+  // not instability.
+  for (const TraceEvent& ev : events) {
+    if (ev.category != Category::kReliability || ev.time <= deadline) continue;
+    const bool churn =
+        ev.name == "fd.elect" || ev.name == "fd.lease_expire" ||
+        ev.name == "fd.audit_conflict" || ev.name == "fd.epoch_regress" ||
+        (ev.name == "fd.claim" && attr_num(ev, "planned") == 0.0);
+    if (churn) {
+      report.issues.push_back(
+          std::string(ev.name) + " at t=" + std::to_string(ev.time) +
+          " (node " + std::to_string(ev.node) +
+          "): leadership churn after the stabilization deadline t=" +
+          std::to_string(deadline));
+    }
+  }
+  return report;
+}
+
 CheckReport check_capture(const JsonValue& metrics_snapshot) {
   CheckReport report;
   const JsonValue* dropped = metrics_snapshot.find("trace.dropped");

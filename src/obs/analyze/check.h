@@ -87,6 +87,21 @@ CheckReport check_failure_detection(const std::vector<TraceEvent>& events);
 /// A trace with no depletion events passes vacuously.
 CheckReport check_depletion(const std::vector<TraceEvent>& events);
 
+/// Self-stabilization invariant over the kReliability stream: after every
+/// disturbance has had its stabilization window, the detector must be
+/// quiescent. Each "fd.corrupt" event (emitted by
+/// FailureDetector::inject_corruption) carries the analytic `bound`
+/// attribute; the quiescence deadline is the latest disturbance in the
+/// trace (fd.corrupt, fault.crash/recover, fault.outage_end,
+/// fault.burst_end, energy.depleted) plus the largest such bound. Any
+/// leadership churn after that deadline — fd.elect, fd.lease_expire,
+/// fd.audit_conflict, fd.epoch_regress, or an unplanned fd.claim — means
+/// the network failed to re-converge from the corrupted state. Planned
+/// handoff claims are exempt (energy-driven succession is progress, not
+/// instability). Passes vacuously when the trace has no fd.corrupt events.
+/// `flows_checked` reports the number of corruption strikes covered.
+CheckReport check_stabilization(const std::vector<TraceEvent>& events);
+
 /// Capture-health check over a metrics snapshot: a nonzero "trace.dropped"
 /// gauge (RingBufferSink::register_metrics) means the companion trace file
 /// is a *suffix* of the run — the sink overwrote its oldest events — so

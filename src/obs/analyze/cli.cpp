@@ -388,9 +388,9 @@ int cmd_check(const Args& args, std::ostream& out) {
     throw std::runtime_error("check: expected exactly one trace file");
   }
   // Single-pass streaming check: every invariant family (structural,
-  // energy, reliability, fd, depletion) folds in as events arrive, and a
-  // flow's state is dropped once it retires — peak RSS tracks live flows,
-  // not capture size.
+  // energy, reliability, fd, depletion, self-stabilization) folds in as
+  // events arrive, and a flow's state is dropped once it retires — peak
+  // RSS tracks live flows, not capture size.
   std::optional<JsonValue> snapshot;
   if (const std::string* metrics = args.flag("--metrics")) {
     snapshot = parse_json(read_file(*metrics));
@@ -723,7 +723,8 @@ void usage(std::ostream& err) {
          "  check TRACE [--metrics FILE] [--retire-lag T]\n"
          "                                     trace invariant checker\n"
          "                                     (incl. ARQ/fault reliability,\n"
-         "                                     fd, and depletion invariants)\n"
+         "                                     fd, depletion, and self-\n"
+         "                                     stabilization invariants)\n"
          "  convert TRACE --out PATH [--format jsonl|wtr] [--segment-bytes N]\n"
          "                                     re-encode a capture (jsonl\n"
          "                                     round-trips byte-identically)\n"

@@ -222,6 +222,22 @@ void StreamingChecker::feed_reliability(const TraceEvent& ev) {
            std::to_string(epoch);
   };
 
+  // Self-stabilization bookkeeping (check_stabilization): disturbances
+  // extend the quiescence deadline; churn candidates must be buffered —
+  // only the deadline known at finish() separates legitimate reaction
+  // from failure to re-converge. fd.corrupt itself is folded in the main
+  // chain below.
+  if (ev.name == "fault.crash" || ev.name == "fault.recover" ||
+      ev.name == "fault.outage_end" || ev.name == "fault.burst_end" ||
+      ev.name == "energy.depleted") {
+    stab_disturb_ = std::max(stab_disturb_, ev.time);
+  } else if (ev.name == "fd.elect" || ev.name == "fd.lease_expire" ||
+             ev.name == "fd.audit_conflict" ||
+             ev.name == "fd.epoch_regress" ||
+             (ev.name == "fd.claim" && attr_num(ev, "planned") == 0.0)) {
+    stab_churn_.push_back({ev.name, ev.node, ev.time});
+  }
+
   if (ev.name == "rel.send") {
     sent_[rel_key(ev)] = ev.time;
     sent_queue_.emplace_back(rel_key(ev), ev.time);
@@ -267,6 +283,10 @@ void StreamingChecker::feed_reliability(const TraceEvent& ev) {
           std::to_string(it->second) + ")");
     }
     last_claim_epoch_[cell] = epoch;
+  } else if (ev.name == "fd.corrupt") {
+    ++stab_corruptions_;
+    stab_bound_ = std::max(stab_bound_, attr_num(ev, "bound"));
+    stab_disturb_ = std::max(stab_disturb_, ev.time);
   } else if (ev.name == "energy.depleted") {
     const double budget = attr_num(ev, "budget", -1.0);
     const double spent = attr_num(ev, "spent", -1.0);
@@ -331,6 +351,20 @@ CheckReport StreamingChecker::finish(const JsonValue* metrics_snapshot) {
   for (const auto& [id, oc] : open) {
     report_.issues.push_back("collective " + std::to_string(id) + " (" +
                              oc->name + "): never completed");
+  }
+
+  // Self-stabilization: with the final quiescence deadline known, re-filter
+  // the buffered churn. Wording matches check_stabilization exactly.
+  if (stab_corruptions_ > 0) {
+    const double deadline = stab_disturb_ + stab_bound_;
+    for (const ChurnEvent& ce : stab_churn_) {
+      if (ce.time <= deadline) continue;
+      report_.issues.push_back(
+          ce.name + " at t=" + std::to_string(ce.time) + " (node " +
+          std::to_string(ce.node) +
+          "): leadership churn after the stabilization deadline t=" +
+          std::to_string(deadline));
+    }
   }
 
   if (metrics_snapshot != nullptr) {

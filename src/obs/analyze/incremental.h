@@ -21,6 +21,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "obs/analyze/check.h"
 #include "obs/analyze/energy.h"
@@ -133,6 +134,20 @@ class StreamingChecker {
 
   // Depletion (bounded by node count).
   std::unordered_map<std::int64_t, double> depleted_at_;
+
+  // Self-stabilization (check_stabilization). Churn candidates must be
+  // buffered until finish(): a later disturbance can extend the quiescence
+  // deadline and legitimize churn that looked late when it streamed past.
+  // Bounded by elections/claims in the trace, not by trace length.
+  struct ChurnEvent {
+    std::string name;
+    std::int64_t node = 0;
+    double time = 0.0;
+  };
+  std::vector<ChurnEvent> stab_churn_;
+  double stab_bound_ = 0.0;
+  double stab_disturb_ = 0.0;
+  std::size_t stab_corruptions_ = 0;
 };
 
 }  // namespace wsn::obs::analyze

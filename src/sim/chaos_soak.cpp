@@ -17,6 +17,7 @@
 #include "net/deployment.h"
 #include "net/link_layer.h"
 #include "net/network_graph.h"
+#include "net/topology_factory.h"
 #include "net/reliable_link.h"
 #include "obs/analyze/check.h"
 #include "obs/analyze/json_reader.h"
@@ -37,17 +38,13 @@ namespace {
 // PhysicalStack (bench_common.h is not visible from src/), but owned here
 // so campaigns can rebuild from scratch deterministically.
 struct Stack {
-  Stack(std::size_t grid_side, std::size_t nodes, double range,
-        std::uint64_t seed)
+  Stack(net::TopologyKind topology, std::size_t grid_side, std::size_t nodes,
+        double range, std::uint64_t seed)
       : sim(seed) {
     const net::Rect terrain =
         net::square_terrain(static_cast<double>(grid_side));
-    net::DeploymentConfig cfg;
-    cfg.kind = net::DeploymentKind::kOnePerCellPlus;
-    cfg.node_count = nodes;
-    cfg.terrain = terrain;
-    cfg.cells_per_side = grid_side;
-    auto positions = net::deploy(cfg, sim.rng());
+    auto positions =
+        net::deploy_topology(topology, grid_side, nodes, terrain, sim.rng());
     graph = std::make_unique<net::NetworkGraph>(std::move(positions), range);
     mapper =
         std::make_unique<emulation::CellMapper>(*graph, terrain, grid_side);
@@ -152,6 +149,7 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   ChaosCampaignResult res;
   res.index = index;
   res.seed = cfg_.seed + index;
+  res.topology = net::to_string(cfg_.topology);
 
   obs::RingBufferSink sink(cfg_.trace_capacity);
   std::unique_ptr<obs::StreamingFileSink> stream;
@@ -187,8 +185,9 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
     sink.clear();
     install_capture();
     obs::tracer().reset_flows(0);
-    stack = std::make_unique<Stack>(cfg_.grid_side, cfg_.node_count,
-                                    cfg_.range, res.seed + 1000003 * retry);
+    stack = std::make_unique<Stack>(cfg_.topology, cfg_.grid_side,
+                                    cfg_.node_count, cfg_.range,
+                                    res.seed + 1000003 * retry);
     if (stack->healthy()) break;
     if (retry > 16) {
       res.findings.push_back("no healthy deployment after 16 seed retries");
@@ -209,6 +208,12 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
     // when the probe goes out.
     dcfg.handoff_low_water = cfg_.depletion_headroom * 0.6;
   }
+  if (cfg_.corruption && dcfg.audit_period <= 0.0) {
+    // Self-stabilization needs the periodic reconciliation rounds: without
+    // audits a corrupted self-believed leader never hears a view to defer
+    // to and the soak could not meet its re-convergence bound.
+    dcfg.audit_period = cfg_.corruption_audit_period;
+  }
   emulation::FailureDetector detector(*stack->overlay, dcfg);
 
   obs::MetricsRegistry registry;
@@ -228,7 +233,33 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   std::vector<bool> hit(grid.node_count(), false);
   hit[grid.index_of({0, 0})] = true;  // never target the collector cell
   double budget = cfg_.severity_budget;
-  for (int attempt = 0; attempt < 64 && budget > 0.0 &&
+  if (cfg_.corruption) {
+    // Corruption-only plans: the soft state of a seeded victim (half the
+    // strikes the cell's bound leader, half a random member) is scrambled
+    // at fire time along a seeded target profile. Victims are resolved to
+    // node ids now so the plan replays without a live binding; the
+    // collector cell stays clear so reduce rounds keep closing.
+    for (int attempt = 0;
+         attempt < 64 && gen.plan.events.size() < cfg_.corruption_events;
+         ++attempt) {
+      const std::size_t ci = rng.below(grid.node_count());
+      const core::GridCoord cell = grid.coord_of(ci);
+      if (cell.row == 0 && cell.col == 0) continue;  // the collector cell
+      const auto members = stack->mapper->members(cell);
+      if (members.empty()) continue;
+      const net::NodeId leader = stack->overlay->bound_node(cell);
+      net::NodeId victim =
+          members[static_cast<std::size_t>(rng.below(members.size()))];
+      if (rng.chance(0.5) && leader != net::kNoNode) victim = leader;
+      FaultEvent ev;
+      ev.at = 5.0 + rng.uniform() * horizon * 0.4;
+      ev.kind = FaultKind::kStateCorruption;
+      ev.node = victim;
+      ev.target = static_cast<CorruptionTarget>(rng.below(4));
+      gen.plan.events.push_back(ev);
+    }
+  }
+  for (int attempt = 0; !cfg_.corruption && attempt < 64 && budget > 0.0 &&
                         gen.plan.events.size() < cfg_.max_plan_events;
        ++attempt) {
     const double draw = rng.uniform();
@@ -360,12 +391,19 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   }
   res.plan_json = gen.plan.to_json();
   res.leader_crashes = gen.leader_crashes.size();
+  for (const FaultEvent& ev : gen.plan.events) {
+    if (ev.kind == FaultKind::kStateCorruption) ++res.corruptions;
+  }
 
   // ---- Run: arm faults, start the detector, push rounds through ---------
   FaultInjector injector(stack->sim, *stack->link, stack->mapper.get());
   injector.set_leader_lookup(
       [&overlay = *stack->overlay](const core::GridCoord& c) {
         return overlay.bound_node(c);
+      });
+  injector.set_corruption_applier(
+      [&detector](net::NodeId node, CorruptionTarget target) {
+        return detector.inject_corruption(node, target);
       });
   injector.register_metrics(registry);
   DepletionMonitor monitor(stack->sim, *stack->link);
@@ -395,9 +433,13 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   const Time settle =
       std::max(stack->sim.now(), arm_time + gen.plan.down_horizon()) +
       detection_bound() + cfg_.detector.uplease_duration +
-      (cfg_.depletion ? cfg_.depletion_grace : 0.0);
+      (cfg_.depletion ? cfg_.depletion_grace : 0.0) +
+      (cfg_.corruption ? detector.stabilization_bound() : 0.0);
   stack->sim.run_until(settle);
   const std::vector<core::GridCoord> split = detector.split_brains();
+  const std::vector<core::GridCoord> unconverged =
+      cfg_.corruption ? detector.unconverged_cells()
+                      : std::vector<core::GridCoord>{};
   const std::vector<emulation::ClaimRecord> claims = detector.claims();
   detector.stop();
   stack->sim.run();
@@ -439,6 +481,43 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   merge("check_failure_detection",
         obs::analyze::check_failure_detection(events));
   merge("check_depletion", obs::analyze::check_depletion(events));
+  if (cfg_.corruption) {
+    // Re-convergence within the analytic bound: no leadership churn after
+    // the last disturbance plus the stabilization window. Strictly
+    // increasing claim epochs per cell are already check_failure_detection
+    // territory; split-brain and end-state agreement are asserted below.
+    merge("check_stabilization", obs::analyze::check_stabilization(events));
+    for (const core::GridCoord& c : unconverged) {
+      finding("cell (" + std::to_string(c.row) + "," + std::to_string(c.col) +
+              ") never re-converged: live members disagree on (leader, "
+              "epoch) or the agreed leader is not serving");
+    }
+    // Worst corruption-to-quiet latency, for reporting and the convergence
+    // bench: the last churn event each strike provoked within its window.
+    std::vector<double> corrupt_times;
+    std::vector<double> churn_times;
+    for (const obs::TraceEvent& ev : events) {
+      if (ev.category != obs::Category::kReliability) continue;
+      if (ev.name == "fd.corrupt") {
+        corrupt_times.push_back(ev.time);
+      } else if (ev.name == "fd.elect" || ev.name == "fd.claim" ||
+                 ev.name == "fd.audit_conflict" ||
+                 ev.name == "fd.audit_heal" ||
+                 ev.name == "fd.epoch_regress" ||
+                 ev.name == "fd.lease_expire") {
+        churn_times.push_back(ev.time);
+      }
+    }
+    const Time stab = detector.stabilization_bound();
+    for (const double t : corrupt_times) {
+      double last = t;
+      for (const double c : churn_times) {
+        if (c > t && c <= t + stab) last = std::max(last, c);
+      }
+      res.max_reconverge_latency =
+          std::max(res.max_reconverge_latency, last - t);
+    }
+  }
 
   res.split_brains = split.size();
   for (const core::GridCoord& c : split) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "emulation/failure_detector.h"
+#include "net/topology_factory.h"
 #include "sim/simulator.h"
 
 namespace wsn::sim {
@@ -80,6 +81,23 @@ struct ChaosSoakConfig {
   double depletion_headroom = 80.0;
   /// Extra settle time so budgeted leaders actually drain to zero.
   Time depletion_grace = 400.0;
+
+  /// Node-placement shape (net/topology_factory.h). kGrid reproduces the
+  /// classic kOnePerCellPlus deployment byte-for-byte; ring/line/mesh/
+  /// clique diversify cell adjacency and flood fan-out so the detector's
+  /// invariants are soaked across structurally different networks.
+  net::TopologyKind topology = net::TopologyKind::kGrid;
+
+  /// Corruption mode: the generator emits *only* state_corruption events
+  /// (seeded victim, seeded target profile), the detector runs with
+  /// self-stabilization audits on (audit_period below, applied when the
+  /// detector config leaves it 0), settle extends by the stabilization
+  /// bound, and the oracle additionally asserts check_stabilization, full
+  /// per-cell end-state agreement (unconverged_cells), and strictly
+  /// increasing claim epochs per cell.
+  bool corruption = false;
+  std::size_t corruption_events = 3;
+  double corruption_audit_period = 15.0;
 };
 
 struct ChaosCampaignResult {
@@ -97,6 +115,12 @@ struct ChaosCampaignResult {
   std::size_t planned_handoffs = 0;  // claims committed via proactive handoff
   std::uint64_t stale_rejected = 0;
   double max_detection_latency = 0.0;  // over tracked leader crashes; 0 if none
+  std::string topology;                // deployment shape the campaign ran on
+  std::size_t corruptions = 0;         // state_corruption events planned
+  /// Worst corruption-to-last-churn latency (corruption mode): for each
+  /// fd.corrupt at t, the last fd churn event in (t, t+bound]; 0 when a
+  /// strike caused no churn at all (a benign scramble).
+  double max_reconverge_latency = 0.0;
 
   bool ok() const { return findings.empty(); }
 };

@@ -237,6 +237,30 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
                      "negative headroom " + std::to_string(ev.headroom));
         }
       }
+    } else if (k == "state_corruption") {
+      ev.kind = FaultKind::kStateCorruption;
+      if (const JsonValue* cell = e.find("cell")) {
+        ev.cell = {static_cast<std::int32_t>(num_field(*cell, "row", -1.0)),
+                   static_cast<std::int32_t>(num_field(*cell, "col", -1.0))};
+        if (ev.cell.row < 0 || ev.cell.col < 0) {
+          fail_event(line, i, "cell needs row and col >= 0");
+        }
+      } else {
+        const double node = num_field(e, "node", -1.0);
+        if (node < 0) {
+          fail_event(line, i, "state_corruption needs \"node\" or \"cell\"");
+        }
+        ev.node = static_cast<net::NodeId>(node);
+      }
+      const JsonValue* target = e.find("target");
+      if (target == nullptr || !target->is_string()) {
+        fail_event(line, i, "state_corruption needs a \"target\" string");
+      }
+      if (!parse_corruption_target(target->string(), ev.target)) {
+        fail_event(line, i,
+                   "unknown corruption target \"" + target->string() +
+                       "\" (want epoch/leader/routes/leases)");
+      }
     } else {
       fail_event(line, i, "unknown kind \"" + k + "\"");
     }
@@ -322,6 +346,18 @@ std::string FaultPlan::to_json() const {
           append_number(out, ev.headroom);
         }
         break;
+      case FaultKind::kStateCorruption:
+        out += ", \"kind\": \"state_corruption\"";
+        if (ev.node != net::kNoNode) {
+          out += ", \"node\": " + std::to_string(ev.node);
+        } else {
+          out += ", \"cell\": {\"row\": " + std::to_string(ev.cell.row) +
+                 ", \"col\": " + std::to_string(ev.cell.col) + "}";
+        }
+        out += ", \"target\": \"";
+        out += to_string(ev.target);
+        out += "\"";
+        break;
     }
     out += "}";
   }
@@ -336,6 +372,7 @@ Time FaultPlan::down_horizon() const {
       case FaultKind::kCrash:
       case FaultKind::kRecover:
       case FaultKind::kSetBudget:
+      case FaultKind::kStateCorruption:
         horizon = std::max(horizon, ev.at);
         break;
       case FaultKind::kRegionOutage:
@@ -423,6 +460,36 @@ void FaultInjector::fire(const FaultEvent& ev) {
                   static_cast<std::int64_t>(target),
                   {{"budget", budget}, {"spent", ledger.spent(target)}});
       ledger.set_budget(target, budget);
+      return;
+    }
+    case FaultKind::kStateCorruption: {
+      net::NodeId target = ev.node;
+      if (target == net::kNoNode) {
+        if (!leader_lookup_) {
+          throw std::runtime_error(
+              "FaultInjector: cell-targeted event without a leader lookup");
+        }
+        target = leader_lookup_(ev.cell);
+        if (target == net::kNoNode) {
+          counters_.add("fault.unresolved");
+          return;  // cell has no bound leader right now; nothing to corrupt
+        }
+      }
+      // Corruption scrambles *soft* state on a live node; a down node has
+      // no live state to scramble, and its rejoin path resynchronizes from
+      // the network anyway.
+      if (is_node_down(target)) {
+        counters_.add("fault.corrupt_down");
+        return;
+      }
+      if (!corruption_applier_) {
+        counters_.add("fault.corrupt_unwired");
+        return;
+      }
+      counters_.add("fault.corrupt");
+      trace_fault(sim_, "fault.corrupt", static_cast<std::int64_t>(target),
+                  {{"target", std::string(to_string(ev.target))}});
+      corruption_applier_(target, ev.target);
       return;
     }
     case FaultKind::kLossBurst: {

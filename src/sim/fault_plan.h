@@ -25,11 +25,25 @@
 //      "row0": 0, "col0": 0, "row1": 1, "col1": 1, "duration": 5.0},
 //     {"at": 2.0, "kind": "set_budget", "node": 7, "budget": 40.0},
 //     {"at": 2.0, "kind": "set_budget", "cell": {"row": 1, "col": 2},
-//      "headroom": 25.0}
+//      "headroom": 25.0},
+//     {"at": 8.0, "kind": "state_corruption", "node": 4, "target": "epoch"},
+//     {"at": 9.0, "kind": "state_corruption",
+//      "cell": {"row": 2, "col": 3}, "target": "leader"}
 //   ]}
-// A "cell"-targeted crash or set_budget resolves to the cell's currently
-// bound leader at fire time (see FaultInjector::set_leader_lookup), so
-// plans stay independent of the seeded deployment's node ids.
+// A "cell"-targeted crash, set_budget, or state_corruption resolves to the
+// cell's currently bound leader at fire time (see
+// FaultInjector::set_leader_lookup), so plans stay independent of the
+// seeded deployment's node ids.
+//
+// state_corruption scrambles a live node's *soft* protocol state (nothing
+// physical goes down): "target" selects the victim state — "epoch" (binding
+// epoch regressed or jumped), "leader" (believed-leader pointer repointed),
+// "routes" (overlay route-table entries scrambled), or "leases"
+// (failure-detector lease / suspicion state poisoned). The concrete
+// scrambled values are drawn from the simulator's seeded RNG at fire time,
+// so a plan + seed fully determine the corrupted state (the self-
+// stabilization soak replays byte-identically). Corrupting a down node is
+// a no-op that bumps the "fault.corrupt_down" counter.
 //
 // set_budget gives the target a finite battery (EnergyLedger::set_budget):
 // "budget" is absolute; "headroom" resolves at fire time to the node's
@@ -62,12 +76,56 @@ class CellMapper;
 namespace wsn::sim {
 
 enum class FaultKind : std::uint8_t {
-  kCrash,         // one node goes down (permanently, unless recovered)
-  kRecover,       // one node comes back up
-  kLossBurst,     // flat link-loss probability raised for a window
-  kRegionOutage,  // every node in a rectangle of grid cells down for a window
-  kSetBudget,     // one node's battery becomes finite (depletion fault)
+  kCrash,            // one node goes down (permanently, unless recovered)
+  kRecover,          // one node comes back up
+  kLossBurst,        // flat link-loss probability raised for a window
+  kRegionOutage,     // every node in a rectangle of grid cells down for a window
+  kSetBudget,        // one node's battery becomes finite (depletion fault)
+  kStateCorruption,  // one live node's soft protocol state is scrambled
 };
+
+/// Which slice of a node's soft state a state_corruption event scrambles.
+enum class CorruptionTarget : std::uint8_t {
+  kEpoch,   // binding epoch regressed or jumped
+  kLeader,  // believed-leader pointer repointed
+  kRoutes,  // overlay route-table entries scrambled
+  kLeases,  // failure-detector lease / suspicion state poisoned
+};
+
+/// Stable name used in plan JSON and trace attributes
+/// ("epoch" / "leader" / "routes" / "leases"). Inline so protocol layers
+/// (emulation::FailureDetector) can name targets without linking the fault
+/// library.
+inline const char* to_string(CorruptionTarget target) {
+  switch (target) {
+    case CorruptionTarget::kEpoch:
+      return "epoch";
+    case CorruptionTarget::kLeader:
+      return "leader";
+    case CorruptionTarget::kRoutes:
+      return "routes";
+    case CorruptionTarget::kLeases:
+      return "leases";
+  }
+  return "unknown";
+}
+
+/// Parses a corruption-target name; returns false on an unknown name.
+inline bool parse_corruption_target(const std::string& name,
+                                    CorruptionTarget& out) {
+  if (name == "epoch") {
+    out = CorruptionTarget::kEpoch;
+  } else if (name == "leader") {
+    out = CorruptionTarget::kLeader;
+  } else if (name == "routes") {
+    out = CorruptionTarget::kRoutes;
+  } else if (name == "leases") {
+    out = CorruptionTarget::kLeases;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 struct FaultEvent {
   /// Offset from the campaign start (arm() time), not an absolute sim time:
@@ -91,6 +149,8 @@ struct FaultEvent {
   /// battery; `headroom` resolves to spend-at-fire-time + headroom.
   double budget = -1.0;
   double headroom = -1.0;
+  /// kStateCorruption: which slice of soft state gets scrambled.
+  CorruptionTarget target = CorruptionTarget::kEpoch;
 };
 
 struct FaultPlan {
@@ -139,6 +199,15 @@ class FaultInjector {
     leader_lookup_ = std::move(fn);
   }
 
+  /// Receives state_corruption events at fire time (e.g. bound to
+  /// FailureDetector::inject_corruption). Returns true if any state was
+  /// actually scrambled. Without an applier, corruption events count as
+  /// unapplied ("fault.corrupt_unwired").
+  void set_corruption_applier(
+      std::function<bool(net::NodeId, CorruptionTarget)> fn) {
+    corruption_applier_ = std::move(fn);
+  }
+
   /// Schedules every event of `plan` on the simulator, `at` seconds from
   /// now. Negative offsets fire immediately.
   void arm(const FaultPlan& plan);
@@ -158,6 +227,7 @@ class FaultInjector {
   core::VirtualNetwork* vnet_ = nullptr;
   const emulation::CellMapper* mapper_ = nullptr;
   std::function<net::NodeId(const core::GridCoord&)> leader_lookup_;
+  std::function<bool(net::NodeId, CorruptionTarget)> corruption_applier_;
   CounterSet counters_;
 };
 

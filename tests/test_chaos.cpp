@@ -117,5 +117,76 @@ TEST(ChaosSoak, DetectionLatencyWithinBound) {
       << "the first 8 campaigns should include at least one leader crash";
 }
 
+// ---- Adversarial state-corruption soak ----------------------------------
+
+TEST(ChaosSoak, CorruptionSoakReconvergesAcrossTopologies) {
+  // >= 12 corruption campaigns spanning grid, ring, and mesh: every plan
+  // carries only state_corruption strikes, the detector runs with audits
+  // on, and the oracle (check_stabilization + end-state agreement + zero
+  // split-brain + the analytic re-convergence bound) must hold on all of
+  // them.
+  const net::TopologyKind topologies[] = {net::TopologyKind::kGrid,
+                                          net::TopologyKind::kRing,
+                                          net::TopologyKind::kMesh};
+  std::size_t corruptions = 0;
+  for (const net::TopologyKind topo : topologies) {
+    sim::ChaosSoakConfig cfg;
+    cfg.corruption = true;
+    cfg.topology = topo;
+    cfg.campaigns = 4;
+    const sim::ChaosSoak soak(cfg);
+    const double bound = 2.5 * cfg.detector.lease_duration +
+                         1.5 * cfg.detector.election_timeout +
+                         cfg.corruption_audit_period + 10.0;
+    for (std::size_t k = 0; k < cfg.campaigns; ++k) {
+      const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+      EXPECT_EQ(res.topology, net::to_string(topo));
+      EXPECT_GT(res.corruptions, 0u);
+      corruptions += res.corruptions;
+      EXPECT_EQ(res.split_brains, 0u);
+      EXPECT_LE(res.max_reconverge_latency, bound)
+          << res.topology << " campaign " << k << " (seed " << res.seed
+          << ")";
+      for (const std::string& f : res.findings) {
+        ADD_FAILURE() << res.topology << " campaign " << k << " (seed "
+                      << res.seed << "): " << f << "\nplan: " << res.plan_json;
+      }
+    }
+  }
+  EXPECT_GE(corruptions, 12u);
+}
+
+TEST(ChaosSoak, CorruptionCampaignReplaysByteIdentically) {
+  sim::ChaosSoakConfig cfg;
+  cfg.corruption = true;
+  cfg.topology = net::TopologyKind::kRing;
+  const sim::ChaosSoak soak(cfg);
+  const auto first = soak.run_campaign(4, /*keep_trace=*/true);
+  const auto second = soak.run_campaign(4, /*keep_trace=*/true);
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.plan_json, second.plan_json);
+  EXPECT_EQ(first.corruptions, second.corruptions);
+  EXPECT_EQ(first.max_reconverge_latency, second.max_reconverge_latency);
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl)
+      << "corruption campaigns must replay byte-for-byte";
+}
+
+TEST(ChaosSoak, CorruptionPlansCarryOnlyCorruptionEvents) {
+  sim::ChaosSoakConfig cfg;
+  cfg.corruption = true;
+  cfg.topology = net::TopologyKind::kMesh;
+  const sim::ChaosSoak soak(cfg);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+    const sim::FaultPlan plan = sim::FaultPlan::from_json(res.plan_json);
+    ASSERT_FALSE(plan.events.empty());
+    for (const sim::FaultEvent& ev : plan.events) {
+      EXPECT_EQ(ev.kind, sim::FaultKind::kStateCorruption);
+      EXPECT_GE(ev.at, 0.0);
+    }
+    EXPECT_EQ(plan.events.size(), res.corruptions);
+  }
+}
+
 }  // namespace
 }  // namespace wsn

@@ -403,6 +403,145 @@ TEST(FaultPlanJson, DownHorizonCoversOutagesNotLossBursts) {
   EXPECT_DOUBLE_EQ(sim::FaultPlan{}.down_horizon(), 0.0);
 }
 
+// ---- Adversarial state corruption (plan + fire paths) -------------------
+
+TEST(FaultPlanJson, ParsesStateCorruptionForms) {
+  const auto plan = sim::FaultPlan::from_json(R"({"events": [
+    {"at": 4.0, "kind": "state_corruption", "node": 9, "target": "epoch"},
+    {"at": 6.0, "kind": "state_corruption", "cell": {"row": 2, "col": 3},
+     "target": "routes"}
+  ]})");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, sim::FaultKind::kStateCorruption);
+  EXPECT_EQ(plan.events[0].node, 9u);
+  EXPECT_EQ(plan.events[0].target, sim::CorruptionTarget::kEpoch);
+  EXPECT_EQ(plan.events[1].node, net::kNoNode);
+  EXPECT_EQ(plan.events[1].cell.row, 2);
+  EXPECT_EQ(plan.events[1].cell.col, 3);
+  EXPECT_EQ(plan.events[1].target, sim::CorruptionTarget::kRoutes);
+  // Corruption contributes its strike time to the settle horizon.
+  EXPECT_DOUBLE_EQ(plan.down_horizon(), 6.0);
+}
+
+TEST(FaultPlanJson, StateCorruptionRoundTrips) {
+  const auto plan = sim::FaultPlan::from_json(R"({"events": [
+    {"at": 1.0, "kind": "state_corruption", "node": 5, "target": "leader"},
+    {"at": 2.0, "kind": "state_corruption", "cell": {"row": 1, "col": 1},
+     "target": "leases"}
+  ]})");
+  const std::string serialized = plan.to_json();
+  const auto reparsed = sim::FaultPlan::from_json(serialized);
+  ASSERT_EQ(reparsed.events.size(), 2u);
+  EXPECT_EQ(reparsed.to_json(), serialized);
+  EXPECT_EQ(reparsed.events[0].target, sim::CorruptionTarget::kLeader);
+  EXPECT_EQ(reparsed.events[1].target, sim::CorruptionTarget::kLeases);
+}
+
+TEST(FaultPlanJson, StateCorruptionRejectionsNameLineAndEvent) {
+  const std::string unknown = rejection_message(
+      "{\"events\": [\n"
+      "  {\"at\": 1.0, \"kind\": \"crash\", \"node\": 3},\n"
+      "  {\"at\": 2.0, \"kind\": \"state_corruption\", \"node\": 4, "
+      "\"target\": \"karma\"}\n"
+      "]}");
+  EXPECT_NE(unknown.find("line 3"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("event #2"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("karma"), std::string::npos) << unknown;
+
+  const std::string no_target = rejection_message(
+      R"({"events": [{"at": 1.0, "kind": "state_corruption", "node": 4}]})");
+  EXPECT_NE(no_target.find("\"target\""), std::string::npos) << no_target;
+  EXPECT_NE(no_target.find("event #1"), std::string::npos) << no_target;
+
+  const std::string no_victim = rejection_message(
+      R"({"events": [{"at": 1.0, "kind": "state_corruption",
+                      "target": "epoch"}]})");
+  EXPECT_NE(no_victim.find("\"node\" or \"cell\""), std::string::npos)
+      << no_victim;
+
+  const std::string neg_at = rejection_message(
+      R"({"events": [{"at": -2.0, "kind": "state_corruption", "node": 1,
+                      "target": "epoch"}]})");
+  EXPECT_NE(neg_at.find("negative time"), std::string::npos) << neg_at;
+}
+
+TEST(FaultPlanFire, CellTargetedCorruptionResolvesLeaderAtFireTime) {
+  bench::PhysicalStack stack(4, 60, 1.3, 7);
+  ASSERT_TRUE(stack.healthy());
+  sim::FaultInjector injector(stack.sim, *stack.link, stack.mapper.get());
+  injector.set_leader_lookup(
+      [&](const GridCoord& c) { return stack.overlay->bound_node(c); });
+  std::vector<std::pair<net::NodeId, sim::CorruptionTarget>> hits;
+  injector.set_corruption_applier(
+      [&](net::NodeId n, sim::CorruptionTarget t) {
+        hits.emplace_back(n, t);
+        return true;
+      });
+  injector.arm(sim::FaultPlan::from_json(R"({"events": [
+    {"at": 2.0, "kind": "state_corruption", "cell": {"row": 1, "col": 1},
+     "target": "leases"}
+  ]})"));
+  stack.sim.run();
+  const net::NodeId leader = stack.overlay->bound_node({1, 1});
+  ASSERT_NE(leader, net::kNoNode);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, leader);
+  EXPECT_EQ(hits[0].second, sim::CorruptionTarget::kLeases);
+  EXPECT_EQ(injector.counters().get("fault.corrupt"), 1u);
+}
+
+TEST(FaultPlanFire, CorruptionOfDownNodeIsANoOp) {
+  bench::PhysicalStack stack(4, 60, 1.3, 7);
+  ASSERT_TRUE(stack.healthy());
+  const net::NodeId victim = stack.overlay->bound_node({2, 2});
+  ASSERT_NE(victim, net::kNoNode);
+  sim::FaultInjector injector(stack.sim, *stack.link, stack.mapper.get());
+  std::size_t applied = 0;
+  injector.set_corruption_applier(
+      [&](net::NodeId, sim::CorruptionTarget) {
+        ++applied;
+        return true;
+      });
+  sim::FaultPlan plan;
+  sim::FaultEvent crash;
+  crash.at = 1.0;
+  crash.kind = sim::FaultKind::kCrash;
+  crash.node = victim;
+  plan.events.push_back(crash);
+  sim::FaultEvent corrupt;
+  corrupt.at = 2.0;
+  corrupt.kind = sim::FaultKind::kStateCorruption;
+  corrupt.node = victim;
+  corrupt.target = sim::CorruptionTarget::kEpoch;
+  plan.events.push_back(corrupt);
+  injector.arm(plan);
+  stack.sim.run();
+  // A down node has no live soft state to scramble: the strike is counted
+  // as skipped and the applier never runs.
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(injector.counters().get("fault.corrupt_down"), 1u);
+  EXPECT_EQ(injector.counters().get("fault.corrupt"), 0u);
+}
+
+TEST(FaultPlanFire, CorruptionWithoutApplierCountsUnwired) {
+  bench::PhysicalStack stack(4, 60, 1.3, 7);
+  ASSERT_TRUE(stack.healthy());
+  const net::NodeId victim = stack.overlay->bound_node({0, 1});
+  ASSERT_NE(victim, net::kNoNode);
+  sim::FaultInjector injector(stack.sim, *stack.link, stack.mapper.get());
+  sim::FaultPlan plan;
+  sim::FaultEvent corrupt;
+  corrupt.at = 1.0;
+  corrupt.kind = sim::FaultKind::kStateCorruption;
+  corrupt.node = victim;
+  corrupt.target = sim::CorruptionTarget::kRoutes;
+  plan.events.push_back(corrupt);
+  injector.arm(plan);
+  stack.sim.run();
+  EXPECT_EQ(injector.counters().get("fault.corrupt_unwired"), 1u);
+  EXPECT_EQ(injector.counters().get("fault.corrupt"), 0u);
+}
+
 // ---- Deadline-bounded collectives on the virtual layer ------------------
 
 std::vector<GridCoord> all_coords(std::size_t side) {

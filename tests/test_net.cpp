@@ -8,6 +8,7 @@
 #include "net/link_layer.h"
 #include "net/network_graph.h"
 #include "net/radio.h"
+#include "net/topology_factory.h"
 #include "sim/simulator.h"
 
 namespace wsn::net {
@@ -57,6 +58,83 @@ TEST(Deployment, OnePerCellRejectsTooFewNodes) {
   cfg.terrain = square_terrain(10.0);
   cfg.cells_per_side = 4;  // needs >= 16
   EXPECT_THROW(deploy(cfg, rng), std::invalid_argument);
+}
+
+// ---- TopologyFactory: diversified per-cell shapes -----------------------
+
+TEST(TopologyFactory, NamesRoundTrip) {
+  const TopologyKind kinds[] = {TopologyKind::kGrid, TopologyKind::kRing,
+                                TopologyKind::kLine, TopologyKind::kMesh,
+                                TopologyKind::kClique};
+  for (const TopologyKind k : kinds) {
+    TopologyKind parsed{};
+    ASSERT_TRUE(parse_topology(to_string(k), parsed)) << to_string(k);
+    EXPECT_EQ(parsed, k);
+  }
+  TopologyKind out = TopologyKind::kRing;
+  EXPECT_FALSE(parse_topology("torus", out));
+  EXPECT_EQ(out, TopologyKind::kRing);  // failure leaves `out` untouched
+}
+
+TEST(TopologyFactory, EveryShapeCoversAllCellsAndStaysInTerrain) {
+  const Rect terrain = square_terrain(40.0);
+  const TopologyKind kinds[] = {TopologyKind::kRing, TopologyKind::kLine,
+                                TopologyKind::kMesh, TopologyKind::kClique};
+  for (const TopologyKind k : kinds) {
+    sim::Rng rng(11);
+    const auto pts = deploy_topology(k, 4, 60, terrain, rng);
+    ASSERT_EQ(pts.size(), 60u) << to_string(k);
+    for (const Point& p : pts) {
+      EXPECT_TRUE(terrain.contains(p)) << to_string(k);
+    }
+    EXPECT_TRUE(covers_all_cells(pts, terrain, 4)) << to_string(k);
+  }
+}
+
+TEST(TopologyFactory, GridDelegatesToOnePerCellPlusByteForByte) {
+  const Rect terrain = square_terrain(40.0);
+  sim::Rng factory_rng(17);
+  const auto factory_pts =
+      deploy_topology(TopologyKind::kGrid, 4, 60, terrain, factory_rng);
+
+  sim::Rng classic_rng(17);
+  DeploymentConfig cfg;
+  cfg.kind = DeploymentKind::kOnePerCellPlus;
+  cfg.node_count = 60;
+  cfg.terrain = terrain;
+  cfg.cells_per_side = 4;
+  const auto classic_pts = deploy(cfg, classic_rng);
+
+  // Same positions AND same RNG consumption: seeded runs that switch to the
+  // factory replay byte-identically on the default topology.
+  ASSERT_EQ(factory_pts.size(), classic_pts.size());
+  for (std::size_t i = 0; i < factory_pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(factory_pts[i].x, classic_pts[i].x) << i;
+    EXPECT_DOUBLE_EQ(factory_pts[i].y, classic_pts[i].y) << i;
+  }
+  EXPECT_EQ(factory_rng.below(1u << 30), classic_rng.below(1u << 30));
+}
+
+TEST(TopologyFactory, DeterministicForFixedSeed) {
+  const Rect terrain = square_terrain(40.0);
+  for (const TopologyKind k :
+       {TopologyKind::kRing, TopologyKind::kMesh, TopologyKind::kClique}) {
+    sim::Rng a(23), b(23);
+    const auto pa = deploy_topology(k, 4, 60, terrain, a);
+    const auto pb = deploy_topology(k, 4, 60, terrain, b);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_DOUBLE_EQ(pa[i].x, pb[i].x) << to_string(k) << " " << i;
+      EXPECT_DOUBLE_EQ(pa[i].y, pb[i].y) << to_string(k) << " " << i;
+    }
+  }
+}
+
+TEST(TopologyFactory, RejectsTooFewNodes) {
+  const Rect terrain = square_terrain(10.0);
+  sim::Rng rng(3);
+  EXPECT_THROW(deploy_topology(TopologyKind::kRing, 4, 10, terrain, rng),
+               std::invalid_argument);
 }
 
 TEST(Deployment, PerturbedGridAndClusteredStayInside) {

@@ -21,6 +21,7 @@ build_dir=${1:-build}
 out=${2:-BENCH_BASELINE.json}
 
 benches=(
+  bench_convergence
   bench_detection_latency
   bench_dnc_vs_centralized
   bench_fanout_ablation

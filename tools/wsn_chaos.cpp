@@ -10,8 +10,20 @@
 //
 // Usage:
 //   wsn-chaos [--campaigns N] [--seed S] [--grid N] [--nodes N]
-//             [--rounds N] [--budget X] [--depletion] [--out DIR] [--only K]
+//             [--rounds N] [--budget X] [--depletion] [--corruption]
+//             [--topology grid|ring|line|mesh|clique] [--out DIR] [--only K]
 //             [--trace-out DIR] [--profile PATH] [--verbose]
+//
+// --topology selects the node-placement shape (net/topology_factory.h);
+// grid is the classic kOnePerCellPlus deployment, the others diversify
+// cell adjacency so the detector soaks across structurally different
+// networks.
+//
+// --corruption switches the generator into adversarial state-corruption
+// mode: plans carry only state_corruption events, the detector runs its
+// self-stabilization audit rounds, and every campaign must re-converge to
+// one correct leader per cell within the analytic stabilization bound
+// (check_stabilization + end-state agreement + zero split-brain).
 //
 // --trace-out streams every campaign's capture to DIR/campaign_<k>/ as wtr
 // segments while it runs (obs/stream_sink.h) — bounded memory regardless of
@@ -31,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/profiler.h"
 #include "sim/chaos_soak.h"
 
@@ -45,14 +58,25 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
-void report(const wsn::sim::ChaosCampaignResult& res, bool verbose,
-            const std::string& out_dir) {
-  std::printf(
-      "campaign %2zu  seed=%llu  events=%zu  claims=%zu  leader_crashes=%zu  "
-      "depletions=%zu  handoffs=%zu  max_latency=%.2f  %s\n",
-      res.index, static_cast<unsigned long long>(res.seed), res.events,
-      res.claims, res.leader_crashes, res.depletions, res.planned_handoffs,
-      res.max_detection_latency, res.ok() ? "PASS" : "FAIL");
+void report(const wsn::sim::ChaosCampaignResult& res, bool corruption,
+            bool verbose, const std::string& out_dir) {
+  if (corruption) {
+    std::printf(
+        "campaign %2zu  topo=%s  seed=%llu  events=%zu  corruptions=%zu  "
+        "claims=%zu  reconverge=%.2f  %s\n",
+        res.index, res.topology.c_str(),
+        static_cast<unsigned long long>(res.seed), res.events, res.corruptions,
+        res.claims, res.max_reconverge_latency, res.ok() ? "PASS" : "FAIL");
+  } else {
+    std::printf(
+        "campaign %2zu  topo=%s  seed=%llu  events=%zu  claims=%zu  "
+        "leader_crashes=%zu  depletions=%zu  handoffs=%zu  max_latency=%.2f  "
+        "%s\n",
+        res.index, res.topology.c_str(),
+        static_cast<unsigned long long>(res.seed), res.events, res.claims,
+        res.leader_crashes, res.depletions, res.planned_handoffs,
+        res.max_detection_latency, res.ok() ? "PASS" : "FAIL");
+  }
   if (verbose || !res.ok()) {
     for (const std::string& f : res.findings) {
       std::printf("  FINDING: %s\n", f.c_str());
@@ -99,6 +123,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--depletion") {
       cfg.depletion = true;
       cfg.trace_capacity = 1u << 20;  // longer campaigns, bigger capture
+    } else if (arg == "--corruption") {
+      cfg.corruption = true;
+    } else if (arg == "--topology") {
+      const char* name = next();
+      if (!wsn::net::parse_topology(name, cfg.topology)) {
+        std::fprintf(stderr,
+                     "wsn-chaos: unknown topology %s "
+                     "(want grid|ring|line|mesh|clique)\n",
+                     name);
+        return 2;
+      }
     } else if (arg == "--profile") {
       profile_path = next();
     } else if (arg == "--out") {
@@ -114,6 +149,7 @@ int main(int argc, char** argv) {
                    "wsn-chaos: unknown argument %s\n"
                    "usage: wsn-chaos [--campaigns N] [--seed S] [--grid N] "
                    "[--nodes N] [--rounds N] [--budget X] [--depletion] "
+                   "[--corruption] [--topology grid|ring|line|mesh|clique] "
                    "[--out DIR] [--only K] [--trace-out DIR] "
                    "[--profile PATH] [--verbose]\n",
                    arg.c_str());
@@ -126,24 +162,41 @@ int main(int argc, char** argv) {
   }
 
   const wsn::sim::ChaosSoak soak(cfg);
-  std::printf("chaos soak: grid %zux%zu, %zu nodes, %zu campaigns, seed %llu, "
-              "detection bound %.1f\n",
-              cfg.grid_side, cfg.grid_side, cfg.node_count, cfg.campaigns,
+  std::printf("chaos soak: topology %s, grid %zux%zu, %zu nodes, "
+              "%zu campaigns, seed %llu, detection bound %.1f%s\n",
+              wsn::net::to_string(cfg.topology), cfg.grid_side, cfg.grid_side,
+              cfg.node_count, cfg.campaigns,
               static_cast<unsigned long long>(cfg.seed),
-              soak.detection_bound());
+              soak.detection_bound(),
+              cfg.corruption ? " (corruption mode)" : "");
 
+  // Per-campaign worst latencies, for the percentile summary: detection
+  // latency normally, re-convergence latency in corruption mode.
+  const double hist_hi = 4.0 * soak.detection_bound();
+  wsn::obs::Histogram latencies(0.0, hist_hi, 64);
   std::size_t failed = 0;
-  if (only >= 0) {
-    const auto res =
-        soak.run_campaign(static_cast<std::size_t>(only), /*keep_trace=*/true);
-    report(res, verbose, out_dir);
+  const auto take = [&](const wsn::sim::ChaosCampaignResult& res) {
+    report(res, cfg.corruption, verbose, out_dir);
     if (!res.ok()) ++failed;
+    const double lat = cfg.corruption ? res.max_reconverge_latency
+                                      : res.max_detection_latency;
+    if (lat > 0.0) latencies.add(lat);
+  };
+  if (only >= 0) {
+    take(soak.run_campaign(static_cast<std::size_t>(only),
+                           /*keep_trace=*/true));
   } else {
     for (std::size_t k = 0; k < cfg.campaigns; ++k) {
-      const auto res = soak.run_campaign(k, /*keep_trace=*/false);
-      report(res, verbose, out_dir);
-      if (!res.ok()) ++failed;
+      take(soak.run_campaign(k, /*keep_trace=*/false));
     }
+  }
+  if (latencies.count() > 0) {
+    std::printf("%s latency over %llu campaign(s): p50=%.2f p90=%.2f "
+                "p99=%.2f max=%.2f\n",
+                cfg.corruption ? "reconverge" : "detection",
+                static_cast<unsigned long long>(latencies.count()),
+                latencies.p50(), latencies.p90(), latencies.p99(),
+                latencies.max());
   }
   if (!profile_path.empty()) {
     wsn::obs::profiler().disarm();
