@@ -199,8 +199,14 @@ int main(int argc, char** argv) {
     buf << in.rdbuf();
     const sim::FaultPlan plan = sim::FaultPlan::from_json(buf.str());
     bool has_corruption = false;
+    bool has_membership = false;
     for (const sim::FaultEvent& ev : plan.events) {
-      if (ev.kind == sim::FaultKind::kStateCorruption) has_corruption = true;
+      if (ev.kind == sim::FaultKind::kStateCorruption) {
+        has_corruption = true;
+        if (ev.target == sim::CorruptionTarget::kMembership) {
+          has_membership = true;
+        }
+      }
     }
 
     if (profiling) obs::profiler().begin_phase("campaign");
@@ -225,6 +231,9 @@ int main(int argc, char** argv) {
     // when the plan actually corrupts state; the classic campaigns keep the
     // audit-free (byte-identical) detector schedule.
     if (has_corruption) fd_cfg.audit_period = 15.0;
+    // Membership-target strikes additionally need live beliefs/rosters
+    // (and the adoption machinery) to have anything to scramble and heal.
+    if (has_membership) fd_cfg.membership = true;
     c.detector =
         std::make_unique<emulation::FailureDetector>(*c.stack.overlay, fd_cfg);
     c.injector = std::make_unique<sim::FaultInjector>(
@@ -281,6 +290,8 @@ int main(int argc, char** argv) {
     c.stack.sim.run_until(c.stack.sim.now() + settle);
     const std::size_t unconverged =
         has_corruption ? c.detector->unconverged_cells().size() : 0;
+    const std::size_t member_violations =
+        has_membership ? c.detector->membership_violations().size() : 0;
     c.detector->stop();
     c.stack.sim.run();
     std::printf("leader elections    : %zu\n", c.detector->claims().size());
@@ -311,6 +322,21 @@ int main(int argc, char** argv) {
       std::printf("re-convergence      : %zu cells unconverged after the "
                   "%.0fs stabilization bound\n",
                   unconverged, c.detector->stabilization_bound());
+    }
+    if (has_membership) {
+      std::printf("membership repairs  : %llu beliefs healed, %llu rosters "
+                  "reinstated\n",
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.member_heal")),
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.roster_heal")));
+      std::printf("membership          : %zu violations after settle "
+                  "(adoptions %llu, proxy binds %llu)\n",
+                  member_violations,
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.adopt")),
+                  static_cast<unsigned long long>(
+                      c.detector->counters().get("fd.adopt_bind")));
     }
   }
 

@@ -14,7 +14,9 @@ namespace wsn::emulation {
 /// flood's own cell, or the child cell of an uplease); `dst_cell` is only
 /// used by hop-routed upleases.
 struct FailureDetector::FdMsg {
-  enum Kind : std::uint8_t { kBeat, kElect, kClaim, kSync, kUpLease, kAudit };
+  enum Kind : std::uint8_t {
+    kBeat, kElect, kClaim, kSync, kUpLease, kAudit, kJoin
+  };
   Kind kind = kBeat;
   core::GridCoord cell{0, 0};
   core::GridCoord dst_cell{0, 0};
@@ -24,8 +26,17 @@ struct FailureDetector::FdMsg {
   net::NodeId old_leader = net::kNoNode;  // claim: the deposed leader
   double score = 0.0;                     // elect: best key's score so far
   net::NodeId origin = net::kNoNode;      // elect: best key's node id
+                                          // join: the orphan
   double residual = 0.0;                  // elect: best key's residual energy
   bool handoff = false;                   // elect: solicited by the leader
+  // Membership mode only (zero/defaulted otherwise):
+  core::GridCoord src_cell{-1, -1};   // sender's cell belief; join: the
+                                      // cell the orphan abandoned
+  std::uint64_t roster_digest = 0;    // audit: digest of the leader's roster
+  std::uint32_t roster_size = 0;      // audit: entries behind the digest
+  bool last = false;  // join: orphan's evidence it was the cell's last
+                      // reachable member (a full lease of total silence)
+  OverlayNetwork::RouteState route{};  // hop-routed frames: detour state
 };
 
 namespace {
@@ -46,6 +57,152 @@ bool key_less(double ra, double sa, net::NodeId ia, double rb, double sb,
 FailureDetector::FailureDetector(OverlayNetwork& overlay,
                                  FailureDetectorConfig cfg)
     : overlay_(overlay), cfg_(cfg) {}
+
+FailureDetector::~FailureDetector() {
+  if (overlay_.membership_view() == membership_.get()) {
+    overlay_.set_membership_view(nullptr);
+  }
+}
+
+core::GridCoord FailureDetector::cell_view(net::NodeId i) const {
+  return membership_ != nullptr ? membership_->cell_of(i)
+                                : mapper().cell_of(i);
+}
+
+void FailureDetector::rebuild_cell_neighbors(net::NodeId i) {
+  cell_neighbors_[i].clear();
+  for (net::NodeId v : link().graph().neighbors(i)) {
+    if (cell_view(v) == cell_view(i)) cell_neighbors_[i].push_back(v);
+  }
+}
+
+void FailureDetector::move_belief(net::NodeId i, const core::GridCoord& to) {
+  membership_->set_cell_of(i, to);
+  adopted_[i] = !(to == mapper().cell_of(i));
+  rebuild_cell_neighbors(i);
+  for (net::NodeId v : link().graph().neighbors(i)) rebuild_cell_neighbors(v);
+}
+
+bool FailureDetector::heal_belief(net::NodeId i) {
+  if (membership_ == nullptr || adopted_[i]) return false;
+  const core::GridCoord truth = mapper().cell_of(i);
+  if (membership_->cell_of(i) == truth) return false;
+  // Every node can recompute its cell from its own (x, y) and the terrain
+  // (Section 5.1 local knowledge), so a defected belief is detectable the
+  // moment the node inspects it — PraSLE-style local checking. Adopted
+  // orphans never reach this: their divergence is deliberate.
+  const core::GridCoord was = membership_->cell_of(i);
+  move_belief(i, truth);
+  counters_.add("fd.member_heal");
+  trace_fd("fd.member_heal", i,
+           {{"from_row", static_cast<std::int64_t>(was.row)},
+            {"from_col", static_cast<std::int64_t>(was.col)},
+            {"row", static_cast<std::int64_t>(truth.row)},
+            {"col", static_cast<std::int64_t>(truth.col)}});
+  // Re-anchor on the true cell's announced binding; the next beat corrects
+  // any staleness via adopt-if-newer.
+  const std::size_t ci = overlay_.grid().index_of(truth);
+  believed_leader_[i] = cell_leader_[ci];
+  epoch_[i] = overlay_.binding_epoch(truth);
+  last_cell_frame_[i] = sim().now();
+  if (believed_leader_[i] != i) renew_lease(i);
+  return true;
+}
+
+bool FailureDetector::try_adopt(net::NodeId i) {
+  // Component-based re-formation (the clustering scheme in PAPERS.md):
+  // candidates are the belief cells of the node's live-looking radio
+  // neighbors — local knowledge only. "Nearest" is the geometric distance
+  // to the candidate cell's center; ties break on the iteration order of
+  // the (id-sorted) neighbor list, so the choice is deterministic.
+  const core::GridCoord here = cell_view(i);
+  const net::Point& pos = link().graph().position(i);
+  core::GridCoord best{-1, -1};
+  net::NodeId gateway = net::kNoNode;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (net::NodeId v : link().graph().neighbors(i)) {
+    const core::GridCoord c = cell_view(v);
+    if (c == here || overlay_.is_suspected(v)) continue;
+    const net::Point ctr = mapper().cell_center(c);
+    const double dx = ctr.x - pos.x;
+    const double dy = ctr.y - pos.y;
+    const double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+      gateway = v;
+    }
+  }
+  if (gateway == net::kNoNode) {
+    // Fully isolated: nobody to defect to. Stay put; the next lease cycle
+    // retries (a recovery may restore a neighbor).
+    counters_.add("fd.stranded");
+    trace_fd("fd.stranded", i,
+             {{"row", static_cast<std::int64_t>(here.row)},
+              {"col", static_cast<std::int64_t>(here.col)}});
+    return false;
+  }
+  move_belief(i, best);
+  adoptions_.push_back({i, here, best, sim().now()});
+  counters_.add("fd.adopt");
+  trace_fd("fd.adopt", i,
+           {{"from_row", static_cast<std::int64_t>(here.row)},
+            {"from_col", static_cast<std::int64_t>(here.col)},
+            {"row", static_cast<std::int64_t>(best.row)},
+            {"col", static_cast<std::int64_t>(best.col)},
+            {"last", static_cast<std::uint64_t>(1)},
+            {"bound", stabilization_bound()}});
+  // Join the adopter cell's protocol: anchor on its announced binding and
+  // hang off its intra-cell tree, then announce the adoption to its leader
+  // (one hop to the gateway, then a climb).
+  const std::size_t di = overlay_.grid().index_of(best);
+  believed_leader_[i] = cell_leader_[di];
+  epoch_[i] = overlay_.binding_epoch(best);
+  elect_epoch_[i] = 0;
+  renew_lease(i);
+  last_cell_frame_[i] = sim().now();
+  overlay_.refresh_cell_tree(best);
+  FdMsg join;
+  join.kind = FdMsg::kJoin;
+  join.cell = best;
+  join.src_cell = here;
+  join.origin = i;
+  join.last = true;  // the silence criterion IS the evidence
+  overlay_.send_control(i, gateway, join, cfg_.beat_size_units);
+  return true;
+}
+
+void FailureDetector::adopt_bind(net::NodeId proxy,
+                                 const core::GridCoord& cell) {
+  const std::size_t ci = overlay_.grid().index_of(cell);
+  if (cell_leader_[ci] == proxy && overlay_.bound_node(cell) == proxy) {
+    return;  // already proxied here
+  }
+  cell_leader_[ci] = proxy;
+  // Binding a proxy asserts the cell has no live members left: every relay
+  // listed in its roster is gone, so traffic must route around the dead
+  // cell *now*. Waiting for the ARQ give-up backoff (tens of time units
+  // per blackholed gateway) would stall upleases from every cell whose
+  // dimension-order path crosses the hole, cascading spurious suspicion
+  // far past the stabilization bound. A wrongly-purged survivor is
+  // restored by proof of life: any control frame it sends clears the
+  // suspicion again.
+  if (membership_ != nullptr) {
+    for (net::NodeId r : membership_->roster(cell)) {
+      if (r != proxy && !overlay_.is_suspected(r)) {
+        overlay_.on_hop_give_up(proxy, r);
+      }
+    }
+  }
+  const std::uint64_t epoch = overlay_.binding_epoch(cell) + 1;
+  overlay_.rebind(cell, proxy, epoch);
+  ++adopt_binds_;
+  counters_.add("fd.adopt_bind");
+  trace_fd("fd.adopt_bind", proxy,
+           {{"row", static_cast<std::int64_t>(cell.row)},
+            {"col", static_cast<std::int64_t>(cell.col)},
+            {"epoch", epoch}});
+}
 
 double FailureDetector::score(net::NodeId i) const {
   return binding_score(i, overlay_.mapper(), cfg_.metric,
@@ -93,6 +250,15 @@ void FailureDetector::start() {
   elect_close_armed_.assign(n, false);
   elect_handoff_.assign(n, false);
   next_handoff_ok_.assign(n, 0.0);
+  membership_.reset();
+  if (cfg_.membership) {
+    membership_ = std::make_unique<MembershipView>(mapper());
+  }
+  overlay_.set_membership_view(membership_.get());
+  last_cell_frame_.assign(n, now);
+  adopted_.assign(n, false);
+  adoptions_.clear();
+  adopt_binds_ = 0;
   cell_neighbors_.assign(n, {});
   for (net::NodeId i = 0; i < n; ++i) {
     for (net::NodeId v : link().graph().neighbors(i)) {
@@ -237,15 +403,19 @@ void FailureDetector::on_watchdog(net::NodeId i) {
               {"epoch", epoch_[i]}});
     FdMsg hello;
     hello.kind = FdMsg::kSync;
-    hello.cell = mapper().cell_of(i);
+    hello.cell = cell_view(i);
     hello.epoch = epoch_[i];
     hello.leader = believed_leader_[i];
     hello.origin = i;
+    hello.src_cell = cell_view(i);
     flood(i, hello);
     lease_expiry_[i] = sim().now() + cfg_.lease_duration;
     arm_watchdog(i);
     return;
   }
+  // Membership self-check before acting on the lease: a corruption-defected
+  // belief must not drive elections (or adoptions) in the wrong cell.
+  heal_belief(i);
   if (believed_leader_[i] == i) return;  // leaders do not lease themselves
   if (sim().now() + 1e-12 < lease_expiry_[i]) {
     arm_watchdog(i);  // renewed since this timer was armed
@@ -267,7 +437,7 @@ void FailureDetector::on_watchdog(net::NodeId i) {
 }
 
 void FailureDetector::start_election(net::NodeId i) {
-  const core::GridCoord cell = mapper().cell_of(i);
+  const core::GridCoord cell = cell_view(i);
   // Strictly above anything seen: a failed election (winner crashed before
   // its claim spread) is retried at a fresh epoch, never deadlocked on
   // stale best-key state.
@@ -310,11 +480,23 @@ void FailureDetector::close_election(net::NodeId i, std::uint64_t target) {
   if (epoch_[i] >= target) return;        // a claim settled this epoch
   if (elect_epoch_[i] != target) return;  // superseded by a later election
   if (elect_best_id_[i] != i) return;     // lost; the winner's claim is due
+  if (membership_ != nullptr && !elect_handoff_[i] &&
+      sim().now() + 1e-12 >= last_cell_frame_[i] + cfg_.lease_duration) {
+    // Winning with no competing key AND a full lease of total cell silence
+    // (no beat, claim, sync, or even a rival's election flood — live
+    // cellmates would have joined this election and reset the silence
+    // clock) means the node is alone in its believed cell: every member is
+    // gone or unreachable. Claiming would crown a component of one and
+    // leave the rest of the grid pointing at a dark cell; the component-
+    // based re-formation scheme merges the orphan into a reachable
+    // neighboring cell instead.
+    if (try_adopt(i)) return;
+  }
   win_election(i, target);
 }
 
 void FailureDetector::win_election(net::NodeId w, std::uint64_t epoch) {
-  const core::GridCoord cell = mapper().cell_of(w);
+  const core::GridCoord cell = cell_view(w);
   const std::size_t ci = overlay_.grid().index_of(cell);
   const net::NodeId old = believed_leader_[w];
   const bool planned = elect_handoff_[w];
@@ -389,7 +571,7 @@ void FailureDetector::maybe_handoff(net::NodeId leader) {
 }
 
 void FailureDetector::start_handoff(net::NodeId i) {
-  const core::GridCoord cell = mapper().cell_of(i);
+  const core::GridCoord cell = cell_view(i);
   const std::uint64_t target = std::max(epoch_[i], elect_epoch_[i]) + 1;
   elect_epoch_[i] = target;
   elect_handoff_[i] = true;
@@ -440,10 +622,13 @@ std::size_t FailureDetector::planned_handoffs() const {
 
 void FailureDetector::beat(net::NodeId leader) {
   obs::ProfSpan prof(obs::ProfCat::kDetector);
+  // A leader whose own belief was defected must notice before beating the
+  // wrong cell (it holds no follower lease, so the watchdog never checks).
+  if (!link().is_down(leader)) heal_belief(leader);
   if (believed_leader_[leader] != leader) return;  // deposed: loop ends
   if (!link().is_down(leader)) {
     ++beat_seq_[leader];
-    const core::GridCoord cell = mapper().cell_of(leader);
+    const core::GridCoord cell = cell_view(leader);
     counters_.add("fd.beat");
     trace_fd("fd.beat", leader,
              {{"row", static_cast<std::int64_t>(cell.row)},
@@ -456,6 +641,7 @@ void FailureDetector::beat(net::NodeId leader) {
     m.epoch = epoch_[leader];
     m.seq = beat_seq_[leader];
     m.leader = leader;
+    m.src_cell = cell;  // beats carry the sender's cell belief
     flood(leader, m);
     maybe_handoff(leader);
   }
@@ -468,10 +654,11 @@ void FailureDetector::beat(net::NodeId leader) {
 
 void FailureDetector::audit(net::NodeId leader) {
   obs::ProfSpan prof(obs::ProfCat::kDetector);
+  if (!link().is_down(leader)) heal_belief(leader);
   if (believed_leader_[leader] != leader) return;  // deposed: loop ends
   if (!link().is_down(leader)) {
     ++audit_seq_[leader];
-    const core::GridCoord cell = mapper().cell_of(leader);
+    const core::GridCoord cell = cell_view(leader);
     counters_.add("fd.audit");
     trace_fd("fd.audit", leader,
              {{"row", static_cast<std::int64_t>(cell.row)},
@@ -487,6 +674,40 @@ void FailureDetector::audit(net::NodeId leader) {
     m.score = score(leader);
     m.origin = leader;
     m.residual = residual(leader);
+    if (membership_ != nullptr) {
+      // Leader-side roster scrub: drop entries whose belief moved away
+      // (splice corruption, or an orphan that defected out). Then the
+      // flood carries the repaired roster's digest, so any member the
+      // roster wrongly *misses* detects the disagreement and reinstates
+      // itself on receipt — one audit round repairs either direction.
+      m.src_cell = cell;
+      const std::vector<net::NodeId> roster = membership_->roster(cell);
+      for (net::NodeId r : roster) {
+        if (membership_->cell_of(r) == cell) continue;
+        membership_->roster_drop(cell, r);
+        counters_.add("fd.roster_heal");
+        trace_fd("fd.roster_heal", leader,
+                 {{"node", static_cast<std::uint64_t>(r)},
+                  {"row", static_cast<std::int64_t>(cell.row)},
+                  {"col", static_cast<std::int64_t>(cell.col)},
+                  {"why", std::string("foreign")}});
+      }
+      // The auditor repairs its own listing too: receivers reinstate
+      // themselves when the digest crosses them, but the flood's origin
+      // never hears it, so a roster corruption that dropped the *leader*
+      // would otherwise survive every round.
+      if (membership_->roster_insert(cell, leader)) {
+        counters_.add("fd.roster_heal");
+        trace_fd("fd.roster_heal", leader,
+                 {{"node", static_cast<std::uint64_t>(leader)},
+                  {"row", static_cast<std::int64_t>(cell.row)},
+                  {"col", static_cast<std::int64_t>(cell.col)},
+                  {"why", std::string("reinstate")}});
+      }
+      m.roster_digest = membership_->digest(cell);
+      m.roster_size =
+          static_cast<std::uint32_t>(membership_->roster(cell).size());
+    }
     flood(leader, m);
     // The auditor scrubs its own tables; members scrub theirs on receipt.
     const std::size_t fixed = overlay_.repair_routes(leader);
@@ -517,6 +738,16 @@ void FailureDetector::uplease_send(std::size_t cell_idx) {
   m.dst_cell = parent;
   m.epoch = epoch_[actor];
   m.leader = actor;
+  m.src_cell = cell_view(actor);
+  if (membership_ != nullptr &&
+      (cell_view(actor) == parent || overlay_.bound_node(parent) == actor) &&
+      believed_leader_[actor] == actor) {
+    // The proxy serving this (vacated) child cell IS the parent cell's
+    // leader — or proxies the parent too: the lease renews locally, no
+    // radio hop to itself.
+    handle(actor, m);
+    return;
+  }
   route_control(actor, m, /*first_hop=*/true);
 }
 
@@ -555,6 +786,16 @@ void FailureDetector::arm_child_watchdog(std::size_t cell_idx) {
           if (silent != net::kNoNode && !overlay_.is_suspected(silent)) {
             overlay_.on_hop_give_up(actor, silent);
           }
+        } else if (membership_ != nullptr && child_suspected_[cell_idx] &&
+                   actor != net::kNoNode && !link().is_down(actor) &&
+                   believed_leader_[actor] == actor) {
+          // Second consecutive silent uplease window with no resume: the
+          // child cell has nobody left to elect, beat, or uplease (a total
+          // wipe, or it was empty from the start and no orphan ever
+          // announced it). The parent leader adopts the dark child's
+          // virtual node so coverage closes; if a survivor later claims at
+          // a fresh epoch, its rebind simply supersedes the proxy.
+          adopt_bind(actor, overlay_.grid().coord_of(cell_idx));
         }
         child_expiry_[cell_idx] = sim().now() + cfg_.uplease_duration;
         arm_child_watchdog(cell_idx);
@@ -576,14 +817,15 @@ void FailureDetector::flood(net::NodeId from, const FdMsg& msg) {
 }
 
 void FailureDetector::route_control(net::NodeId at, const FdMsg& msg,
-                                    bool first_hop) {
+                                    bool first_hop, net::NodeId from) {
   (void)first_hop;
-  const net::NodeId nh = overlay_.route_next_hop(at, msg.dst_cell);
+  FdMsg m = msg;  // route_next_hop updates the frame's detour state
+  const net::NodeId nh = overlay_.route_next_hop(at, m.dst_cell, from, &m.route);
   if (nh == net::kNoNode) {
     counters_.add("fd.unroutable");
     return;
   }
-  overlay_.send_control(at, nh, msg, cfg_.beat_size_units);
+  overlay_.send_control(at, nh, m, cfg_.beat_size_units);
 }
 
 void FailureDetector::on_control(net::NodeId at, const net::Packet& pkt) {
@@ -596,7 +838,7 @@ void FailureDetector::on_control(net::NodeId at, const net::Packet& pkt) {
     counters_.add("fd.unsuspect");
     overlay_.clear_suspected(pkt.sender);
   }
-  handle(at, *msg);
+  handle(at, *msg, pkt.sender);
 }
 
 void FailureDetector::adopt(net::NodeId i, net::NodeId leader,
@@ -604,15 +846,31 @@ void FailureDetector::adopt(net::NodeId i, net::NodeId leader,
   if (believed_leader_[i] == i && leader != i) counters_.add("fd.demote");
   believed_leader_[i] = leader;
   epoch_[i] = epoch;
-  const std::size_t ci = overlay_.grid().index_of(mapper().cell_of(i));
+  const std::size_t ci = overlay_.grid().index_of(cell_view(i));
   cell_leader_[ci] = leader;
   if (leader != i) renew_lease(i);
 }
 
-void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
+void FailureDetector::handle(net::NodeId at, const FdMsg& msg,
+                             net::NodeId from) {
+  if (membership_ != nullptr) {
+    // Any control frame is an occasion for the local belief self-check
+    // (heal BEFORE filtering: a healed belief changes which frames are
+    // ours), and any same-cell frame resets the orphan-silence clock.
+    heal_belief(at);
+    if (msg.kind != FdMsg::kUpLease && cell_view(at) == msg.cell) {
+      last_cell_frame_[at] = sim().now();
+    }
+  }
   switch (msg.kind) {
     case FdMsg::kUpLease: {
-      if (mapper().cell_of(at) == msg.dst_cell && believed_leader_[at] == at) {
+      // The parent cell itself may be dark and served by a proxy leader
+      // standing elsewhere; the lease must renew at whoever *holds* the
+      // parent's virtual node, not at its empty geometric cell.
+      const bool parent_here =
+          cell_view(at) == msg.dst_cell ||
+          (membership_ != nullptr && overlay_.bound_node(msg.dst_cell) == at);
+      if (parent_here && believed_leader_[at] == at) {
         const std::size_t child = overlay_.grid().index_of(msg.cell);
         child_expiry_[child] = sim().now() + cfg_.uplease_duration;
         child_last_leader_[child] = msg.leader;
@@ -629,11 +887,11 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
         arm_child_watchdog(child);
         return;
       }
-      route_control(at, msg, /*first_hop=*/false);
+      route_control(at, msg, /*first_hop=*/false, from);
       return;
     }
     case FdMsg::kBeat: {
-      if (!(mapper().cell_of(at) == msg.cell)) return;  // cross-cell leak
+      if (!(cell_view(at) == msg.cell)) return;  // cross-cell leak
       // Epoch-regression detection, deliberately BEFORE flood dedup: when
       // the very node we believe leads is beating an epoch *behind* our
       // view, either its epoch regressed (state corruption) or ours jumped
@@ -698,7 +956,7 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
       return;
     }
     case FdMsg::kElect: {
-      if (!(mapper().cell_of(at) == msg.cell)) return;
+      if (!(cell_view(at) == msg.cell)) return;
       if (msg.epoch <= epoch_[at]) {
         counters_.add("fd.stale_elect");
         if (believed_leader_[at] == at) {
@@ -781,7 +1039,7 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
     }
     case FdMsg::kClaim:
     case FdMsg::kSync: {
-      if (!(mapper().cell_of(at) == msg.cell)) return;
+      if (!(cell_view(at) == msg.cell)) return;
       const bool newer =
           msg.epoch > epoch_[at] ||
           (msg.epoch == epoch_[at] && msg.leader != believed_leader_[at] &&
@@ -792,7 +1050,7 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
       return;
     }
     case FdMsg::kAudit: {
-      if (!(mapper().cell_of(at) == msg.cell)) return;
+      if (!(cell_view(at) == msg.cell)) return;
       if (msg.epoch < seen_audit_epoch_[at] ||
           (msg.epoch == seen_audit_epoch_[at] &&
            msg.seq <= seen_audit_seq_[at])) {
@@ -808,6 +1066,25 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
         counters_.add("fd.route_repair", fixed);
         trace_fd("fd.route_repair", at,
                  {{"entries", static_cast<std::uint64_t>(fixed)}});
+      }
+      // Roster reconciliation rides the audit too: the digest announces
+      // what the leader's roster holds, so a member the roster wrongly
+      // misses (drop corruption) detects the disagreement locally and
+      // reinstates itself. The opposite direction — foreign entries — was
+      // scrubbed leader-side before the digest was taken.
+      if (membership_ != nullptr && msg.roster_digest != 0 && at != msg.leader) {
+        if (msg.roster_digest != membership_->digest(msg.cell)) {
+          counters_.add("fd.roster_conflict");
+        }
+        if (!membership_->roster_contains(msg.cell, at)) {
+          membership_->roster_insert(msg.cell, at);
+          counters_.add("fd.roster_heal");
+          trace_fd("fd.roster_heal", at,
+                   {{"node", static_cast<std::uint64_t>(at)},
+                    {"row", static_cast<std::int64_t>(msg.cell.row)},
+                    {"col", static_cast<std::int64_t>(msg.cell.col)},
+                    {"why", std::string("reinstate")}});
+        }
       }
       if (msg.epoch > epoch_[at]) {
         // Our view fell behind (missed claim, regressed epoch): heal.
@@ -860,6 +1137,41 @@ void FailureDetector::handle(net::NodeId at, const FdMsg& msg) {
       adopt(at, msg.leader, msg.epoch);
       return;
     }
+    case FdMsg::kJoin: {
+      if (membership_ == nullptr) return;
+      if (believed_leader_[at] == at && cell_view(at) == msg.cell) {
+        // The adopter cell's leader: acknowledge the orphan (its roster
+        // move already happened through the shared view; reinstate is for
+        // the case where a racing audit scrub dropped it), refresh the
+        // cell tree so the newcomer relays, and — when the orphan was its
+        // old cell's last reachable member — serve that vacated virtual
+        // node by proxy so the grid keeps full coverage.
+        counters_.add("fd.adopt_accept");
+        trace_fd("fd.adopt_accept", at,
+                 {{"node", static_cast<std::uint64_t>(msg.origin)},
+                  {"from_row", static_cast<std::int64_t>(msg.src_cell.row)},
+                  {"from_col", static_cast<std::int64_t>(msg.src_cell.col)},
+                  {"row", static_cast<std::int64_t>(msg.cell.row)},
+                  {"col", static_cast<std::int64_t>(msg.cell.col)}});
+        if (!membership_->roster_contains(msg.cell, msg.origin)) {
+          membership_->roster_insert(msg.cell, msg.origin);
+        }
+        overlay_.refresh_cell_tree(msg.cell);
+        if (msg.last && overlay_.grid().contains(msg.src_cell)) {
+          adopt_bind(at, msg.src_cell);
+        }
+        return;
+      }
+      // Not the adopter leader yet: climb toward it.
+      FdMsg m = msg;
+      const net::NodeId nh = overlay_.route_next_hop(at, m.cell, from, &m.route);
+      if (nh == net::kNoNode) {
+        counters_.add("fd.unroutable");
+        return;
+      }
+      overlay_.send_control(at, nh, m, cfg_.beat_size_units);
+      return;
+    }
   }
 }
 
@@ -873,7 +1185,7 @@ std::vector<core::GridCoord> FailureDetector::unconverged_cells() const {
     bool any = false;
     bool agreed = true;
     for (net::NodeId i = 0; i < n; ++i) {
-      if (link.is_down(i) || !(mapper().cell_of(i) == c)) continue;
+      if (link.is_down(i) || !(cell_view(i) == c)) continue;
       if (!any) {
         any = true;
         leader = believed_leader_[i];
@@ -892,12 +1204,53 @@ std::vector<core::GridCoord> FailureDetector::unconverged_cells() const {
   return out;
 }
 
+std::vector<core::GridCoord> FailureDetector::membership_violations() const {
+  std::vector<core::GridCoord> out;
+  if (membership_ == nullptr) return out;
+  net::LinkLayer& link = overlay_.link();
+  const std::size_t side = mapper().grid_side();
+  std::vector<bool> bad(side * side, false);
+  // Zero dark cells: every virtual node must be served by a live physical
+  // node once adoption has settled.
+  for (const core::GridCoord& c : overlay_.grid().all_coords()) {
+    const net::NodeId bound = overlay_.bound_node(c);
+    if (bound == net::kNoNode || link.is_down(bound)) {
+      bad[overlay_.grid().index_of(c)] = true;
+    }
+  }
+  // Belief/roster inverse over live nodes: a live believer must be listed
+  // where it believes, and a live listee must believe where it is listed.
+  // Dead nodes' frozen soft state is exempt (nothing will ever act on it).
+  const std::size_t n = link.graph().node_count();
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (link.is_down(i)) continue;
+    const core::GridCoord c = membership_->cell_of(i);
+    if (!membership_->roster_contains(c, i)) {
+      bad[overlay_.grid().index_of(c)] = true;
+    }
+  }
+  for (const core::GridCoord& c : overlay_.grid().all_coords()) {
+    for (net::NodeId r : membership_->roster(c)) {
+      if (!link.is_down(r) && !(membership_->cell_of(r) == c)) {
+        bad[overlay_.grid().index_of(c)] = true;
+      }
+    }
+  }
+  for (const core::GridCoord& c : overlay_.grid().all_coords()) {
+    if (bad[overlay_.grid().index_of(c)]) out.push_back(c);
+  }
+  return out;
+}
+
 bool FailureDetector::inject_corruption(net::NodeId node,
                                         sim::CorruptionTarget target) {
   if (!running_) return false;
   if (link().is_down(node)) return false;  // down nodes hold no soft state
+  if (target == sim::CorruptionTarget::kMembership && membership_ == nullptr) {
+    return false;  // no live membership state to scramble
+  }
   sim::Rng& rng = sim().rng();
-  const core::GridCoord cell = mapper().cell_of(node);
+  const core::GridCoord cell = cell_view(node);
   counters_.add("fd.corrupt");
   trace_fd("fd.corrupt", node,
            {{"target", std::string(sim::to_string(target))},
@@ -954,6 +1307,63 @@ bool FailureDetector::inject_corruption(net::NodeId node,
       }
       return true;
     }
+    case sim::CorruptionTarget::kMembership: {
+      // Half the strikes defect the victim's cell belief to a random
+      // adjacent in-grid cell (the node starts filtering, flooding, and
+      // leasing as a member of the wrong cell until heal_belief snaps it
+      // back); the other half scramble its cell's roster — drop a random
+      // listed member, or splice in a random foreigner — which the next
+      // audit round's leader scrub + digest reinstate must repair.
+      if (rng.uniform() < 0.5) {
+        std::vector<core::GridCoord> adjacent;
+        for (core::Direction d : core::kAllDirections) {
+          const core::GridCoord c = core::GridTopology::step(cell, d);
+          if (overlay_.grid().contains(c)) adjacent.push_back(c);
+        }
+        const core::GridCoord to = adjacent[rng.below(adjacent.size())];
+        move_belief(node, to);
+        adopted_[node] = false;  // a scrambled belief, not an adoption
+        counters_.add("fd.defect");
+        trace_fd("fd.defect", node,
+                 {{"from_row", static_cast<std::int64_t>(cell.row)},
+                  {"from_col", static_cast<std::int64_t>(cell.col)},
+                  {"row", static_cast<std::int64_t>(to.row)},
+                  {"col", static_cast<std::int64_t>(to.col)},
+                  {"bound", stabilization_bound()}});
+      } else {
+        const std::vector<net::NodeId>& roster = membership_->roster(cell);
+        net::NodeId victim = net::kNoNode;
+        bool dropped = false;
+        if (!roster.empty() && rng.uniform() < 0.5) {
+          victim = roster[rng.below(roster.size())];
+          membership_->roster_drop(cell, victim);
+          dropped = true;
+        } else {
+          // Splice a foreigner: any node not already listed. Bounded scan
+          // from a random start keeps the draw seeded and O(n).
+          const std::size_t n = link().graph().node_count();
+          const std::size_t start = rng.below(n);
+          for (std::size_t k = 0; k < n; ++k) {
+            const net::NodeId cand =
+                static_cast<net::NodeId>((start + k) % n);
+            if (!membership_->roster_contains(cell, cand)) {
+              victim = cand;
+              break;
+            }
+          }
+          if (victim == net::kNoNode) return true;  // roster lists everyone
+          membership_->roster_insert(cell, victim);
+        }
+        counters_.add("fd.roster_corrupt");
+        trace_fd("fd.roster_corrupt", node,
+                 {{"node", static_cast<std::uint64_t>(victim)},
+                  {"row", static_cast<std::int64_t>(cell.row)},
+                  {"col", static_cast<std::int64_t>(cell.col)},
+                  {"dropped", static_cast<std::uint64_t>(dropped ? 1 : 0)},
+                  {"bound", stabilization_bound()}});
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -969,7 +1379,7 @@ std::vector<core::GridCoord> FailureDetector::split_brains() const {
   for (net::NodeId i = 0; i < n; ++i) {
     if (link.is_down(i)) continue;
     if (believed_leader_[i] != i) continue;
-    const core::GridCoord c = mapper().cell_of(i);
+    const core::GridCoord c = cell_view(i);
     const std::size_t ci = overlay_.grid().index_of(c);
     bool dup = false;
     for (auto& [ep, node] : seen[ci]) {

@@ -78,10 +78,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "emulation/leader_binding.h"
+#include "emulation/membership_view.h"
 #include "emulation/overlay_network.h"
 #include "obs/metrics_registry.h"
 #include "sim/fault_plan.h"
@@ -119,6 +121,16 @@ struct FailureDetectorConfig {
   /// traffic, and byte-identical replay of pre-existing seeded runs
   /// requires opting in).
   double audit_period = 0.0;
+  /// Live-membership mode: cell beliefs and leader rosters become runtime
+  /// state (emulation::MembershipView) maintained and repaired by the same
+  /// message machinery — kAudit floods carry a roster digest, defected
+  /// beliefs self-heal from local position knowledge, and a node orphaned
+  /// in an empty or disconnected cell is *adopted* by the nearest reachable
+  /// neighboring cell, whose leader then serves the vacated virtual node by
+  /// proxy (zero dark cells). Requires audit_period > 0 for the roster
+  /// repair bound to hold. Off by default: byte-identical replay of
+  /// pre-existing seeded runs requires opting in.
+  bool membership = false;
   /// Election metric; must match the setup binding for the oracle
   /// cross-check to be meaningful.
   BindingMetric metric = BindingMetric::kDistanceToCenter;
@@ -136,6 +148,14 @@ struct ClaimRecord {
   bool planned = false;
 };
 
+/// One orphan adoption, as recorded at the orphan when it defected.
+struct AdoptionRecord {
+  net::NodeId node = net::kNoNode;
+  core::GridCoord from{-1, -1};  // the cell the orphan abandoned
+  core::GridCoord to{-1, -1};    // the adopter cell it joined
+  sim::Time at = 0.0;
+};
+
 class FailureDetector {
  public:
   /// The overlay must outlive the detector. When the overlay has an ARQ
@@ -143,6 +163,9 @@ class FailureDetector {
   /// repair on hop give-up); install it instead of a FailoverBinder, not in
   /// addition to one.
   FailureDetector(OverlayNetwork& overlay, FailureDetectorConfig cfg = {});
+  /// Detaches the membership view from the overlay (the overlay outlives
+  /// the detector and must not dangle into it).
+  ~FailureDetector();
 
   /// Seeds every node's view from the converged setup binding (the result
   /// the Section 5.2 protocol announced to all members) and starts the
@@ -168,6 +191,25 @@ class FailureDetector {
 
   /// Planned successions committed so far (claims with planned == true).
   std::size_t planned_handoffs() const;
+
+  /// The live membership view, or nullptr when membership mode is off or
+  /// the detector has not started.
+  const MembershipView* membership_view() const { return membership_.get(); }
+
+  /// Every orphan adoption so far, in commit order (membership mode only).
+  const std::vector<AdoptionRecord>& adoptions() const { return adoptions_; }
+
+  /// Vacated cells re-bound to a proxy leader so far (membership mode).
+  std::uint64_t adopt_binds() const { return adopt_binds_; }
+
+  /// Membership end-state audit (test/assert only — consults is_down):
+  /// cells whose bound virtual node is missing or dead (a dark cell
+  /// adoption failed to cover), cells where a live node's belief is absent
+  /// from the believed cell's roster, and cells whose roster lists a live
+  /// node that believes elsewhere. Empty once reconciliation and adoption
+  /// have settled; dead nodes' frozen beliefs and roster entries are
+  /// ignored. Always empty when membership mode is off.
+  std::vector<core::GridCoord> membership_violations() const;
 
   /// Makes `cell`'s current leader solicit a handoff now, regardless of its
   /// residual energy — the operator/test entry point for planned
@@ -199,10 +241,15 @@ class FailureDetector {
   /// Analytic re-convergence bound after one inject_corruption: worst case
   /// is a lease poisoned up to two lease durations ahead, plus a full
   /// election close (timeout + maximum stagger), plus one audit round for
-  /// the views only reconciliation can repair, plus flood/ARQ slack.
+  /// the views only reconciliation can repair, plus flood/ARQ slack. In
+  /// membership mode one more audit round is added (the roster-repair
+  /// term): a scrambled roster is only detected and reinstated when the
+  /// next audit digest crosses it, which can land a full period after the
+  /// leader-view repair the first round bought.
   double stabilization_bound() const {
     return 2.5 * cfg_.lease_duration + 1.5 * cfg_.election_timeout +
-           cfg_.audit_period + 10.0;
+           cfg_.audit_period + (cfg_.membership ? cfg_.audit_period : 0.0) +
+           10.0;
   }
 
   sim::CounterSet& counters() { return counters_; }
@@ -223,7 +270,8 @@ class FailureDetector {
   const CellMapper& mapper() const { return overlay_.mapper(); }
 
   void on_control(net::NodeId at, const net::Packet& pkt);
-  void handle(net::NodeId at, const FdMsg& msg);
+  void handle(net::NodeId at, const FdMsg& msg,
+              net::NodeId from = net::kNoNode);
   void adopt(net::NodeId i, net::NodeId leader, std::uint64_t epoch);
   void renew_lease(net::NodeId i);
   void arm_watchdog(net::NodeId i);
@@ -239,7 +287,26 @@ class FailureDetector {
   void uplease_send(std::size_t cell_idx);
   void arm_child_watchdog(std::size_t cell_idx);
   void flood(net::NodeId from, const FdMsg& msg);
-  void route_control(net::NodeId at, const FdMsg& msg, bool first_hop);
+  void route_control(net::NodeId at, const FdMsg& msg, bool first_hop,
+                     net::NodeId from = net::kNoNode);
+  /// Node's cell for protocol purposes: the live belief in membership mode,
+  /// the geometric cell otherwise.
+  core::GridCoord cell_view(net::NodeId i) const;
+  void rebuild_cell_neighbors(net::NodeId i);
+  /// Moves `i`'s belief (and roster listing) to `to`, refreshing the
+  /// same-cell neighbor lists of `i` and everyone in radio range of it.
+  void move_belief(net::NodeId i, const core::GridCoord& to);
+  /// Self-check against local knowledge (own position + terrain): snaps a
+  /// corruption-defected belief back to the geometric cell. Deliberate
+  /// adoptions are exempt. Returns true when a belief was healed.
+  bool heal_belief(net::NodeId i);
+  /// Component-based orphan adoption: after a full lease of total cell
+  /// silence, join the nearest reachable neighboring cell instead of
+  /// electing over a component of one. Returns false when fully isolated.
+  bool try_adopt(net::NodeId i);
+  /// Re-binds a vacated cell's virtual node to `proxy` (an adopter or
+  /// parent leader living elsewhere), restoring coverage.
+  void adopt_bind(net::NodeId proxy, const core::GridCoord& cell);
   double score(net::NodeId i) const;
   double residual(net::NodeId i) const;
   void trace_fd(const char* name, net::NodeId node,
@@ -277,6 +344,21 @@ class FailureDetector {
   std::vector<sim::Time> next_handoff_ok_;  // retry cooldown, per leader
   /// Same-cell neighbor lists (local knowledge: radio range + own cell).
   std::vector<std::vector<net::NodeId>> cell_neighbors_;
+
+  // Membership mode (cfg_.membership): live beliefs/rosters plus the
+  // adoption machinery. membership_ is null when the mode is off, and
+  // every membership code path is gated on it, so default-config behavior
+  // stays byte-identical.
+  std::unique_ptr<MembershipView> membership_;
+  /// Last time a same-cell control frame reached the node — the silence
+  /// clock behind orphan detection (a follower that closes an election
+  /// after a full lease of total cell silence is alone in its cell).
+  std::vector<sim::Time> last_cell_frame_;
+  /// Nodes whose belief deliberately differs from geometry (adopted
+  /// orphans); heal_belief leaves these alone.
+  std::vector<bool> adopted_;
+  std::vector<AdoptionRecord> adoptions_;
+  std::uint64_t adopt_binds_ = 0;
 
   // Per-cell state, row-major by cell index.
   std::vector<net::NodeId> cell_leader_;  // latest committed claimant

@@ -1,0 +1,75 @@
+#include "emulation/membership_view.h"
+
+#include <algorithm>
+
+namespace wsn::emulation {
+
+MembershipView::MembershipView(const CellMapper& mapper)
+    : grid_side_(mapper.grid_side()),
+      belief_(mapper.graph().node_count()),
+      roster_(grid_side_ * grid_side_) {
+  for (net::NodeId id = 0; id < mapper.graph().node_count(); ++id) {
+    belief_[id] = mapper.cell_of(id);
+    roster_[index(belief_[id])].push_back(id);
+  }
+  // CellMapper emits members sorted by id; the loop above preserves that.
+}
+
+bool MembershipView::roster_contains(const core::GridCoord& cell,
+                                     net::NodeId id) const {
+  const auto& r = roster_[index(cell)];
+  return std::binary_search(r.begin(), r.end(), id);
+}
+
+bool MembershipView::set_cell_of(net::NodeId id, const core::GridCoord& cell) {
+  if (belief_[id] == cell) return false;
+  roster_drop(belief_[id], id);
+  belief_[id] = cell;
+  roster_insert(cell, id);
+  return true;
+}
+
+bool MembershipView::roster_drop(const core::GridCoord& cell, net::NodeId id) {
+  auto& r = roster_[index(cell)];
+  auto it = std::lower_bound(r.begin(), r.end(), id);
+  if (it == r.end() || *it != id) return false;
+  r.erase(it);
+  return true;
+}
+
+bool MembershipView::roster_insert(const core::GridCoord& cell,
+                                   net::NodeId id) {
+  auto& r = roster_[index(cell)];
+  auto it = std::lower_bound(r.begin(), r.end(), id);
+  if (it != r.end() && *it == id) return false;
+  r.insert(it, id);
+  return true;
+}
+
+std::uint64_t MembershipView::digest(const core::GridCoord& cell) const {
+  const auto& r = roster_[index(cell)];
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(r.size()));
+  for (net::NodeId id : r) mix(static_cast<std::uint64_t>(id));
+  return h;
+}
+
+std::vector<core::GridCoord> MembershipView::unoccupied_cells() const {
+  std::vector<core::GridCoord> out;
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    if (roster_[i].empty()) {
+      out.push_back(core::GridCoord{
+          static_cast<std::int32_t>(i / grid_side_),
+          static_cast<std::int32_t>(i % grid_side_)});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::emulation

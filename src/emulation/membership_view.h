@@ -1,0 +1,89 @@
+// Live cell membership: the runtime-maintained counterpart of CellMapper.
+//
+// CellMapper is an immutable geometric fact — node (x, y) plus the terrain
+// determines the cell. What the *protocol* acts on, however, is soft state:
+// each node caches a belief about which cell it currently serves, and each
+// cell's leader keeps a roster of who its members are. Both are maintained
+// purely by messages (beats carry the sender's cell belief, the kAudit
+// flood carries a roster digest, kJoin announces adoptions), which makes
+// them corruptible by `state_corruption` faults with target "membership"
+// and repairable by the failure detector's self-stabilization machinery.
+//
+// The view is shared between the nodes of one deployment in the same way
+// `FailureDetector::cell_leader_` is: a single structure whose entries are
+// only read and written at message-handling points, standing in for the
+// per-node copies a distributed implementation would carry. The roster of
+// cell C is by construction the inverse image of the belief map — except
+// while a roster_drop / roster_insert corruption has broken that inverse,
+// which is exactly the disagreement the audit digest exists to detect.
+//
+// Orphan adoption (the component-based re-formation scheme of the
+// clustering paper in PAPERS.md) moves a belief *away* from geometry on
+// purpose: a node stranded in an empty or disconnected cell re-registers
+// with the nearest reachable neighboring cell. Such a deliberate move is
+// recorded by the failure detector (its `adopted_` flag), so belief
+// self-healing — every node can always recompute its true cell from local
+// knowledge — never undoes an adoption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid_topology.h"
+#include "emulation/cell_mapper.h"
+#include "net/network_graph.h"
+
+namespace wsn::emulation {
+
+/// Mutable per-node cell belief + per-cell member roster, seeded from a
+/// CellMapper's geometric assignment.
+class MembershipView {
+ public:
+  explicit MembershipView(const CellMapper& mapper);
+
+  std::size_t grid_side() const { return grid_side_; }
+
+  /// Node's current cell belief (geometric cell until corrupted/adopted).
+  const core::GridCoord& cell_of(net::NodeId id) const {
+    return belief_[id];
+  }
+
+  /// The member roster kept for `cell`, sorted by id. While uncorrupted
+  /// this is exactly { n : cell_of(n) == cell }.
+  const std::vector<net::NodeId>& roster(const core::GridCoord& cell) const {
+    return roster_[index(cell)];
+  }
+
+  bool roster_contains(const core::GridCoord& cell, net::NodeId id) const;
+
+  /// Moves `id`'s belief to `cell`, keeping the roster inverse consistent
+  /// (removed from the old cell's roster, inserted into the new one).
+  /// Returns false when the belief already pointed there.
+  bool set_cell_of(net::NodeId id, const core::GridCoord& cell);
+
+  /// Roster-only mutations, used by membership corruption (and by audit
+  /// repair): they deliberately break / restore the belief-roster inverse
+  /// without touching any belief.
+  bool roster_drop(const core::GridCoord& cell, net::NodeId id);
+  bool roster_insert(const core::GridCoord& cell, net::NodeId id);
+
+  /// FNV-1a digest over the roster size and sorted ids — small enough to
+  /// ride in every kAudit flood, collision-resistant enough that a member
+  /// dropped from (or spliced into) a roster flips it.
+  std::uint64_t digest(const core::GridCoord& cell) const;
+
+  /// Cells whose roster is empty — dark until adoption proxies them.
+  std::vector<core::GridCoord> unoccupied_cells() const;
+
+ private:
+  std::size_t index(const core::GridCoord& cell) const {
+    return static_cast<std::size_t>(cell.row) * grid_side_ +
+           static_cast<std::size_t>(cell.col);
+  }
+
+  std::size_t grid_side_;
+  std::vector<core::GridCoord> belief_;            // node -> believed cell
+  std::vector<std::vector<net::NodeId>> roster_;   // cell (row-major) -> nodes
+};
+
+}  // namespace wsn::emulation

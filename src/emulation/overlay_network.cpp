@@ -1,8 +1,10 @@
 #include "emulation/overlay_network.h"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 
+#include "emulation/membership_view.h"
 #include "net/reliable_link.h"
 #include "obs/profiler.h"
 
@@ -35,10 +37,30 @@ OverlayNetwork::OverlayNetwork(net::LinkLayer& link, const CellMapper& mapper,
   }
 }
 
+core::GridCoord OverlayNetwork::cell_view(net::NodeId id) const {
+  return membership_ != nullptr ? membership_->cell_of(id)
+                                : mapper_.cell_of(id);
+}
+
+bool OverlayNetwork::is_dst_leader(net::NodeId at,
+                                   const core::GridCoord& dst) const {
+  if (at != bound_node(dst)) return false;
+  // A proxy leader serves a vacated cell from elsewhere, so the geometric
+  // same-cell check only applies when no membership view is live.
+  return membership_ != nullptr || mapper_.cell_of(at) == dst;
+}
+
+std::vector<net::NodeId> OverlayNetwork::members_view(
+    const core::GridCoord& cell) const {
+  if (membership_ != nullptr) return membership_->roster(cell);
+  auto span = mapper_.members(cell);
+  return {span.begin(), span.end()};
+}
+
 void OverlayNetwork::build_cell_tree(const core::GridCoord& cell) {
   const auto& graph = link_.graph();
   const std::size_t n = graph.node_count();
-  auto members = mapper_.members(cell);
+  const std::vector<net::NodeId> members = members_view(cell);
   for (net::NodeId m : members) toward_leader_[m] = net::kNoNode;
   const net::NodeId root = binding_.leader_of(cell, mapper_.grid_side());
   if (root == net::kNoNode || link_.is_down(root) || suspected_[root]) return;
@@ -78,7 +100,7 @@ void OverlayNetwork::on_hop_give_up(net::NodeId from, net::NodeId to) {
       [this](net::NodeId n) { return suspected_[n]; });
   rerouted_entries_ += stats.rerouted;
   purged_entries_ += stats.unroutable;
-  build_cell_tree(mapper_.cell_of(to));
+  build_cell_tree(cell_view(to));
 }
 
 void OverlayNetwork::evacuate_relay(net::NodeId id) {
@@ -168,7 +190,7 @@ void OverlayNetwork::rebind(const core::GridCoord& cell, net::NodeId leader,
   // Route-table repair on rebind: a rebind is the moment the cell's members
   // re-learn who anchors their routing, so scrub any corrupted inter-cell
   // entries they hold. No-op unless state corruption actually struck.
-  for (net::NodeId m : mapper_.members(cell)) repair_routes(m);
+  for (net::NodeId m : members_view(cell)) repair_routes(m);
 }
 
 void OverlayNetwork::clear_suspected(net::NodeId id) {
@@ -180,7 +202,7 @@ void OverlayNetwork::clear_suspected(net::NodeId id) {
   // Entries that were successfully rerouted elsewhere keep their working
   // alternative; only black holes are repaired.
   const auto& graph = link_.graph();
-  const core::GridCoord cell = mapper_.cell_of(id);
+  const core::GridCoord cell = cell_view(id);
   for (net::NodeId i : graph.neighbors(id)) {
     for (core::Direction d : core::kAllDirections) {
       if (emulation_.tables[i][d] != net::kNoNode) continue;
@@ -252,9 +274,20 @@ void OverlayNetwork::deliver_local(net::NodeId at, const OverlayPacket& pkt) {
 }
 
 net::NodeId OverlayNetwork::next_hop(net::NodeId at,
-                                     const core::GridCoord& dst_cell) const {
-  const core::GridCoord here = mapper_.cell_of(at);
-  if (here == dst_cell) {
+                                     const core::GridCoord& dst_cell,
+                                     net::NodeId from, RouteState* rs) const {
+  // With a live membership view, a virtual node may be served by a proxy
+  // leader physically living in a *different* cell (a vacated cell adopted
+  // by a neighbor). Route toward the cell the serving node believes it is
+  // in — its own cell's tree climbs to it — instead of the empty geometric
+  // destination.
+  core::GridCoord target = dst_cell;
+  if (membership_ != nullptr) {
+    const net::NodeId anchor = bound_node(dst_cell);
+    if (anchor != net::kNoNode) target = membership_->cell_of(anchor);
+  }
+  const core::GridCoord here = cell_view(at);
+  if (here == target) {
     // Climb the intra-cell tree toward the bound leader.
     const net::NodeId up = toward_leader_[at];
     return up == at ? net::kNoNode : up;  // at the leader already: no hop
@@ -262,24 +295,122 @@ net::NodeId OverlayNetwork::next_hop(net::NodeId at,
   // Dimension-order cell routing: fix the column first, then the row,
   // mirroring GridTopology::route so virtual and physical paths cross the
   // same cells.
-  core::Direction d;
-  if (here.col != dst_cell.col) {
-    d = here.col < dst_cell.col ? core::Direction::kEast
-                                : core::Direction::kWest;
-  } else {
-    d = here.row < dst_cell.row ? core::Direction::kSouth
-                                : core::Direction::kNorth;
+  const core::Direction pref =
+      here.col != target.col
+          ? (here.col < target.col ? core::Direction::kEast
+                                   : core::Direction::kWest)
+          : (here.row < target.row ? core::Direction::kSouth
+                                   : core::Direction::kNorth);
+  if (membership_ == nullptr || rs == nullptr) {
+    return emulation_.tables[at][pref];
   }
-  return emulation_.tables[at][d];
+  // Membership mode: greedy dimension-order with a perimeter fallback.
+  // A vacated cell is a hole in the grid that greedy routing cannot see
+  // past — dimension-order walks frames straight into pockets it can
+  // never leave (a cell whose only live exit is the way the frame came).
+  // When the greedy port is unusable the frame switches to a right-hand
+  // wall walk around the hole, carried in its RouteState, and resumes
+  // greedy the moment it stands strictly closer to the target than where
+  // the walk began (the face-routing exit rule). The walk visits each
+  // boundary cell a bounded number of times, and every greedy resumption
+  // strictly shrinks the entry distance, so delivery terminates whenever
+  // the target's component is reachable at all; `ttl` bounds the rest.
+  const auto usable = [&](core::Direction d) -> net::NodeId {
+    const net::NodeId hop = emulation_.tables[at][d];
+    if (hop == net::kNoNode || suspected_[hop]) return net::kNoNode;
+    const core::GridCoord next = core::GridTopology::step(here, d);
+    if (!(next == target)) {
+      // A cell served by an out-of-cell proxy has nothing live to relay
+      // through: never use it for transit (this also covers cells `at`
+      // itself proxies).
+      const net::NodeId a = bound_node(next);
+      if (a != net::kNoNode && !(membership_->cell_of(a) == next)) {
+        return net::kNoNode;
+      }
+    }
+    return hop;
+  };
+  // Incoming geometry. A same-cell sender means this node is a chain hop
+  // (the emulation's tables may cross a boundary through several same-cell
+  // relays) and must keep the frame's direction; an adjacent-cell sender
+  // bans the U-turn back into its cell, except as the perimeter walk's
+  // last resort — backtracking out of a true cul-de-sac.
+  bool has_banned = false;
+  core::Direction banned = core::Direction::kNorth;
+  bool chain_hop = false;
+  if (from != net::kNoNode) {
+    const core::GridCoord from_cell = cell_view(from);
+    if (from_cell == here) {
+      chain_hop = true;
+    } else {
+      for (const core::Direction dd : core::kAllDirections) {
+        if (core::GridTopology::step(here, dd) == from_cell) {
+          has_banned = true;
+          banned = dd;
+          break;
+        }
+      }
+    }
+  }
+  const bool perimeter = rs->detour != 0;
+  const core::Direction travel =
+      perimeter ? static_cast<core::Direction>(rs->detour - 1) : pref;
+  if (chain_hop) {
+    const net::NodeId hop = usable(travel);
+    if (hop != net::kNoNode) return hop;
+    // The chain broke beneath us (its gateway died): reselect from here.
+  }
+  const std::uint32_t dist = core::manhattan(here, target);
+  if (!(has_banned && pref == banned)) {
+    const net::NodeId hop = usable(pref);
+    if (hop != net::kNoNode && (!perimeter || dist < rs->entry_dist)) {
+      rs->detour = 0;
+      return hop;
+    }
+  }
+  if (!perimeter) {
+    rs->entry_dist =
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(dist, 255));
+    rs->ttl = static_cast<std::uint8_t>(
+        std::min<std::size_t>(4 * grid_.side() + 8, 255));
+  } else if (rs->ttl == 0) {
+    return net::kNoNode;  // walked the budget out: target unreachable
+  } else {
+    --rs->ttl;
+  }
+  // Right-hand wall walk: try the direction right of travel first, then
+  // ahead, then left, then (only if everything else is banned or dead) the
+  // U-turn. Direction enum order is clockwise, so right-of is +1 mod 4.
+  const auto right_of = [](core::Direction d) {
+    return static_cast<core::Direction>(
+        (static_cast<std::uint8_t>(d) + 1) % 4);
+  };
+  const core::Direction order[4] = {right_of(travel), travel,
+                                    core::opposite(right_of(travel)),
+                                    core::opposite(travel)};
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const core::Direction d : order) {
+      const bool is_banned = has_banned && d == banned;
+      if ((pass == 0) == is_banned) continue;
+      const net::NodeId hop = usable(d);
+      if (hop != net::kNoNode) {
+        rs->detour = static_cast<std::uint8_t>(d) + 1;
+        return hop;
+      }
+    }
+  }
+  return net::kNoNode;
 }
 
-void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt) {
-  const net::NodeId nh = next_hop(at, pkt.dst);
+void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt,
+                             net::NodeId from) {
+  OverlayPacket p = pkt;  // next_hop updates the frame's routing state
+  const net::NodeId nh = next_hop(at, p.dst, from, &p.route);
   if (nh == net::kNoNode) {
     // Either routing is impossible or `at` is already the destination
     // leader (self-send handled earlier, so reaching here with no hop and
     // the right cell means delivery).
-    if (mapper_.cell_of(at) == pkt.dst && at == bound_node(pkt.dst)) {
+    if (is_dst_leader(at, pkt.dst)) {
       deliver_local(at, pkt);
     } else {
       ++failed_;
@@ -297,9 +428,9 @@ void OverlayNetwork::forward(net::NodeId at, const OverlayPacket& pkt) {
   }
   ++physical_hops_;
   if (arq_ != nullptr) {
-    arq_->send(at, nh, pkt, pkt.size_units, pkt.flow);
+    arq_->send(at, nh, p, p.size_units, p.flow);
   } else {
-    link_.unicast(at, nh, pkt, pkt.size_units, pkt.flow);
+    link_.unicast(at, nh, p, p.size_units, p.flow);
   }
 }
 
@@ -311,11 +442,11 @@ void OverlayNetwork::on_receive(net::NodeId at, const net::Packet& raw) {
     if (control_receiver_) control_receiver_(at, raw);
     return;
   }
-  if (mapper_.cell_of(at) == pkt->dst && at == bound_node(pkt->dst)) {
+  if (is_dst_leader(at, pkt->dst)) {
     deliver_local(at, *pkt);
     return;
   }
-  forward(at, *pkt);
+  forward(at, *pkt, raw.sender);
 }
 
 }  // namespace wsn::emulation

@@ -32,6 +32,8 @@ class ReliableChannel;
 
 namespace wsn::emulation {
 
+class MembershipView;
+
 class OverlayNetwork final : public core::MessageFabric {
  public:
   /// Binds the overlay to a completed emulation + binding. The grid side of
@@ -67,6 +69,24 @@ class OverlayNetwork final : public core::MessageFabric {
   /// The attached ARQ channel, or nullptr before attach_arq.
   net::ReliableChannel* arq() { return arq_; }
 
+  /// Attaches (or detaches, with nullptr) a live membership view: cell
+  /// trees, routing anchors, and delivery checks consult the view's cell
+  /// beliefs/rosters instead of the immutable geometric CellMapper, so
+  /// adopted orphans relay and receive for their adopter cell. Without a
+  /// view (the default) behavior is byte-identical to the geometric
+  /// mapping. Owned by the FailureDetector when its membership mode is on.
+  void set_membership_view(const MembershipView* view) {
+    membership_ = view;
+  }
+  const MembershipView* membership_view() const { return membership_; }
+
+  /// Rebuilds `cell`'s intra-cell tree without changing its binding — the
+  /// adoption path uses this when a cell's member set changed (an orphan
+  /// joined) but its leader did not.
+  void refresh_cell_tree(const core::GridCoord& cell) {
+    build_cell_tree(cell);
+  }
+
   /// Routes every subsequent physical hop through `arq` (per-hop ack +
   /// retransmit) instead of raw unicast. The channel must wrap this
   /// overlay's LinkLayer; calling this hands the channel's receivers to the
@@ -83,13 +103,31 @@ class OverlayNetwork final : public core::MessageFabric {
   /// cell's intra-cell tree is recomputed. No-op if not suspected.
   void clear_suspected(net::NodeId id);
 
+  /// Per-frame routing state, carried inside each routed frame (membership
+  /// mode only; stays all-zero otherwise). Greedy dimension-order routing
+  /// needs no state, but escaping a pocket of dead cells does: `detour` is
+  /// 0 while greedy and Direction+1 of the travel direction while walking
+  /// the perimeter of a hole, `entry_dist` is the Manhattan distance to
+  /// the target where the walk began (the face-routing exit threshold),
+  /// and `ttl` bounds the walk against unreachable targets.
+  struct RouteState {
+    std::uint8_t detour = 0;
+    std::uint8_t entry_dist = 0;
+    std::uint8_t ttl = 0;
+  };
+
   /// Next physical hop from `at` toward the bound leader of `dst_cell`, or
   /// kNoNode when no route exists (also when `at` IS that leader). Exposed
   /// so control-plane protocols (failure detection leases) can ride the
   /// same hop-by-hop tables as data instead of consulting global state.
-  net::NodeId route_next_hop(net::NodeId at,
-                             const core::GridCoord& dst_cell) const {
-    return next_hop(at, dst_cell);
+  /// `from` is the physical sender the frame arrived from (kNoNode at the
+  /// source); relays never forward back into the cell it came from, which
+  /// keeps the dead-cell detours loop-free. `rs` is the frame's routing
+  /// state, updated in place.
+  net::NodeId route_next_hop(net::NodeId at, const core::GridCoord& dst_cell,
+                             net::NodeId from = net::kNoNode,
+                             RouteState* rs = nullptr) const {
+    return next_hop(at, dst_cell, from, rs);
   }
 
   /// Control-plane escape hatch: sends `payload` one physical hop
@@ -219,19 +257,37 @@ class OverlayNetwork final : public core::MessageFabric {
     /// every physical LinkLayer hop beneath it (Section 5 emulation
     /// boundary provenance). 0 when tracing was off at send time.
     std::uint64_t flow = 0;
+    /// Detour-routing state (membership mode; all-zero otherwise).
+    RouteState route{};
   };
 
   void on_receive(net::NodeId at, const net::Packet& pkt);
-  void forward(net::NodeId at, const OverlayPacket& pkt);
+  void forward(net::NodeId at, const OverlayPacket& pkt,
+               net::NodeId from = net::kNoNode);
   void deliver_local(net::NodeId at, const OverlayPacket& pkt);
 
   /// Next physical hop from `at` toward the destination cell/leader, or
-  /// kNoNode if routing is impossible.
-  net::NodeId next_hop(net::NodeId at, const core::GridCoord& dst_cell) const;
+  /// kNoNode if routing is impossible. In membership mode routes greedily
+  /// (dimension-order) and falls back to a right-hand perimeter walk
+  /// around dead cells, using `from` (the physical sender; kNoNode at the
+  /// source) and the frame's `rs` state to stay loop-free.
+  net::NodeId next_hop(net::NodeId at, const core::GridCoord& dst_cell,
+                       net::NodeId from = net::kNoNode,
+                       RouteState* rs = nullptr) const;
 
   /// (Re)builds the intra-cell BFS tree of `cell` toward its bound leader,
   /// routing around down, depleted, and suspected nodes.
   void build_cell_tree(const core::GridCoord& cell);
+
+  /// Whether `at` is the node currently serving virtual node `dst`.
+  bool is_dst_leader(net::NodeId at, const core::GridCoord& dst) const;
+
+  /// Node's cell for routing purposes: the live belief when a membership
+  /// view is attached, the geometric cell otherwise.
+  core::GridCoord cell_view(net::NodeId id) const;
+  /// `cell`'s members for tree building: the live roster when a membership
+  /// view is attached, the geometric member list otherwise.
+  std::vector<net::NodeId> members_view(const core::GridCoord& cell) const;
 
   net::LinkLayer& link_;
   const CellMapper& mapper_;
@@ -250,6 +306,7 @@ class OverlayNetwork final : public core::MessageFabric {
   std::vector<std::uint64_t> epochs_;
   std::function<void(net::NodeId, const net::Packet&)> control_receiver_;
   net::ReliableChannel* arq_ = nullptr;
+  const MembershipView* membership_ = nullptr;
   std::uint64_t physical_hops_ = 0;
   std::uint64_t virtual_hops_ = 0;
   std::uint64_t failed_ = 0;

@@ -360,6 +360,110 @@ CheckReport check_stabilization(const std::vector<TraceEvent>& events) {
   return report;
 }
 
+void MembershipLedger::feed(const TraceEvent& ev) {
+  if (ev.category != Category::kReliability) return;
+  if (ev.name == "fd.defect" || ev.name == "fd.roster_corrupt") {
+    bound = std::max(bound, attr_num(ev, "bound"));
+    last_disturbance = std::max(last_disturbance, ev.time);
+    ++strikes;
+  } else if (ev.name == "fd.adopt") {
+    // An adoption is itself a reconfiguration: the join, accept, bind and
+    // roster repair it provokes are legitimate within one more bound.
+    bound = std::max(bound, attr_num(ev, "bound"));
+    last_disturbance = std::max(last_disturbance, ev.time);
+    adoptions.push_back(
+        {ev.node, static_cast<std::int64_t>(attr_num(ev, "row", -1.0)),
+         static_cast<std::int64_t>(attr_num(ev, "col", -1.0)),
+         static_cast<std::int64_t>(attr_num(ev, "from_row", -1.0)),
+         static_cast<std::int64_t>(attr_num(ev, "from_col", -1.0)),
+         attr_num(ev, "last") != 0.0, ev.time});
+  } else if (ev.name == "fd.adopt_accept") {
+    accepts.push_back(
+        {static_cast<std::int64_t>(attr_num(ev, "node", -1.0)),
+         static_cast<std::int64_t>(attr_num(ev, "row", -1.0)),
+         static_cast<std::int64_t>(attr_num(ev, "col", -1.0)), ev.time});
+    churn.push_back({ev.name, ev.node, ev.time});
+  } else if (ev.name == "fd.adopt_bind") {
+    binds.push_back({static_cast<std::int64_t>(attr_num(ev, "row", -1.0)),
+                     static_cast<std::int64_t>(attr_num(ev, "col", -1.0)),
+                     ev.time});
+    churn.push_back({ev.name, ev.node, ev.time});
+  } else if (ev.name == "fd.member_heal" || ev.name == "fd.roster_heal" ||
+             ev.name == "fd.roster_conflict" || ev.name == "fd.stranded") {
+    churn.push_back({ev.name, ev.node, ev.time});
+  } else if (ev.name == "fault.crash" || ev.name == "fault.recover" ||
+             ev.name == "fault.outage_end" || ev.name == "fault.burst_end" ||
+             ev.name == "energy.depleted") {
+    last_disturbance = std::max(last_disturbance, ev.time);
+  }
+}
+
+std::size_t MembershipLedger::resolve(std::vector<std::string>& issues) const {
+  if (strikes == 0 && adoptions.empty()) return 0;  // vacuous
+
+  const double deadline = last_disturbance + bound;
+  for (const Churn& c : churn) {
+    if (c.time <= deadline) continue;
+    issues.push_back(c.name + " at t=" + std::to_string(c.time) + " (node " +
+                     std::to_string(c.node) +
+                     "): membership churn after the reconciliation deadline "
+                     "t=" + std::to_string(deadline));
+  }
+
+  // Adoption pairing: each accept consumes the earliest unmatched adoption
+  // of the same orphan into the same cell inside its window.
+  std::vector<bool> accepted(adoptions.size(), false);
+  for (const Accept& ac : accepts) {
+    for (std::size_t i = 0; i < adoptions.size(); ++i) {
+      const Adoption& a = adoptions[i];
+      if (accepted[i] || a.node != ac.node || a.row != ac.row ||
+          a.col != ac.col) {
+        continue;
+      }
+      if (ac.time + 1e-9 < a.time || ac.time > a.time + bound) continue;
+      accepted[i] = true;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < adoptions.size(); ++i) {
+    const Adoption& a = adoptions[i];
+    const std::string tag =
+        "fd.adopt node " + std::to_string(a.node) + " into cell (" +
+        std::to_string(a.row) + "," + std::to_string(a.col) + ") at t=" +
+        std::to_string(a.time);
+    if (!accepted[i]) {
+      issues.push_back(tag + ": no fd.adopt_accept from the adopter cell "
+                             "within bound " + std::to_string(bound));
+    }
+    if (!a.last) continue;
+    bool rebound = false;
+    for (const Bind& b : binds) {
+      if (b.row == a.from_row && b.col == a.from_col &&
+          b.time <= a.time + bound) {
+        rebound = true;
+        break;
+      }
+    }
+    if (!rebound) {
+      issues.push_back(tag + ": vacated cell (" + std::to_string(a.from_row) +
+                       "," + std::to_string(a.from_col) +
+                       ") never re-bound to a proxy leader (dark cell)");
+    }
+  }
+  return strikes + adoptions.size();
+}
+
+CheckReport check_membership(const std::vector<TraceEvent>& events) {
+  CheckReport report;
+  report.events_seen = events.size();
+  MembershipLedger ledger;
+  for (const TraceEvent& ev : events) ledger.feed(ev);
+  ledger.resolve(report.issues);
+  report.flows_checked = ledger.strikes;
+  report.collectives_checked = ledger.adoptions.size();
+  return report;
+}
+
 CheckReport check_capture(const JsonValue& metrics_snapshot) {
   CheckReport report;
   const JsonValue* dropped = metrics_snapshot.find("trace.dropped");

@@ -102,6 +102,68 @@ CheckReport check_depletion(const std::vector<TraceEvent>& events);
 /// `flows_checked` reports the number of corruption strikes covered.
 CheckReport check_stabilization(const std::vector<TraceEvent>& events);
 
+/// Bounded membership-state bookkeeping shared by check_membership and the
+/// StreamingChecker (incremental.h), so the batch and streaming paths emit
+/// byte-identical findings. feed() every kReliability event in order;
+/// resolve() appends the violations once the stream is complete (the
+/// quiescence deadline and adoption bound are only final then). State is
+/// bounded by membership activity in the trace, never by trace length.
+struct MembershipLedger {
+  struct Adoption {
+    std::int64_t node = -1;
+    std::int64_t row = -1, col = -1;            // the adopter cell joined
+    std::int64_t from_row = -1, from_col = -1;  // the cell abandoned
+    bool last = false;  // orphan was the cell's last reachable member
+    double time = 0.0;
+  };
+  struct Accept {
+    std::int64_t node = -1;  // the orphan accepted
+    std::int64_t row = -1, col = -1;
+    double time = 0.0;
+  };
+  struct Bind {
+    std::int64_t row = -1, col = -1;  // the vacated cell re-bound
+    double time = 0.0;
+  };
+  struct Churn {
+    std::string name;
+    std::int64_t node = 0;
+    double time = 0.0;
+  };
+
+  double bound = 0.0;             // largest analytic bound attr seen
+  double last_disturbance = 0.0;  // anchors the quiescence deadline
+  std::size_t strikes = 0;        // fd.defect + fd.roster_corrupt events
+  std::vector<Adoption> adoptions;
+  std::vector<Accept> accepts;
+  std::vector<Bind> binds;
+  std::vector<Churn> churn;
+
+  void feed(const TraceEvent& ev);
+  /// Appends every membership invariant violation to `issues`. Returns the
+  /// number of disturbances covered (0 == the check was vacuous).
+  std::size_t resolve(std::vector<std::string>& issues) const;
+};
+
+/// Self-healing membership invariants over the kReliability "fd.*" stream
+/// (emulation::FailureDetector with membership mode on):
+///   * quiescence — after the last membership disturbance (fd.defect /
+///     fd.roster_corrupt strike, crash/recover/outage/depletion, or an
+///     adoption, each of which may legitimately provoke repair) plus the
+///     largest analytic `bound` attribute in the trace, no membership
+///     repair churn remains (fd.member_heal, fd.roster_heal,
+///     fd.roster_conflict, fd.adopt_accept, fd.adopt_bind, fd.stranded);
+///   * adoption closes — every fd.adopt (orphan N joining cell C) is
+///     answered by C's leader with an fd.adopt_accept for N within the
+///     bound (the kJoin reached a live adopter);
+///   * zero dark cells — every adoption that vacated its origin cell
+///     (fd.adopt with last=1) sees an fd.adopt_bind re-binding that cell
+///     to a proxy leader by adoption time + bound.
+/// Passes vacuously when the trace carries no membership activity.
+/// `flows_checked` reports corruption strikes, `collectives_checked` the
+/// adoptions covered.
+CheckReport check_membership(const std::vector<TraceEvent>& events);
+
 /// Capture-health check over a metrics snapshot: a nonzero "trace.dropped"
 /// gauge (RingBufferSink::register_metrics) means the companion trace file
 /// is a *suffix* of the run — the sink overwrote its oldest events — so

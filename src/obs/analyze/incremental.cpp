@@ -238,6 +238,11 @@ void StreamingChecker::feed_reliability(const TraceEvent& ev) {
     stab_churn_.push_back({ev.name, ev.node, ev.time});
   }
 
+  // Self-healing membership bookkeeping (check_membership): the shared
+  // ledger buffers strikes/adoptions/repair churn until finish(), when the
+  // reconciliation deadline is final.
+  membership_.feed(ev);
+
   if (ev.name == "rel.send") {
     sent_[rel_key(ev)] = ev.time;
     sent_queue_.emplace_back(rel_key(ev), ev.time);
@@ -366,6 +371,10 @@ CheckReport StreamingChecker::finish(const JsonValue* metrics_snapshot) {
           std::to_string(deadline));
     }
   }
+
+  // Self-healing membership: the ledger resolves with its final deadline
+  // and bound, emitting findings byte-identical to check_membership's.
+  membership_.resolve(report_.issues);
 
   if (metrics_snapshot != nullptr) {
     // Energy conservation against the ledger snapshot (check_energy's

@@ -148,6 +148,12 @@ class StreamingChecker {
   double stab_bound_ = 0.0;
   double stab_disturb_ = 0.0;
   std::size_t stab_corruptions_ = 0;
+
+  // Self-healing membership (check_membership). Same buffer-until-finish
+  // reasoning; the fold and the findings live in MembershipLedger, shared
+  // with the batch path so wording cannot drift. Bounded by membership
+  // activity in the trace.
+  MembershipLedger membership_;
 };
 
 }  // namespace wsn::obs::analyze

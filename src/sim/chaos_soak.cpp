@@ -58,8 +58,16 @@ struct Stack {
         *link, *mapper, emulation_result, binding_result);
   }
 
-  bool healthy() const {
-    return mapper->all_cells_occupied() && mapper->all_cells_connected() &&
+  /// The paper-precondition precheck for a fresh draw. Membership mode
+  /// relaxes occupancy — adoption restores coverage of vacant cells, so an
+  /// unoccupied cell is a scenario rather than a bad draw — but the
+  /// collector cell (0,0) must stay occupied: it is the aggregation root
+  /// and has no parent to proxy-adopt it.
+  bool healthy(bool relax_occupancy) const {
+    const bool occupancy =
+        relax_occupancy ? !mapper->members(core::GridCoord{0, 0}).empty()
+                        : mapper->all_cells_occupied();
+    return occupancy && mapper->all_cells_connected() &&
            binding_result.unique_leaders;
   }
 
@@ -118,6 +126,11 @@ struct GeneratedPlan {
   /// Leaders given a finite battery (depletion mode); `at` is the
   /// set_budget time, the death lands wherever the drain takes it.
   std::vector<TrackedCrash> depletions;
+  /// Vacated cells (membership mode): `node` is the planned lone survivor,
+  /// `at` the instant every other member crashes. The oracle demands the
+  /// survivor adopts into a neighboring cell within the stabilization
+  /// bound and the cell ends re-bound to a live proxy.
+  std::vector<TrackedCrash> vacancies;
 };
 
 }  // namespace
@@ -188,7 +201,8 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
     stack = std::make_unique<Stack>(cfg_.topology, cfg_.grid_side,
                                     cfg_.node_count, cfg_.range,
                                     res.seed + 1000003 * retry);
-    if (stack->healthy()) break;
+    if (stack->healthy(cfg_.membership)) break;
+    ++res.seeds_rejected;
     if (retry > 16) {
       res.findings.push_back("no healthy deployment after 16 seed retries");
       return res;
@@ -214,6 +228,14 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
     // to and the soak could not meet its re-convergence bound.
     dcfg.audit_period = cfg_.corruption_audit_period;
   }
+  if (cfg_.membership) {
+    // Live beliefs/rosters plus adoption; the roster-repair bound needs
+    // audit rounds carrying digests, so the audit default applies here too.
+    dcfg.membership = true;
+    if (dcfg.audit_period <= 0.0) {
+      dcfg.audit_period = cfg_.membership_audit_period;
+    }
+  }
   emulation::FailureDetector detector(*stack->overlay, dcfg);
 
   obs::MetricsRegistry registry;
@@ -223,6 +245,9 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   emulation::register_metrics(registry, stack->binding_result);
   stack->arq->register_metrics(registry);
   detector.register_metrics(registry);
+  registry.add_gauge("soak.seeds_rejected", [&res] {
+    return static_cast<double>(res.seeds_rejected);
+  });
 
   // ---- Plan generation (campaign RNG, independent of the stack's) -------
   Rng rng(res.seed * 0x9e3779b97f4a7c15ULL + 0x1234567);
@@ -259,7 +284,82 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
       gen.plan.events.push_back(ev);
     }
   }
-  for (int attempt = 0; !cfg_.corruption && attempt < 64 && budget > 0.0 &&
+  if (cfg_.membership) {
+    // Vacancy scenarios: every member of a victim cell except one follower
+    // crashes at the same instant. The survivor's lease runs out over a
+    // silent cell, its election finds nobody, and the adoption path must
+    // move it into the nearest reachable neighboring cell and re-bind the
+    // vacated cell to a proxy — tracked so the invariant pass demands
+    // exactly that. The survivor is never the bound leader (a surviving
+    // leader just keeps serving a cell of one) and must hold a cross-cell
+    // radio edge into an untargeted cell, or adoption has nobody to reach;
+    // that refuge cell is marked hit so a later vacancy cannot empty it.
+    for (int attempt = 0;
+         attempt < 64 && gen.vacancies.size() < cfg_.membership_vacancies;
+         ++attempt) {
+      const std::size_t ci = rng.below(grid.node_count());
+      const core::GridCoord cell = grid.coord_of(ci);
+      if (hit[ci] || (cell.row == 0 && cell.col == 0)) continue;
+      const auto members = stack->mapper->members(cell);
+      const net::NodeId leader = stack->overlay->bound_node(cell);
+      if (leader == net::kNoNode || members.size() < 2) continue;
+      net::NodeId survivor = net::kNoNode;
+      std::size_t refuge = 0;
+      for (const net::NodeId m : members) {
+        if (m == leader) continue;
+        for (const net::NodeId v : stack->graph->neighbors(m)) {
+          const core::GridCoord vc = stack->mapper->cell_of(v);
+          if (vc == cell || hit[grid.index_of(vc)]) continue;
+          survivor = m;
+          refuge = grid.index_of(vc);
+          break;
+        }
+        if (survivor != net::kNoNode) break;
+      }
+      if (survivor == net::kNoNode) continue;
+      hit[ci] = true;
+      hit[refuge] = true;
+      const Time at = 5.0 + rng.uniform() * horizon * 0.3;
+      for (const net::NodeId m : members) {
+        if (m == survivor) continue;
+        FaultEvent crash;
+        crash.at = at;
+        crash.kind = FaultKind::kCrash;
+        crash.node = m;
+        gen.plan.events.push_back(crash);
+      }
+      gen.vacancies.push_back({cell, survivor, at});
+    }
+    // Membership strikes: a seeded victim's cell belief is defected to an
+    // adjacent cell or its leader's roster is scrambled at fire time
+    // (CorruptionTarget::kMembership). Reconciliation — self-heal from
+    // position knowledge plus the audit digest round — must pull every one
+    // back within the extended stabilization bound. Cells already staged
+    // for a vacancy (or sheltering its survivor) stay clear so the
+    // adoption oracle is not confounded.
+    std::size_t strikes = 0;
+    for (int attempt = 0;
+         attempt < 64 && strikes < cfg_.membership_events; ++attempt) {
+      const std::size_t ci = rng.below(grid.node_count());
+      const core::GridCoord cell = grid.coord_of(ci);
+      if (hit[ci] || (cell.row == 0 && cell.col == 0)) continue;
+      const auto members = stack->mapper->members(cell);
+      if (members.empty()) continue;
+      const net::NodeId leader = stack->overlay->bound_node(cell);
+      net::NodeId victim =
+          members[static_cast<std::size_t>(rng.below(members.size()))];
+      if (rng.chance(0.5) && leader != net::kNoNode) victim = leader;
+      FaultEvent ev;
+      ev.at = 5.0 + rng.uniform() * horizon * 0.4;
+      ev.kind = FaultKind::kStateCorruption;
+      ev.node = victim;
+      ev.target = CorruptionTarget::kMembership;
+      gen.plan.events.push_back(ev);
+      ++strikes;
+    }
+  }
+  for (int attempt = 0; !cfg_.corruption && !cfg_.membership &&
+                        attempt < 64 && budget > 0.0 &&
                         gen.plan.events.size() < cfg_.max_plan_events;
        ++attempt) {
     const double draw = rng.uniform();
@@ -434,12 +534,18 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
       std::max(stack->sim.now(), arm_time + gen.plan.down_horizon()) +
       detection_bound() + cfg_.detector.uplease_duration +
       (cfg_.depletion ? cfg_.depletion_grace : 0.0) +
-      (cfg_.corruption ? detector.stabilization_bound() : 0.0);
+      (cfg_.corruption || cfg_.membership ? detector.stabilization_bound()
+                                          : 0.0) +
+      // Proxy re-binding of a vacated cell can ride the parent path: two
+      // consecutive silent uplease windows before the parent adopts it.
+      (cfg_.membership ? 2.0 * dcfg.uplease_duration : 0.0);
   stack->sim.run_until(settle);
   const std::vector<core::GridCoord> split = detector.split_brains();
   const std::vector<core::GridCoord> unconverged =
-      cfg_.corruption ? detector.unconverged_cells()
-                      : std::vector<core::GridCoord>{};
+      cfg_.corruption || cfg_.membership ? detector.unconverged_cells()
+                                         : std::vector<core::GridCoord>{};
+  const std::vector<core::GridCoord> member_violations =
+      detector.membership_violations();
   const std::vector<emulation::ClaimRecord> claims = detector.claims();
   detector.stop();
   stack->sim.run();
@@ -481,7 +587,7 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
   merge("check_failure_detection",
         obs::analyze::check_failure_detection(events));
   merge("check_depletion", obs::analyze::check_depletion(events));
-  if (cfg_.corruption) {
+  if (cfg_.corruption || cfg_.membership) {
     // Re-convergence within the analytic bound: no leadership churn after
     // the last disturbance plus the stabilization window. Strictly
     // increasing claim epochs per cell are already check_failure_detection
@@ -494,6 +600,8 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
     }
     // Worst corruption-to-quiet latency, for reporting and the convergence
     // bench: the last churn event each strike provoked within its window.
+    // Membership mode counts belief/roster repair and adoption traffic as
+    // churn too — a strike is only "quiet" once the views stop moving.
     std::vector<double> corrupt_times;
     std::vector<double> churn_times;
     for (const obs::TraceEvent& ev : events) {
@@ -504,7 +612,12 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
                  ev.name == "fd.audit_conflict" ||
                  ev.name == "fd.audit_heal" ||
                  ev.name == "fd.epoch_regress" ||
-                 ev.name == "fd.lease_expire") {
+                 ev.name == "fd.lease_expire" ||
+                 (cfg_.membership &&
+                  (ev.name == "fd.member_heal" ||
+                   ev.name == "fd.roster_heal" ||
+                   ev.name == "fd.roster_conflict" ||
+                   ev.name == "fd.adopt" || ev.name == "fd.adopt_bind"))) {
         churn_times.push_back(ev.time);
       }
     }
@@ -516,6 +629,53 @@ ChaosCampaignResult ChaosSoak::run_campaign(std::size_t index,
       }
       res.max_reconverge_latency =
           std::max(res.max_reconverge_latency, last - t);
+    }
+  }
+  if (cfg_.membership) {
+    // Trace-level membership oracle: quiescence after the reconciliation
+    // deadline, every adoption accepted, every vacated cell re-bound.
+    merge("check_membership", obs::analyze::check_membership(events));
+    res.adoptions = detector.adoptions().size();
+    res.adopt_binds = static_cast<std::size_t>(detector.adopt_binds());
+    // Zero dark cells, beliefs and rosters inverse-consistent: the
+    // protocol-restored all_cells_occupied invariant, checked end-state.
+    for (const core::GridCoord& c : member_violations) {
+      finding("membership violation in cell (" + std::to_string(c.row) +
+              "," + std::to_string(c.col) +
+              "): dark cell or belief/roster disagreement after settle");
+    }
+    // Each planned vacancy must have played out: the survivor adopted into
+    // a neighboring cell within the stabilization bound, and the vacated
+    // cell ended re-bound to a live proxy leader.
+    const Time stab = detector.stabilization_bound();
+    for (const TrackedCrash& tv : gen.vacancies) {
+      const Time vacated_abs = arm_time + tv.at;
+      const std::string tag =
+          "vacated cell (" + std::to_string(tv.cell.row) + "," +
+          std::to_string(tv.cell.col) + ") survivor " +
+          std::to_string(tv.node);
+      const emulation::AdoptionRecord* adoption = nullptr;
+      for (const emulation::AdoptionRecord& a : detector.adoptions()) {
+        if (a.node == tv.node && a.from == tv.cell && a.at >= vacated_abs) {
+          adoption = &a;
+          break;
+        }
+      }
+      if (adoption == nullptr) {
+        finding(tag + ": never adopted into a neighboring cell");
+      } else {
+        const Time latency = adoption->at - vacated_abs;
+        if (latency > stab) {
+          finding(tag + ": adoption latency " + std::to_string(latency) +
+                  " exceeds stabilization bound " + std::to_string(stab));
+        }
+        res.max_adoption_latency =
+            std::max(res.max_adoption_latency, latency);
+      }
+      const net::NodeId proxy = stack->overlay->bound_node(tv.cell);
+      if (proxy == net::kNoNode || stack->link->is_down(proxy)) {
+        finding(tag + ": cell left dark (no live proxy binding)");
+      }
     }
   }
 

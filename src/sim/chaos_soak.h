@@ -98,6 +98,26 @@ struct ChaosSoakConfig {
   bool corruption = false;
   std::size_t corruption_events = 3;
   double corruption_audit_period = 15.0;
+
+  /// Membership mode: cell beliefs and leader rosters become live protocol
+  /// state (detector.membership, audits on). The generator emits
+  /// membership-target state_corruption strikes (defected beliefs,
+  /// scrambled rosters) plus *vacancy* scenarios — every member of a
+  /// victim cell except one non-leader follower crashes at the same
+  /// instant, so the survivor orphans over a silent cell, must be adopted
+  /// by the nearest reachable neighboring cell, and the vacated cell must
+  /// be re-bound to a live proxy leader. The oracle then additionally
+  /// asserts check_stabilization, per-cell end-state agreement, zero
+  /// membership violations at settle (no dark cells, beliefs and rosters
+  /// inverse-consistent), and one adoption per planned vacancy within the
+  /// extended stabilization bound. The healthy-deployment precheck keeps
+  /// all_cells_connected, unique_leaders, and an occupied collector cell
+  /// but stops rejecting unoccupied cells — adoption is expected to
+  /// restore coverage, so vacancy-at-start is a scenario, not a bad draw.
+  bool membership = false;
+  std::size_t membership_events = 3;     // membership corruption strikes
+  std::size_t membership_vacancies = 1;  // cells vacated to force adoption
+  double membership_audit_period = 15.0;
 };
 
 struct ChaosCampaignResult {
@@ -121,6 +141,15 @@ struct ChaosCampaignResult {
   /// fd.corrupt at t, the last fd churn event in (t, t+bound]; 0 when a
   /// strike caused no churn at all (a benign scramble).
   double max_reconverge_latency = 0.0;
+  /// Unhealthy stack draws discarded by the seed-retry loop before this
+  /// campaign's deployment stuck (also surfaced as the soak.seeds_rejected
+  /// gauge, so soak determinism stays auditable).
+  std::uint64_t seeds_rejected = 0;
+  std::size_t adoptions = 0;    // orphan adoptions committed (membership)
+  std::size_t adopt_binds = 0;  // vacated cells re-bound to a proxy leader
+  /// Worst vacancy-to-adoption latency over planned vacancies (membership
+  /// mode); 0 when the plan carried none.
+  double max_adoption_latency = 0.0;
 
   bool ok() const { return findings.empty(); }
 };

@@ -259,7 +259,7 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
       if (!parse_corruption_target(target->string(), ev.target)) {
         fail_event(line, i,
                    "unknown corruption target \"" + target->string() +
-                       "\" (want epoch/leader/routes/leases)");
+                       "\" (want epoch/leader/routes/leases/membership)");
       }
     } else {
       fail_event(line, i, "unknown kind \"" + k + "\"");

@@ -38,8 +38,10 @@
 // state_corruption scrambles a live node's *soft* protocol state (nothing
 // physical goes down): "target" selects the victim state — "epoch" (binding
 // epoch regressed or jumped), "leader" (believed-leader pointer repointed),
-// "routes" (overlay route-table entries scrambled), or "leases"
-// (failure-detector lease / suspicion state poisoned). The concrete
+// "routes" (overlay route-table entries scrambled), "leases"
+// (failure-detector lease / suspicion state poisoned), or "membership"
+// (cell belief defected to a neighboring cell, or a leader's member roster
+// scrambled — see emulation::MembershipView). The concrete
 // scrambled values are drawn from the simulator's seeded RNG at fire time,
 // so a plan + seed fully determine the corrupted state (the self-
 // stabilization soak replays byte-identically). Corrupting a down node is
@@ -86,16 +88,17 @@ enum class FaultKind : std::uint8_t {
 
 /// Which slice of a node's soft state a state_corruption event scrambles.
 enum class CorruptionTarget : std::uint8_t {
-  kEpoch,   // binding epoch regressed or jumped
-  kLeader,  // believed-leader pointer repointed
-  kRoutes,  // overlay route-table entries scrambled
-  kLeases,  // failure-detector lease / suspicion state poisoned
+  kEpoch,       // binding epoch regressed or jumped
+  kLeader,      // believed-leader pointer repointed
+  kRoutes,      // overlay route-table entries scrambled
+  kLeases,      // failure-detector lease / suspicion state poisoned
+  kMembership,  // cell belief defected / leader member roster scrambled
 };
 
 /// Stable name used in plan JSON and trace attributes
-/// ("epoch" / "leader" / "routes" / "leases"). Inline so protocol layers
-/// (emulation::FailureDetector) can name targets without linking the fault
-/// library.
+/// ("epoch" / "leader" / "routes" / "leases" / "membership"). Inline so
+/// protocol layers (emulation::FailureDetector) can name targets without
+/// linking the fault library.
 inline const char* to_string(CorruptionTarget target) {
   switch (target) {
     case CorruptionTarget::kEpoch:
@@ -106,6 +109,8 @@ inline const char* to_string(CorruptionTarget target) {
       return "routes";
     case CorruptionTarget::kLeases:
       return "leases";
+    case CorruptionTarget::kMembership:
+      return "membership";
   }
   return "unknown";
 }
@@ -121,6 +126,8 @@ inline bool parse_corruption_target(const std::string& name,
     out = CorruptionTarget::kRoutes;
   } else if (name == "leases") {
     out = CorruptionTarget::kLeases;
+  } else if (name == "membership") {
+    out = CorruptionTarget::kMembership;
   } else {
     return false;
   }

@@ -188,5 +188,97 @@ TEST(ChaosSoak, CorruptionPlansCarryOnlyCorruptionEvents) {
   }
 }
 
+// ---- Self-healing membership soak ---------------------------------------
+
+TEST(ChaosSoak, MembershipSoakHealsAcrossTopologies) {
+  // >= 12 membership campaigns spanning grid, ring, and mesh: each plan
+  // mixes membership-target corruption strikes (defected beliefs,
+  // scrambled rosters) with whole-cell vacancy scenarios. The oracle
+  // additionally demands check_membership (zero dark cells, beliefs and
+  // rosters inverse-consistent at settle), one adoption per planned
+  // vacancy, a proxy re-bind of every vacated cell, and both latencies
+  // inside the extended stabilization bound.
+  const net::TopologyKind topologies[] = {net::TopologyKind::kGrid,
+                                          net::TopologyKind::kRing,
+                                          net::TopologyKind::kMesh};
+  std::size_t adoptions = 0;
+  std::size_t binds = 0;
+  for (const net::TopologyKind topo : topologies) {
+    sim::ChaosSoakConfig cfg;
+    cfg.membership = true;
+    cfg.topology = topo;
+    cfg.campaigns = 4;
+    const sim::ChaosSoak soak(cfg);
+    const double bound = 2.5 * cfg.detector.lease_duration +
+                         1.5 * cfg.detector.election_timeout +
+                         2.0 * cfg.membership_audit_period + 10.0;
+    for (std::size_t k = 0; k < cfg.campaigns; ++k) {
+      const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+      EXPECT_EQ(res.topology, net::to_string(topo));
+      EXPECT_GT(res.corruptions, 0u);
+      EXPECT_EQ(res.split_brains, 0u);
+      adoptions += res.adoptions;
+      binds += res.adopt_binds;
+      EXPECT_LE(res.max_adoption_latency, bound)
+          << res.topology << " campaign " << k << " (seed " << res.seed
+          << ")";
+      EXPECT_LE(res.max_reconverge_latency, bound)
+          << res.topology << " campaign " << k << " (seed " << res.seed
+          << ")";
+      for (const std::string& f : res.findings) {
+        ADD_FAILURE() << res.topology << " campaign " << k << " (seed "
+                      << res.seed << "): " << f << "\nplan: " << res.plan_json;
+      }
+    }
+  }
+  // The mode must actually exercise the fault model: orphans were adopted
+  // and every vacated cell was re-bound to a proxy leader.
+  EXPECT_GE(adoptions, 10u);
+  EXPECT_GE(binds, adoptions);
+}
+
+TEST(ChaosSoak, MembershipCampaignReplaysByteIdentically) {
+  sim::ChaosSoakConfig cfg;
+  cfg.membership = true;
+  cfg.topology = net::TopologyKind::kMesh;
+  const sim::ChaosSoak soak(cfg);
+  const auto first = soak.run_campaign(2, /*keep_trace=*/true);
+  const auto second = soak.run_campaign(2, /*keep_trace=*/true);
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.plan_json, second.plan_json);
+  EXPECT_EQ(first.corruptions, second.corruptions);
+  EXPECT_EQ(first.adoptions, second.adoptions);
+  EXPECT_EQ(first.adopt_binds, second.adopt_binds);
+  EXPECT_EQ(first.max_adoption_latency, second.max_adoption_latency);
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl)
+      << "membership campaigns must replay byte-for-byte";
+}
+
+TEST(ChaosSoak, MembershipPlansMixStrikesAndVacancies) {
+  sim::ChaosSoakConfig cfg;
+  cfg.membership = true;
+  const sim::ChaosSoak soak(cfg);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto res = soak.run_campaign(k, /*keep_trace=*/false);
+    const sim::FaultPlan plan = sim::FaultPlan::from_json(res.plan_json);
+    ASSERT_FALSE(plan.events.empty());
+    std::size_t strikes = 0;
+    std::size_t crashes = 0;
+    for (const sim::FaultEvent& ev : plan.events) {
+      if (ev.kind == sim::FaultKind::kStateCorruption) {
+        EXPECT_EQ(ev.target, sim::CorruptionTarget::kMembership);
+        ++strikes;
+      } else {
+        // Vacancy scenarios are expressed as simultaneous member crashes.
+        EXPECT_EQ(ev.kind, sim::FaultKind::kCrash);
+        ++crashes;
+      }
+    }
+    EXPECT_EQ(strikes, res.corruptions);
+    EXPECT_GT(crashes, 0u) << "campaign " << k
+                           << " staged no vacancy: " << res.plan_json;
+  }
+}
+
 }  // namespace
 }  // namespace wsn

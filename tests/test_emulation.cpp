@@ -74,6 +74,38 @@ TEST(CellMapper, DiagnosticsReportGaps) {
   EXPECT_EQ(mapper.unoccupied_cells().size(), 3u);
 }
 
+TEST(CellMapper, DisconnectedCellsReportOnlyFracturedCells) {
+  // 3x3 partition of a 3.0 terrain (cell side 1.0), radio range 0.3.
+  // Cell (0,0): two nodes within range — connected. Cell (1,1): two nodes
+  // in opposite corners of the cell, out of range — fractured. Cell
+  // (2,2): a singleton, trivially connected. Six cells stay empty, and
+  // empty is reported as unoccupied, never as disconnected.
+  net::NetworkGraph graph(
+      {{0.1, 0.1}, {0.2, 0.2}, {1.1, 1.1}, {1.9, 1.9}, {2.5, 2.5}}, 0.3);
+  CellMapper mapper(graph, net::square_terrain(3.0), 3);
+  EXPECT_FALSE(mapper.all_cells_occupied());
+  EXPECT_FALSE(mapper.all_cells_connected());
+  EXPECT_EQ(mapper.unoccupied_cells().size(), 6u);
+  const auto fractured = mapper.disconnected_cells();
+  ASSERT_EQ(fractured.size(), 1u);
+  EXPECT_EQ(fractured[0], (core::GridCoord{1, 1}));
+  for (const core::GridCoord& cell : mapper.unoccupied_cells()) {
+    EXPECT_TRUE(mapper.members(cell).empty());
+  }
+}
+
+TEST(CellMapper, BoundaryPositionsClampIntoTheGrid) {
+  // Nodes exactly on the terrain edge (and one past it, from measurement
+  // noise) must land in the nearest real cell, not index out of range.
+  net::NetworkGraph graph({{0.0, 0.0}, {2.0, 2.0}, {2.3, 1.0}}, 1.5);
+  CellMapper mapper(graph, net::square_terrain(2.0), 2);
+  EXPECT_EQ(mapper.cell_of(0), (core::GridCoord{0, 0}));
+  EXPECT_EQ(mapper.cell_of(1), (core::GridCoord{1, 1}));
+  EXPECT_EQ(mapper.cell_of(2), (core::GridCoord{1, 1}));
+  EXPECT_TRUE(mapper.disconnected_cells().empty());
+  EXPECT_EQ(mapper.unoccupied_cells().size(), 2u);
+}
+
 TEST(AdjacentDirection, FourNeighbors) {
   EXPECT_EQ(adjacent_direction({1, 1}, {0, 1}), core::Direction::kNorth);
   EXPECT_EQ(adjacent_direction({1, 1}, {1, 2}), core::Direction::kEast);
@@ -235,6 +267,29 @@ TEST_F(OverlayTest, AllPairsRoutable) {
   EXPECT_EQ(overlay_->failed_sends(), 0u);
   // Stretch is finite and at least 1.
   EXPECT_GE(overlay_->physical_hops(), overlay_->virtual_hops());
+}
+
+TEST_F(OverlayTest, RouteStateIsInertWithoutMembership) {
+  // Perimeter (right-hand wall) routing only engages in membership mode.
+  // With the default stack the RouteState-threaded entry point must pick
+  // the exact hop classic dimension-order routing picks — never touching
+  // the frame's detour bytes — so default-mode traces stay byte-identical.
+  core::GridTopology grid(4);
+  for (const core::GridCoord& from : grid.all_coords()) {
+    const net::NodeId at = overlay_->bound_node(from);
+    for (const core::GridCoord& to : grid.all_coords()) {
+      if (from == to) continue;
+      OverlayNetwork::RouteState rs;
+      const net::NodeId with_state = overlay_->route_next_hop(at, to,
+                                                              net::kNoNode,
+                                                              &rs);
+      const net::NodeId classic = overlay_->route_next_hop(at, to);
+      EXPECT_EQ(with_state, classic);
+      EXPECT_EQ(rs.detour, 0);
+      EXPECT_EQ(rs.entry_dist, 0);
+      EXPECT_EQ(rs.ttl, 0);
+    }
+  }
 }
 
 TEST_F(OverlayTest, EnergyLandsInPhysicalLedger) {

@@ -8,6 +8,7 @@
 // and demands the same final bindings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -360,6 +361,175 @@ TEST_F(SelfStabilizationTest, InjectRefusesWhenStoppedOrDown) {
       detector_->inject_corruption(victim, sim::CorruptionTarget::kLeases));
   EXPECT_EQ(detector_->counters().get("fd.corrupt"), 0u);
   stack_.link->set_down(victim, false);
+}
+
+// ---- Live membership: corruption, healing, orphan adoption --------------
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  MembershipTest() : stack_(kSide, kNodes, kRange, kSeed) {
+    EXPECT_TRUE(stack_.healthy());
+    stack_.enable_arq();
+    emulation::FailureDetectorConfig cfg;
+    cfg.audit_period = 15.0;
+    cfg.membership = true;
+    detector_ =
+        std::make_unique<emulation::FailureDetector>(*stack_.overlay, cfg);
+  }
+
+  ~MembershipTest() override {
+    detector_->stop();
+    stack_.sim.run();
+  }
+
+  void settle(double dt) { stack_.sim.run_until(stack_.sim.now() + dt); }
+
+  /// A vacancy victim: every member of `cell` except one non-leader
+  /// follower with a radio edge into another cell. Returns the survivor
+  /// (kNoNode when the cell cannot stage the scenario).
+  net::NodeId stage_vacancy(const GridCoord& cell) {
+    const net::NodeId leader = stack_.overlay->bound_node(cell);
+    net::NodeId survivor = net::kNoNode;
+    for (const net::NodeId m : stack_.mapper->members(cell)) {
+      if (m == leader) continue;
+      for (const net::NodeId v : stack_.graph->neighbors(m)) {
+        if (!(stack_.mapper->cell_of(v) == cell)) {
+          survivor = m;
+          break;
+        }
+      }
+      if (survivor != net::kNoNode) break;
+    }
+    if (survivor == net::kNoNode) return net::kNoNode;
+    for (const net::NodeId m : stack_.mapper->members(cell)) {
+      if (m != survivor) stack_.link->set_down(m, true);
+    }
+    return survivor;
+  }
+
+  bench::PhysicalStack stack_;
+  std::unique_ptr<emulation::FailureDetector> detector_;
+};
+
+TEST_F(MembershipTest, ViewSeedsFromGeometryAndStaysConsistent) {
+  detector_->start();
+  const emulation::MembershipView* view = detector_->membership_view();
+  ASSERT_NE(view, nullptr);
+  for (net::NodeId i = 0; i < stack_.graph->node_count(); ++i) {
+    EXPECT_EQ(view->cell_of(i), stack_.mapper->cell_of(i));
+    EXPECT_TRUE(view->roster_contains(stack_.mapper->cell_of(i), i));
+  }
+  settle(120.0);
+  // A quiet network stays violation-free and adopts nobody.
+  EXPECT_TRUE(detector_->membership_violations().empty());
+  EXPECT_TRUE(detector_->adoptions().empty());
+  EXPECT_EQ(detector_->adopt_binds(), 0u);
+}
+
+TEST_F(MembershipTest, MembershipCorruptionHealsWithinBound) {
+  detector_->start();
+  settle(40.0);
+  // Scramble both flavors: a leader victim gets its roster corrupted, a
+  // follower victim gets its cell belief defected.
+  const net::NodeId leader = stack_.overlay->bound_node({1, 2});
+  ASSERT_NE(leader, net::kNoNode);
+  ASSERT_TRUE(detector_->inject_corruption(
+      leader, sim::CorruptionTarget::kMembership));
+  net::NodeId follower = net::kNoNode;
+  const net::NodeId l33 = stack_.overlay->bound_node({3, 3});
+  for (const net::NodeId m : stack_.mapper->members({3, 3})) {
+    if (m != l33) {
+      follower = m;
+      break;
+    }
+  }
+  ASSERT_NE(follower, net::kNoNode);
+  ASSERT_TRUE(detector_->inject_corruption(
+      follower, sim::CorruptionTarget::kMembership));
+  EXPECT_EQ(detector_->counters().get("fd.corrupt"), 2u);
+  settle(detector_->stabilization_bound());
+  // Reconciliation (belief self-heal + audit-digest roster repair) pulls
+  // every belief and roster back to the geometric truth.
+  EXPECT_TRUE(detector_->membership_violations().empty());
+  EXPECT_TRUE(detector_->unconverged_cells().empty());
+  EXPECT_GT(detector_->counters().get("fd.member_heal") +
+                detector_->counters().get("fd.roster_heal"),
+            0u);
+  const emulation::MembershipView* view = detector_->membership_view();
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->cell_of(follower), stack_.mapper->cell_of(follower));
+}
+
+TEST_F(MembershipTest, VacancyTriggersAdoptionAndProxyBind) {
+  detector_->start();
+  settle(40.0);
+  const GridCoord cell{2, 1};
+  const net::NodeId survivor = stage_vacancy(cell);
+  ASSERT_NE(survivor, net::kNoNode)
+      << "seeded deployment cannot stage a vacancy at (2,1)";
+  settle(detector_->stabilization_bound());
+  // The orphan defected to a neighboring cell...
+  ASSERT_FALSE(detector_->adoptions().empty());
+  bool survivor_adopted = false;
+  for (const emulation::AdoptionRecord& a : detector_->adoptions()) {
+    if (a.node == survivor) {
+      survivor_adopted = true;
+      EXPECT_EQ(a.from, cell);
+      EXPECT_NE(a.to, cell);
+    }
+  }
+  EXPECT_TRUE(survivor_adopted);
+  const emulation::MembershipView* view = detector_->membership_view();
+  ASSERT_NE(view, nullptr);
+  EXPECT_NE(view->cell_of(survivor), cell);
+  // ...and the vacated cell is served by a live out-of-cell proxy leader,
+  // so the deployment has zero dark cells.
+  EXPECT_GE(detector_->adopt_binds(), 1u);
+  const net::NodeId proxy = stack_.overlay->bound_node(cell);
+  ASSERT_NE(proxy, net::kNoNode);
+  EXPECT_FALSE(stack_.link->is_down(proxy));
+  EXPECT_TRUE(detector_->membership_violations().empty());
+}
+
+TEST_F(MembershipTest, VacantCellReportedMissingBeforeAdoption) {
+  // Regression: a deadline reduce racing a fresh vacancy must close by
+  // timeout with the dead cell in PartialResult::missing() — not hang and
+  // not silently fold a value for a cell nobody serves. After the
+  // stabilization bound the adoption + proxy re-bind restore coverage and
+  // the same reduce completes.
+  detector_->start();
+  settle(40.0);
+  const GridCoord cell{1, 3};
+  ASSERT_NE(stage_vacancy(cell), net::kNoNode)
+      << "seeded deployment cannot stage a vacancy at (1,3)";
+
+  const std::vector<GridCoord> cells = stack_.overlay->grid().all_coords();
+  const std::vector<double> values(cells.size(), 1.0);
+  std::vector<core::PartialResult> results;
+  const double t0 = stack_.sim.now();
+  core::group_reduce_deadline(
+      *stack_.overlay, cells, {0, 0}, values, core::ReduceOp::kSum, 1.0, 30.0,
+      [&results](const core::PartialResult& p) { results.push_back(p); });
+  settle(40.0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results.front().deadline_hit);
+  const std::vector<GridCoord> missing = results.front().missing();
+  EXPECT_NE(std::find(missing.begin(), missing.end(), cell), missing.end())
+      << "the vacated cell must be on the degraded round's suspect list";
+
+  // Post-adoption the proxy answers for the vacated virtual node.
+  settle(detector_->stabilization_bound());
+  results.clear();
+  core::group_reduce_deadline(
+      *stack_.overlay, cells, {0, 0}, values, core::ReduceOp::kSum, 1.0,
+      200.0,
+      [&results](const core::PartialResult& p) { results.push_back(p); });
+  settle(210.0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results.front().complete())
+      << "adoption + proxy re-bind must restore full coverage; missing "
+      << results.front().missing().size() << " cells";
+  (void)t0;
 }
 
 // ---- Epoch-stale contributions rejected by deadline collectives ---------

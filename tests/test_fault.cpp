@@ -437,6 +437,30 @@ TEST(FaultPlanJson, StateCorruptionRoundTrips) {
   EXPECT_EQ(reparsed.events[1].target, sim::CorruptionTarget::kLeases);
 }
 
+TEST(FaultPlanJson, MembershipTargetParsesAndRoundTrips) {
+  // The fifth corruption target: cell beliefs / leader rosters. Both the
+  // node-targeted form (chaos campaigns resolve victims at plan time) and
+  // the cell-targeted form (canned campaigns like campaigns/membership.json
+  // resolve the leader at fire time) must survive a JSON round-trip.
+  const auto plan = sim::FaultPlan::from_json(R"({"events": [
+    {"at": 3.0, "kind": "state_corruption", "node": 7,
+     "target": "membership"},
+    {"at": 8.0, "kind": "state_corruption", "cell": {"row": 3, "col": 0},
+     "target": "membership"}
+  ]})");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].target, sim::CorruptionTarget::kMembership);
+  EXPECT_EQ(plan.events[0].node, 7u);
+  EXPECT_EQ(plan.events[1].target, sim::CorruptionTarget::kMembership);
+  EXPECT_EQ(plan.events[1].cell.row, 3);
+  const std::string serialized = plan.to_json();
+  const auto reparsed = sim::FaultPlan::from_json(serialized);
+  ASSERT_EQ(reparsed.events.size(), 2u);
+  EXPECT_EQ(reparsed.to_json(), serialized);
+  EXPECT_EQ(reparsed.events[0].target, sim::CorruptionTarget::kMembership);
+  EXPECT_EQ(reparsed.events[1].target, sim::CorruptionTarget::kMembership);
+}
+
 TEST(FaultPlanJson, StateCorruptionRejectionsNameLineAndEvent) {
   const std::string unknown = rejection_message(
       "{\"events\": [\n"

@@ -443,6 +443,55 @@ TEST(Incremental, StreamingCheckMatchesBatchVerdict) {
   EXPECT_FALSE(streamed.ok());
 }
 
+TEST(Incremental, StreamingMembershipMatchesBatchFindings) {
+  // A membership stream with one clean adoption, one adoption whose
+  // vacated cell is never re-bound (dark cell), and repair churn after the
+  // reconciliation deadline. check_membership (batch) and the
+  // StreamingChecker share MembershipLedger, so the findings must be
+  // byte-identical.
+  using obs::Category;
+  std::vector<obs::TraceEvent> events;
+  events.push_back({10.0, 3, Category::kReliability, 'i', "fd.defect", 0,
+                    {{"bound", 50.0}}});
+  events.push_back({20.0, 7, Category::kReliability, 'i', "fd.adopt", 0,
+                    {{"bound", 50.0},
+                     {"row", 1.0},
+                     {"col", 2.0},
+                     {"from_row", 0.0},
+                     {"from_col", 3.0},
+                     {"last", 1.0}}});
+  events.push_back({25.0, 11, Category::kReliability, 'i', "fd.adopt_accept",
+                    0,
+                    {{"node", 7.0}, {"row", 1.0}, {"col", 2.0}}});
+  events.push_back({30.0, 9, Category::kReliability, 'i', "fd.adopt", 0,
+                    {{"bound", 50.0},
+                     {"row", 2.0},
+                     {"col", 2.0},
+                     {"from_row", 3.0},
+                     {"from_col", 3.0},
+                     {"last", 0.0}}});
+  events.push_back({31.0, 12, Category::kReliability, 'i', "fd.adopt_accept",
+                    0,
+                    {{"node", 9.0}, {"row", 2.0}, {"col", 2.0}}});
+  // Churn 130s after the last disturbance (t=30) outlives the 50s bound.
+  events.push_back({160.0, 5, Category::kReliability, 'i', "fd.roster_heal",
+                    0, {}});
+
+  const obs::analyze::CheckReport batch =
+      obs::analyze::check_membership(events);
+  ASSERT_EQ(batch.issues.size(), 2u);  // dark cell + late churn
+
+  obs::analyze::StreamingChecker checker{obs::analyze::StreamCheckOptions{}};
+  for (const obs::TraceEvent& ev : events) checker.feed(ev);
+  const obs::analyze::CheckReport streamed = checker.finish();
+  auto sorted = [](std::vector<std::string> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(streamed.issues), sorted(batch.issues));
+  EXPECT_FALSE(streamed.ok());
+}
+
 // ---------------------------------------------------------------------------
 // wsn-inspect: convert, info, streaming analyses, error surfaces
 

@@ -34,6 +34,7 @@ benches=(
   bench_lifetime
   bench_maintenance
   bench_mapping_ablation
+  bench_membership
   bench_message_size
   bench_step_complexity
   bench_stored_queries

@@ -11,8 +11,9 @@
 // Usage:
 //   wsn-chaos [--campaigns N] [--seed S] [--grid N] [--nodes N]
 //             [--rounds N] [--budget X] [--depletion] [--corruption]
-//             [--topology grid|ring|line|mesh|clique] [--out DIR] [--only K]
-//             [--trace-out DIR] [--profile PATH] [--verbose]
+//             [--membership] [--topology grid|ring|line|mesh|clique]
+//             [--out DIR] [--only K] [--trace-out DIR] [--profile PATH]
+//             [--verbose]
 //
 // --topology selects the node-placement shape (net/topology_factory.h);
 // grid is the classic kOnePerCellPlus deployment, the others diversify
@@ -24,6 +25,15 @@
 // self-stabilization audit rounds, and every campaign must re-converge to
 // one correct leader per cell within the analytic stabilization bound
 // (check_stabilization + end-state agreement + zero split-brain).
+//
+// --membership switches the generator into self-healing membership mode:
+// plans carry membership-target corruption strikes plus cell-vacancy
+// scenarios (all members but one crash at once), the detector runs with
+// live beliefs/rosters and orphan adoption, and every campaign must end
+// with zero dark cells and inverse-consistent beliefs/rosters — adoption
+// per vacancy within the stabilization bound, vacated cells re-bound to a
+// live proxy. Rejected deployment seeds are counted and printed
+// (soak.seeds_rejected) so determinism stays auditable.
 //
 // --trace-out streams every campaign's capture to DIR/campaign_<k>/ as wtr
 // segments while it runs (obs/stream_sink.h) — bounded memory regardless of
@@ -59,8 +69,17 @@ void write_file(const std::string& path, const std::string& content) {
 }
 
 void report(const wsn::sim::ChaosCampaignResult& res, bool corruption,
-            bool verbose, const std::string& out_dir) {
-  if (corruption) {
+            bool membership, bool verbose, const std::string& out_dir) {
+  if (membership) {
+    std::printf(
+        "campaign %2zu  topo=%s  seed=%llu  events=%zu  corruptions=%zu  "
+        "adoptions=%zu  binds=%zu  rejects=%llu  reconverge=%.2f  %s\n",
+        res.index, res.topology.c_str(),
+        static_cast<unsigned long long>(res.seed), res.events, res.corruptions,
+        res.adoptions, res.adopt_binds,
+        static_cast<unsigned long long>(res.seeds_rejected),
+        res.max_reconverge_latency, res.ok() ? "PASS" : "FAIL");
+  } else if (corruption) {
     std::printf(
         "campaign %2zu  topo=%s  seed=%llu  events=%zu  corruptions=%zu  "
         "claims=%zu  reconverge=%.2f  %s\n",
@@ -125,6 +144,8 @@ int main(int argc, char** argv) {
       cfg.trace_capacity = 1u << 20;  // longer campaigns, bigger capture
     } else if (arg == "--corruption") {
       cfg.corruption = true;
+    } else if (arg == "--membership") {
+      cfg.membership = true;
     } else if (arg == "--topology") {
       const char* name = next();
       if (!wsn::net::parse_topology(name, cfg.topology)) {
@@ -149,7 +170,8 @@ int main(int argc, char** argv) {
                    "wsn-chaos: unknown argument %s\n"
                    "usage: wsn-chaos [--campaigns N] [--seed S] [--grid N] "
                    "[--nodes N] [--rounds N] [--budget X] [--depletion] "
-                   "[--corruption] [--topology grid|ring|line|mesh|clique] "
+                   "[--corruption] [--membership] "
+                   "[--topology grid|ring|line|mesh|clique] "
                    "[--out DIR] [--only K] [--trace-out DIR] "
                    "[--profile PATH] [--verbose]\n",
                    arg.c_str());
@@ -168,18 +190,27 @@ int main(int argc, char** argv) {
               cfg.node_count, cfg.campaigns,
               static_cast<unsigned long long>(cfg.seed),
               soak.detection_bound(),
-              cfg.corruption ? " (corruption mode)" : "");
+              cfg.membership   ? " (membership mode)"
+              : cfg.corruption ? " (corruption mode)"
+                               : "");
 
   // Per-campaign worst latencies, for the percentile summary: detection
-  // latency normally, re-convergence latency in corruption mode.
+  // latency normally, re-convergence latency in corruption/membership mode.
   const double hist_hi = 4.0 * soak.detection_bound();
   wsn::obs::Histogram latencies(0.0, hist_hi, 64);
   std::size_t failed = 0;
+  std::size_t adoptions = 0;
+  std::size_t adopt_binds = 0;
+  unsigned long long seeds_rejected = 0;
   const auto take = [&](const wsn::sim::ChaosCampaignResult& res) {
-    report(res, cfg.corruption, verbose, out_dir);
+    report(res, cfg.corruption, cfg.membership, verbose, out_dir);
     if (!res.ok()) ++failed;
-    const double lat = cfg.corruption ? res.max_reconverge_latency
-                                      : res.max_detection_latency;
+    adoptions += res.adoptions;
+    adopt_binds += res.adopt_binds;
+    seeds_rejected += res.seeds_rejected;
+    const double lat = cfg.corruption || cfg.membership
+                           ? res.max_reconverge_latency
+                           : res.max_detection_latency;
     if (lat > 0.0) latencies.add(lat);
   };
   if (only >= 0) {
@@ -193,10 +224,15 @@ int main(int argc, char** argv) {
   if (latencies.count() > 0) {
     std::printf("%s latency over %llu campaign(s): p50=%.2f p90=%.2f "
                 "p99=%.2f max=%.2f\n",
-                cfg.corruption ? "reconverge" : "detection",
+                cfg.corruption || cfg.membership ? "reconverge" : "detection",
                 static_cast<unsigned long long>(latencies.count()),
                 latencies.p50(), latencies.p90(), latencies.p99(),
                 latencies.max());
+  }
+  if (cfg.membership) {
+    std::printf("membership: %zu adoption(s), %zu proxy bind(s), "
+                "%llu seed(s) rejected\n",
+                adoptions, adopt_binds, seeds_rejected);
   }
   if (!profile_path.empty()) {
     wsn::obs::profiler().disarm();
